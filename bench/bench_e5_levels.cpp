@@ -1,0 +1,150 @@
+// E5 — levels-of-self-awareness ablation (paper Section IV, concept 2).
+//
+// The framework deliberately supports partial stacks: "while full-stack
+// computational self-awareness may often be beneficial ... there are also
+// cases where a more minimal approach is appropriate". This experiment
+// enables the levels incrementally on the multicore manager and measures
+// what each one buys:
+//
+//   none            — static design-time configuration (no awareness)
+//   stimulus        — reactive threshold rules (readings only, no models)
+//   +goal           — model-predictive decisions against the explicit goal
+//                     model, but with raw last-epoch demand only
+//   +goal+time      — adds demand forecasting (time awareness feeds the
+//                     self-model's predictions)
+//   full (+meta)    — adds meta-self-awareness (drift-triggered resets;
+//                     on this recurring workload it should neither help
+//                     nor hurt — its value shows in E6's one-way drift)
+//
+// A second table runs the same ablation on the volunteer cloud, where the
+// interaction level (learned per-node reliability) and the time level
+// (demand forecasting) feed the autoscaler's self-prediction directly.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cloud/autoscaler.hpp"
+#include "multicore/manager.hpp"
+#include "multicore/workload.hpp"
+#include "sim/report.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace sa;
+using namespace sa::multicore;
+
+constexpr int kEpochs = 960;
+const std::vector<std::uint64_t> kSeeds{51, 52, 53};
+
+struct Row {
+  std::string name;
+  Manager::Variant variant;
+  core::LevelSet levels;
+};
+
+double run(const Row& row, std::uint64_t seed) {
+  Platform platform(PlatformConfig::big_little(2, 4), seed);
+  auto workload = PhasedWorkload::standard();
+  Manager::Params p;
+  p.variant = row.variant;
+  p.levels = row.levels;
+  p.seed = seed;
+  Manager mgr(platform, p);
+  sim::RunningStats u;
+  for (int i = 0; i < kEpochs; ++i) {
+    workload.apply(platform);
+    u.add(mgr.run_epoch());
+  }
+  return u.mean();
+}
+
+}  // namespace
+
+int main() {
+  using core::Level;
+  using core::LevelSet;
+  std::cout << "E5: what does each self-awareness level buy? Multicore "
+               "scenario, " << kEpochs << " epochs, " << kSeeds.size()
+            << " seeds.\n\n";
+
+  const std::vector<Row> rows{
+      {"none (static)", Manager::Variant::Static, LevelSet{}},
+      {"stimulus (reactive)", Manager::Variant::Reactive,
+       LevelSet::minimal()},
+      {"stimulus+goal", Manager::Variant::SelfAware,
+       LevelSet{Level::Stimulus, Level::Goal}},
+      {"stimulus+goal+time", Manager::Variant::SelfAware,
+       LevelSet{Level::Stimulus, Level::Goal, Level::Time}},
+      {"full stack (+meta)", Manager::Variant::SelfAware,
+       LevelSet::full()},
+  };
+
+  sim::Table t("E5.1  multicore: mean utility by enabled awareness levels",
+               {"configuration", "levels", "utility"});
+  for (const auto& row : rows) {
+    sim::RunningStats u;
+    for (const auto seed : kSeeds) u.add(run(row, seed));
+    t.add_row({row.name, row.levels.to_string(), u.mean()});
+  }
+  t.print(std::cout);
+
+  // ---- Cloud ablation: interaction + time awareness matter directly ----
+  struct CloudRow {
+    std::string name;
+    LevelSet levels;
+  };
+  const std::vector<CloudRow> cloud_rows{
+      {"goal only", LevelSet{Level::Stimulus, Level::Goal}},
+      {"+time (forecast)",
+       LevelSet{Level::Stimulus, Level::Goal, Level::Time}},
+      {"+interaction (reliability)",
+       LevelSet{Level::Stimulus, Level::Goal, Level::Interaction}},
+      {"+time+interaction",
+       LevelSet{Level::Stimulus, Level::Goal, Level::Time,
+                Level::Interaction}},
+      {"full stack (+meta)", LevelSet::full()},
+  };
+
+  sim::Table tc("E5.2  volunteer cloud: SLA/cost by enabled levels",
+                {"configuration", "sla", "cost", "utility"});
+  for (const auto& row : cloud_rows) {
+    sim::RunningStats sla, cost, u;
+    for (const auto seed : kSeeds) {
+      cloud::Cluster::Params cp;
+      cp.nodes = 30;
+      cp.seed = seed;
+      cp.boot_s = 10.0;  // one epoch of provisioning lag
+      cloud::Cluster cluster(cp);
+      // A steep, fast diurnal cycle: demand moves by whole nodes' worth
+      // between control epochs, so anticipating it (vs chasing it) shows.
+      cloud::DemandModel::Params dp;
+      dp.base = 80.0;
+      dp.diurnal_amp = 0.6;
+      dp.period_s = 300.0;
+      dp.burst_prob = 0.03;
+      dp.burst_mult = 2.0;
+      cloud::DemandModel demand(dp);
+      cloud::Autoscaler::Params ap;
+      ap.variant = cloud::Autoscaler::Variant::SelfAware;
+      ap.levels = row.levels;
+      ap.seasonal_epochs = 30;  // period_s / epoch_s
+      ap.seed = seed;
+      cloud::Autoscaler as(cluster, demand, ap);
+      sim::RunningStats tail_sla, tail_cost;
+      for (int e = 0; e < 400; ++e) {
+        const auto ep = as.run_epoch();
+        if (e >= 100) {
+          tail_sla.add(ep.sla);
+          tail_cost.add(ep.cost);
+        }
+      }
+      sla.add(tail_sla.mean());
+      cost.add(tail_cost.mean());
+      u.add(as.utility().mean());
+    }
+    tc.add_row({row.name, sla.mean(), cost.mean(), u.mean()});
+  }
+  tc.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E8 — self-explanation from self-models (paper Sections III & VI;
+// Schubert [25]; Cox [28]).
+//
+// Claims operationalised:
+//   (a) because decisions are taken from explicit self-models, a complete
+//       explanation (chosen action, alternatives with scores, evidence
+//       with confidence, goal state) is available for *every* decision —
+//       coverage 1.0 by construction;
+//   (b) recording explanations costs little: we measure the control-loop
+//       rate with the explainer on vs off;
+//   (c) the explanations are substantive — a sample is printed.
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "multicore/manager.hpp"
+#include "multicore/workload.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+using namespace sa;
+using namespace sa::multicore;
+
+constexpr int kEpochs = 2000;
+
+struct Measurement {
+  double epochs_per_s = 0.0;
+  double coverage = 0.0;
+  std::size_t stored = 0;
+  std::string sample;
+};
+
+Measurement run(bool explain) {
+  Platform platform(PlatformConfig::big_little(2, 4), 81);
+  auto workload = PhasedWorkload::standard();
+  Manager::Params p;
+  p.variant = Manager::Variant::SelfAware;
+  p.seed = 81;
+  Manager mgr(platform, p);
+  mgr.agent().explainer().set_enabled(explain);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEpochs; ++i) {
+    workload.apply(platform);
+    mgr.run_epoch();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration<double>(stop - start).count();
+
+  Measurement m;
+  m.epochs_per_s = kEpochs / secs;
+  m.coverage = mgr.agent().explainer().coverage();
+  m.stored = mgr.agent().explainer().size();
+  m.sample = mgr.agent().explainer().why_last();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E8: self-explanation coverage and overhead on the multicore "
+               "control loop (" << kEpochs << " epochs).\n\n";
+
+  // Best-of-3 to damp scheduler noise: the loop is simulation-dominated,
+  // so the explainer's cost is small relative to run-to-run variance.
+  Measurement off = run(false), on = run(true);
+  for (int i = 0; i < 2; ++i) {
+    const auto off2 = run(false);
+    const auto on2 = run(true);
+    if (off2.epochs_per_s > off.epochs_per_s) off = off2;
+    if (on2.epochs_per_s > on.epochs_per_s) on = on2;
+  }
+
+  sim::Table t("E8.1  explainer on vs off",
+               {"explainer", "epochs/s", "coverage", "stored"});
+  t.precision(1, 0);
+  t.add_row({std::string("off"), off.epochs_per_s, off.coverage,
+             static_cast<std::int64_t>(off.stored)});
+  t.add_row({std::string("on"), on.epochs_per_s, on.coverage,
+             static_cast<std::int64_t>(on.stored)});
+  t.print(std::cout);
+
+  const double overhead =
+      (off.epochs_per_s / on.epochs_per_s - 1.0) * 100.0;
+  std::cout << "E8.2  overhead: " << overhead
+            << "% (values within a few percent of zero are measurement "
+               "noise).\n\n";
+  std::cout << "E8.3  sample explanation of the final decision:\n  "
+            << on.sample << "\n";
+  return 0;
+}

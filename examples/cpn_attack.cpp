@@ -1,0 +1,58 @@
+// Example: a cognitive packet network riding out a denial-of-service flood.
+//
+// A 4x6 grid network carries eight legitimate flows. Mid-run, three
+// attackers flood the most central node. The self-aware network (Q-routing
+// for QoS + per-destination rate shedding for defence) keeps delivering;
+// the timeline shows the dip and recovery.
+//
+// Run: ./build/examples/cpn_attack
+#include <cstdio>
+
+#include "cpn/network.hpp"
+#include "cpn/traffic.hpp"
+
+int main() {
+  using namespace sa::cpn;
+
+  const auto topo = Topology::grid(4, 6, 4, 2029);
+
+  PacketNetwork::Params np;
+  np.router = PacketNetwork::Router::QRouting;
+  np.dos_defence = true;
+  np.seed = 2029;
+  PacketNetwork net(topo, np);
+
+  TrafficParams tp;
+  tp.flows = 8;
+  tp.legit_rate = 2.0;
+  tp.attack_start = 3000.0;
+  tp.attack_end = 6000.0;
+  tp.attack_rate = 25.0;
+  tp.attackers = 3;
+  tp.seed = 2029;
+  TrafficGenerator gen(topo, tp);
+
+  std::printf("Victim under flood: node %zu. Attack window: ticks %.0f-%.0f\n\n",
+              gen.victim(), tp.attack_start, tp.attack_end);
+  std::printf(" window      phase  delivery  mean_lat  p95_lat  shed\n");
+
+  std::size_t shed_before = 0;
+  for (int window = 0; window < 9; ++window) {
+    for (int tick = 0; tick < 1000; ++tick) {
+      gen.tick(net);
+      net.step();
+    }
+    const auto s = net.harvest();
+    const char* phase = net.now() <= tp.attack_start  ? "calm"
+                        : net.now() <= tp.attack_end ? "ATTACK"
+                                                      : "recovery";
+    std::printf("%7.0f  %9s     %.3f    %6.2f   %6.2f  %5zu\n", net.now(),
+                phase, s.delivery_rate(), s.mean_latency, s.p95_latency,
+                net.defence_drops() - shed_before);
+    shed_before = net.defence_drops();
+  }
+
+  std::printf("\nTotal packets shed by the self-aware defence: %zu\n",
+              net.defence_drops());
+  return 0;
+}

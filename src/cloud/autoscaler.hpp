@@ -1,0 +1,89 @@
+// Autoscalers for the volunteer cloud.
+//
+// Three variants mirror the multicore managers (experiment E3):
+//
+//   Static    — enrol a fixed number of nodes, chosen from the design-time
+//               list, forever;
+//   Reactive  — threshold scaling on the last epoch's SLA/utilisation;
+//   SelfAware — a SelfAwareAgent that forecasts demand (time awareness),
+//               learns per-node reliability by interacting with them
+//               (interaction awareness), and picks the scaling action whose
+//               *predicted* outcome maximises the goal model
+//               (self-prediction, Kounev et al. — realised here with
+//               ModelBasedPolicy).
+//
+// All variants pay the same cost model and see the same demand stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cloud/cluster.hpp"
+#include "core/agent.hpp"
+#include "sim/stats.hpp"
+
+namespace sa::cloud {
+
+class Autoscaler {
+ public:
+  enum class Variant { Static, Reactive, SelfAware };
+
+  struct Params {
+    Variant variant = Variant::SelfAware;
+    core::LevelSet levels = core::LevelSet::full();  ///< SelfAware only
+    std::size_t initial_nodes = 12;
+    double sla_target = 0.95;
+    double cost_scale = 400.0;  ///< epoch cost mapped to utility 0
+    /// Epochs per demand season (e.g. the diurnal cycle); feeds the
+    /// Holt-Winters member of time awareness. 0 disables seasonality.
+    std::size_t seasonal_epochs = 60;
+    std::uint64_t seed = 23;
+  };
+
+  Autoscaler(Cluster& cluster, DemandModel& demand, Params p);
+
+  /// One full control epoch: decide enrolment, run the cluster, learn.
+  /// Returns the epoch record.
+  CloudEpoch run_epoch();
+
+  [[nodiscard]] core::SelfAwareAgent& agent() noexcept { return *agent_; }
+  [[nodiscard]] std::size_t target() const noexcept { return target_; }
+  [[nodiscard]] static const char* variant_name(Variant v) noexcept;
+
+  // Whole-run aggregates.
+  [[nodiscard]] const sim::RunningStats& sla() const noexcept { return sla_; }
+  [[nodiscard]] const sim::RunningStats& cost() const noexcept {
+    return cost_;
+  }
+  [[nodiscard]] const sim::RunningStats& utility() const noexcept {
+    return utility_;
+  }
+  [[nodiscard]] double sla_violation_rate() const noexcept {
+    return epochs_ ? static_cast<double>(violations_) /
+                         static_cast<double>(epochs_)
+                   : 0.0;
+  }
+
+ private:
+  void build_agent();
+  /// Node enrolment order: learned reliability ranking for SelfAware,
+  /// design-time list order otherwise.
+  [[nodiscard]] std::vector<std::size_t> enrolment_order() const;
+  /// Predicted epoch metrics if the enrolment target were `k`.
+  [[nodiscard]] core::MetricMap predict(std::size_t k) const;
+
+  Cluster& cluster_;
+  DemandModel& demand_;
+  Params p_;
+  std::unique_ptr<core::SelfAwareAgent> agent_;
+
+  std::size_t target_;
+  CloudEpoch last_;
+  static constexpr int kDeltas[] = {-3, -1, 0, 1, 3};
+
+  sim::RunningStats sla_, cost_, utility_;
+  std::size_t epochs_ = 0, violations_ = 0;
+};
+
+}  // namespace sa::cloud

@@ -1,0 +1,114 @@
+#include "cloud/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sa::cloud {
+
+double DemandModel::rate(double t, double epoch_s, sim::Rng& rng) {
+  const double base = p_.base + p_.drift_per_s * t;
+  const double diurnal =
+      1.0 + p_.diurnal_amp * std::sin(2.0 * 3.141592653589793 * t / p_.period_s);
+  double r = base * diurnal;
+  if (t < burst_until_) {
+    r *= p_.burst_mult;
+  } else {
+    burst_until_ = 0.0;
+    if (rng.chance(p_.burst_prob)) {
+      burst_until_ = t + rng.exponential(p_.burst_len_s);
+      r *= p_.burst_mult;
+    }
+  }
+  (void)epoch_s;
+  return std::max(0.0, r);
+}
+
+Cluster::Cluster(Params p) : p_(p), rng_(p.seed) {
+  nodes_.reserve(p_.nodes);
+  for (std::size_t i = 0; i < p_.nodes; ++i) {
+    VolunteerNode n;
+    n.id = "vn" + std::to_string(i);
+    n.capacity = p_.capacity_mean * rng_.uniform(0.5, 1.5);
+    // Reliability heterogeneity: MTTF spans an order of magnitude, so
+    // learning who to trust actually matters.
+    n.mttf_s = p_.mttf_mean_s * rng_.pareto(0.4, 1.6);
+    n.mttr_s = p_.mttr_mean_s * rng_.uniform(0.5, 1.5);
+    n.up = rng_.chance(n.mttf_s / (n.mttf_s + n.mttr_s));
+    n.next_transition =
+        rng_.exponential(n.up ? n.mttf_s : n.mttr_s);
+    n.cost_per_s = 0.5 + n.capacity / p_.capacity_mean;
+    nodes_.push_back(std::move(n));
+  }
+}
+
+void Cluster::enrol(const std::vector<std::size_t>& order, std::size_t k) {
+  std::vector<bool> was(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) was[i] = nodes_[i].enrolled;
+  for (auto& n : nodes_) n.enrolled = false;
+  const std::size_t take = std::min(k, order.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    auto& n = nodes_[order[i]];
+    n.enrolled = true;
+    // Fresh enrolments pay the provisioning lag before delivering capacity.
+    if (!was[order[i]]) n.boot_until = now_ + p_.boot_s;
+  }
+}
+
+void Cluster::advance_availability(VolunteerNode& n, double until) {
+  while (n.next_transition <= until) {
+    n.up = !n.up;
+    n.next_transition += rng_.exponential(n.up ? n.mttf_s : n.mttr_s);
+  }
+}
+
+CloudEpoch Cluster::run_epoch(double rate) {
+  const double dt = p_.epoch_s;
+  const double t_end = now_ + dt;
+  outcomes_.clear();
+
+  // Advance availability; capacity uses a midpoint sample of up-ness
+  // (sub-epoch flips approximate as half capacity for nodes that flipped).
+  double capacity = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& n = nodes_[i];
+    const bool was_up = n.up;
+    advance_availability(n, t_end);
+    if (!n.enrolled) continue;
+    if (now_ < n.boot_until) continue;  // still provisioning: no capacity
+    double frac = 0.0;
+    if (was_up && n.up) {
+      frac = 1.0;
+    } else if (was_up != n.up) {
+      frac = 0.5;
+    }
+    capacity += n.capacity * frac;
+    outcomes_.push_back({i, was_up && n.up, n.capacity * frac});
+  }
+
+  CloudEpoch e;
+  e.duration = dt;
+  e.arrival_rate = rate;
+  const double arrived = rate * dt;
+  const double offered = arrived + backlog_;
+  const double service = capacity * dt;
+  e.demand = offered;
+  e.capacity = capacity;
+  e.served = std::min(offered, service);
+  double leftover = offered - e.served;
+  e.dropped = std::max(0.0, leftover - p_.queue_bound);
+  backlog_ = leftover - e.dropped;
+  e.backlog = backlog_;
+  e.sla = offered > 0.0 ? e.served / offered : 1.0;
+  e.utilisation = service > 0.0 ? std::min(1.0, offered / service) : 1.0;
+
+  for (const auto& n : nodes_) {
+    if (!n.enrolled) continue;
+    ++e.enrolled;
+    if (n.up) ++e.up_enrolled;
+    e.cost += n.cost_per_s * dt;
+  }
+  now_ = t_end;
+  return e;
+}
+
+}  // namespace sa::cloud

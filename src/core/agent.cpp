@@ -1,0 +1,195 @@
+#include "core/agent.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <iomanip>
+#include <sstream>
+
+namespace sa::core {
+
+SelfAwareAgent::SelfAwareAgent(std::string id, AgentConfig cfg)
+    : id_(std::move(id)),
+      cfg_(cfg),
+      rng_(sim::mix64(cfg.seed) ^ std::hash<std::string>{}(id_)),
+      kb_(cfg.history_limit),
+      explainer_(cfg.explain),
+      attention_(cfg.attention_strategy, cfg.attention_budget) {
+  if (cfg_.levels.has(Level::Stimulus)) {
+    stimulus_ = std::make_unique<StimulusAwareness>(cfg_.stimulus);
+  }
+  if (cfg_.levels.has(Level::Interaction)) {
+    interaction_ = std::make_unique<InteractionAwareness>(cfg_.interaction);
+  }
+  if (cfg_.levels.has(Level::Time)) {
+    time_ = std::make_unique<TimeAwareness>(cfg_.time);
+  }
+  if (cfg_.levels.has(Level::Meta)) {
+    meta_ = std::make_unique<MetaSelfAwareness>(cfg_.meta);
+    if (stimulus_) meta_->watch(*stimulus_);
+    if (interaction_) meta_->watch(*interaction_);
+    if (time_) meta_->watch(*time_);
+    // When the world shifts under the models, learned action values are
+    // stale too: the meta level resets the policy alongside the processes.
+    meta_->on_drift("policy-reset", [this] {
+      if (policy_) policy_->reset();
+    });
+  }
+}
+
+void SelfAwareAgent::add_sensor(const std::string& name,
+                                std::function<double()> read) {
+  sensors_.emplace_back(name, std::move(read));
+  attention_.register_signal(name);
+}
+
+void SelfAwareAgent::add_action(const std::string& name,
+                                std::function<void()> act) {
+  action_names_.push_back(name);
+  actuators_.push_back(std::move(act));
+}
+
+void SelfAwareAgent::set_policy(std::unique_ptr<Policy> policy) {
+  policy_ = std::move(policy);
+}
+
+void SelfAwareAgent::set_goal_metrics(std::vector<std::string> metrics) {
+  if (!cfg_.levels.has(Level::Goal)) return;
+  goal_aware_ = std::make_unique<GoalAwareness>(goals_, std::move(metrics));
+  if (meta_) meta_->watch(*goal_aware_);
+}
+
+Observation SelfAwareAgent::observe() {
+  Observation obs;
+  const auto chosen = attention_.select(rng_);
+  for (const auto& [name, read] : sensors_) {
+    // With no budget (All) `chosen` holds every signal; otherwise sample
+    // only the attended subset.
+    if (std::find(chosen.begin(), chosen.end(), name) == chosen.end()) {
+      continue;
+    }
+    const double v = read();
+    obs[name] = v;
+    attention_.feed(name, v);
+  }
+  return obs;
+}
+
+void SelfAwareAgent::run_processes(double t, const Observation& obs) {
+  // Order matters and mirrors the levels: raw stimuli first, then models
+  // over them, goals over those, and the meta level last so it sees this
+  // step's goal.utility.
+  if (stimulus_) stimulus_->update(t, obs, kb_);
+  if (interaction_) interaction_->update(t, obs, kb_);
+  if (time_) time_->update(t, obs, kb_);
+  if (goal_aware_) goal_aware_->update(t, obs, kb_);
+  if (meta_) meta_->update(t, obs, kb_);
+}
+
+Decision SelfAwareAgent::step(double t) {
+  ++steps_;
+  const Observation obs = observe();
+  if (cfg_.trace != nullptr) {
+    std::string sampled;
+    for (const auto& [sig, v] : obs) {
+      (void)v;
+      if (!sampled.empty()) sampled += ',';
+      sampled += sig;
+    }
+    cfg_.trace->record(t, "observe", id_, sampled);
+  }
+  // Without stimulus awareness nothing else mirrors raw readings into the
+  // KB; do it here so higher levels and policies can still see them.
+  if (!stimulus_) {
+    for (const auto& [sig, v] : obs) {
+      kb_.put_number(sig, v, t, 1.0, Scope::Public, "sensor");
+    }
+  }
+  run_processes(t, obs);
+
+  Decision d;
+  d.action_index = static_cast<std::size_t>(-1);
+  if (policy_ && !action_names_.empty()) {
+    d = policy_->decide(t, kb_, action_names_, rng_);
+    if (d.action_index < actuators_.size()) actuators_[d.action_index]();
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->record(t, "decide", id_, d.action + ": " + d.rationale);
+    }
+    explain_decision(t, d);
+  }
+  return d;
+}
+
+void SelfAwareAgent::explain_decision(double t, const Decision& d) {
+  if (!explainer_.enabled()) {
+    explainer_.note_unexplained();
+    return;
+  }
+  Explanation e;
+  e.t = t;
+  e.agent = id_;
+  e.decision = d;
+  for (const auto& key : d.evidence) {
+    if (const auto item = kb_.latest(key)) {
+      e.evidence.push_back(
+          {key, as_number(item->value), item->confidence});
+    }
+  }
+  if (goal_aware_) {
+    e.goal_utility = goal_aware_->current_utility();
+    e.has_goal = true;
+  }
+  explainer_.record(std::move(e));
+}
+
+void SelfAwareAgent::reward(double r) {
+  if (policy_) policy_->feedback(r);
+}
+
+void SelfAwareAgent::record_interaction(const std::string& peer, bool success,
+                                        double value) {
+  if (interaction_) interaction_->record_interaction(peer, success, value);
+}
+
+std::string SelfAwareAgent::describe() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << "Agent '" << id_ << "': levels " << cfg_.levels.to_string() << "; "
+     << sensors_.size() << " sensor" << (sensors_.size() == 1 ? "" : "s");
+  if (!sensors_.empty()) {
+    os << " (";
+    for (std::size_t i = 0; i < sensors_.size(); ++i) {
+      os << (i ? ", " : "") << sensors_[i].first;
+    }
+    os << ")";
+  }
+  os << "; " << action_names_.size() << " action"
+     << (action_names_.size() == 1 ? "" : "s") << "; policy "
+     << (policy_ ? policy_->name() : "none") << "; goals: "
+     << goals_.objectives() << " objective"
+     << (goals_.objectives() == 1 ? "" : "s") << ", " << goals_.constraints()
+     << " constraint" << (goals_.constraints() == 1 ? "" : "s")
+     << "; knowledge: " << kb_.size() << " keys.";
+
+  std::vector<const AwarenessProcess*> procs;
+  if (stimulus_) procs.push_back(stimulus_.get());
+  if (interaction_) procs.push_back(interaction_.get());
+  if (time_) procs.push_back(time_.get());
+  if (goal_aware_) procs.push_back(goal_aware_.get());
+  if (meta_) procs.push_back(meta_.get());
+  if (!procs.empty()) {
+    os << " Process quality:";
+    for (const auto* p : procs) {
+      os << ' ' << p->name() << "=" << p->quality();
+    }
+    os << ".";
+  }
+  os << " Decisions taken: " << explainer_.decisions() << " (explained "
+     << static_cast<int>(explainer_.coverage() * 100.0) << "%).";
+  return os.str();
+}
+
+double SelfAwareAgent::current_utility() const {
+  return goal_aware_ ? goal_aware_->current_utility() : 0.0;
+}
+
+}  // namespace sa::core

@@ -1,0 +1,168 @@
+// SelfAwareAgent: the framework facade.
+//
+// Composes the reference architecture of Lewis et al. [41] into one object:
+// sensors feed an attention-filtered observe phase; awareness processes
+// (one per enabled level) derive knowledge; a policy decides; actuators
+// express the decision; the explainer records why. The set of enabled
+// levels is a constructor-time capability choice ("full-stack" vs minimal —
+// paper Section IV), which experiment E5 ablates.
+//
+// Typical use:
+//
+//   AgentConfig cfg;                      // defaults to LevelSet::full()
+//   SelfAwareAgent agent("mapper", cfg);
+//   agent.add_sensor("load", [&]{ return platform.load(); });
+//   agent.add_action("freq_up",   [&]{ platform.step_freq(+1); });
+//   agent.add_action("freq_down", [&]{ platform.step_freq(-1); });
+//   agent.goals().add_objective({"throughput", utility::rising(0, 100), 2.0});
+//   agent.goals().add_objective({"power", utility::falling(1, 10), 1.0});
+//   agent.set_goal_metrics({"throughput", "power"});
+//   agent.set_policy(std::make_unique<BanditPolicy>(
+//       std::make_unique<learn::Ucb1>(2)));
+//   ...
+//   auto d = agent.step(t);               // one ODA cycle
+//   agent.reward(agent.current_utility());
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/attention.hpp"
+#include "core/explain.hpp"
+#include "core/goal.hpp"
+#include "core/goal_awareness.hpp"
+#include "core/interaction.hpp"
+#include "core/knowledge.hpp"
+#include "core/levels.hpp"
+#include "core/meta.hpp"
+#include "core/policy.hpp"
+#include "core/stimulus.hpp"
+#include "core/time_awareness.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+
+namespace sa::core {
+
+/// Construction-time configuration of an agent's self-awareness machinery.
+struct AgentConfig {
+  LevelSet levels = LevelSet::full();
+  std::uint64_t seed = 1;
+
+  /// Attention: maximum sensors sampled per step; SIZE_MAX = no budget.
+  std::size_t attention_budget = static_cast<std::size_t>(-1);
+  AttentionManager::Strategy attention_strategy =
+      AttentionManager::Strategy::All;
+
+  StimulusAwareness::Params stimulus{};
+  InteractionAwareness::Params interaction{};
+  TimeAwareness::Params time{};
+  MetaSelfAwareness::Params meta{};
+
+  bool explain = true;            ///< record explanations for decisions
+  std::size_t history_limit = 128;///< KB history depth per key
+
+  /// Optional structured trace: the agent records one "observe" record per
+  /// step (signals sampled) and one "decide" record per decision (action +
+  /// rationale). Non-owning; must outlive the agent. Null disables tracing.
+  sim::Trace* trace = nullptr;
+};
+
+/// One self-aware entity. Not thread-safe; one agent per logical entity.
+class SelfAwareAgent {
+ public:
+  explicit SelfAwareAgent(std::string id, AgentConfig cfg = {});
+
+  // -- Wiring ---------------------------------------------------------------
+  /// Registers a named sensor; `read` is pulled during the observe phase.
+  void add_sensor(const std::string& name, std::function<double()> read);
+  /// Registers a named action with its actuator.
+  void add_action(const std::string& name, std::function<void()> act);
+  /// Installs the decision policy (replaces any previous one).
+  void set_policy(std::unique_ptr<Policy> policy);
+  /// Declares which KB keys carry the goal metrics (enables goal awareness
+  /// evaluation over them; requires Level::Goal).
+  void set_goal_metrics(std::vector<std::string> metrics);
+
+  // -- The loop -------------------------------------------------------------
+  /// Runs one Observe-Decide-Act cycle at time `t`. Returns the decision
+  /// (action_index == SIZE_MAX and empty action if no policy/actions).
+  Decision step(double t);
+  /// Routes reward for the last decision to the (learning) policy.
+  void reward(double r);
+  /// Reports an interaction outcome to interaction awareness (no-op if the
+  /// level is disabled).
+  void record_interaction(const std::string& peer, bool success,
+                          double value = 0.0);
+
+  // -- Introspection --------------------------------------------------------
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const LevelSet& levels() const noexcept {
+    return cfg_.levels;
+  }
+  [[nodiscard]] KnowledgeBase& knowledge() noexcept { return kb_; }
+  [[nodiscard]] const KnowledgeBase& knowledge() const noexcept { return kb_; }
+  [[nodiscard]] GoalModel& goals() noexcept { return goals_; }
+  [[nodiscard]] Explainer& explainer() noexcept { return explainer_; }
+  [[nodiscard]] AttentionManager& attention() noexcept { return attention_; }
+  [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
+  /// Utility at the last step (0 if goal awareness is disabled/unset).
+  [[nodiscard]] double current_utility() const;
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+  [[nodiscard]] const std::vector<std::string>& actions() const noexcept {
+    return action_names_;
+  }
+
+  /// Direct access to the level processes (null when disabled).
+  [[nodiscard]] StimulusAwareness* stimulus() noexcept {
+    return stimulus_.get();
+  }
+  [[nodiscard]] InteractionAwareness* interaction() noexcept {
+    return interaction_.get();
+  }
+  [[nodiscard]] TimeAwareness* time_awareness() noexcept {
+    return time_.get();
+  }
+  [[nodiscard]] GoalAwareness* goal_awareness() noexcept {
+    return goal_aware_.get();
+  }
+  [[nodiscard]] MetaSelfAwareness* meta() noexcept { return meta_.get(); }
+  [[nodiscard]] Policy* policy() noexcept { return policy_.get(); }
+
+  /// Self-description: a human-readable report of what this agent *is* —
+  /// its capability levels, sensors, actions, policy, goal structure and
+  /// the current self-assessed quality of each awareness process. The
+  /// static counterpart of Explainer's per-decision "why" (the paper's
+  /// self-explanation covers both: what I am, and why I acted).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  Observation observe();
+  void run_processes(double t, const Observation& obs);
+  void explain_decision(double t, const Decision& d);
+
+  std::string id_;
+  AgentConfig cfg_;
+  sim::Rng rng_;
+  KnowledgeBase kb_;
+  GoalModel goals_;
+  Explainer explainer_;
+  AttentionManager attention_;
+
+  std::vector<std::pair<std::string, std::function<double()>>> sensors_;
+  std::vector<std::string> action_names_;
+  std::vector<std::function<void()>> actuators_;
+  std::unique_ptr<Policy> policy_;
+
+  std::unique_ptr<StimulusAwareness> stimulus_;
+  std::unique_ptr<InteractionAwareness> interaction_;
+  std::unique_ptr<TimeAwareness> time_;
+  std::unique_ptr<GoalAwareness> goal_aware_;
+  std::unique_ptr<MetaSelfAwareness> meta_;
+
+  std::size_t steps_ = 0;
+};
+
+}  // namespace sa::core

@@ -1,0 +1,83 @@
+#include "core/attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sa::core {
+
+void AttentionManager::register_signal(const std::string& name) {
+  if (state_.try_emplace(name).second) order_.push_back(name);
+}
+
+std::vector<std::string> AttentionManager::select(sim::Rng& rng) {
+  std::vector<std::string> chosen;
+  if (order_.empty()) return chosen;
+  const std::size_t k = std::min(budget_, order_.size());
+
+  switch (strategy_) {
+    case Strategy::All:
+      chosen = order_;
+      break;
+    case Strategy::RoundRobin:
+      for (std::size_t i = 0; i < k; ++i) {
+        chosen.push_back(order_[(rr_cursor_ + i) % order_.size()]);
+      }
+      rr_cursor_ = (rr_cursor_ + k) % order_.size();
+      break;
+    case Strategy::Random: {
+      std::vector<std::size_t> idx(order_.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + rng.below(idx.size() - i);
+        std::swap(idx[i], idx[j]);
+        chosen.push_back(order_[idx[i]]);
+      }
+      break;
+    }
+    case Strategy::Adaptive: {
+      // Score = recency-weighted volatility + staleness pressure. The
+      // staleness term guarantees every signal is eventually sampled
+      // (no starvation), the volatility term prioritises where change
+      // is actually happening.
+      std::vector<std::pair<double, std::size_t>> scored;
+      scored.reserve(order_.size());
+      for (std::size_t i = 0; i < order_.size(); ++i) {
+        const auto& s = state_.at(order_[i]);
+        const double sc = s.volatility.value() +
+                          0.1 * static_cast<double>(s.staleness);
+        scored.emplace_back(sc, i);
+      }
+      std::partial_sort(scored.begin(),
+                        scored.begin() + static_cast<std::ptrdiff_t>(k),
+                        scored.end(), [](const auto& a, const auto& b) {
+                          return a.first != b.first ? a.first > b.first
+                                                    : a.second < b.second;
+                        });
+      for (std::size_t i = 0; i < k; ++i) {
+        chosen.push_back(order_[scored[i].second]);
+      }
+      break;
+    }
+  }
+
+  // Update staleness counters.
+  for (auto& [name, s] : state_) ++s.staleness;
+  for (const auto& name : chosen) state_.at(name).staleness = 0;
+  return chosen;
+}
+
+void AttentionManager::feed(const std::string& name, double value) {
+  const auto it = state_.find(name);
+  if (it == state_.end()) return;
+  auto& s = it->second;
+  if (s.has_value) s.volatility.add(std::fabs(value - s.last_value));
+  s.last_value = value;
+  s.has_value = true;
+}
+
+double AttentionManager::score(const std::string& name) const {
+  const auto it = state_.find(name);
+  return it == state_.end() ? 0.0 : it->second.volatility.value();
+}
+
+}  // namespace sa::core

@@ -1,0 +1,66 @@
+// Attention: directing limited monitoring resources.
+//
+// Preden et al. [55] (and the psychology literature the paper draws on)
+// tie self-awareness to attention: a resource-constrained system cannot
+// observe everything, so it must choose what to attend to. The
+// AttentionManager selects, each step, which of the registered signals to
+// actually sample, under a budget. The Adaptive strategy allocates
+// attention by expected information value: volatile signals and signals
+// not sampled for a while score higher. Experiment E9 compares strategies.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "learn/estimators.hpp"
+#include "sim/rng.hpp"
+
+namespace sa::core {
+
+class AttentionManager {
+ public:
+  enum class Strategy {
+    All,        ///< ignore the budget; sample everything (upper bound)
+    RoundRobin, ///< cycle through signals uniformly
+    Random,     ///< sample a uniform random subset
+    Adaptive,   ///< value-of-information: volatility + staleness
+  };
+
+  /// `budget` — max signals sampled per step (ignored by All).
+  AttentionManager(Strategy strategy, std::size_t budget)
+      : strategy_(strategy), budget_(budget) {}
+
+  /// Declares a signal that may be attended to.
+  void register_signal(const std::string& name);
+
+  /// Chooses which signals to sample this step.
+  [[nodiscard]] std::vector<std::string> select(sim::Rng& rng);
+
+  /// Reports the value obtained for a sampled signal (drives the
+  /// volatility model behind Adaptive).
+  void feed(const std::string& name, double value);
+
+  /// Current attention score of a signal (Adaptive; 0 otherwise).
+  [[nodiscard]] double score(const std::string& name) const;
+  [[nodiscard]] Strategy strategy() const noexcept { return strategy_; }
+  [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t signals() const noexcept { return order_.size(); }
+
+ private:
+  struct SignalState {
+    learn::Ewma volatility{0.2};
+    double last_value = 0.0;
+    bool has_value = false;
+    std::size_t staleness = 0;  ///< steps since last sampled
+  };
+
+  Strategy strategy_;
+  std::size_t budget_;
+  std::vector<std::string> order_;           // registration order
+  std::map<std::string, SignalState> state_;
+  std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace sa::core

@@ -1,0 +1,63 @@
+#include "core/explain.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace sa::core {
+
+std::string Explanation::render() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "[t=" << t << "] " << agent << " chose '" << decision.action << "'";
+  if (!decision.rationale.empty()) os << " because " << decision.rationale;
+  os << ".";
+  if (!decision.considered.empty()) {
+    os << " Alternatives considered:";
+    for (const auto& opt : decision.considered) {
+      os << ' ' << opt.action << "(" << opt.score << ")";
+    }
+    os << ".";
+  }
+  if (!evidence.empty()) {
+    os << " Evidence:";
+    for (const auto& ev : evidence) {
+      os << ' ' << ev.key << "=" << ev.value << " [conf " << ev.confidence
+         << "]";
+    }
+    os << ".";
+  }
+  if (has_goal) os << " Goal utility at decision time: " << goal_utility << ".";
+  return os.str();
+}
+
+Explainer::ActionSummary Explainer::summarise(
+    const std::string& action) const {
+  ActionSummary out;
+  double utility_sum = 0.0;
+  std::size_t with_goal = 0;
+  for (const auto& e : log_) {
+    if (e.decision.action != action) continue;
+    ++out.count;
+    out.last_rationale = e.decision.rationale;
+    if (e.has_goal) {
+      utility_sum += e.goal_utility;
+      ++with_goal;
+    }
+  }
+  if (with_goal > 0) {
+    out.mean_goal_utility = utility_sum / static_cast<double>(with_goal);
+  }
+  return out;
+}
+
+void Explainer::record(Explanation e) {
+  ++decisions_;
+  if (!enabled_) return;
+  if (log_.size() >= capacity_) {
+    log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(
+                                                capacity_ / 4 + 1));
+  }
+  log_.push_back(std::move(e));
+}
+
+}  // namespace sa::core

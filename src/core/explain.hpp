@@ -1,0 +1,99 @@
+// Self-explanation.
+//
+// Because a self-aware system acts from explicit self-models, it can report
+// *why* it acted (Schubert [25]; Cox [28]; paper Sections III and VI:
+// "self-explanation, a form of reporting in which the reasons behind action
+// (or inaction) are made clear"). The Explainer captures, per decision, the
+// chosen action, the alternatives with their scores, the knowledge items
+// consulted (with value and confidence at decision time) and the goal
+// state; render() produces the human-readable account. Experiment E8
+// measures the overhead and coverage of this machinery.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace sa::core {
+
+/// A knowledge item as it stood when the decision was taken.
+struct EvidenceSnapshot {
+  std::string key;
+  double value = 0.0;
+  double confidence = 0.0;
+};
+
+/// The full account of one decision.
+struct Explanation {
+  double t = 0.0;
+  std::string agent;
+  Decision decision;
+  std::vector<EvidenceSnapshot> evidence;
+  double goal_utility = 0.0;
+  bool has_goal = false;
+
+  /// Renders a human-readable explanation paragraph.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Collects explanations and tracks coverage (decisions explained /
+/// decisions made). Disabled instances cost one branch per decision.
+class Explainer {
+ public:
+  explicit Explainer(bool enabled = true) : enabled_(enabled) {}
+
+  /// Counts a decision; stores the explanation when enabled.
+  void record(Explanation e);
+  /// Counts a decision that produced no explanation (coverage accounting).
+  void note_unexplained() { ++decisions_; }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool e) noexcept { enabled_ = e; }
+  [[nodiscard]] std::size_t size() const noexcept { return log_.size(); }
+  [[nodiscard]] std::size_t decisions() const noexcept { return decisions_; }
+  /// Fraction of decisions for which an explanation exists.
+  [[nodiscard]] double coverage() const noexcept {
+    return decisions_ == 0
+               ? 0.0
+               : static_cast<double>(log_.size()) /
+                     static_cast<double>(decisions_);
+  }
+  [[nodiscard]] const std::vector<Explanation>& all() const noexcept {
+    return log_;
+  }
+  [[nodiscard]] std::optional<Explanation> last() const {
+    if (log_.empty()) return std::nullopt;
+    return log_.back();
+  }
+  /// Rendered explanation of the most recent decision ("" if none).
+  [[nodiscard]] std::string why_last() const {
+    return log_.empty() ? std::string{} : log_.back().render();
+  }
+  /// Aggregate view over the retained log: how often was `action` chosen,
+  /// at what mean goal utility, and what did the most recent choice of it
+  /// look like? Answers the operator question "why do you keep doing X?".
+  struct ActionSummary {
+    std::size_t count = 0;       ///< times `action` appears in the log
+    double mean_goal_utility = 0.0;  ///< over entries with goal state
+    std::string last_rationale;  ///< rationale of the most recent one
+  };
+  [[nodiscard]] ActionSummary summarise(const std::string& action) const;
+
+  /// Keeps memory bounded on long runs.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+  void clear() {
+    log_.clear();
+    decisions_ = 0;
+  }
+
+ private:
+  bool enabled_;
+  std::size_t capacity_ = 4096;
+  std::vector<Explanation> log_;
+  std::size_t decisions_ = 0;
+};
+
+}  // namespace sa::core

@@ -1,0 +1,47 @@
+#include "core/goal_awareness.hpp"
+
+namespace sa::core {
+
+void GoalAwareness::update(double t, const Observation& obs,
+                           KnowledgeBase& kb) {
+  last_metrics_.clear();
+  for (const auto& key : metrics_) {
+    // Fresh observation wins; otherwise fall back to the KB's latest view
+    // (the metric may be produced by another process, or unsampled this
+    // step under an attention budget).
+    if (const auto it = obs.find(key); it != obs.end()) {
+      last_metrics_[key] = it->second;
+    } else if (kb.contains(key)) {
+      last_metrics_[key] = kb.number(key);
+    }
+  }
+
+  utility_ = goals_.utility(last_metrics_);
+  feasible_ = goals_.feasible(last_metrics_);
+  trend_.add(utility_);
+  ++updates_;
+
+  kb.put_number("goal.utility", utility_, t, 1.0, Scope::Private, name());
+  kb.put_number("goal.utility.trend", trend_.value(), t, 1.0, Scope::Private,
+                name());
+  kb.put_number("goal.feasible", feasible_ ? 1.0 : 0.0, t, 1.0,
+                Scope::Private, name());
+  const auto violated = goals_.violations(last_metrics_);
+  kb.put_number("goal.violations", static_cast<double>(violated.size()), t,
+                1.0, Scope::Private, name());
+  for (const auto& [metric, u] : goals_.breakdown(last_metrics_)) {
+    kb.put_number("goal." + metric + ".utility", u, t, 1.0, Scope::Private,
+                  name());
+  }
+}
+
+double GoalAwareness::quality() const {
+  if (updates_ == 0) return 0.0;
+  // Goal awareness is "working" when it has all its metrics available.
+  return metrics_.empty()
+             ? 1.0
+             : static_cast<double>(last_metrics_.size()) /
+                   static_cast<double>(metrics_.size());
+}
+
+}  // namespace sa::core

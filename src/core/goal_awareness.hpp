@@ -1,0 +1,59 @@
+// Goal awareness: knowing one's own goals and how well they are being met.
+//
+// Reads the current metric values out of the knowledge base, evaluates the
+// GoalModel, and publishes utility, feasibility, per-objective breakdown and
+// violation events. Because the goal model is mutable at run time, this
+// process also notices *goal change* — a shift in weights — and flags it,
+// so downstream learners can reset instead of chasing a stale objective.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/goal.hpp"
+#include "core/process.hpp"
+#include "learn/estimators.hpp"
+
+namespace sa::core {
+
+class GoalAwareness final : public AwarenessProcess {
+ public:
+  /// `goals` must outlive this process. `metrics` lists the KB keys (or
+  /// observation signals) that carry the objectives' raw metric values.
+  GoalAwareness(GoalModel& goals, std::vector<std::string> metrics)
+      : goals_(goals), metrics_(std::move(metrics)) {}
+
+  [[nodiscard]] Level level() const override { return Level::Goal; }
+  [[nodiscard]] std::string name() const override { return "goal"; }
+
+  /// Publishes "goal.utility", "goal.feasible", "goal.violations" and
+  /// "goal.<metric>.utility" per objective.
+  void update(double t, const Observation& obs, KnowledgeBase& kb) override;
+
+  /// Utility computed on the most recent update.
+  [[nodiscard]] double current_utility() const noexcept { return utility_; }
+  [[nodiscard]] bool currently_feasible() const noexcept { return feasible_; }
+  /// Recency-weighted mean utility — the agent's sense of "how am I doing".
+  [[nodiscard]] double utility_trend() const noexcept {
+    return trend_.value();
+  }
+  /// The metric map assembled on the last update (for policies/explainers).
+  [[nodiscard]] const MetricMap& last_metrics() const noexcept {
+    return last_metrics_;
+  }
+  [[nodiscard]] GoalModel& goals() noexcept { return goals_; }
+
+  [[nodiscard]] double quality() const override;
+  void reconfigure() override { trend_.reset(); }
+
+ private:
+  GoalModel& goals_;
+  std::vector<std::string> metrics_;
+  MetricMap last_metrics_;
+  double utility_ = 0.0;
+  bool feasible_ = true;
+  learn::Ewma trend_{0.05};
+  std::size_t updates_ = 0;
+};
+
+}  // namespace sa::core

@@ -1,0 +1,120 @@
+#include "core/knowledge.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sa::core {
+
+const std::deque<KnowledgeItem> KnowledgeBase::empty_{};
+
+std::string to_string(const Value& v) {
+  std::ostringstream os;
+  if (const auto* b = std::get_if<bool>(&v)) {
+    os << (*b ? "true" : "false");
+  } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    os << *i;
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    os << *d;
+  } else if (const auto* s = std::get_if<std::string>(&v)) {
+    os << *s;
+  } else {
+    const auto& vec = std::get<std::vector<double>>(v);
+    os << '[';
+    for (std::size_t i = 0; i < vec.size(); ++i) os << (i ? "," : "") << vec[i];
+    os << ']';
+  }
+  return os.str();
+}
+
+void KnowledgeBase::put(const std::string& key, KnowledgeItem item) {
+  auto& hist = store_[key];
+  hist.push_back(std::move(item));
+  if (hist.size() > history_limit_) hist.pop_front();
+  for (const auto& [handle, l] : listeners_) {
+    (void)handle;
+    l(key, hist.back());
+  }
+}
+
+void KnowledgeBase::put_number(const std::string& key, double value,
+                               double time, double confidence, Scope scope,
+                               std::string source) {
+  put(key, KnowledgeItem{Value{value}, time, confidence, scope,
+                         std::move(source)});
+}
+
+std::optional<KnowledgeItem> KnowledgeBase::latest(
+    const std::string& key) const {
+  const auto it = store_.find(key);
+  if (it == store_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+double KnowledgeBase::number(const std::string& key, double fallback) const {
+  const auto it = store_.find(key);
+  if (it == store_.end() || it->second.empty()) return fallback;
+  return as_number(it->second.back().value, fallback);
+}
+
+double KnowledgeBase::confidence(const std::string& key) const {
+  const auto it = store_.find(key);
+  if (it == store_.end() || it->second.empty()) return 0.0;
+  return it->second.back().confidence;
+}
+
+const std::deque<KnowledgeItem>& KnowledgeBase::history(
+    const std::string& key) const {
+  const auto it = store_.find(key);
+  return it == store_.end() ? empty_ : it->second;
+}
+
+bool KnowledgeBase::contains(const std::string& key) const {
+  return store_.count(key) != 0;
+}
+
+std::vector<std::string> KnowledgeBase::keys() const {
+  std::vector<std::string> out;
+  out.reserve(store_.size());
+  for (const auto& [k, v] : store_) {
+    (void)v;
+    out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<std::string> KnowledgeBase::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = store_.lower_bound(prefix); it != store_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, KnowledgeItem>>
+KnowledgeBase::public_snapshot() const {
+  std::vector<std::pair<std::string, KnowledgeItem>> out;
+  for (const auto& [k, hist] : store_) {
+    if (!hist.empty() && hist.back().scope == Scope::Public) {
+      out.emplace_back(k, hist.back());
+    }
+  }
+  return out;
+}
+
+std::size_t KnowledgeBase::subscribe(Listener l) {
+  listeners_.emplace_back(next_handle_, std::move(l));
+  return next_handle_++;
+}
+
+void KnowledgeBase::unsubscribe(std::size_t handle) {
+  listeners_.erase(
+      std::remove_if(listeners_.begin(), listeners_.end(),
+                     [handle](const auto& p) { return p.first == handle; }),
+      listeners_.end());
+}
+
+void KnowledgeBase::clear() { store_.clear(); }
+
+}  // namespace sa::core

@@ -1,0 +1,105 @@
+// The knowledge base — the agent's self-model substrate.
+//
+// Everything an agent knows about itself and its world is a KnowledgeItem:
+// a typed value with a timestamp, a confidence, a provenance tag, and a
+// scope. Scope realises the paper's first framework concept (Section IV):
+// *private* self-awareness covers knowledge of internal phenomena, while
+// *public* self-awareness covers knowledge derived from / observable by the
+// outside world. Only Public items are shared with peers by the collective
+// layer.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/value.hpp"
+
+namespace sa::core {
+
+/// Visibility class of a knowledge item (paper, Section IV, concept 1).
+enum class Scope {
+  Private,  ///< internal phenomena; never shared outside the agent
+  Public,   ///< externally observable / shareable knowledge
+};
+
+/// One piece of knowledge.
+struct KnowledgeItem {
+  Value value;
+  double time = 0.0;        ///< when the knowledge was produced
+  double confidence = 1.0;  ///< producer's self-assessed confidence in [0,1]
+  Scope scope = Scope::Private;
+  std::string source;       ///< producing process/sensor (provenance)
+};
+
+/// Keyed, history-preserving store of knowledge items.
+///
+/// Keys are hierarchical strings by convention ("forecast.load.mae",
+/// "peer.cam3.reliability"). Each key retains a bounded history so
+/// time-awareness processes can inspect the past.
+class KnowledgeBase {
+ public:
+  using Listener =
+      std::function<void(const std::string& key, const KnowledgeItem&)>;
+
+  /// `history_limit` — max items retained per key (oldest evicted first).
+  explicit KnowledgeBase(std::size_t history_limit = 128)
+      : history_limit_(history_limit) {}
+
+  /// Stores a new item under `key`; notifies listeners.
+  void put(const std::string& key, KnowledgeItem item);
+  /// Convenience: store a numeric fact.
+  void put_number(const std::string& key, double value, double time,
+                  double confidence = 1.0, Scope scope = Scope::Private,
+                  std::string source = {});
+
+  /// Most recent item for `key`, if any.
+  [[nodiscard]] std::optional<KnowledgeItem> latest(
+      const std::string& key) const;
+  /// Numeric view of the latest item (or `fallback` if absent/non-numeric).
+  [[nodiscard]] double number(const std::string& key,
+                              double fallback = 0.0) const;
+  /// Confidence of the latest item (0 if absent).
+  [[nodiscard]] double confidence(const std::string& key) const;
+  /// Full retained history for `key` (empty if unknown), oldest first.
+  [[nodiscard]] const std::deque<KnowledgeItem>& history(
+      const std::string& key) const;
+  /// True if `key` has ever been written.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// All keys, sorted (deterministic iteration).
+  [[nodiscard]] std::vector<std::string> keys() const;
+  /// Keys beginning with `prefix`, sorted.
+  [[nodiscard]] std::vector<std::string> keys_with_prefix(
+      const std::string& prefix) const;
+  /// Number of distinct keys.
+  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+
+  /// Snapshot of the latest Public item per key — the shareable self.
+  [[nodiscard]] std::vector<std::pair<std::string, KnowledgeItem>>
+  public_snapshot() const;
+
+  /// Registers a listener fired on every put(). Returns a handle usable
+  /// with unsubscribe().
+  std::size_t subscribe(Listener l);
+  void unsubscribe(std::size_t handle);
+
+  /// Drops all knowledge (scenario teardown).
+  void clear();
+
+  [[nodiscard]] std::size_t history_limit() const noexcept {
+    return history_limit_;
+  }
+
+ private:
+  std::size_t history_limit_;
+  std::map<std::string, std::deque<KnowledgeItem>> store_;
+  std::vector<std::pair<std::size_t, Listener>> listeners_;
+  std::size_t next_handle_ = 0;
+  static const std::deque<KnowledgeItem> empty_;
+};
+
+}  // namespace sa::core

@@ -1,0 +1,103 @@
+// Levels of computational self-awareness.
+//
+// Translation of Neisser's levels of human self-knowledge into capability
+// classes for computing systems, following the paper (Section IV, concept 2)
+// and Faniyi et al. [44]:
+//
+//   Stimulus     — awareness of (and reaction to) stimuli/events;
+//   Interaction  — awareness of interactions with other entities and the
+//                  environment (Neisser's interpersonal self);
+//   Time         — awareness of history and of likely futures (Neisser's
+//                  extended self);
+//   Goal         — awareness of one's own goals, their state and trade-offs
+//                  (Neisser's private/conceptual self);
+//   Meta         — meta-self-awareness: awareness of one's own awareness
+//                  processes and how well they work (Morin [42]).
+//
+// A system need not be "full-stack": the paper notes minimal configurations
+// are sometimes appropriate; the LevelSet records what is enabled, and
+// experiment E5 ablates across it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sa::core {
+
+enum class Level : std::uint8_t {
+  Stimulus = 0,
+  Interaction = 1,
+  Time = 2,
+  Goal = 3,
+  Meta = 4,
+};
+
+[[nodiscard]] constexpr const char* level_name(Level l) noexcept {
+  switch (l) {
+    case Level::Stimulus: return "stimulus";
+    case Level::Interaction: return "interaction";
+    case Level::Time: return "time";
+    case Level::Goal: return "goal";
+    case Level::Meta: return "meta";
+  }
+  return "?";
+}
+
+/// A set of enabled awareness levels (small bitmask).
+class LevelSet {
+ public:
+  constexpr LevelSet() = default;
+  constexpr LevelSet(std::initializer_list<Level> levels) {
+    for (Level l : levels) set(l);
+  }
+
+  constexpr LevelSet& set(Level l) noexcept {
+    bits_ |= bit(l);
+    return *this;
+  }
+  constexpr LevelSet& unset(Level l) noexcept {
+    bits_ &= static_cast<std::uint8_t>(~bit(l));
+    return *this;
+  }
+  [[nodiscard]] constexpr bool has(Level l) const noexcept {
+    return (bits_ & bit(l)) != 0;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return bits_ == 0; }
+  [[nodiscard]] constexpr std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (std::uint8_t b = bits_; b; b >>= 1) n += b & 1u;
+    return n;
+  }
+  [[nodiscard]] constexpr bool operator==(const LevelSet&) const = default;
+
+  /// All five levels.
+  [[nodiscard]] static constexpr LevelSet full() noexcept {
+    return LevelSet{Level::Stimulus, Level::Interaction, Level::Time,
+                    Level::Goal, Level::Meta};
+  }
+  /// Stimulus only — the minimal, purely reactive configuration.
+  [[nodiscard]] static constexpr LevelSet minimal() noexcept {
+    return LevelSet{Level::Stimulus};
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    for (Level l : {Level::Stimulus, Level::Interaction, Level::Time,
+                    Level::Goal, Level::Meta}) {
+      if (has(l)) {
+        if (!out.empty()) out += '+';
+        out += level_name(l);
+      }
+    }
+    return out.empty() ? "none" : out;
+  }
+
+ private:
+  static constexpr std::uint8_t bit(Level l) noexcept {
+    return static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(l));
+  }
+  std::uint8_t bits_ = 0;
+};
+
+}  // namespace sa::core

@@ -1,0 +1,96 @@
+#include "core/meta.hpp"
+
+namespace sa::core {
+
+void MetaSelfAwareness::watch(AwarenessProcess& proc) {
+  watched_.push_back(&proc);
+}
+
+void MetaSelfAwareness::on_drift(std::string name, Adaptation a) {
+  drift_hooks_.emplace_back(std::move(name), std::move(a));
+}
+
+void MetaSelfAwareness::on_quality_collapse(std::string proc_name,
+                                            Adaptation a) {
+  collapse_hooks_.emplace(std::move(proc_name), std::move(a));
+}
+
+void MetaSelfAwareness::update(double t, const Observation& obs,
+                               KnowledgeBase& kb) {
+  (void)obs;
+  ++updates_;
+
+  // 1. Introspect the watched processes' self-assessed quality.
+  for (AwarenessProcess* proc : watched_) {
+    auto [it, inserted] =
+        qualities_.try_emplace(proc->name(), p_.quality_alpha);
+    it->second.add(proc->quality());
+    kb.put_number("meta." + proc->name() + ".quality", it->second.value(), t,
+                  1.0, Scope::Private, name());
+    if (!inserted && updates_ > p_.grace_updates &&
+        it->second.value() < p_.quality_floor) {
+      const auto [lo, hi] = collapse_hooks_.equal_range(proc->name());
+      if (lo != hi) {
+        for (auto h = lo; h != hi; ++h) {
+          h->second();
+          ++fired_;
+        }
+      } else {
+        proc->reconfigure();
+        ++fired_;
+      }
+      it->second.reset();  // give the reconfigured process a fresh start
+      kb.put_number("meta." + proc->name() + ".reconfigured", 1.0, t, 1.0,
+                    Scope::Private, name());
+    }
+  }
+
+  // 2. Watch the utility stream for drift — evidence that the world (or the
+  //    goals) changed under the current models. The smoothed trend is
+  //    preferred over raw utility: per-step utility can be near-binary
+  //    (e.g. Bernoulli rewards), which swamps a cumulative-sum detector.
+  //    After an adaptation the detector rests for a grace period so that
+  //    the recovery ramp is not itself flagged as drift.
+  if (cooldown_left_ > 0) --cooldown_left_;
+  const std::string utility_key = kb.contains("goal.utility.trend")
+                                      ? "goal.utility.trend"
+                                      : "goal.utility";
+  if (kb.contains(utility_key) && updates_ > p_.grace_updates &&
+      cooldown_left_ == 0) {
+    if (drift_.add(kb.number(utility_key))) {
+      cooldown_left_ = p_.grace_updates;
+      ++drifts_;
+      for (auto& [hook_name, hook] : drift_hooks_) {
+        (void)hook_name;
+        hook();
+        ++fired_;
+      }
+      // Stale awareness models are part of the problem: refresh them.
+      for (AwarenessProcess* proc : watched_) proc->reconfigure();
+      kb.put_number("meta.drift.detected", 1.0, t, 1.0, Scope::Private,
+                    name());
+    }
+  }
+
+  kb.put_number("meta.drift.count", static_cast<double>(drifts_), t, 1.0,
+                Scope::Private, name());
+  kb.put_number("meta.adaptations", static_cast<double>(fired_), t, 1.0,
+                Scope::Private, name());
+}
+
+double MetaSelfAwareness::process_quality(const std::string& proc) const {
+  const auto it = qualities_.find(proc);
+  return it == qualities_.end() ? 0.0 : it->second.value();
+}
+
+double MetaSelfAwareness::quality() const {
+  if (qualities_.empty()) return updates_ > 0 ? 1.0 : 0.0;
+  double acc = 0.0;
+  for (const auto& [proc, q] : qualities_) {
+    (void)proc;
+    acc += q.value();
+  }
+  return acc / static_cast<double>(qualities_.size());
+}
+
+}  // namespace sa::core

@@ -1,0 +1,131 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sa::core {
+
+Decision FixedPolicy::decide(double t, const KnowledgeBase& kb,
+                             const std::vector<std::string>& actions,
+                             sim::Rng& rng) {
+  (void)t;
+  (void)kb;
+  (void)rng;
+  const std::size_t a = std::min(action_, actions.size() - 1);
+  return Decision{a, actions[a], "fixed design-time choice", {}, {}};
+}
+
+RulePolicy& RulePolicy::add_rule(Rule r) {
+  rules_.push_back(std::move(r));
+  return *this;
+}
+
+Decision RulePolicy::decide(double t, const KnowledgeBase& kb,
+                            const std::vector<std::string>& actions,
+                            sim::Rng& rng) {
+  (void)t;
+  (void)rng;
+  for (const auto& r : rules_) {
+    if (r.when(kb)) {
+      const std::size_t a = std::min(r.action, actions.size() - 1);
+      return Decision{a, actions[a], "rule fired: " + r.label, {},
+                      r.evidence};
+    }
+  }
+  const std::size_t a = std::min(default_action_, actions.size() - 1);
+  return Decision{a, actions[a], "no rule matched; default", {}, {}};
+}
+
+Decision BanditPolicy::decide(double t, const KnowledgeBase& kb,
+                              const std::vector<std::string>& actions,
+                              sim::Rng& rng) {
+  (void)t;
+  (void)kb;
+  last_arm_ = bandit_->select(rng);
+  pending_ = true;
+  Decision d;
+  d.action_index = last_arm_;
+  d.action = actions[std::min(last_arm_, actions.size() - 1)];
+  d.considered.reserve(actions.size());
+  for (std::size_t a = 0; a < actions.size() && a < bandit_->arms(); ++a) {
+    d.considered.push_back({actions[a], bandit_->value(a)});
+  }
+  std::ostringstream os;
+  os << bandit_->name() << " value estimate " << bandit_->value(last_arm_);
+  d.rationale = os.str();
+  return d;
+}
+
+void BanditPolicy::feedback(double reward) {
+  if (!pending_) return;
+  bandit_->update(last_arm_, reward);
+  pending_ = false;
+}
+
+ContextualBanditPolicy::ContextualBanditPolicy(
+    std::size_t contexts, ContextFn context, BanditFactory make,
+    std::vector<std::string> evidence)
+    : context_(std::move(context)), evidence_(std::move(evidence)) {
+  bandits_.reserve(contexts);
+  for (std::size_t c = 0; c < contexts; ++c) bandits_.push_back(make());
+}
+
+Decision ContextualBanditPolicy::decide(
+    double t, const KnowledgeBase& kb,
+    const std::vector<std::string>& actions, sim::Rng& rng) {
+  (void)t;
+  last_ctx_ = std::min(context_(kb), bandits_.size() - 1);
+  auto& bandit = *bandits_[last_ctx_];
+  last_arm_ = bandit.select(rng);
+  pending_ = true;
+
+  Decision d;
+  d.action_index = last_arm_;
+  d.action = actions[std::min(last_arm_, actions.size() - 1)];
+  d.evidence = evidence_;
+  for (std::size_t a = 0; a < actions.size() && a < bandit.arms(); ++a) {
+    d.considered.push_back({actions[a], bandit.value(a)});
+  }
+  std::ostringstream os;
+  os << "in context " << last_ctx_ << ", " << bandit.name()
+     << " value estimate " << bandit.value(last_arm_);
+  d.rationale = os.str();
+  return d;
+}
+
+void ContextualBanditPolicy::feedback(double reward) {
+  if (!pending_) return;
+  bandits_[last_ctx_]->update(last_arm_, reward);
+  pending_ = false;
+}
+
+void ContextualBanditPolicy::reset() {
+  for (auto& b : bandits_) b->reset();
+}
+
+Decision ModelBasedPolicy::decide(double t, const KnowledgeBase& kb,
+                                  const std::vector<std::string>& actions,
+                                  sim::Rng& rng) {
+  (void)t;
+  (void)rng;
+  Decision d;
+  d.evidence = evidence_;
+  double best = -1.0;
+  for (std::size_t a = 0; a < actions.size(); ++a) {
+    const MetricMap predicted = model_(a, kb);
+    const double u = goals_.utility(predicted);
+    d.considered.push_back({actions[a], u});
+    if (u > best) {
+      best = u;
+      d.action_index = a;
+    }
+  }
+  d.action = actions[d.action_index];
+  std::ostringstream os;
+  os << "predicted utility " << best << " is the maximum over "
+     << actions.size() << " simulated alternatives";
+  d.rationale = os.str();
+  return d;
+}
+
+}  // namespace sa::core

@@ -1,0 +1,180 @@
+// Decision policies: the "self-expression" side of the loop.
+//
+// A policy turns self-knowledge into a choice among the agent's available
+// actions. Policies return a structured Decision carrying not just the
+// chosen action but the alternatives considered, the evidence consulted and
+// a rationale — the raw material for self-explanation (Schubert [25],
+// Cox [28]). Learning policies accept reward feedback; all policies can be
+// reset by the meta level.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/goal.hpp"
+#include "core/knowledge.hpp"
+#include "learn/bandit.hpp"
+#include "sim/rng.hpp"
+
+namespace sa::core {
+
+/// An alternative the policy evaluated, with its score.
+struct OptionScore {
+  std::string action;
+  double score = 0.0;
+};
+
+/// The outcome of one decision.
+struct Decision {
+  std::size_t action_index = 0;
+  std::string action;                  ///< chosen action name
+  std::string rationale;               ///< one-line human-readable reason
+  std::vector<OptionScore> considered; ///< alternatives with scores
+  std::vector<std::string> evidence;   ///< KB keys that informed the choice
+};
+
+/// Interface for decision policies.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  /// Chooses among `actions` given the current knowledge base.
+  virtual Decision decide(double t, const KnowledgeBase& kb,
+                          const std::vector<std::string>& actions,
+                          sim::Rng& rng) = 0;
+  /// Reward for the most recent decision (learning policies).
+  virtual void feedback(double reward) { (void)reward; }
+  /// Forgets learned state (meta-triggered).
+  virtual void reset() {}
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Always chooses the same action — the design-time-fixed baseline.
+class FixedPolicy final : public Policy {
+ public:
+  explicit FixedPolicy(std::size_t action) : action_(action) {}
+  Decision decide(double t, const KnowledgeBase& kb,
+                  const std::vector<std::string>& actions,
+                  sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+
+ private:
+  std::size_t action_;
+};
+
+/// First-matching-rule policy: a reactive (stimulus-only) adaptive system
+/// with no learned models — the classic non-self-aware baseline.
+class RulePolicy final : public Policy {
+ public:
+  struct Rule {
+    std::string label;                              ///< for the rationale
+    std::function<bool(const KnowledgeBase&)> when; ///< guard
+    std::size_t action;                             ///< index to choose
+    std::vector<std::string> evidence;              ///< keys the guard reads
+  };
+
+  explicit RulePolicy(std::size_t default_action)
+      : default_action_(default_action) {}
+  RulePolicy& add_rule(Rule r);
+
+  Decision decide(double t, const KnowledgeBase& kb,
+                  const std::vector<std::string>& actions,
+                  sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "rules"; }
+
+ private:
+  std::size_t default_action_;
+  std::vector<Rule> rules_;
+};
+
+/// Wraps a learn::Bandit over the action set: learns action values online
+/// from reward feedback.
+class BanditPolicy final : public Policy {
+ public:
+  explicit BanditPolicy(std::unique_ptr<learn::Bandit> bandit)
+      : bandit_(std::move(bandit)) {}
+
+  Decision decide(double t, const KnowledgeBase& kb,
+                  const std::vector<std::string>& actions,
+                  sim::Rng& rng) override;
+  void feedback(double reward) override;
+  void reset() override { bandit_->reset(); }
+  [[nodiscard]] std::string name() const override {
+    return "bandit:" + bandit_->name();
+  }
+  [[nodiscard]] const learn::Bandit& bandit() const { return *bandit_; }
+
+ private:
+  std::unique_ptr<learn::Bandit> bandit_;
+  std::size_t last_arm_ = 0;
+  bool pending_ = false;
+};
+
+/// Contextual bandit: partitions decisions by a discrete *context* derived
+/// from the knowledge base (e.g. "which workload regime am I in?") and
+/// learns independent action values per context. This is where
+/// self-awareness pays over a plain bandit: a context-free learner can at
+/// best converge to the single best-on-average action, while a self-aware
+/// system that recognises its situation can be best in *each* situation.
+class ContextualBanditPolicy final : public Policy {
+ public:
+  /// Maps current knowledge to a context id in [0, contexts).
+  using ContextFn = std::function<std::size_t(const KnowledgeBase&)>;
+  using BanditFactory = std::function<std::unique_ptr<learn::Bandit>()>;
+
+  /// `contexts` — number of discrete contexts; `make` is invoked once per
+  /// context to build its bandit (all must have the same arm count).
+  ContextualBanditPolicy(std::size_t contexts, ContextFn context,
+                         BanditFactory make, std::vector<std::string>
+                             evidence = {});
+
+  Decision decide(double t, const KnowledgeBase& kb,
+                  const std::vector<std::string>& actions,
+                  sim::Rng& rng) override;
+  void feedback(double reward) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "ctx-bandit"; }
+  [[nodiscard]] std::size_t contexts() const { return bandits_.size(); }
+  [[nodiscard]] const learn::Bandit& bandit(std::size_t ctx) const {
+    return *bandits_[ctx];
+  }
+
+ private:
+  ContextFn context_;
+  std::vector<std::unique_ptr<learn::Bandit>> bandits_;
+  std::vector<std::string> evidence_;
+  std::size_t last_ctx_ = 0;
+  std::size_t last_arm_ = 0;
+  bool pending_ = false;
+};
+
+/// Model-predictive policy: for each action, ask a user-supplied response
+/// model to predict the resulting metrics, score them with the goal model,
+/// and take the argmax. Realises Kounev et al.'s self-prediction
+/// (Section III): "predict the effects ... of actions".
+class ModelBasedPolicy final : public Policy {
+ public:
+  /// Predicts the metric map that would result from taking `action` now.
+  using ResponseModel = std::function<MetricMap(
+      std::size_t action, const KnowledgeBase& kb)>;
+
+  /// `goals` must outlive the policy. `evidence` lists the KB keys the
+  /// response model consults (surfaced in explanations).
+  ModelBasedPolicy(const GoalModel& goals, ResponseModel model,
+                   std::vector<std::string> evidence = {})
+      : goals_(goals), model_(std::move(model)),
+        evidence_(std::move(evidence)) {}
+
+  Decision decide(double t, const KnowledgeBase& kb,
+                  const std::vector<std::string>& actions,
+                  sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "model-based"; }
+
+ private:
+  const GoalModel& goals_;
+  ResponseModel model_;
+  std::vector<std::string> evidence_;
+};
+
+}  // namespace sa::core

@@ -1,0 +1,49 @@
+#include "core/stimulus.hpp"
+
+#include <cmath>
+
+namespace sa::core {
+
+void StimulusAwareness::update(double t, const Observation& obs,
+                               KnowledgeBase& kb) {
+  events_.clear();
+  for (const auto& [sig, value] : obs) {
+    auto [it, inserted] = models_.try_emplace(sig, p_.alpha);
+    auto& model = it->second;
+    const bool warm = !inserted && model.count() >= p_.min_samples;
+    if (warm) {
+      const double sd = model.stddev();
+      const double z = sd > 1e-9 ? (value - model.mean()) / sd : 0.0;
+      if (std::fabs(z) >= p_.novelty_z) {
+        events_.push_back({sig, value, z, t});
+        kb.put_number("stimulus." + sig + ".novel", z, t, 1.0, Scope::Private,
+                      name());
+      }
+    }
+    model.add(value);
+    // Raw reading is part of the public self: it is externally observable.
+    kb.put_number(sig, value, t, 1.0, Scope::Public, name());
+    kb.put_number("stimulus." + sig + ".baseline", model.mean(), t,
+                  warm ? 1.0 : 0.5, Scope::Private, name());
+  }
+}
+
+double StimulusAwareness::baseline(const std::string& signal) const {
+  const auto it = models_.find(signal);
+  return it == models_.end() ? 0.0 : it->second.mean();
+}
+
+double StimulusAwareness::quality() const {
+  // No signals observed yet — neutral, not failing.
+  if (models_.empty()) return 1.0;
+  std::size_t warm = 0;
+  for (const auto& [sig, m] : models_) {
+    (void)sig;
+    if (m.count() >= p_.min_samples) ++warm;
+  }
+  return static_cast<double>(warm) / static_cast<double>(models_.size());
+}
+
+void StimulusAwareness::reconfigure() { models_.clear(); }
+
+}  // namespace sa::core

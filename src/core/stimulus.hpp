@@ -1,0 +1,62 @@
+// Stimulus awareness: the basic level.
+//
+// Tracks each observed signal with a recency-weighted mean/variance model,
+// mirrors raw readings into the knowledge base, and flags *novel* stimuli —
+// readings far from the learned baseline — as events. This is the level a
+// purely reactive (non-self-aware) system also has; everything above it is
+// what the paper adds.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/process.hpp"
+#include "learn/estimators.hpp"
+
+namespace sa::core {
+
+/// An out-of-baseline reading detected this step.
+struct StimulusEvent {
+  std::string signal;
+  double value = 0.0;
+  double zscore = 0.0;
+  double time = 0.0;
+};
+
+class StimulusAwareness final : public AwarenessProcess {
+ public:
+  struct Params {
+    double alpha = 0.1;        ///< EWMA reactivity for the baseline model
+    double novelty_z = 3.0;    ///< |z| threshold for an event
+    std::size_t min_samples = 8;  ///< suppress events during warm-up
+  };
+
+  StimulusAwareness() : StimulusAwareness(Params{}) {}
+  explicit StimulusAwareness(Params p) : p_(p) {}
+
+  [[nodiscard]] Level level() const override { return Level::Stimulus; }
+  [[nodiscard]] std::string name() const override { return "stimulus"; }
+
+  /// Mirrors each observed signal to the KB (key = signal name, Public) and
+  /// writes "stimulus.<sig>.novel" = z-score when an event fires.
+  void update(double t, const Observation& obs, KnowledgeBase& kb) override;
+
+  /// Events fired on the most recent update().
+  [[nodiscard]] const std::vector<StimulusEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Learned baseline mean of a signal (0 if unseen).
+  [[nodiscard]] double baseline(const std::string& signal) const;
+  /// Fraction of known signals past warm-up.
+  [[nodiscard]] double quality() const override;
+  /// Forgets baselines (meta-triggered on drift).
+  void reconfigure() override;
+
+ private:
+  Params p_;
+  std::map<std::string, learn::EwmaVar> models_;
+  std::vector<StimulusEvent> events_;
+};
+
+}  // namespace sa::core

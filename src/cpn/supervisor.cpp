@@ -1,0 +1,40 @@
+#include "cpn/supervisor.hpp"
+
+namespace sa::cpn {
+
+Supervisor::Supervisor(PacketNetwork& net, Params p) : net_(net), p_(p) {
+  core::AgentConfig cfg;
+  cfg.seed = p_.seed;
+  cfg.levels = core::LevelSet{core::Level::Stimulus, core::Level::Time,
+                              core::Level::Goal, core::Level::Meta};
+  cfg.meta = p_.meta;
+  agent_ = std::make_unique<core::SelfAwareAgent>("cpn-supervisor", cfg);
+
+  agent_->add_sensor("delivery", [this] { return last_.delivery_rate(); });
+  agent_->add_sensor("latency", [this] { return last_.mean_latency; });
+  agent_->add_sensor("load", [this] { return net_.mean_load(); });
+
+  auto& goals = agent_->goals();
+  goals.add_objective({"delivery", core::utility::rising(0.5, 1.0), 2.0});
+  goals.add_objective(
+      {"latency", core::utility::falling(0.0, p_.latency_scale), 1.0});
+  agent_->set_goal_metrics({"delivery", "latency"});
+
+  // The meta level's drift signal is wired to the routers' exploration:
+  // when the supervisor's own utility model says the world has shifted,
+  // the network re-explores.
+  if (agent_->meta() != nullptr) {
+    agent_->meta()->on_drift("boost-exploration", [this] {
+      net_.boost_exploration(p_.boost_eps, p_.boost_decay);
+      ++boosts_;
+    });
+  }
+}
+
+double Supervisor::observe_epoch() {
+  last_ = net_.harvest();
+  agent_->step(net_.now());
+  return last_.delivery_rate();
+}
+
+}  // namespace sa::cpn

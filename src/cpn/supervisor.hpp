@@ -1,0 +1,53 @@
+// A self-aware supervisor for the packet network.
+//
+// The CPN papers describe nodes running a self-awareness loop over routes;
+// this supervisor adds the network-level loop the framework provides: a
+// SelfAwareAgent senses the network's aggregate health (delivery rate,
+// latency, congestion), maintains goal awareness over it, and — via its
+// meta level — reacts to sustained drift (a topology change, a new traffic
+// matrix) by boosting the routers' exploration so fresh routes are
+// discovered quickly, instead of waiting for ε-greedy trickle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/agent.hpp"
+#include "cpn/network.hpp"
+
+namespace sa::cpn {
+
+class Supervisor {
+ public:
+  struct Params {
+    double epoch_ticks = 200.0;   ///< network ticks per control epoch
+    double boost_eps = 0.3;       ///< exploration level injected on drift
+    double boost_decay = 0.997;   ///< per-tick decay back to the floor
+    double latency_scale = 40.0;  ///< ticks mapped to utility 0
+    std::uint64_t seed = 47;
+    core::MetaSelfAwareness::Params meta{
+        /*quality_alpha=*/0.1, /*quality_floor=*/0.25,
+        /*grace_updates=*/8, /*ph_delta=*/0.02, /*ph_lambda=*/1.5};
+  };
+
+  Supervisor(PacketNetwork& net, Params p);
+
+  /// Runs one supervision epoch: advances the network `epoch_ticks`
+  /// (injection is the caller's job — call net.step via your traffic
+  /// driver first, or use observe_only()), harvests stats, and lets the
+  /// agent update its self-models. Returns the epoch's delivery rate.
+  double observe_epoch();
+
+  [[nodiscard]] core::SelfAwareAgent& agent() noexcept { return *agent_; }
+  /// Exploration boosts fired so far.
+  [[nodiscard]] std::size_t boosts() const noexcept { return boosts_; }
+
+ private:
+  PacketNetwork& net_;
+  Params p_;
+  CpnStats last_;
+  std::unique_ptr<core::SelfAwareAgent> agent_;
+  std::size_t boosts_ = 0;
+};
+
+}  // namespace sa::cpn

@@ -1,0 +1,51 @@
+#include "cpn/traffic.hpp"
+
+namespace sa::cpn {
+
+TrafficGenerator::TrafficGenerator(const Topology& topo, TrafficParams p)
+    : p_(p), rng_(p.seed) {
+  const std::size_t n = topo.nodes();
+  // Fixed legitimate flows between distinct, well-separated endpoints.
+  while (flows_.size() < p_.flows) {
+    const auto s = static_cast<std::size_t>(rng_.below(n));
+    const auto d = static_cast<std::size_t>(rng_.below(n));
+    if (s == d || topo.distance(s, d) < 3.0) continue;
+    flows_.emplace_back(s, d);
+  }
+  // Victim: a central-ish node (max closeness works; cheap proxy: the node
+  // minimising its max distance to others).
+  double best = 1e300;
+  for (std::size_t v = 0; v < n; ++v) {
+    double worst = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      worst = std::max(worst, topo.distance(v, u));
+    }
+    if (worst < best) {
+      best = worst;
+      victim_ = v;
+    }
+  }
+  while (attacker_nodes_.size() < p_.attackers) {
+    const auto a = static_cast<std::size_t>(rng_.below(n));
+    if (a == victim_) continue;
+    attacker_nodes_.push_back(a);
+  }
+}
+
+void TrafficGenerator::tick(PacketNetwork& net) {
+  const int legit = rng_.poisson(p_.legit_rate);
+  for (int i = 0; i < legit; ++i) {
+    const auto& f = flows_[rng_.below(flows_.size())];
+    net.inject(f.first, f.second, /*legit=*/true);
+  }
+  if (attacking(net.now())) {
+    const int flood = rng_.poisson(p_.attack_rate);
+    for (int i = 0; i < flood; ++i) {
+      const std::size_t a =
+          attacker_nodes_[rng_.below(attacker_nodes_.size())];
+      net.inject(a, victim_, /*legit=*/false);
+    }
+  }
+}
+
+}  // namespace sa::cpn

@@ -1,0 +1,57 @@
+// Traffic generation, including denial-of-service floods.
+//
+// Legitimate traffic runs over a fixed set of flows (source-destination
+// pairs) at a Poisson rate. During the attack window, attacker nodes flood
+// a victim with attack packets that congest whatever links they cross —
+// the Gelenbe & Loukas [39] scenario experiment E4 reproduces: a static
+// router keeps pushing legitimate packets through the congested region,
+// while the self-aware router observes the inflated delays and routes
+// around it.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cpn/network.hpp"
+#include "sim/rng.hpp"
+
+namespace sa::cpn {
+
+struct TrafficParams {
+  std::size_t flows = 8;          ///< number of legitimate flows
+  double legit_rate = 2.0;        ///< legit packets per tick (network-wide)
+  double attack_start = -1.0;     ///< tick; <0 disables the attack
+  double attack_end = -1.0;
+  double attack_rate = 30.0;      ///< flood packets per tick
+  std::size_t attackers = 3;      ///< distinct flood sources
+  std::uint64_t seed = 43;
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(const Topology& topo, TrafficParams p);
+
+  /// Injects this tick's packets into `net` (call once per tick, before
+  /// net.step()).
+  void tick(PacketNetwork& net);
+
+  [[nodiscard]] bool attacking(double t) const {
+    return p_.attack_start >= 0.0 && t >= p_.attack_start &&
+           t < p_.attack_end;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>&
+  flows() const noexcept {
+    return flows_;
+  }
+  [[nodiscard]] std::size_t victim() const noexcept { return victim_; }
+
+ private:
+  TrafficParams p_;
+  sim::Rng rng_;
+  std::vector<std::pair<std::size_t, std::size_t>> flows_;
+  std::vector<std::size_t> attacker_nodes_;
+  std::size_t victim_ = 0;
+};
+
+}  // namespace sa::cpn

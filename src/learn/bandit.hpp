@@ -1,0 +1,321 @@
+// Multi-armed bandit policies.
+//
+// Bandits are the workhorse decision learners in the framework: a
+// self-aware process that must pick among K discrete configurations and
+// learn their value online (camera strategies, route choices, autoscaling
+// step sizes...). The discounted variants remain competitive under the
+// non-stationary environments the paper emphasises.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace sa::learn {
+
+/// Interface: K-armed bandit policy with incremental reward updates.
+class Bandit {
+ public:
+  virtual ~Bandit() = default;
+  /// Chooses an arm in [0, arms()).
+  virtual std::size_t select(sim::Rng& rng) = 0;
+  /// Reports the reward obtained from `arm`.
+  virtual void update(std::size_t arm, double reward) = 0;
+  [[nodiscard]] virtual std::size_t arms() const = 0;
+  /// Current value estimate of `arm` (for explanation / inspection).
+  [[nodiscard]] virtual double value(std::size_t arm) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Forgets everything (used when a drift detector fires).
+  virtual void reset() = 0;
+};
+
+/// ε-greedy with optional exponential ε decay.
+class EpsilonGreedy final : public Bandit {
+ public:
+  EpsilonGreedy(std::size_t arms, double epsilon = 0.1, double decay = 1.0)
+      : eps0_(epsilon), decay_(decay), q_(arms, 0.0), n_(arms, 0) {}
+
+  std::size_t select(sim::Rng& rng) override {
+    const double eps = eps0_ * std::pow(decay_, static_cast<double>(t_));
+    ++t_;
+    if (rng.chance(eps)) return rng.below(q_.size());
+    return best();
+  }
+  void update(std::size_t arm, double reward) override {
+    ++n_[arm];
+    q_[arm] += (reward - q_[arm]) / static_cast<double>(n_[arm]);
+  }
+  [[nodiscard]] std::size_t arms() const override { return q_.size(); }
+  [[nodiscard]] double value(std::size_t arm) const override { return q_[arm]; }
+  [[nodiscard]] std::string name() const override { return "eps-greedy"; }
+  void reset() override {
+    std::fill(q_.begin(), q_.end(), 0.0);
+    std::fill(n_.begin(), n_.end(), std::size_t{0});
+    t_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t best() const {
+    std::size_t b = 0;
+    for (std::size_t a = 1; a < q_.size(); ++a) {
+      if (q_[a] > q_[b] || (q_[a] == q_[b] && n_[a] < n_[b])) b = a;
+    }
+    return b;
+  }
+  double eps0_, decay_;
+  std::vector<double> q_;
+  std::vector<std::size_t> n_;
+  std::size_t t_ = 0;
+};
+
+/// UCB1 (Auer et al.): optimism in the face of uncertainty.
+class Ucb1 final : public Bandit {
+ public:
+  explicit Ucb1(std::size_t arms, double c = 1.4142135623730951)
+      : c_(c), q_(arms, 0.0), n_(arms, 0) {}
+
+  std::size_t select(sim::Rng&) override {
+    ++t_;
+    for (std::size_t a = 0; a < q_.size(); ++a) {
+      if (n_[a] == 0) return a;  // play each arm once first
+    }
+    std::size_t best = 0;
+    double best_u = -std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < q_.size(); ++a) {
+      const double u =
+          q_[a] + c_ * std::sqrt(std::log(static_cast<double>(t_)) /
+                                 static_cast<double>(n_[a]));
+      if (u > best_u) {
+        best_u = u;
+        best = a;
+      }
+    }
+    return best;
+  }
+  void update(std::size_t arm, double reward) override {
+    ++n_[arm];
+    q_[arm] += (reward - q_[arm]) / static_cast<double>(n_[arm]);
+  }
+  [[nodiscard]] std::size_t arms() const override { return q_.size(); }
+  [[nodiscard]] double value(std::size_t arm) const override { return q_[arm]; }
+  [[nodiscard]] std::string name() const override { return "ucb1"; }
+  void reset() override {
+    std::fill(q_.begin(), q_.end(), 0.0);
+    std::fill(n_.begin(), n_.end(), std::size_t{0});
+    t_ = 0;
+  }
+
+ private:
+  double c_;
+  std::vector<double> q_;
+  std::vector<std::size_t> n_;
+  std::size_t t_ = 0;
+};
+
+/// Discounted UCB (Garivier & Moulines): value and count estimates decay
+/// geometrically, keeping the policy responsive to reward drift.
+class DiscountedUcb final : public Bandit {
+ public:
+  DiscountedUcb(std::size_t arms, double gamma = 0.98, double c = 1.4142)
+      : gamma_(gamma), c_(c), w_(arms, 0.0), s_(arms, 0.0) {}
+
+  std::size_t select(sim::Rng&) override {
+    for (std::size_t a = 0; a < w_.size(); ++a) {
+      if (w_[a] <= 0.0) return a;
+    }
+    double total_w = 0.0;
+    for (double w : w_) total_w += w;
+    std::size_t best = 0;
+    double best_u = -std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < w_.size(); ++a) {
+      const double u = s_[a] / w_[a] + c_ * std::sqrt(std::log(total_w) / w_[a]);
+      if (u > best_u) {
+        best_u = u;
+        best = a;
+      }
+    }
+    return best;
+  }
+  void update(std::size_t arm, double reward) override {
+    for (std::size_t a = 0; a < w_.size(); ++a) {
+      w_[a] *= gamma_;
+      s_[a] *= gamma_;
+    }
+    w_[arm] += 1.0;
+    s_[arm] += reward;
+  }
+  [[nodiscard]] std::size_t arms() const override { return w_.size(); }
+  [[nodiscard]] double value(std::size_t arm) const override {
+    return w_[arm] > 0.0 ? s_[arm] / w_[arm] : 0.0;
+  }
+  [[nodiscard]] std::string name() const override { return "d-ucb"; }
+  void reset() override {
+    std::fill(w_.begin(), w_.end(), 0.0);
+    std::fill(s_.begin(), s_.end(), 0.0);
+  }
+
+ private:
+  double gamma_, c_;
+  std::vector<double> w_;  ///< discounted pull counts
+  std::vector<double> s_;  ///< discounted reward sums
+};
+
+/// Thompson sampling for Bernoulli-ish rewards in [0,1]: Beta posteriors
+/// per arm, sampled each decision. Fractional rewards update the
+/// pseudo-counts proportionally, which keeps the policy usable for any
+/// bounded reward.
+class ThompsonSampling final : public Bandit {
+ public:
+  explicit ThompsonSampling(std::size_t arms)
+      : alpha_(arms, 1.0), beta_(arms, 1.0) {}
+
+  std::size_t select(sim::Rng& rng) override {
+    std::size_t best = 0;
+    double best_sample = -1.0;
+    for (std::size_t a = 0; a < alpha_.size(); ++a) {
+      const double sample = beta_sample(rng, alpha_[a], beta_[a]);
+      if (sample > best_sample) {
+        best_sample = sample;
+        best = a;
+      }
+    }
+    return best;
+  }
+  void update(std::size_t arm, double reward) override {
+    const double r = std::clamp(reward, 0.0, 1.0);
+    alpha_[arm] += r;
+    beta_[arm] += 1.0 - r;
+  }
+  [[nodiscard]] std::size_t arms() const override { return alpha_.size(); }
+  [[nodiscard]] double value(std::size_t arm) const override {
+    return alpha_[arm] / (alpha_[arm] + beta_[arm]);
+  }
+  [[nodiscard]] std::string name() const override { return "thompson"; }
+  void reset() override {
+    std::fill(alpha_.begin(), alpha_.end(), 1.0);
+    std::fill(beta_.begin(), beta_.end(), 1.0);
+  }
+
+ private:
+  /// Beta(a,b) via two gamma draws (Marsaglia-Tsang for shape >= 1, which
+  /// always holds here since priors start at 1 and only grow).
+  static double gamma_sample(sim::Rng& rng, double shape) {
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x = rng.normal();
+      double v = 1.0 + c * x;
+      if (v <= 0.0) continue;
+      v = v * v * v;
+      const double u = rng.uniform();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+      if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return d * v;
+      }
+    }
+  }
+  static double beta_sample(sim::Rng& rng, double a, double b) {
+    const double x = gamma_sample(rng, a);
+    const double y = gamma_sample(rng, b);
+    return x / (x + y);
+  }
+  std::vector<double> alpha_, beta_;
+};
+
+/// EXP3 (Auer et al.): exponential weights for *adversarial* rewards — no
+/// stationarity assumption at all. Heavier exploration cost than the
+/// stochastic policies, but its guarantee survives an adaptive opponent.
+class Exp3 final : public Bandit {
+ public:
+  explicit Exp3(std::size_t arms, double gamma = 0.1)
+      : gamma_(gamma), w_(arms, 1.0) {}
+
+  std::size_t select(sim::Rng& rng) override {
+    const auto probs = distribution();
+    double target = rng.uniform(), acc = 0.0;
+    for (std::size_t a = 0; a < probs.size(); ++a) {
+      acc += probs[a];
+      if (acc >= target) {
+        last_prob_ = probs[a];
+        return a;
+      }
+    }
+    last_prob_ = probs.back();
+    return probs.size() - 1;
+  }
+  void update(std::size_t arm, double reward) override {
+    const double r = std::clamp(reward, 0.0, 1.0);
+    const double estimated = r / std::max(last_prob_, 1e-9);
+    w_[arm] *= std::exp(gamma_ * estimated /
+                        static_cast<double>(w_.size()));
+    // Keep the weights bounded (rescaling does not change the policy).
+    const double max_w = *std::max_element(w_.begin(), w_.end());
+    if (max_w > 1e100) {
+      for (auto& w : w_) w /= max_w;
+    }
+  }
+  [[nodiscard]] std::size_t arms() const override { return w_.size(); }
+  [[nodiscard]] double value(std::size_t arm) const override {
+    double total = 0.0;
+    for (double w : w_) total += w;
+    return w_[arm] / total;
+  }
+  [[nodiscard]] std::string name() const override { return "exp3"; }
+  void reset() override { std::fill(w_.begin(), w_.end(), 1.0); }
+
+ private:
+  [[nodiscard]] std::vector<double> distribution() const {
+    double total = 0.0;
+    for (double w : w_) total += w;
+    std::vector<double> p(w_.size());
+    const auto k = static_cast<double>(w_.size());
+    for (std::size_t a = 0; a < w_.size(); ++a) {
+      p[a] = (1.0 - gamma_) * w_[a] / total + gamma_ / k;
+    }
+    return p;
+  }
+  double gamma_;
+  std::vector<double> w_;
+  double last_prob_ = 1.0;
+};
+
+/// Boltzmann / softmax exploration over value estimates.
+class SoftmaxBandit final : public Bandit {
+ public:
+  SoftmaxBandit(std::size_t arms, double temperature = 0.2, double alpha = 0.1)
+      : temp_(temperature), alpha_(alpha), q_(arms, 0.0) {}
+
+  std::size_t select(sim::Rng& rng) override {
+    double max_q = *std::max_element(q_.begin(), q_.end());
+    std::vector<double> p(q_.size());
+    double z = 0.0;
+    for (std::size_t a = 0; a < q_.size(); ++a) {
+      p[a] = std::exp((q_[a] - max_q) / temp_);
+      z += p[a];
+    }
+    double target = rng.uniform() * z, acc = 0.0;
+    for (std::size_t a = 0; a < p.size(); ++a) {
+      acc += p[a];
+      if (acc >= target) return a;
+    }
+    return p.size() - 1;
+  }
+  void update(std::size_t arm, double reward) override {
+    q_[arm] += alpha_ * (reward - q_[arm]);
+  }
+  [[nodiscard]] std::size_t arms() const override { return q_.size(); }
+  [[nodiscard]] double value(std::size_t arm) const override { return q_[arm]; }
+  [[nodiscard]] std::string name() const override { return "softmax"; }
+  void reset() override { std::fill(q_.begin(), q_.end(), 0.0); }
+
+ private:
+  double temp_, alpha_;
+  std::vector<double> q_;
+};
+
+}  // namespace sa::learn

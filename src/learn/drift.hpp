@@ -1,0 +1,93 @@
+// Concept-drift detection.
+//
+// The paper stresses "ongoing change" as a defining complexity (Section II).
+// Drift detectors are how a self-aware process notices that its own model
+// has gone stale — the trigger for model resets and for meta-level strategy
+// switching.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <string>
+
+namespace sa::learn {
+
+/// Page-Hinkley test for mean increase/decrease in a stream.
+/// Fires when the cumulative deviation from the running mean exceeds
+/// `lambda` after allowing a tolerance `delta`.
+class PageHinkley {
+ public:
+  explicit PageHinkley(double delta = 0.005, double lambda = 50.0)
+      : delta_(delta), lambda_(lambda) {}
+
+  /// Feeds a sample; returns true iff drift is detected (detector then
+  /// resets itself so detections are edge-triggered).
+  bool add(double x) {
+    ++n_;
+    mean_ += (x - mean_) / static_cast<double>(n_);
+    // Two-sided: track both a rising and a falling cumulative sum.
+    up_ = std::max(0.0, up_ + x - mean_ - delta_);
+    down_ = std::max(0.0, down_ - (x - mean_) - delta_);
+    if (up_ > lambda_ || down_ > lambda_) {
+      reset();
+      return true;
+    }
+    return false;
+  }
+  void reset() {
+    n_ = 0;
+    mean_ = up_ = down_ = 0.0;
+  }
+  [[nodiscard]] std::string name() const { return "page-hinkley"; }
+
+ private:
+  double delta_, lambda_;
+  std::size_t n_ = 0;
+  double mean_ = 0.0, up_ = 0.0, down_ = 0.0;
+};
+
+/// Lightweight adaptive-windowing detector ("ADWIN-lite"): keeps a bounded
+/// window and fires when the means of the older and newer halves differ by
+/// more than a Hoeffding-style bound at confidence `delta`.
+class AdaptiveWindow {
+ public:
+  explicit AdaptiveWindow(std::size_t max_window = 256, double delta = 0.002)
+      : max_window_(max_window), delta_(delta) {}
+
+  /// Feeds a sample; returns true iff drift detected. On detection the
+  /// older half is dropped (the window "adapts").
+  bool add(double x) {
+    buf_.push_back(x);
+    if (buf_.size() > max_window_) buf_.pop_front();
+    if (buf_.size() < 16) return false;
+
+    const std::size_t half = buf_.size() / 2;
+    double m0 = 0.0, m1 = 0.0;
+    for (std::size_t i = 0; i < half; ++i) m0 += buf_[i];
+    for (std::size_t i = half; i < buf_.size(); ++i) m1 += buf_[i];
+    m0 /= static_cast<double>(half);
+    m1 /= static_cast<double>(buf_.size() - half);
+
+    const double n0 = static_cast<double>(half);
+    const double n1 = static_cast<double>(buf_.size() - half);
+    const double m_harm = 1.0 / (1.0 / n0 + 1.0 / n1);
+    const double eps =
+        std::sqrt((1.0 / (2.0 * m_harm)) * std::log(4.0 / delta_));
+    if (std::fabs(m0 - m1) > eps) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(half));
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::size_t window_size() const { return buf_.size(); }
+  void reset() { buf_.clear(); }
+  [[nodiscard]] std::string name() const { return "adwin-lite"; }
+
+ private:
+  std::size_t max_window_;
+  double delta_;
+  std::deque<double> buf_;
+};
+
+}  // namespace sa::learn

@@ -1,0 +1,100 @@
+// Scalar Kalman filters.
+//
+// The minimal "optimal" self-model for a noisy scalar signal: a
+// steady-state level filter, and a constant-velocity variant whose state
+// (level, rate) supports short-horizon prediction — an alternative to the
+// Holt family with explicit uncertainty that awareness processes can
+// surface as confidence.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace sa::learn {
+
+/// 1-D Kalman filter tracking a (possibly drifting) level.
+/// Model: x_{t+1} = x_t + w (process var q);  z_t = x_t + v (obs var r).
+class KalmanLevel {
+ public:
+  KalmanLevel(double q = 1e-3, double r = 1e-1) : q_(q), r_(r) {}
+
+  void observe(double z) {
+    if (n_ == 0) {
+      x_ = z;
+      p_ = r_;
+    } else {
+      p_ += q_;                       // predict
+      const double k = p_ / (p_ + r_);  // gain
+      x_ += k * (z - x_);             // update
+      p_ *= (1.0 - k);
+    }
+    ++n_;
+  }
+  [[nodiscard]] double value() const noexcept { return x_; }
+  /// Posterior standard deviation — the filter's own uncertainty.
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(p_); }
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  void reset() noexcept {
+    x_ = p_ = 0.0;
+    n_ = 0;
+  }
+
+ private:
+  double q_, r_;
+  double x_ = 0.0, p_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// 2-state (level, rate) Kalman filter with unit time steps.
+/// Supports h-step prediction: x(t+h) ≈ level + h·rate.
+class KalmanTrend {
+ public:
+  KalmanTrend(double q = 1e-4, double r = 1e-1) : q_(q), r_(r) {}
+
+  void observe(double z) {
+    if (n_ == 0) {
+      level_ = z;
+      p00_ = r_;
+      p11_ = 1.0;
+    } else {
+      // Predict: level += rate; covariance propagates through F=[[1,1],[0,1]].
+      level_ += rate_;
+      const double n00 = p00_ + 2.0 * p01_ + p11_ + q_;
+      const double n01 = p01_ + p11_;
+      const double n11 = p11_ + q_;
+      p00_ = n00;
+      p01_ = n01;
+      p11_ = n11;
+      // Update with observation of the level only.
+      const double s = p00_ + r_;
+      const double k0 = p00_ / s;
+      const double k1 = p01_ / s;
+      const double innovation = z - level_;
+      level_ += k0 * innovation;
+      rate_ += k1 * innovation;
+      const double p00 = p00_, p01 = p01_;
+      p00_ -= k0 * p00;
+      p01_ -= k0 * p01;
+      p11_ -= k1 * p01;
+    }
+    ++n_;
+  }
+  [[nodiscard]] double level() const noexcept { return level_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] double predict(std::size_t h = 1) const noexcept {
+    return level_ + static_cast<double>(h) * rate_;
+  }
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(std::fabs(p00_));
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  void reset() noexcept { *this = KalmanTrend(q_, r_); }
+
+ private:
+  double q_, r_;
+  double level_ = 0.0, rate_ = 0.0;
+  double p00_ = 0.0, p01_ = 0.0, p11_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace sa::learn

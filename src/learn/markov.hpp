@@ -1,0 +1,75 @@
+// First-order Markov predictor over discrete states.
+//
+// Interaction-awareness often needs "what will this peer / environment do
+// next?" over a small discrete alphabet (camera cell occupancy, workload
+// phase, node up/down). A transition-count Markov chain is the simplest
+// self-model with predictive power.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace sa::learn {
+
+/// Transition-count first-order Markov chain with Laplace smoothing.
+class MarkovPredictor {
+ public:
+  explicit MarkovPredictor(std::size_t states)
+      : states_(states), counts_(states * states, 0) {}
+
+  /// Feeds the next observed state.
+  void observe(std::size_t state) {
+    if (has_prev_) ++counts_[prev_ * states_ + state];
+    prev_ = state;
+    has_prev_ = true;
+    ++n_;
+  }
+  /// P(next = `to` | current = `from`) with add-one smoothing.
+  [[nodiscard]] double probability(std::size_t from, std::size_t to) const {
+    std::size_t row_total = 0;
+    for (std::size_t s = 0; s < states_; ++s) row_total += counts_[from * states_ + s];
+    return (static_cast<double>(counts_[from * states_ + to]) + 1.0) /
+           (static_cast<double>(row_total) + static_cast<double>(states_));
+  }
+  /// Most likely successor of `from`.
+  [[nodiscard]] std::size_t predict(std::size_t from) const {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < states_; ++s) {
+      if (counts_[from * states_ + s] > counts_[from * states_ + best]) best = s;
+    }
+    return best;
+  }
+  /// Most likely successor of the most recently observed state.
+  [[nodiscard]] std::size_t predict_next() const {
+    return has_prev_ ? predict(prev_) : 0;
+  }
+  /// Samples a successor of `from` from the smoothed distribution.
+  std::size_t sample(std::size_t from, sim::Rng& rng) const {
+    double target = rng.uniform(), acc = 0.0;
+    for (std::size_t s = 0; s < states_; ++s) {
+      acc += probability(from, s);
+      if (acc >= target) return s;
+    }
+    return states_ - 1;
+  }
+
+  [[nodiscard]] std::size_t states() const { return states_; }
+  [[nodiscard]] std::size_t observations() const { return n_; }
+  void reset() {
+    std::fill(counts_.begin(), counts_.end(), std::size_t{0});
+    has_prev_ = false;
+    n_ = 0;
+  }
+
+ private:
+  std::size_t states_;
+  std::vector<std::size_t> counts_;
+  std::size_t prev_ = 0;
+  bool has_prev_ = false;
+  std::size_t n_ = 0;
+};
+
+}  // namespace sa::learn

@@ -1,0 +1,78 @@
+// Tabular Q-learning.
+//
+// Used where a decision has delayed consequences (CPN routing, autoscaling
+// with cool-down). States and actions are dense indices; the substrate maps
+// its domain onto them.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace sa::learn {
+
+/// Classic tabular Q-learning with ε-greedy behaviour policy.
+class QLearner {
+ public:
+  struct Params {
+    double alpha = 0.1;     ///< learning rate
+    double gamma = 0.9;     ///< discount factor
+    double epsilon = 0.1;   ///< exploration probability
+    double eps_decay = 1.0; ///< multiplicative ε decay per decision
+    double eps_min = 0.01;  ///< floor for decayed ε
+    double q0 = 0.0;        ///< optimistic initialisation value
+  };
+
+  QLearner(std::size_t states, std::size_t actions)
+      : QLearner(states, actions, Params{}) {}
+  QLearner(std::size_t states, std::size_t actions, Params p)
+      : p_(p), actions_(actions), q_(states * actions, p.q0) {}
+
+  /// ε-greedy action selection in state `s`.
+  std::size_t select(std::size_t s, sim::Rng& rng) {
+    const double eps = std::max(p_.eps_min, eps_);
+    eps_ *= p_.eps_decay;
+    if (rng.chance(eps)) return rng.below(actions_);
+    return greedy(s);
+  }
+  /// Greedy (exploitation-only) action in state `s`.
+  [[nodiscard]] std::size_t greedy(std::size_t s) const {
+    const double* row = &q_[s * actions_];
+    return static_cast<std::size_t>(
+        std::max_element(row, row + actions_) - row);
+  }
+  /// Standard one-step Q-learning backup for transition (s,a,r,s').
+  void update(std::size_t s, std::size_t a, double r, std::size_t s_next) {
+    const double* row = &q_[s_next * actions_];
+    const double max_next = *std::max_element(row, row + actions_);
+    double& q = q_[s * actions_ + a];
+    q += p_.alpha * (r + p_.gamma * max_next - q);
+  }
+  /// Terminal-transition backup (no bootstrap).
+  void update_terminal(std::size_t s, std::size_t a, double r) {
+    double& q = q_[s * actions_ + a];
+    q += p_.alpha * (r - q);
+  }
+
+  [[nodiscard]] double q(std::size_t s, std::size_t a) const {
+    return q_[s * actions_ + a];
+  }
+  [[nodiscard]] std::size_t states() const {
+    return q_.size() / actions_;
+  }
+  [[nodiscard]] std::size_t actions() const { return actions_; }
+  void reset() {
+    std::fill(q_.begin(), q_.end(), p_.q0);
+    eps_ = p_.epsilon;
+  }
+
+ private:
+  Params p_;
+  std::size_t actions_;
+  std::vector<double> q_;
+  double eps_ = p_.epsilon;
+};
+
+}  // namespace sa::learn

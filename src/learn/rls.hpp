@@ -1,0 +1,64 @@
+// Online linear regression via recursive least squares.
+//
+// Gives awareness processes a cheap way to learn input→outcome response
+// models (e.g. "predicted latency as a function of replica count"), which
+// is the self-prediction capability Kounev et al. call for (Section III).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sa::learn {
+
+/// Recursive least squares with forgetting factor, d-dimensional inputs.
+/// Model: y ≈ wᵀx (append a constant 1 to x for an intercept).
+class Rls {
+ public:
+  /// `dim` — input dimension; `lambda` in (0,1] — forgetting factor
+  /// (1 = ordinary RLS); `p0` — initial covariance scale (confidence prior).
+  explicit Rls(std::size_t dim, double lambda = 0.99, double p0 = 100.0)
+      : dim_(dim), lambda_(lambda), w_(dim, 0.0), p_(dim * dim, 0.0) {
+    for (std::size_t i = 0; i < dim; ++i) p_[i * dim + i] = p0;
+  }
+
+  /// Incorporates one observation (x, y). O(d²).
+  void observe(const std::vector<double>& x, double y) {
+    // k = P x / (λ + xᵀ P x)
+    std::vector<double> px(dim_, 0.0);
+    for (std::size_t i = 0; i < dim_; ++i) {
+      for (std::size_t j = 0; j < dim_; ++j) px[i] += p_[i * dim_ + j] * x[j];
+    }
+    double xpx = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) xpx += x[i] * px[i];
+    const double denom = lambda_ + xpx;
+
+    const double err = y - predict(x);
+    for (std::size_t i = 0; i < dim_; ++i) w_[i] += px[i] / denom * err;
+
+    // P = (P − k xᵀ P) / λ
+    for (std::size_t i = 0; i < dim_; ++i) {
+      for (std::size_t j = 0; j < dim_; ++j) {
+        p_[i * dim_ + j] = (p_[i * dim_ + j] - px[i] * px[j] / denom) / lambda_;
+      }
+    }
+    ++n_;
+  }
+
+  [[nodiscard]] double predict(const std::vector<double>& x) const {
+    double y = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) y += w_[i] * x[i];
+    return y;
+  }
+  [[nodiscard]] const std::vector<double>& weights() const { return w_; }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] std::size_t count() const { return n_; }
+
+ private:
+  std::size_t dim_;
+  double lambda_;
+  std::vector<double> w_;
+  std::vector<double> p_;  // row-major covariance
+  std::size_t n_ = 0;
+};
+
+}  // namespace sa::learn

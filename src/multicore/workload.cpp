@@ -1,0 +1,42 @@
+#include "multicore/workload.hpp"
+
+#include <cmath>
+
+namespace sa::multicore {
+
+PhasedWorkload PhasedWorkload::standard() {
+  // Demands sized against the canonical big_little(2, 4) chip: its capacity
+  // is 4.3 giga-ops/s at the minimum frequency, 7.2 at mid, 13.0 at max.
+  return PhasedWorkload{{
+      {"steady", 20.0, 25.0, 0.15, 0.8},       // ~3.8 Gops/s: fits at mid
+      {"burst", 20.0, 40.0, 0.2, 1.5},         // ~8 Gops/s: needs max freq
+      {"interactive", 20.0, 20.0, 0.08, 0.15}, // light but latency-critical
+  }};
+}
+
+double PhasedWorkload::cycle_length() const {
+  double total = 0.0;
+  for (const auto& p : phases_) total += p.duration_s;
+  return total;
+}
+
+std::size_t PhasedWorkload::phase_index(double now) const {
+  const double cycle = cycle_length();
+  double t = std::fmod(now, cycle);
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (t < phases_[i].duration_s) return i;
+    t -= phases_[i].duration_s;
+  }
+  return phases_.size() - 1;
+}
+
+const Phase& PhasedWorkload::current(double now) const {
+  return phases_[phase_index(now)];
+}
+
+void PhasedWorkload::apply(Platform& platform) {
+  const Phase& p = current(platform.now());
+  platform.set_workload(p.rate, p.mean_work, p.deadline_s);
+}
+
+}  // namespace sa::multicore

@@ -1,0 +1,50 @@
+// Phased workload driver.
+//
+// "Ongoing change" (paper, Section II): the workload's arrival rate, task
+// size and deadline shift between phases during the run — compute-bound
+// bursts, light background periods, latency-critical interactive phases.
+// The driver applies the phase schedule to a Platform as simulated time
+// passes; managers are never told a phase changed, they must notice.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "multicore/platform.hpp"
+
+namespace sa::multicore {
+
+/// One workload regime.
+struct Phase {
+  std::string name;
+  double duration_s = 10.0;
+  double rate = 20.0;        ///< task arrivals per second
+  double mean_work = 0.5;    ///< giga-ops per task
+  double deadline_s = 0.5;   ///< relative deadline (0 = none)
+};
+
+/// Cycles through its phases, applying each to the platform when due.
+class PhasedWorkload {
+ public:
+  explicit PhasedWorkload(std::vector<Phase> phases)
+      : phases_(std::move(phases)) {}
+
+  /// The canonical three-phase E1 schedule: steady / burst / latency-
+  /// critical interactive.
+  [[nodiscard]] static PhasedWorkload standard();
+
+  /// Applies the phase active at platform time `now` (call once per epoch).
+  void apply(Platform& platform);
+  [[nodiscard]] const Phase& current(double now) const;
+  [[nodiscard]] std::size_t phase_index(double now) const;
+  [[nodiscard]] double cycle_length() const;
+  [[nodiscard]] const std::vector<Phase>& phases() const noexcept {
+    return phases_;
+  }
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+}  // namespace sa::multicore

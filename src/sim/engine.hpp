@@ -1,0 +1,90 @@
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic DES kernel: events are (time, sequence, action)
+// triples in a binary heap; ties in time break by insertion order so runs
+// are exactly reproducible. All substrates (svc, cloud, multicore, cpn)
+// schedule their dynamics through one Engine instance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace sa::sim {
+
+/// Simulated time in abstract seconds.
+using Time = double;
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  /// Number of events executed so far.
+  [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
+  /// Number of events currently pending.
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Schedules `action` at absolute time `t` (must be >= now()).
+  void at(Time t, Action action) {
+    heap_.push(Ev{t, seq_++, std::move(action)});
+  }
+  /// Schedules `action` after a delay (>= 0) from now.
+  void in(Time delay, Action action) { at(now_ + delay, std::move(action)); }
+  /// Schedules `action` every `period` starting at now()+period, until it
+  /// returns false or the run ends.
+  void every(Time period, std::function<bool()> action) {
+    in(period, [this, period, action = std::move(action)]() mutable {
+      if (action()) every(period, std::move(action));
+    });
+  }
+
+  /// Runs until the event queue empties or simulated time reaches `horizon`.
+  /// Events scheduled exactly at the horizon still execute.
+  void run_until(Time horizon) {
+    while (!heap_.empty() && heap_.top().t <= horizon) {
+      step();
+    }
+    now_ = std::max(now_, horizon);
+  }
+  /// Runs the entire queue to exhaustion (use with bounded workloads).
+  void run() {
+    while (!heap_.empty()) step();
+  }
+  /// Executes exactly one event if present; returns whether one ran.
+  bool step() {
+    if (heap_.empty()) return false;
+    // std::priority_queue::top() is const&; moving requires const_cast, so we
+    // copy the small struct out instead (Action is a shared-state function).
+    Ev ev = heap_.top();
+    heap_.pop();
+    now_ = ev.t;
+    ++executed_;
+    ev.action();
+    return true;
+  }
+  /// Discards all pending events (end of scenario teardown).
+  void clear() {
+    heap_ = {};
+  }
+
+ private:
+  struct Ev {
+    Time t;
+    std::uint64_t seq;
+    Action action;
+    bool operator>(const Ev& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> heap_;
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace sa::sim

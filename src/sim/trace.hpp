@@ -1,0 +1,71 @@
+// Structured event tracing.
+//
+// Substrates and awareness processes emit timestamped, categorised trace
+// records; tests and the self-explanation subsystem query them. Recording
+// is O(1) per record and can be disabled wholesale (the null recorder) so
+// that hot paths pay only a branch.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sa::sim {
+
+/// One trace record.
+struct TraceRecord {
+  double t = 0.0;           ///< Simulated time of the event.
+  std::string category;     ///< E.g. "decision", "observation", "failure".
+  std::string subject;      ///< Component that emitted the record.
+  std::string detail;       ///< Human-readable payload.
+};
+
+/// Append-only trace buffer with simple query helpers.
+class Trace {
+ public:
+  /// When disabled, record() is a no-op (overhead measurement in E8).
+  explicit Trace(bool enabled = true) : enabled_(enabled) {}
+
+  void record(double t, std::string category, std::string subject,
+              std::string detail) {
+    if (!enabled_) return;
+    records_.push_back(
+        {t, std::move(category), std::move(subject), std::move(detail)});
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool e) noexcept { enabled_ = e; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const TraceRecord& at(std::size_t i) const {
+    return records_.at(i);
+  }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// All records with the given category, in emission order.
+  [[nodiscard]] std::vector<const TraceRecord*> by_category(
+      const std::string& category) const {
+    std::vector<const TraceRecord*> out;
+    for (const auto& r : records_) {
+      if (r.category == category) out.push_back(&r);
+    }
+    return out;
+  }
+  /// All records emitted by the given subject, in emission order.
+  [[nodiscard]] std::vector<const TraceRecord*> by_subject(
+      const std::string& subject) const {
+    std::vector<const TraceRecord*> out;
+    for (const auto& r : records_) {
+      if (r.subject == subject) out.push_back(&r);
+    }
+    return out;
+  }
+  void clear() { records_.clear(); }
+
+ private:
+  bool enabled_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace sa::sim

@@ -1,0 +1,72 @@
+// Camera fleets: homogeneous baselines vs per-camera strategy learning.
+//
+// In Homogeneous mode every camera runs one fixed strategy (the designer's
+// one-size-fits-all choice). In Learning mode each camera is its own
+// SelfAwareAgent: a bandit over the three strategies, rewarded with the
+// camera's *local* epoch utility. No camera sees the global picture — the
+// collective outcome (coverage, message economy, heterogeneity) emerges,
+// which is precisely the claim of Lewis et al. [13] reproduced in E2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/agent.hpp"
+#include "sim/stats.hpp"
+#include "svc/network.hpp"
+
+namespace sa::svc {
+
+class CameraFleet {
+ public:
+  enum class Mode { Homogeneous, Learning };
+
+  struct Params {
+    Mode mode = Mode::Learning;
+    Strategy fixed = Strategy::Broadcast;  ///< Homogeneous only
+    std::size_t epoch_steps = 25;
+    core::LevelSet levels = core::LevelSet::full();
+    std::uint64_t seed = 31;
+  };
+
+  CameraFleet(Network& net, Params p);
+
+  /// Runs one epoch of world steps, then lets every camera (re)choose its
+  /// strategy. Returns the network epoch record.
+  NetworkEpoch run_epoch();
+
+  /// Normalised Shannon entropy of the current strategy assignment in
+  /// [0,1]: 0 = all cameras identical, 1 = uniform over strategies.
+  [[nodiscard]] double diversity() const;
+  /// Count of cameras per strategy.
+  [[nodiscard]] std::vector<std::size_t> strategy_histogram() const;
+
+  [[nodiscard]] core::SelfAwareAgent& agent(std::size_t cam) {
+    return *agents_[cam];
+  }
+  [[nodiscard]] std::size_t cameras() const noexcept {
+    return net_.cameras();
+  }
+
+  // Whole-run aggregates (per-epoch samples).
+  [[nodiscard]] const sim::RunningStats& coverage() const noexcept {
+    return coverage_;
+  }
+  [[nodiscard]] const sim::RunningStats& messages() const noexcept {
+    return messages_;
+  }
+  [[nodiscard]] const sim::RunningStats& global_utility() const noexcept {
+    return global_utility_;
+  }
+
+ private:
+  Network& net_;
+  Params p_;
+  std::vector<std::unique_ptr<core::SelfAwareAgent>> agents_;
+  std::vector<CameraEpoch> last_;
+  std::size_t epoch_ = 0;
+  sim::RunningStats coverage_, messages_, global_utility_;
+};
+
+}  // namespace sa::svc

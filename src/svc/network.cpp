@@ -1,0 +1,248 @@
+#include "svc/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sa::svc {
+
+namespace {
+constexpr std::size_t kUnowned = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+double distance(Vec2 a, Vec2 b) noexcept {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Network::Network(std::vector<CameraSpec> cameras, NetworkParams params)
+    : specs_(std::move(cameras)),
+      p_(params),
+      rng_(params.seed),
+      strategy_(specs_.size(), Strategy::Broadcast),
+      neighbours_(specs_.size()),
+      links_(specs_.size()),
+      cam_epoch_(specs_.size()) {
+  // Precompute the Smooth audiences: FoV-overlapping cameras.
+  for (std::size_t a = 0; a < specs_.size(); ++a) {
+    for (std::size_t b = 0; b < specs_.size(); ++b) {
+      if (a == b) continue;
+      if (distance(specs_[a].pos, specs_[b].pos) <=
+          specs_[a].radius + specs_[b].radius) {
+        neighbours_[a].push_back(b);
+      }
+    }
+  }
+  // Objects start unowned at random positions with random waypoints.
+  object_pos_.resize(p_.objects);
+  object_waypoint_.resize(p_.objects);
+  owner_.assign(p_.objects, kUnowned);
+  for (std::size_t o = 0; o < p_.objects; ++o) {
+    object_pos_[o] = {rng_.uniform(), rng_.uniform()};
+    object_waypoint_[o] = object_pos_[o];
+  }
+}
+
+Network Network::clustered_layout(NetworkParams params) {
+  std::vector<CameraSpec> cams;
+  // Dense 2x2 cluster around the hotspot: heavily overlapping FoVs.
+  const Vec2 h = params.hotspot;
+  for (double dx : {-0.06, 0.06}) {
+    for (double dy : {-0.06, 0.06}) {
+      cams.push_back({{h.x + dx, h.y + dy}, 0.22, 6});
+    }
+  }
+  // Sparse ring of isolated cameras near the edges: small enough FoVs that
+  // they overlap neither each other nor the cluster.
+  const Vec2 ring[] = {{0.12, 0.12}, {0.88, 0.12}, {0.12, 0.88},
+                       {0.88, 0.88}, {0.5, 0.06},  {0.06, 0.5},
+                       {0.94, 0.5},  {0.5, 0.94}};
+  for (const Vec2& pos : ring) cams.push_back({pos, 0.15, 6});
+  return Network(std::move(cams), params);
+}
+
+double Network::visibility(std::size_t cam, std::size_t obj) const {
+  const double d = distance(specs_[cam].pos, object_pos_[obj]);
+  const double r = specs_[cam].radius;
+  if (d >= r) return 0.0;
+  return 1.0 - d / r;  // best at the centre, fading to the rim
+}
+
+std::size_t Network::load(std::size_t cam) const {
+  std::size_t n = 0;
+  for (std::size_t owner : owner_) {
+    if (owner == cam) ++n;
+  }
+  return n;
+}
+
+Vec2 Network::current_hotspot() const {
+  if (p_.hotspot_drift <= 0.0) return p_.hotspot;
+  const double ang = p_.hotspot_drift * static_cast<double>(steps_);
+  return {std::clamp(p_.hotspot.x + p_.hotspot_orbit * std::cos(ang), 0.1,
+                     0.9),
+          std::clamp(p_.hotspot.y + p_.hotspot_orbit * std::sin(ang), 0.1,
+                     0.9)};
+}
+
+void Network::move_objects() {
+  const Vec2 hotspot = current_hotspot();
+  for (std::size_t o = 0; o < object_pos_.size(); ++o) {
+    Vec2& pos = object_pos_[o];
+    Vec2& wp = object_waypoint_[o];
+    if (distance(pos, wp) < p_.speed) {
+      // New waypoint, biased towards the (possibly moving) hotspot.
+      if (rng_.chance(p_.hotspot_bias)) {
+        const double ang = rng_.uniform(0.0, 6.283185307179586);
+        const double rad = p_.hotspot_radius * std::sqrt(rng_.uniform());
+        wp = {std::clamp(hotspot.x + rad * std::cos(ang), 0.0, 1.0),
+              std::clamp(hotspot.y + rad * std::sin(ang), 0.0, 1.0)};
+      } else {
+        wp = {rng_.uniform(), rng_.uniform()};
+      }
+    }
+    const double d = distance(pos, wp);
+    if (d > 1e-12) {
+      pos.x += (wp.x - pos.x) / d * p_.speed;
+      pos.y += (wp.y - pos.y) / d * p_.speed;
+    }
+  }
+}
+
+void Network::auction(std::size_t obj, std::size_t seller) {
+  const Strategy s = strategy_[seller];
+  if (s == Strategy::Passive) {
+    owner_[obj] = kUnowned;
+    cam_epoch_[seller].lost += 1.0;
+    return;
+  }
+  std::vector<std::size_t> audience;
+  if (s == Strategy::Broadcast) {
+    audience.reserve(specs_.size() - 1);
+    for (std::size_t c = 0; c < specs_.size(); ++c) {
+      if (c != seller) audience.push_back(c);
+    }
+  } else {
+    audience = learned_links(seller);
+  }
+  cam_epoch_[seller].messages += static_cast<double>(audience.size());
+  net_epoch_.messages += static_cast<double>(audience.size());
+
+  std::size_t best = kUnowned;
+  double best_bid = 0.0;
+  for (std::size_t c : audience) {
+    const double vis = visibility(c, obj);
+    if (vis < p_.vis_threshold) continue;
+    if (load(c) >= specs_[c].capacity) continue;
+    // Bid: how well I see it, discounted by how busy I am.
+    const double bid =
+        vis * (1.0 - static_cast<double>(load(c)) /
+                         static_cast<double>(specs_[c].capacity));
+    if (bid > best_bid) {
+      best_bid = bid;
+      best = c;
+    }
+  }
+  if (best != kUnowned) {
+    owner_[obj] = best;
+    cam_epoch_[seller].handovers += 1.0;
+    // The successful sale teaches the vision graph, whatever strategy
+    // found the buyer.
+    links_[seller][best] += 1.0;
+  } else {
+    owner_[obj] = kUnowned;
+    cam_epoch_[seller].lost += 1.0;
+  }
+}
+
+std::vector<std::size_t> Network::learned_links(std::size_t cam) const {
+  std::vector<std::size_t> out;
+  out.reserve(links_[cam].size());
+  for (const auto& [peer, strength] : links_[cam]) {
+    if (strength >= 1.0) out.push_back(peer);
+  }
+  return out;
+}
+
+void Network::claim_unowned() {
+  for (std::size_t o = 0; o < owner_.size(); ++o) {
+    if (owner_[o] != kUnowned) continue;
+    if (!rng_.chance(p_.redetect_prob)) continue;  // detection latency
+    std::size_t best = kUnowned;
+    double best_vis = p_.vis_threshold;
+    for (std::size_t c = 0; c < specs_.size(); ++c) {
+      if (load(c) >= specs_[c].capacity) continue;
+      const double vis = visibility(c, o);
+      if (vis > best_vis) {
+        best_vis = vis;
+        best = c;
+      }
+    }
+    if (best != kUnowned) owner_[o] = best;
+  }
+}
+
+void Network::step() {
+  ++steps_;
+  move_objects();
+
+  double step_vis = 0.0;
+  std::size_t tracked = 0;
+  for (std::size_t o = 0; o < owner_.size(); ++o) {
+    const std::size_t cam = owner_[o];
+    if (cam == kUnowned) continue;
+    const double vis = visibility(cam, o);
+    if (vis >= p_.vis_threshold) {
+      cam_epoch_[cam].tracking += vis;
+      step_vis += vis;
+      ++tracked;
+    } else {
+      auction(o, cam);
+      // If the auction re-homed it, credit the new owner this step.
+      const std::size_t now = owner_[o];
+      if (now != kUnowned) {
+        const double v2 = visibility(now, o);
+        if (v2 >= p_.vis_threshold) {
+          cam_epoch_[now].tracking += v2;
+          step_vis += v2;
+          ++tracked;
+        }
+      }
+    }
+  }
+  claim_unowned();
+
+  net_epoch_.steps += 1.0;
+  net_epoch_.coverage += static_cast<double>(tracked) /
+                         static_cast<double>(owner_.size());
+  net_epoch_.mean_visibility +=
+      tracked ? step_vis / static_cast<double>(tracked) : 0.0;
+  net_epoch_.global_utility += step_vis;
+  for (std::size_t c = 0; c < specs_.size(); ++c) {
+    cam_epoch_[c].owned_now = load(c);
+  }
+}
+
+void Network::run(std::size_t steps) {
+  for (std::size_t i = 0; i < steps; ++i) step();
+}
+
+CameraEpoch Network::harvest_camera(std::size_t cam) {
+  CameraEpoch out = cam_epoch_[cam];
+  cam_epoch_[cam] = CameraEpoch{};
+  cam_epoch_[cam].owned_now = out.owned_now;
+  return out;
+}
+
+NetworkEpoch Network::harvest_network() {
+  NetworkEpoch out = net_epoch_;
+  if (out.steps > 0.0) {
+    out.coverage /= out.steps;
+    out.mean_visibility /= out.steps;
+  }
+  out.global_utility -= p_.comm_weight * out.messages;
+  net_epoch_ = NetworkEpoch{};
+  return out;
+}
+
+}  // namespace sa::svc

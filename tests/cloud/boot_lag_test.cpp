@@ -1,0 +1,74 @@
+// Tests for the provisioning-lag mechanics (Cluster::Params::boot_s).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cloud/cluster.hpp"
+
+namespace sa::cloud {
+namespace {
+
+std::vector<std::size_t> natural_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  return order;
+}
+
+Cluster reliable_cluster(double boot_s) {
+  Cluster::Params p;
+  p.nodes = 8;
+  p.mttf_mean_s = 1e9;  // never fail: isolate the boot behaviour
+  p.boot_s = boot_s;
+  p.seed = 4;
+  return Cluster(p);
+}
+
+TEST(BootLag, FreshEnrolmentDeliversNothingFirstEpoch) {
+  auto c = reliable_cluster(10.0);
+  c.enrol(natural_order(8), 8);
+  const auto first = c.run_epoch(10.0);
+  EXPECT_DOUBLE_EQ(first.capacity, 0.0);
+  EXPECT_DOUBLE_EQ(first.served, 0.0);
+  const auto second = c.run_epoch(10.0);
+  EXPECT_GT(second.capacity, 0.0);
+  EXPECT_GT(second.served, 0.0);
+}
+
+TEST(BootLag, ZeroLagDeliversImmediately) {
+  auto c = reliable_cluster(0.0);
+  c.enrol(natural_order(8), 8);
+  EXPECT_GT(c.run_epoch(10.0).capacity, 0.0);
+}
+
+TEST(BootLag, ReEnrolmentOfAlreadyEnrolledNodeHasNoLag) {
+  auto c = reliable_cluster(10.0);
+  c.enrol(natural_order(8), 4);
+  c.run_epoch(5.0);  // pays the boot epoch
+  c.run_epoch(5.0);
+  const double cap_before = c.run_epoch(5.0).capacity;
+  // Re-issue the same enrolment: nothing should reboot.
+  c.enrol(natural_order(8), 4);
+  EXPECT_NEAR(c.run_epoch(5.0).capacity, cap_before, 1e-9);
+}
+
+TEST(BootLag, GrowingEnrolmentOnlyDelaysTheNewNodes) {
+  auto c = reliable_cluster(10.0);
+  c.enrol(natural_order(8), 4);
+  c.run_epoch(5.0);
+  const double cap4 = c.run_epoch(5.0).capacity;
+  c.enrol(natural_order(8), 8);  // add 4 more
+  const double cap_transition = c.run_epoch(5.0).capacity;
+  EXPECT_NEAR(cap_transition, cap4, 1e-9);  // veterans only this epoch
+  EXPECT_GT(c.run_epoch(5.0).capacity, cap4);  // everyone next epoch
+}
+
+TEST(BootLag, CostAccruesDuringBoot) {
+  // Enrolment is paid for from the moment it is requested — the lag makes
+  // over-eager scaling expensive, which is what the autoscaler must learn.
+  auto c = reliable_cluster(10.0);
+  c.enrol(natural_order(8), 8);
+  EXPECT_GT(c.run_epoch(10.0).cost, 0.0);
+}
+
+}  // namespace
+}  // namespace sa::cloud

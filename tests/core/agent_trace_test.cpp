@@ -1,0 +1,90 @@
+// Tests for the agent's structured tracing (AgentConfig::trace).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/agent.hpp"
+
+namespace sa::core {
+namespace {
+
+TEST(AgentTrace, RecordsObserveAndDecidePerStep) {
+  sim::Trace trace;
+  AgentConfig cfg;
+  cfg.trace = &trace;
+  SelfAwareAgent agent("traced", cfg);
+  agent.add_sensor("x", [] { return 1.0; });
+  agent.add_action("go", [] {});
+  agent.set_policy(std::make_unique<FixedPolicy>(0));
+  for (int i = 0; i < 5; ++i) agent.step(i);
+  EXPECT_EQ(trace.by_category("observe").size(), 5u);
+  EXPECT_EQ(trace.by_category("decide").size(), 5u);
+  EXPECT_EQ(trace.by_subject("traced").size(), 10u);
+}
+
+TEST(AgentTrace, ObserveRecordListsSampledSignals) {
+  sim::Trace trace;
+  AgentConfig cfg;
+  cfg.trace = &trace;
+  SelfAwareAgent agent("traced", cfg);
+  agent.add_sensor("alpha", [] { return 1.0; });
+  agent.add_sensor("beta", [] { return 2.0; });
+  agent.step(0.0);
+  const auto obs = trace.by_category("observe");
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0]->detail, "alpha,beta");
+}
+
+TEST(AgentTrace, DecideRecordCarriesActionAndRationale) {
+  sim::Trace trace;
+  AgentConfig cfg;
+  cfg.trace = &trace;
+  SelfAwareAgent agent("traced", cfg);
+  agent.add_action("launch", [] {});
+  agent.set_policy(std::make_unique<FixedPolicy>(0));
+  agent.step(2.5);
+  const auto decides = trace.by_category("decide");
+  ASSERT_EQ(decides.size(), 1u);
+  EXPECT_DOUBLE_EQ(decides[0]->t, 2.5);
+  EXPECT_NE(decides[0]->detail.find("launch"), std::string::npos);
+  EXPECT_NE(decides[0]->detail.find("fixed design-time choice"),
+            std::string::npos);
+}
+
+TEST(AgentTrace, NoTraceMeansNoRecordsAndNoCrash) {
+  SelfAwareAgent agent("untraced", {});
+  agent.add_sensor("x", [] { return 1.0; });
+  agent.step(0.0);
+  SUCCEED();
+}
+
+TEST(AgentTrace, NoDecisionMeansNoDecideRecord) {
+  sim::Trace trace;
+  AgentConfig cfg;
+  cfg.trace = &trace;
+  SelfAwareAgent agent("sensor-only", cfg);
+  agent.add_sensor("x", [] { return 1.0; });
+  agent.step(0.0);
+  EXPECT_EQ(trace.by_category("observe").size(), 1u);
+  EXPECT_TRUE(trace.by_category("decide").empty());
+}
+
+TEST(AgentTrace, AttentionBudgetVisibleInObserveRecords) {
+  sim::Trace trace;
+  AgentConfig cfg;
+  cfg.trace = &trace;
+  cfg.attention_budget = 1;
+  cfg.attention_strategy = AttentionManager::Strategy::RoundRobin;
+  SelfAwareAgent agent("focused", cfg);
+  agent.add_sensor("a", [] { return 0.0; });
+  agent.add_sensor("b", [] { return 0.0; });
+  agent.step(0.0);
+  agent.step(1.0);
+  const auto obs = trace.by_category("observe");
+  ASSERT_EQ(obs.size(), 2u);
+  EXPECT_EQ(obs[0]->detail, "a");
+  EXPECT_EQ(obs[1]->detail, "b");
+}
+
+}  // namespace
+}  // namespace sa::core

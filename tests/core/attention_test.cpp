@@ -1,0 +1,146 @@
+#include "core/attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "sim/rng.hpp"
+
+namespace sa::core {
+namespace {
+
+using Strategy = AttentionManager::Strategy;
+
+class AttentionBudgetTest : public ::testing::TestWithParam<Strategy> {};
+
+/// Property: every budgeted strategy returns at most `budget` distinct
+/// registered signals per step.
+TEST_P(AttentionBudgetTest, RespectsBudget) {
+  AttentionManager am(GetParam(), 3);
+  for (int i = 0; i < 8; ++i) am.register_signal("s" + std::to_string(i));
+  sim::Rng rng(1);
+  for (int step = 0; step < 50; ++step) {
+    const auto chosen = am.select(rng);
+    EXPECT_LE(chosen.size(), 3u);
+    std::set<std::string> uniq(chosen.begin(), chosen.end());
+    EXPECT_EQ(uniq.size(), chosen.size()) << "duplicate selections";
+    for (const auto& name : chosen) {
+      EXPECT_EQ(name.rfind("s", 0), 0u);
+      am.feed(name, 1.0);
+    }
+  }
+}
+
+/// Property: no signal is starved forever.
+TEST_P(AttentionBudgetTest, EverySignalEventuallySampled) {
+  if (GetParam() == Strategy::Random) {
+    GTEST_SKIP() << "random gives only probabilistic coverage";
+  }
+  AttentionManager am(GetParam(), 2);
+  for (int i = 0; i < 6; ++i) am.register_signal("s" + std::to_string(i));
+  sim::Rng rng(2);
+  std::map<std::string, int> sampled;
+  for (int step = 0; step < 60; ++step) {
+    for (const auto& name : am.select(rng)) {
+      ++sampled[name];
+      am.feed(name, 0.0);
+    }
+  }
+  EXPECT_EQ(sampled.size(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AttentionBudgetTest,
+                         ::testing::Values(Strategy::RoundRobin,
+                                           Strategy::Random,
+                                           Strategy::Adaptive),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Strategy::All: return "all";
+                             case Strategy::RoundRobin: return "rr";
+                             case Strategy::Random: return "random";
+                             case Strategy::Adaptive: return "adaptive";
+                           }
+                           return "?";
+                         });
+
+TEST(AttentionManager, AllIgnoresBudget) {
+  AttentionManager am(Strategy::All, 1);
+  am.register_signal("a");
+  am.register_signal("b");
+  sim::Rng rng(3);
+  EXPECT_EQ(am.select(rng).size(), 2u);
+}
+
+TEST(AttentionManager, EmptyRegistryYieldsNothing) {
+  AttentionManager am(Strategy::Adaptive, 4);
+  sim::Rng rng(4);
+  EXPECT_TRUE(am.select(rng).empty());
+}
+
+TEST(AttentionManager, RoundRobinCyclesDeterministically) {
+  AttentionManager am(Strategy::RoundRobin, 2);
+  for (const char* s : {"a", "b", "c", "d"}) am.register_signal(s);
+  sim::Rng rng(5);
+  EXPECT_EQ(am.select(rng), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(am.select(rng), (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ(am.select(rng), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(AttentionManager, AdaptivePrefersVolatileSignals) {
+  AttentionManager am(Strategy::Adaptive, 1);
+  am.register_signal("steady");
+  am.register_signal("volatile");
+  sim::Rng rng(6);
+  // Warm both volatility models equally via All-like feeding.
+  double v = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    am.feed("steady", 5.0);
+    am.feed("volatile", v);
+    v = v == 0.0 ? 10.0 : 0.0;
+  }
+  std::size_t volatile_picks = 0;
+  const int steps = 40;
+  for (int i = 0; i < steps; ++i) {
+    const auto chosen = am.select(rng);
+    ASSERT_EQ(chosen.size(), 1u);
+    if (chosen[0] == "volatile") {
+      ++volatile_picks;
+      am.feed("volatile", v);
+      v = v == 0.0 ? 10.0 : 0.0;
+    } else {
+      am.feed("steady", 5.0);
+    }
+  }
+  // Staleness guarantees the steady signal is refreshed sometimes, but the
+  // volatile one should dominate attention.
+  EXPECT_GT(volatile_picks, static_cast<std::size_t>(steps / 2));
+}
+
+TEST(AttentionManager, ScoreReflectsVolatility) {
+  AttentionManager am(Strategy::Adaptive, 1);
+  am.register_signal("x");
+  am.feed("x", 0.0);
+  am.feed("x", 10.0);
+  am.feed("x", 0.0);
+  EXPECT_GT(am.score("x"), 1.0);
+  EXPECT_DOUBLE_EQ(am.score("unknown"), 0.0);
+}
+
+TEST(AttentionManager, DuplicateRegistrationIgnored) {
+  AttentionManager am(Strategy::All, 8);
+  am.register_signal("x");
+  am.register_signal("x");
+  EXPECT_EQ(am.signals(), 1u);
+}
+
+TEST(AttentionManager, FeedUnknownSignalIsSafe) {
+  AttentionManager am(Strategy::Adaptive, 1);
+  am.feed("ghost", 1.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sa::core

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policy.hpp"
+
+namespace sa::core {
+namespace {
+
+const std::vector<std::string> kActions{"a", "b"};
+
+ContextualBanditPolicy make_policy(std::size_t contexts = 2) {
+  return ContextualBanditPolicy(
+      contexts,
+      [](const KnowledgeBase& kb) {
+        return static_cast<std::size_t>(kb.number("ctx"));
+      },
+      [] { return std::make_unique<learn::EpsilonGreedy>(2, 0.1); },
+      {"ctx"});
+}
+
+TEST(ContextualBanditPolicy, LearnsDifferentActionsPerContext) {
+  auto p = make_policy();
+  KnowledgeBase kb;
+  sim::Rng rng(1);
+  // Context 0 rewards action 0; context 1 rewards action 1.
+  for (int i = 0; i < 4000; ++i) {
+    const double ctx = i % 2 ? 1.0 : 0.0;
+    kb.put_number("ctx", ctx, i);
+    const auto d = p.decide(i, kb, kActions, rng);
+    const bool good = (ctx == 0.0 && d.action_index == 0) ||
+                      (ctx == 1.0 && d.action_index == 1);
+    p.feedback(good ? 1.0 : 0.0);
+  }
+  // After learning, the greedy choice must differ by context.
+  std::size_t ctx0_zero = 0, ctx1_one = 0;
+  const int probes = 100;
+  for (int i = 0; i < probes; ++i) {
+    kb.put_number("ctx", 0.0, 9000 + i);
+    auto d = p.decide(0, kb, kActions, rng);
+    p.feedback(d.action_index == 0 ? 1.0 : 0.0);
+    ctx0_zero += d.action_index == 0 ? 1 : 0;
+    kb.put_number("ctx", 1.0, 9500 + i);
+    d = p.decide(0, kb, kActions, rng);
+    p.feedback(d.action_index == 1 ? 1.0 : 0.0);
+    ctx1_one += d.action_index == 1 ? 1 : 0;
+  }
+  EXPECT_GT(ctx0_zero, static_cast<std::size_t>(probes * 0.7));
+  EXPECT_GT(ctx1_one, static_cast<std::size_t>(probes * 0.7));
+}
+
+TEST(ContextualBanditPolicy, SinglePlainBanditCannotSeparateContexts) {
+  // The control for the test above: a context-blind bandit on the same
+  // alternating problem converges to ~50% reward, the contextual one to
+  // ~90%. This is the E1 design rationale in miniature.
+  BanditPolicy blind(std::make_unique<learn::EpsilonGreedy>(2, 0.1));
+  auto aware = make_policy();
+  KnowledgeBase kb;
+  sim::Rng rng(2);
+  double blind_reward = 0.0, aware_reward = 0.0;
+  const int n = 6000;
+  for (int i = 0; i < n; ++i) {
+    const double ctx = i % 2 ? 1.0 : 0.0;
+    kb.put_number("ctx", ctx, i);
+    auto d = blind.decide(i, kb, kActions, rng);
+    double r = ((ctx == 0.0) == (d.action_index == 0)) ? 1.0 : 0.0;
+    blind.feedback(r);
+    if (i > n / 2) blind_reward += r;
+    d = aware.decide(i, kb, kActions, rng);
+    r = ((ctx == 0.0) == (d.action_index == 0)) ? 1.0 : 0.0;
+    aware.feedback(r);
+    if (i > n / 2) aware_reward += r;
+  }
+  EXPECT_GT(aware_reward, blind_reward * 1.3);
+}
+
+TEST(ContextualBanditPolicy, OutOfRangeContextClampsToLast) {
+  auto p = ContextualBanditPolicy(
+      2, [](const KnowledgeBase&) { return std::size_t{99}; },
+      [] { return std::make_unique<learn::EpsilonGreedy>(2, 0.0); });
+  KnowledgeBase kb;
+  sim::Rng rng(3);
+  const auto d = p.decide(0, kb, kActions, rng);  // must not crash
+  EXPECT_LT(d.action_index, 2u);
+}
+
+TEST(ContextualBanditPolicy, RationaleNamesContext) {
+  auto p = make_policy();
+  KnowledgeBase kb;
+  kb.put_number("ctx", 1.0, 0.0);
+  sim::Rng rng(4);
+  const auto d = p.decide(0, kb, kActions, rng);
+  EXPECT_NE(d.rationale.find("context 1"), std::string::npos);
+  EXPECT_EQ(d.evidence, std::vector<std::string>{"ctx"});
+}
+
+TEST(ContextualBanditPolicy, ResetClearsEveryContext) {
+  auto p = make_policy();
+  KnowledgeBase kb;
+  sim::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    kb.put_number("ctx", i % 2 ? 1.0 : 0.0, i);
+    p.decide(i, kb, kActions, rng);
+    p.feedback(1.0);
+  }
+  p.reset();
+  for (std::size_t c = 0; c < p.contexts(); ++c) {
+    EXPECT_DOUBLE_EQ(p.bandit(c).value(0), 0.0);
+    EXPECT_DOUBLE_EQ(p.bandit(c).value(1), 0.0);
+  }
+}
+
+TEST(ContextualBanditPolicy, FeedbackRoutesToDecidingContext) {
+  auto p = make_policy();
+  KnowledgeBase kb;
+  sim::Rng rng(6);
+  kb.put_number("ctx", 0.0, 0.0);
+  const auto d = p.decide(0, kb, kActions, rng);
+  kb.put_number("ctx", 1.0, 1.0);  // context moved after the decision
+  p.feedback(1.0);                 // must credit context 0's bandit
+  EXPECT_GT(p.bandit(0).value(d.action_index), 0.9);
+  EXPECT_DOUBLE_EQ(p.bandit(1).value(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.bandit(1).value(1), 0.0);
+}
+
+TEST(ContextualBanditPolicy, NameAndContexts) {
+  auto p = make_policy(3);
+  EXPECT_EQ(p.name(), "ctx-bandit");
+  EXPECT_EQ(p.contexts(), 3u);
+}
+
+}  // namespace
+}  // namespace sa::core

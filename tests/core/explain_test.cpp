@@ -1,0 +1,130 @@
+#include "core/explain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sa::core {
+namespace {
+
+Explanation sample_explanation() {
+  Explanation e;
+  e.t = 12.5;
+  e.agent = "mapper";
+  e.decision.action = "freq_up";
+  e.decision.rationale = "utility 0.8 is the maximum";
+  e.decision.considered = {{"freq_up", 0.8}, {"freq_down", 0.2}};
+  e.evidence = {{"forecast.load", 3.4, 0.9}};
+  e.goal_utility = 0.73;
+  e.has_goal = true;
+  return e;
+}
+
+TEST(Explanation, RenderMentionsAllParts) {
+  const std::string s = sample_explanation().render();
+  EXPECT_NE(s.find("t=12.5"), std::string::npos);
+  EXPECT_NE(s.find("mapper"), std::string::npos);
+  EXPECT_NE(s.find("freq_up"), std::string::npos);
+  EXPECT_NE(s.find("because utility 0.8 is the maximum"), std::string::npos);
+  EXPECT_NE(s.find("freq_down(0.200)"), std::string::npos);
+  EXPECT_NE(s.find("forecast.load=3.400"), std::string::npos);
+  EXPECT_NE(s.find("conf 0.900"), std::string::npos);
+  EXPECT_NE(s.find("0.730"), std::string::npos);
+}
+
+TEST(Explanation, RenderOmitsAbsentParts) {
+  Explanation e;
+  e.t = 1.0;
+  e.agent = "x";
+  e.decision.action = "noop";
+  const std::string s = e.render();
+  EXPECT_EQ(s.find("Alternatives"), std::string::npos);
+  EXPECT_EQ(s.find("Evidence"), std::string::npos);
+  EXPECT_EQ(s.find("Goal utility"), std::string::npos);
+}
+
+TEST(Explainer, RecordsAndCounts) {
+  Explainer ex;
+  ex.record(sample_explanation());
+  ex.record(sample_explanation());
+  EXPECT_EQ(ex.size(), 2u);
+  EXPECT_EQ(ex.decisions(), 2u);
+  EXPECT_DOUBLE_EQ(ex.coverage(), 1.0);
+  ASSERT_TRUE(ex.last().has_value());
+  EXPECT_EQ(ex.last()->agent, "mapper");
+  EXPECT_FALSE(ex.why_last().empty());
+}
+
+TEST(Explainer, DisabledStillCountsDecisions) {
+  Explainer ex(false);
+  ex.record(sample_explanation());
+  EXPECT_EQ(ex.size(), 0u);
+  EXPECT_EQ(ex.decisions(), 1u);
+  EXPECT_DOUBLE_EQ(ex.coverage(), 0.0);
+  EXPECT_FALSE(ex.last().has_value());
+  EXPECT_TRUE(ex.why_last().empty());
+}
+
+TEST(Explainer, UnexplainedDecisionsLowerCoverage) {
+  Explainer ex;
+  ex.record(sample_explanation());
+  ex.note_unexplained();
+  EXPECT_DOUBLE_EQ(ex.coverage(), 0.5);
+}
+
+TEST(Explainer, EmptyCoverageIsZero) {
+  Explainer ex;
+  EXPECT_DOUBLE_EQ(ex.coverage(), 0.0);
+}
+
+TEST(Explainer, CapacityBoundsMemory) {
+  Explainer ex;
+  ex.set_capacity(10);
+  for (int i = 0; i < 100; ++i) ex.record(sample_explanation());
+  EXPECT_LE(ex.size(), 10u);
+  EXPECT_EQ(ex.decisions(), 100u);
+}
+
+TEST(Explainer, SummariseAggregatesPerAction) {
+  Explainer ex;
+  for (int i = 0; i < 3; ++i) {
+    auto e = sample_explanation();
+    e.goal_utility = 0.5 + 0.1 * i;  // 0.5, 0.6, 0.7
+    ex.record(std::move(e));
+  }
+  auto other = sample_explanation();
+  other.decision.action = "freq_down";
+  other.decision.rationale = "power over budget";
+  ex.record(std::move(other));
+
+  const auto up = ex.summarise("freq_up");
+  EXPECT_EQ(up.count, 3u);
+  EXPECT_NEAR(up.mean_goal_utility, 0.6, 1e-9);
+  EXPECT_EQ(up.last_rationale, "utility 0.8 is the maximum");
+
+  const auto down = ex.summarise("freq_down");
+  EXPECT_EQ(down.count, 1u);
+  EXPECT_EQ(down.last_rationale, "power over budget");
+
+  EXPECT_EQ(ex.summarise("never").count, 0u);
+}
+
+TEST(Explainer, SummariseIgnoresEntriesWithoutGoalState) {
+  Explainer ex;
+  auto e = sample_explanation();
+  e.has_goal = false;
+  e.goal_utility = 123.0;  // must not be counted
+  ex.record(std::move(e));
+  const auto s = ex.summarise("freq_up");
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_goal_utility, 0.0);
+}
+
+TEST(Explainer, ClearResets) {
+  Explainer ex;
+  ex.record(sample_explanation());
+  ex.clear();
+  EXPECT_EQ(ex.size(), 0u);
+  EXPECT_EQ(ex.decisions(), 0u);
+}
+
+}  // namespace
+}  // namespace sa::core

@@ -1,0 +1,170 @@
+#include "core/knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sa::core {
+namespace {
+
+TEST(Value, AsNumberConvertsScalars) {
+  EXPECT_DOUBLE_EQ(as_number(Value{true}), 1.0);
+  EXPECT_DOUBLE_EQ(as_number(Value{false}), 0.0);
+  EXPECT_DOUBLE_EQ(as_number(Value{std::int64_t{42}}), 42.0);
+  EXPECT_DOUBLE_EQ(as_number(Value{3.5}), 3.5);
+}
+
+TEST(Value, AsNumberFallsBackForNonScalars) {
+  EXPECT_DOUBLE_EQ(as_number(Value{std::string("abc")}, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(as_number(Value{std::vector<double>{1.0}}, 9.0), 9.0);
+}
+
+TEST(Value, ToStringRendersEachAlternative) {
+  EXPECT_EQ(to_string(Value{true}), "true");
+  EXPECT_EQ(to_string(Value{std::int64_t{7}}), "7");
+  EXPECT_EQ(to_string(Value{std::string("hi")}), "hi");
+  EXPECT_EQ(to_string(Value{std::vector<double>{1.0, 2.0}}), "[1,2]");
+}
+
+TEST(Value, HoldsChecksAlternative) {
+  EXPECT_TRUE(holds<double>(Value{1.0}));
+  EXPECT_FALSE(holds<bool>(Value{1.0}));
+}
+
+TEST(KnowledgeBase, LatestReturnsMostRecent) {
+  KnowledgeBase kb;
+  kb.put_number("load", 1.0, 0.0);
+  kb.put_number("load", 2.0, 1.0);
+  const auto item = kb.latest("load");
+  ASSERT_TRUE(item.has_value());
+  EXPECT_DOUBLE_EQ(as_number(item->value), 2.0);
+  EXPECT_DOUBLE_EQ(item->time, 1.0);
+}
+
+TEST(KnowledgeBase, LatestOnUnknownKeyIsEmpty) {
+  KnowledgeBase kb;
+  EXPECT_FALSE(kb.latest("nothing").has_value());
+  EXPECT_FALSE(kb.contains("nothing"));
+}
+
+TEST(KnowledgeBase, NumberFallsBack) {
+  KnowledgeBase kb;
+  EXPECT_DOUBLE_EQ(kb.number("missing", 7.5), 7.5);
+  kb.put("label",
+          KnowledgeItem{Value{std::string("x")}, 0.0, 1.0, Scope::Private,
+                        ""});
+  EXPECT_DOUBLE_EQ(kb.number("label", 3.0), 3.0);
+}
+
+TEST(KnowledgeBase, HistoryPreservesOrder) {
+  KnowledgeBase kb;
+  for (int i = 0; i < 5; ++i) {
+    kb.put_number("x", static_cast<double>(i), static_cast<double>(i));
+  }
+  const auto& hist = kb.history("x");
+  ASSERT_EQ(hist.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(as_number(hist[static_cast<std::size_t>(i)].value), i);
+  }
+}
+
+TEST(KnowledgeBase, HistoryIsBounded) {
+  KnowledgeBase kb(3);
+  for (int i = 0; i < 10; ++i) {
+    kb.put_number("x", static_cast<double>(i), 0.0);
+  }
+  const auto& hist = kb.history("x");
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_DOUBLE_EQ(as_number(hist.front().value), 7.0);  // oldest evicted
+  EXPECT_DOUBLE_EQ(as_number(hist.back().value), 9.0);
+}
+
+TEST(KnowledgeBase, ConfidenceOfLatest) {
+  KnowledgeBase kb;
+  EXPECT_DOUBLE_EQ(kb.confidence("x"), 0.0);
+  kb.put_number("x", 1.0, 0.0, 0.4);
+  EXPECT_DOUBLE_EQ(kb.confidence("x"), 0.4);
+  kb.put_number("x", 1.0, 1.0, 0.9);
+  EXPECT_DOUBLE_EQ(kb.confidence("x"), 0.9);
+}
+
+TEST(KnowledgeBase, KeysAreSorted) {
+  KnowledgeBase kb;
+  kb.put_number("b", 1.0, 0.0);
+  kb.put_number("a", 1.0, 0.0);
+  kb.put_number("c", 1.0, 0.0);
+  EXPECT_EQ(kb.keys(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(kb.size(), 3u);
+}
+
+TEST(KnowledgeBase, PrefixQuery) {
+  KnowledgeBase kb;
+  kb.put_number("peer.a.rel", 1.0, 0.0);
+  kb.put_number("peer.b.rel", 1.0, 0.0);
+  kb.put_number("forecast.x", 1.0, 0.0);
+  kb.put_number("peer", 1.0, 0.0);
+  const auto peers = kb.keys_with_prefix("peer.");
+  EXPECT_EQ(peers,
+            (std::vector<std::string>{"peer.a.rel", "peer.b.rel"}));
+  EXPECT_TRUE(kb.keys_with_prefix("zzz").empty());
+}
+
+TEST(KnowledgeBase, PublicSnapshotFiltersByScope) {
+  KnowledgeBase kb;
+  kb.put_number("private.x", 1.0, 0.0, 1.0, Scope::Private);
+  kb.put_number("public.y", 2.0, 0.0, 1.0, Scope::Public);
+  const auto snap = kb.public_snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].first, "public.y");
+}
+
+TEST(KnowledgeBase, PublicSnapshotUsesLatestScope) {
+  KnowledgeBase kb;
+  // A key whose latest write is private disappears from the public self.
+  kb.put_number("x", 1.0, 0.0, 1.0, Scope::Public);
+  kb.put_number("x", 2.0, 1.0, 1.0, Scope::Private);
+  EXPECT_TRUE(kb.public_snapshot().empty());
+}
+
+TEST(KnowledgeBase, ListenersFireOnPut) {
+  KnowledgeBase kb;
+  int calls = 0;
+  std::string last_key;
+  kb.subscribe([&](const std::string& key, const KnowledgeItem&) {
+    ++calls;
+    last_key = key;
+  });
+  kb.put_number("a", 1.0, 0.0);
+  kb.put_number("b", 2.0, 0.0);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(last_key, "b");
+}
+
+TEST(KnowledgeBase, UnsubscribeStopsNotifications) {
+  KnowledgeBase kb;
+  int calls = 0;
+  const auto handle =
+      kb.subscribe([&](const std::string&, const KnowledgeItem&) { ++calls; });
+  kb.put_number("a", 1.0, 0.0);
+  kb.unsubscribe(handle);
+  kb.put_number("a", 2.0, 0.0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(KnowledgeBase, SourceAndProvenancePreserved) {
+  KnowledgeBase kb;
+  kb.put_number("x", 1.0, 2.0, 0.8, Scope::Public, "stimulus");
+  const auto item = kb.latest("x");
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->source, "stimulus");
+  EXPECT_EQ(item->scope, Scope::Public);
+}
+
+TEST(KnowledgeBase, ClearRemovesEverything) {
+  KnowledgeBase kb;
+  kb.put_number("x", 1.0, 0.0);
+  kb.clear();
+  EXPECT_EQ(kb.size(), 0u);
+  EXPECT_FALSE(kb.contains("x"));
+}
+
+}  // namespace
+}  // namespace sa::core

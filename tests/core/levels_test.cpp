@@ -1,0 +1,77 @@
+#include "core/levels.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sa::core {
+namespace {
+
+TEST(LevelSet, DefaultIsEmpty) {
+  LevelSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.has(Level::Stimulus));
+  EXPECT_EQ(s.to_string(), "none");
+}
+
+TEST(LevelSet, SetAndUnset) {
+  LevelSet s;
+  s.set(Level::Time);
+  EXPECT_TRUE(s.has(Level::Time));
+  EXPECT_EQ(s.count(), 1u);
+  s.unset(Level::Time);
+  EXPECT_FALSE(s.has(Level::Time));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(LevelSet, InitializerList) {
+  const LevelSet s{Level::Stimulus, Level::Goal};
+  EXPECT_TRUE(s.has(Level::Stimulus));
+  EXPECT_TRUE(s.has(Level::Goal));
+  EXPECT_FALSE(s.has(Level::Meta));
+  EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(LevelSet, FullHasAllFive) {
+  const auto s = LevelSet::full();
+  EXPECT_EQ(s.count(), 5u);
+  for (Level l : {Level::Stimulus, Level::Interaction, Level::Time,
+                  Level::Goal, Level::Meta}) {
+    EXPECT_TRUE(s.has(l));
+  }
+}
+
+TEST(LevelSet, MinimalIsStimulusOnly) {
+  const auto s = LevelSet::minimal();
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.has(Level::Stimulus));
+}
+
+TEST(LevelSet, EqualityIsStructural) {
+  EXPECT_EQ((LevelSet{Level::Goal, Level::Time}),
+            (LevelSet{Level::Time, Level::Goal}));
+  EXPECT_NE(LevelSet::full(), LevelSet::minimal());
+}
+
+TEST(LevelSet, ToStringListsLevelsInOrder) {
+  EXPECT_EQ((LevelSet{Level::Meta, Level::Stimulus}).to_string(),
+            "stimulus+meta");
+  EXPECT_EQ(LevelSet::full().to_string(),
+            "stimulus+interaction+time+goal+meta");
+}
+
+TEST(LevelSet, SetIsIdempotent) {
+  LevelSet s;
+  s.set(Level::Goal).set(Level::Goal);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(LevelNames, AreStable) {
+  EXPECT_STREQ(level_name(Level::Stimulus), "stimulus");
+  EXPECT_STREQ(level_name(Level::Interaction), "interaction");
+  EXPECT_STREQ(level_name(Level::Time), "time");
+  EXPECT_STREQ(level_name(Level::Goal), "goal");
+  EXPECT_STREQ(level_name(Level::Meta), "meta");
+}
+
+}  // namespace
+}  // namespace sa::core

@@ -1,0 +1,91 @@
+#include "core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "learn/bandit.hpp"
+
+namespace sa::core {
+namespace {
+
+AgentConfig quiet() {
+  AgentConfig cfg;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(AgentRuntime, StepsAgentAtItsPeriod) {
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  SelfAwareAgent agent("periodic", quiet());
+  agent.add_sensor("x", [] { return 1.0; });
+  rt.schedule(agent, 0.5);
+  engine.run_until(10.0);
+  EXPECT_EQ(agent.steps(), 20u);
+  EXPECT_EQ(rt.steps_run(), 20u);
+}
+
+TEST(AgentRuntime, DifferentPeriodsCoexist) {
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  SelfAwareAgent fast("fast", quiet()), slow("slow", quiet());
+  rt.schedule(fast, 1.0);
+  rt.schedule(slow, 5.0);
+  engine.run_until(20.0);
+  EXPECT_EQ(fast.steps(), 20u);
+  EXPECT_EQ(slow.steps(), 4u);
+  EXPECT_EQ(rt.scheduled(), 2u);
+}
+
+TEST(AgentRuntime, RewardDeliveredAfterEachStep) {
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  SelfAwareAgent agent("rewarded", quiet());
+  agent.add_action("a", [] {});
+  agent.add_action("b", [] {});
+  agent.set_policy(std::make_unique<BanditPolicy>(
+      std::make_unique<learn::EpsilonGreedy>(2, 0.0)));
+  rt.schedule(agent, 1.0, [] { return 1.0; });
+  engine.run_until(50.0);
+  auto* policy = dynamic_cast<BanditPolicy*>(agent.policy());
+  ASSERT_NE(policy, nullptr);
+  // All reward went somewhere: at least one arm has learned value 1.
+  EXPECT_DOUBLE_EQ(
+      std::max(policy->bandit().value(0), policy->bandit().value(1)), 1.0);
+}
+
+TEST(AgentRuntime, ExchangeSharesPublicKnowledgeBothWays) {
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  SelfAwareAgent a("alpha", quiet()), b("beta", quiet());
+  double va = 1.0, vb = 2.0;
+  a.add_sensor("load", [&] { return va; });
+  b.add_sensor("load", [&] { return vb; });
+  rt.schedule(a, 1.0);
+  rt.schedule(b, 1.0);
+  rt.schedule_exchange({&a, &b}, 2.0);
+  engine.run_until(10.0);
+  EXPECT_GT(rt.items_exchanged(), 0u);
+  // Each agent now holds the other's public view of its own load.
+  EXPECT_DOUBLE_EQ(a.knowledge().number("shared.beta.load"), 2.0);
+  EXPECT_DOUBLE_EQ(b.knowledge().number("shared.alpha.load"), 1.0);
+}
+
+TEST(AgentRuntime, ExchangedKnowledgeTracksUpdates) {
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  SelfAwareAgent a("alpha", quiet()), b("beta", quiet());
+  double va = 1.0;
+  a.add_sensor("load", [&] { return va; });
+  rt.schedule(a, 1.0);
+  rt.schedule_exchange({&a, &b}, 1.0);
+  engine.run_until(3.2);
+  va = 42.0;  // the world changes...
+  engine.run_until(6.0);
+  // ...and the peer's shared copy follows (newer timestamps win).
+  EXPECT_DOUBLE_EQ(b.knowledge().number("shared.alpha.load"), 42.0);
+}
+
+}  // namespace
+}  // namespace sa::core

@@ -1,0 +1,85 @@
+// Tests for the self-aware network supervisor (framework over cpn).
+#include <gtest/gtest.h>
+
+#include "cpn/supervisor.hpp"
+#include "cpn/traffic.hpp"
+
+namespace sa::cpn {
+namespace {
+
+TEST(Supervisor, PublishesNetworkHealthKnowledge) {
+  const auto topo = Topology::grid(3, 4, 0, 1);
+  PacketNetwork net(topo, {});
+  Supervisor sup(net, {});
+  TrafficParams tp;
+  tp.seed = 1;
+  TrafficGenerator gen(topo, tp);
+  for (int e = 0; e < 5; ++e) {
+    for (int t = 0; t < 200; ++t) {
+      gen.tick(net);
+      net.step();
+    }
+    sup.observe_epoch();
+  }
+  auto& kb = sup.agent().knowledge();
+  EXPECT_TRUE(kb.contains("delivery"));
+  EXPECT_TRUE(kb.contains("latency"));
+  EXPECT_TRUE(kb.contains("goal.utility"));
+  EXPECT_GT(kb.number("delivery"), 0.8);
+}
+
+TEST(Supervisor, QuietNetworkTriggersNoBoost) {
+  const auto topo = Topology::grid(3, 4, 0, 2);
+  PacketNetwork net(topo, {});
+  Supervisor sup(net, {});
+  TrafficParams tp;
+  tp.seed = 2;
+  TrafficGenerator gen(topo, tp);
+  for (int e = 0; e < 40; ++e) {
+    for (int t = 0; t < 200; ++t) {
+      gen.tick(net);
+      net.step();
+    }
+    sup.observe_epoch();
+  }
+  EXPECT_EQ(sup.boosts(), 0u);
+  EXPECT_DOUBLE_EQ(net.epsilon(), PacketNetwork::Params{}.epsilon);
+}
+
+TEST(Supervisor, SustainedDegradationBoostsExploration) {
+  const auto topo = Topology::grid(3, 4, 0, 3);
+  PacketNetwork net(topo, {});
+  Supervisor sup(net, {});
+  TrafficParams tp;
+  tp.seed = 3;
+  tp.flows = 6;
+  TrafficGenerator gen(topo, tp);
+  // Healthy phase to anchor the drift detector.
+  for (int e = 0; e < 30; ++e) {
+    for (int t = 0; t < 200; ++t) {
+      gen.tick(net);
+      net.step();
+    }
+    sup.observe_epoch();
+  }
+  ASSERT_EQ(sup.boosts(), 0u);
+  // Structural shift: the traffic matrix changes to a sustained overload
+  // (the per-node routing loop can mask a few link failures, but it
+  // cannot conjure capacity). Utility drifts down, the meta level fires,
+  // exploration is boosted.
+  TrafficParams heavy = tp;
+  heavy.legit_rate = 14.0;
+  heavy.seed = 33;
+  TrafficGenerator surge(topo, heavy);
+  for (int e = 0; e < 80 && sup.boosts() == 0; ++e) {
+    for (int t = 0; t < 200; ++t) {
+      surge.tick(net);
+      net.step();
+    }
+    sup.observe_epoch();
+  }
+  EXPECT_GE(sup.boosts(), 1u);
+}
+
+}  // namespace
+}  // namespace sa::cpn

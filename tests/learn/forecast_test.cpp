@@ -1,0 +1,118 @@
+#include "learn/forecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "sim/rng.hpp"
+
+namespace sa::learn {
+namespace {
+
+TEST(NaiveForecaster, PredictsLastValue) {
+  NaiveForecaster f;
+  f.observe(3.0);
+  f.observe(7.0);
+  EXPECT_DOUBLE_EQ(f.forecast(), 7.0);
+  EXPECT_DOUBLE_EQ(f.forecast(5), 7.0);
+  EXPECT_EQ(f.count(), 2u);
+}
+
+TEST(SesForecaster, ConvergesToLevel) {
+  SesForecaster f(0.3);
+  for (int i = 0; i < 100; ++i) f.observe(6.0);
+  EXPECT_NEAR(f.forecast(), 6.0, 1e-9);
+}
+
+TEST(SesForecaster, SmoothsNoise) {
+  sim::Rng rng(1);
+  SesForecaster f(0.1);
+  for (int i = 0; i < 2000; ++i) f.observe(rng.normal(5.0, 1.0));
+  EXPECT_NEAR(f.forecast(), 5.0, 0.5);
+}
+
+TEST(HoltForecaster, ExtrapolatesLinearTrendExactly) {
+  HoltForecaster f(0.5, 0.5);
+  for (int i = 0; i < 50; ++i) f.observe(2.0 * i);
+  EXPECT_NEAR(f.forecast(1), 100.0, 1.0);   // next value would be 2*50
+  EXPECT_NEAR(f.forecast(5), 108.0, 1.5);
+}
+
+TEST(HoltForecaster, BeatsNaiveOnTrend) {
+  HoltForecaster holt;
+  NaiveForecaster naive;
+  double holt_err = 0.0, naive_err = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double x = 0.7 * i;
+    if (i > 5) {
+      holt_err += std::fabs(holt.forecast() - x);
+      naive_err += std::fabs(naive.forecast() - x);
+    }
+    holt.observe(x);
+    naive.observe(x);
+  }
+  EXPECT_LT(holt_err, naive_err * 0.5);
+}
+
+TEST(HoltWinters, LearnsSeasonality) {
+  const std::size_t period = 8;
+  HoltWintersForecaster f(period);
+  auto signal = [&](int i) {
+    return 10.0 + 5.0 * std::sin(2.0 * 3.14159265 * i / period);
+  };
+  for (int i = 0; i < 400; ++i) f.observe(signal(i));
+  // After warm-up the one-step forecast should track the seasonal shape.
+  double err = 0.0;
+  for (int i = 400; i < 432; ++i) {
+    err += std::fabs(f.forecast(1) - signal(i));
+    f.observe(signal(i));
+  }
+  EXPECT_LT(err / 32.0, 0.5);
+}
+
+TEST(HoltWinters, BeatsHoltOnSeasonalData) {
+  const std::size_t period = 12;
+  HoltWintersForecaster hw(period);
+  HoltForecaster holt;
+  auto signal = [&](int i) {
+    return 20.0 + 8.0 * std::sin(2.0 * 3.14159265 * i / period);
+  };
+  double hw_err = 0.0, holt_err = 0.0;
+  for (int i = 0; i < 600; ++i) {
+    const double x = signal(i);
+    if (i > 100) {
+      hw_err += std::fabs(hw.forecast(1) - x);
+      holt_err += std::fabs(holt.forecast(1) - x);
+    }
+    hw.observe(x);
+    holt.observe(x);
+  }
+  EXPECT_LT(hw_err, holt_err * 0.5);
+}
+
+TEST(ScoredForecaster, TracksMeanAbsoluteError) {
+  ScoredForecaster s(std::make_unique<NaiveForecaster>());
+  s.observe(0.0);  // nothing to score yet
+  EXPECT_EQ(s.scored(), 0u);
+  s.observe(1.0);  // naive predicted 0, error 1
+  s.observe(3.0);  // predicted 1, error 2
+  EXPECT_EQ(s.scored(), 2u);
+  EXPECT_DOUBLE_EQ(s.mae(), 1.5);
+}
+
+TEST(ScoredForecaster, PerfectForecasterHasZeroMae) {
+  ScoredForecaster s(std::make_unique<NaiveForecaster>());
+  for (int i = 0; i < 10; ++i) s.observe(4.0);
+  EXPECT_DOUBLE_EQ(s.mae(), 0.0);
+}
+
+TEST(Forecasters, NamesAreDistinct) {
+  EXPECT_EQ(NaiveForecaster{}.name(), "naive");
+  EXPECT_EQ(SesForecaster{}.name(), "ses");
+  EXPECT_EQ(HoltForecaster{}.name(), "holt");
+  EXPECT_EQ(HoltWintersForecaster{4}.name(), "holt-winters");
+}
+
+}  // namespace
+}  // namespace sa::learn

@@ -1,0 +1,64 @@
+// Tests for horizon-aware forecaster scoring (ScoredForecaster with
+// horizon > 1) — the mechanism that lets time-awareness rank models by the
+// error that actually matters to a consumer acting with lag.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "learn/forecast.hpp"
+
+namespace sa::learn {
+namespace {
+
+TEST(ScoredForecasterHorizon, HorizonOneMatchesLegacySemantics) {
+  ScoredForecaster s(std::make_unique<NaiveForecaster>(), 1);
+  s.observe(0.0);
+  EXPECT_EQ(s.scored(), 0u);
+  s.observe(1.0);  // naive predicted 0 -> error 1
+  s.observe(3.0);  // predicted 1 -> error 2
+  EXPECT_EQ(s.scored(), 2u);
+  EXPECT_DOUBLE_EQ(s.mae(), 1.5);
+}
+
+TEST(ScoredForecasterHorizon, HorizonTwoScoresTwoStepError) {
+  ScoredForecaster s(std::make_unique<NaiveForecaster>(), 2);
+  // Ramp 0,1,2,3...: naive's 2-step forecast made after seeing k is k,
+  // compared against k+2 -> error always 2.
+  for (int i = 0; i < 10; ++i) s.observe(i);
+  EXPECT_EQ(s.scored(), 8u);
+  EXPECT_DOUBLE_EQ(s.mae(), 2.0);
+}
+
+TEST(ScoredForecasterHorizon, TrendModelWinsAtLongerHorizons) {
+  ScoredForecaster naive(std::make_unique<NaiveForecaster>(), 3);
+  ScoredForecaster holt(std::make_unique<HoltForecaster>(0.5, 0.3), 3);
+  for (int i = 0; i < 100; ++i) {
+    naive.observe(2.0 * i);
+    holt.observe(2.0 * i);
+  }
+  EXPECT_NEAR(naive.mae(), 6.0, 0.5);  // always 3 steps behind a slope of 2
+  EXPECT_LT(holt.mae(), 1.0);
+}
+
+TEST(ScoredForecasterHorizon, ZeroHorizonIsCoercedToOne) {
+  ScoredForecaster s(std::make_unique<NaiveForecaster>(), 0);
+  EXPECT_EQ(s.horizon(), 1u);
+}
+
+TEST(ScoredForecasterHorizon, SeasonalModelWinsOnCycles) {
+  const std::size_t period = 10;
+  ScoredForecaster naive(std::make_unique<NaiveForecaster>(), 2);
+  ScoredForecaster hw(std::make_unique<HoltWintersForecaster>(period), 2);
+  auto signal = [&](int i) {
+    return 50.0 + 20.0 * std::sin(2.0 * 3.14159265 * i / period);
+  };
+  for (int i = 0; i < 400; ++i) {
+    naive.observe(signal(i));
+    hw.observe(signal(i));
+  }
+  EXPECT_LT(hw.mae(), naive.mae() * 0.5);
+}
+
+}  // namespace
+}  // namespace sa::learn

@@ -1,0 +1,97 @@
+#include "learn/kalman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace sa::learn {
+namespace {
+
+TEST(KalmanLevel, FirstObservationInitialises) {
+  KalmanLevel k;
+  k.observe(5.0);
+  EXPECT_DOUBLE_EQ(k.value(), 5.0);
+  EXPECT_EQ(k.count(), 1u);
+}
+
+TEST(KalmanLevel, ConvergesOnConstantSignal) {
+  KalmanLevel k(1e-4, 0.5);
+  sim::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) k.observe(rng.normal(3.0, 0.7));
+  EXPECT_NEAR(k.value(), 3.0, 0.2);
+}
+
+TEST(KalmanLevel, UncertaintyShrinksWithEvidence) {
+  KalmanLevel k(1e-5, 1.0);
+  k.observe(0.0);
+  const double early = k.stddev();
+  for (int i = 0; i < 200; ++i) k.observe(0.0);
+  EXPECT_LT(k.stddev(), early);
+}
+
+TEST(KalmanLevel, TracksStepChange) {
+  KalmanLevel k(1e-2, 0.1);
+  for (int i = 0; i < 100; ++i) k.observe(0.0);
+  for (int i = 0; i < 100; ++i) k.observe(10.0);
+  EXPECT_NEAR(k.value(), 10.0, 0.5);
+}
+
+TEST(KalmanLevel, ResetClears) {
+  KalmanLevel k;
+  k.observe(7.0);
+  k.reset();
+  EXPECT_DOUBLE_EQ(k.value(), 0.0);
+  EXPECT_EQ(k.count(), 0u);
+}
+
+TEST(KalmanTrend, LearnsSlopeOfCleanRamp) {
+  KalmanTrend k(1e-4, 1e-2);
+  for (int i = 0; i < 200; ++i) k.observe(2.0 * i);
+  EXPECT_NEAR(k.rate(), 2.0, 0.05);
+  EXPECT_NEAR(k.level(), 2.0 * 199, 0.5);
+}
+
+TEST(KalmanTrend, PredictsAhead) {
+  KalmanTrend k(1e-4, 1e-2);
+  for (int i = 0; i < 200; ++i) k.observe(0.5 * i);
+  EXPECT_NEAR(k.predict(10), 0.5 * 209, 1.0);
+}
+
+TEST(KalmanTrend, HandlesNoisyRamp) {
+  KalmanTrend k(1e-4, 4.0);  // r matches the noise variance (sd = 2)
+  sim::Rng rng(2);
+  for (int i = 0; i < 3000; ++i) k.observe(0.3 * i + rng.normal(0.0, 2.0));
+  EXPECT_NEAR(k.rate(), 0.3, 0.1);
+}
+
+TEST(KalmanTrend, BeatsNaivePredictionOnTrend) {
+  KalmanTrend k(1e-4, 0.5);
+  sim::Rng rng(3);
+  double kalman_err = 0.0, naive_err = 0.0;
+  double last = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double truth = 1.5 * i;
+    const double z = truth + rng.normal(0.0, 1.0);
+    if (i > 50) {
+      kalman_err += std::fabs(k.predict(1) - truth);
+      naive_err += std::fabs(last - truth);
+    }
+    k.observe(z);
+    last = z;
+  }
+  EXPECT_LT(kalman_err, naive_err * 0.8);
+}
+
+TEST(KalmanTrend, ResetClears) {
+  KalmanTrend k;
+  for (int i = 0; i < 10; ++i) k.observe(i);
+  k.reset();
+  EXPECT_DOUBLE_EQ(k.level(), 0.0);
+  EXPECT_DOUBLE_EQ(k.rate(), 0.0);
+  EXPECT_EQ(k.count(), 0u);
+}
+
+}  // namespace
+}  // namespace sa::learn

@@ -1,0 +1,85 @@
+#include "learn/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace sa::learn {
+namespace {
+
+TEST(MarkovPredictor, EmptyModelIsUniform) {
+  MarkovPredictor m(4);
+  EXPECT_DOUBLE_EQ(m.probability(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(m.probability(2, 3), 0.25);
+}
+
+TEST(MarkovPredictor, LearnsDeterministicCycle) {
+  MarkovPredictor m(3);
+  for (int i = 0; i < 60; ++i) m.observe(static_cast<std::size_t>(i % 3));
+  EXPECT_EQ(m.predict(0), 1u);
+  EXPECT_EQ(m.predict(1), 2u);
+  EXPECT_EQ(m.predict(2), 0u);
+  EXPECT_GT(m.probability(0, 1), 0.8);
+  EXPECT_LT(m.probability(0, 2), 0.1);
+}
+
+TEST(MarkovPredictor, PredictNextUsesLatestState) {
+  MarkovPredictor m(3);
+  for (int i = 0; i < 30; ++i) m.observe(static_cast<std::size_t>(i % 3));
+  // Last observed state is (29 % 3) = 2, whose successor is 0.
+  EXPECT_EQ(m.predict_next(), 0u);
+}
+
+TEST(MarkovPredictor, ProbabilityRowsSumToOne) {
+  MarkovPredictor m(5);
+  sim::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    m.observe(static_cast<std::size_t>(rng.below(5)));
+  }
+  for (std::size_t from = 0; from < 5; ++from) {
+    double total = 0.0;
+    for (std::size_t to = 0; to < 5; ++to) total += m.probability(from, to);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(MarkovPredictor, SampleFollowsLearnedDistribution) {
+  MarkovPredictor m(2);
+  // 0 -> 1 always; 1 -> 0 always.
+  for (int i = 0; i < 100; ++i) m.observe(static_cast<std::size_t>(i % 2));
+  sim::Rng rng(2);
+  std::size_t ones = 0;
+  for (int i = 0; i < 1000; ++i) ones += m.sample(0, rng);
+  EXPECT_GT(ones, 900u);  // Laplace smoothing leaves a small residue
+}
+
+TEST(MarkovPredictor, LearnsStochasticTransitions) {
+  MarkovPredictor m(2);
+  sim::Rng rng(3);
+  std::size_t state = 0;
+  for (int i = 0; i < 20000; ++i) {
+    m.observe(state);
+    // From 0: 80% stay. From 1: 50/50.
+    state = state == 0 ? (rng.chance(0.8) ? 0 : 1)
+                       : (rng.chance(0.5) ? 0 : 1);
+  }
+  EXPECT_NEAR(m.probability(0, 0), 0.8, 0.03);
+  EXPECT_NEAR(m.probability(1, 0), 0.5, 0.05);
+  EXPECT_EQ(m.predict(0), 0u);
+}
+
+TEST(MarkovPredictor, ResetForgets) {
+  MarkovPredictor m(2);
+  m.observe(0);
+  m.observe(1);
+  m.reset();
+  EXPECT_EQ(m.observations(), 0u);
+  EXPECT_DOUBLE_EQ(m.probability(0, 1), 0.5);
+}
+
+TEST(MarkovPredictor, StatesAccessor) {
+  EXPECT_EQ(MarkovPredictor(7).states(), 7u);
+}
+
+}  // namespace
+}  // namespace sa::learn

@@ -1,0 +1,105 @@
+#include "learn/qlearn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace sa::learn {
+namespace {
+
+TEST(QLearner, Dimensions) {
+  QLearner q(4, 3);
+  EXPECT_EQ(q.states(), 4u);
+  EXPECT_EQ(q.actions(), 3u);
+  EXPECT_DOUBLE_EQ(q.q(0, 0), 0.0);
+}
+
+TEST(QLearner, OptimisticInitialisation) {
+  QLearner::Params p;
+  p.q0 = 5.0;
+  QLearner q(2, 2, p);
+  EXPECT_DOUBLE_EQ(q.q(1, 1), 5.0);
+}
+
+TEST(QLearner, TerminalUpdateMovesTowardReward) {
+  QLearner::Params p;
+  p.alpha = 0.5;
+  QLearner q(1, 2, p);
+  q.update_terminal(0, 0, 10.0);
+  EXPECT_DOUBLE_EQ(q.q(0, 0), 5.0);
+  q.update_terminal(0, 0, 10.0);
+  EXPECT_DOUBLE_EQ(q.q(0, 0), 7.5);
+}
+
+TEST(QLearner, GreedyPicksHighestQ) {
+  QLearner q(1, 3);
+  q.update_terminal(0, 1, 1.0);
+  EXPECT_EQ(q.greedy(0), 1u);
+}
+
+TEST(QLearner, BootstrapPropagatesValueBackwards) {
+  // Chain MDP: s0 -a0-> s1 -a0-> terminal reward 1.
+  QLearner::Params p;
+  p.alpha = 0.5;
+  p.gamma = 0.9;
+  QLearner q(2, 1, p);
+  for (int i = 0; i < 50; ++i) {
+    q.update(0, 0, 0.0, 1);
+    q.update_terminal(1, 0, 1.0);
+  }
+  EXPECT_NEAR(q.q(1, 0), 1.0, 1e-3);
+  EXPECT_NEAR(q.q(0, 0), 0.9, 1e-2);
+}
+
+TEST(QLearner, LearnsOptimalPolicyInTwoStateMdp) {
+  // s0: action 0 gives r=0 and stays; action 1 gives r=0 but moves to s1.
+  // s1: action 0 gives r=1 and returns to s0; action 1 gives r=0, stays.
+  QLearner::Params p;
+  p.alpha = 0.2;
+  p.gamma = 0.9;
+  p.epsilon = 0.2;
+  QLearner q(2, 2, p);
+  sim::Rng rng(33);
+  std::size_t s = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t a = q.select(s, rng);
+    std::size_t s2 = s;
+    double r = 0.0;
+    if (s == 0 && a == 1) s2 = 1;
+    if (s == 1 && a == 0) {
+      r = 1.0;
+      s2 = 0;
+    }
+    q.update(s, a, r, s2);
+    s = s2;
+  }
+  EXPECT_EQ(q.greedy(0), 1u);
+  EXPECT_EQ(q.greedy(1), 0u);
+}
+
+TEST(QLearner, EpsilonDecayReachesFloor) {
+  QLearner::Params p;
+  p.epsilon = 1.0;
+  p.eps_decay = 0.5;
+  p.eps_min = 0.05;
+  QLearner q(1, 2, p);
+  sim::Rng rng(4);
+  q.update_terminal(0, 0, 1.0);
+  // After heavy decay, exploration is at the floor: mostly greedy.
+  for (int i = 0; i < 100; ++i) q.select(0, rng);
+  std::size_t greedy = 0;
+  for (int i = 0; i < 1000; ++i) greedy += q.select(0, rng) == 0 ? 1 : 0;
+  EXPECT_GT(greedy, 900u);
+}
+
+TEST(QLearner, ResetRestoresInitialValues) {
+  QLearner::Params p;
+  p.q0 = 2.0;
+  QLearner q(2, 2, p);
+  q.update_terminal(0, 0, 10.0);
+  q.reset();
+  EXPECT_DOUBLE_EQ(q.q(0, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace sa::learn

@@ -1,0 +1,82 @@
+#include "learn/rls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace sa::learn {
+namespace {
+
+TEST(Rls, RecoversExactLinearModel) {
+  Rls rls(3, 1.0);
+  sim::Rng rng(1);
+  const double w[] = {2.0, -1.5, 0.7};  // last weight acts as intercept
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<double> x{rng.uniform(-1, 1), rng.uniform(-1, 1), 1.0};
+    const double y = w[0] * x[0] + w[1] * x[1] + w[2] * x[2];
+    rls.observe(x, y);
+  }
+  // The covariance prior (p0) leaves a small regularisation bias.
+  EXPECT_NEAR(rls.weights()[0], 2.0, 1e-3);
+  EXPECT_NEAR(rls.weights()[1], -1.5, 1e-3);
+  EXPECT_NEAR(rls.weights()[2], 0.7, 1e-3);
+}
+
+TEST(Rls, PredictsUnseenInputs) {
+  Rls rls(2, 1.0);
+  sim::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> x{rng.uniform(0, 10), 1.0};
+    rls.observe(x, 3.0 * x[0] + 5.0);
+  }
+  EXPECT_NEAR(rls.predict({4.0, 1.0}), 17.0, 1e-2);
+}
+
+TEST(Rls, HandlesNoisyObservations) {
+  Rls rls(2, 1.0);
+  sim::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const std::vector<double> x{rng.uniform(-2, 2), 1.0};
+    rls.observe(x, 4.0 * x[0] - 1.0 + rng.normal(0.0, 0.5));
+  }
+  EXPECT_NEAR(rls.weights()[0], 4.0, 0.1);
+  EXPECT_NEAR(rls.weights()[1], -1.0, 0.1);
+}
+
+TEST(Rls, ForgettingTracksDriftingModel) {
+  Rls adaptive(2, 0.95);
+  Rls rigid(2, 1.0);
+  sim::Rng rng(4);
+  // Slope drifts from 1 to 5 halfway through.
+  for (int phase = 0; phase < 2; ++phase) {
+    const double slope = phase == 0 ? 1.0 : 5.0;
+    for (int i = 0; i < 400; ++i) {
+      const std::vector<double> x{rng.uniform(-1, 1), 1.0};
+      const double y = slope * x[0];
+      adaptive.observe(x, y);
+      rigid.observe(x, y);
+    }
+  }
+  const double err_adaptive = std::fabs(adaptive.weights()[0] - 5.0);
+  const double err_rigid = std::fabs(rigid.weights()[0] - 5.0);
+  EXPECT_LT(err_adaptive, 0.2);
+  EXPECT_LT(err_adaptive, err_rigid);
+}
+
+TEST(Rls, CountsObservations) {
+  Rls rls(1);
+  EXPECT_EQ(rls.count(), 0u);
+  rls.observe({1.0}, 2.0);
+  EXPECT_EQ(rls.count(), 1u);
+  EXPECT_EQ(rls.dim(), 1u);
+}
+
+TEST(Rls, ZeroObservationsPredictZero) {
+  Rls rls(2);
+  EXPECT_DOUBLE_EQ(rls.predict({1.0, 1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace sa::learn

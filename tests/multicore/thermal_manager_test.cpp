@@ -1,0 +1,65 @@
+// Tests for the manager's thermal self-model (the E12 mechanism).
+#include <gtest/gtest.h>
+
+#include "multicore/manager.hpp"
+
+namespace sa::multicore {
+namespace {
+
+double run(Manager::Variant variant, std::size_t static_action,
+           std::uint64_t seed) {
+  auto cfg = PlatformConfig::big_little(2, 4);
+  cfg.thermal = true;
+  Platform platform(cfg, seed);
+  platform.set_workload(40.0, 0.15, 0.5);
+  Manager::Params p;
+  p.variant = variant;
+  p.static_action = static_action;
+  p.seed = seed;
+  Manager mgr(platform, p);
+  for (int e = 0; e < 200; ++e) mgr.run_epoch();
+  return mgr.utility().mean();
+}
+
+TEST(ThermalManager, SelfAwareBeatsNaiveSprintOnThermalChip) {
+  const double self_aware = run(Manager::Variant::SelfAware, 0, 7);
+  const double sprint = run(Manager::Variant::Static, /*f3/bal*/ 9, 7);
+  EXPECT_GT(self_aware, sprint - 0.02);
+}
+
+TEST(ThermalManager, SelfAwareBeatsReactiveOnThermalChip) {
+  const double self_aware = run(Manager::Variant::SelfAware, 0, 8);
+  const double reactive = run(Manager::Variant::Reactive, 0, 8);
+  EXPECT_GT(self_aware, reactive + 0.1);
+}
+
+TEST(ThermalManager, TempSensorPublishedToKnowledge) {
+  auto cfg = PlatformConfig::big_little(2, 4);
+  cfg.thermal = true;
+  Platform platform(cfg, 9);
+  platform.set_workload(30.0, 0.2, 0.0);
+  Manager::Params p;
+  p.seed = 9;
+  Manager mgr(platform, p);
+  for (int e = 0; e < 10; ++e) mgr.run_epoch();
+  EXPECT_GT(mgr.agent().knowledge().number("temp"), 35.0);
+}
+
+TEST(ThermalManager, NonThermalChipBehaviourUnchangedByTempSensor) {
+  // On a non-thermal platform the temp sensor reads the constant ambient
+  // and the self-model's duty factor is 1 — the manager must work as
+  // before (this guards against the thermal path leaking into the
+  // default configuration).
+  Platform platform(PlatformConfig::big_little(2, 4), 10);
+  platform.set_workload(25.0, 0.15, 0.8);
+  Manager::Params p;
+  p.seed = 10;
+  Manager mgr(platform, p);
+  sim::RunningStats u;
+  for (int e = 0; e < 100; ++e) u.add(mgr.run_epoch());
+  EXPECT_GT(u.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(mgr.agent().knowledge().number("temp"), 40.0);
+}
+
+}  // namespace
+}  // namespace sa::multicore

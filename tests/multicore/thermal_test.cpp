@@ -1,0 +1,110 @@
+// Tests for the thermal model and hardware throttling.
+#include <gtest/gtest.h>
+
+#include "multicore/platform.hpp"
+
+namespace sa::multicore {
+namespace {
+
+PlatformConfig thermal_config() {
+  auto cfg = PlatformConfig::big_little(2, 4);
+  cfg.thermal = true;
+  return cfg;
+}
+
+TEST(Thermal, DisabledModelReportsAmbient) {
+  Platform p(PlatformConfig::big_little(2, 4), 1);
+  p.set_workload(30.0, 0.2, 0.0);
+  p.run_for(5.0);
+  EXPECT_DOUBLE_EQ(p.temperature(0), 40.0);
+  EXPECT_FALSE(p.throttled(0));
+  EXPECT_DOUBLE_EQ(p.harvest().throttle_frac, 0.0);
+}
+
+TEST(Thermal, IdleChipStaysNearAmbient) {
+  Platform p(thermal_config(), 2);
+  p.set_all_freq(0);
+  p.set_workload(0.0, 1.0, 0.0);
+  p.run_for(20.0);
+  for (std::size_t c = 0; c < p.cores(); ++c) {
+    EXPECT_LT(p.temperature(c), 55.0);
+    EXPECT_FALSE(p.throttled(c));
+  }
+}
+
+TEST(Thermal, SustainedMaxFrequencyHeatsUpAndThrottles) {
+  Platform p(thermal_config(), 3);
+  p.set_all_freq(3);
+  p.set_mapping(Mapping::PackBig);
+  p.set_workload(60.0, 0.3, 0.0);  // saturate the big cores
+  p.run_for(30.0);
+  const auto s = p.harvest();
+  EXPECT_GT(s.max_temp_c, 85.0);
+  EXPECT_GT(s.throttle_frac, 0.0);
+}
+
+TEST(Thermal, ThrottledCoreRunsAtMinimumSpeed) {
+  Platform p(thermal_config(), 4);
+  p.set_all_freq(3);
+  p.set_mapping(Mapping::PackBig);
+  p.set_workload(60.0, 0.3, 0.0);
+  p.run_for(30.0);
+  // At least one big core should be clamped right now; its throughput
+  // contribution matches f_min, visible via sustained throughput drop.
+  bool any_throttled = false;
+  for (std::size_t c = 0; c < p.cores(); ++c) {
+    any_throttled = any_throttled || p.throttled(c);
+  }
+  EXPECT_TRUE(any_throttled);
+}
+
+TEST(Thermal, ThrottlingRecoversAfterCooldown) {
+  Platform p(thermal_config(), 5);
+  p.set_all_freq(3);
+  p.set_mapping(Mapping::PackBig);
+  p.set_workload(60.0, 0.3, 0.0);
+  p.run_for(30.0);
+  p.harvest();
+  // Remove the load and drop the frequency: cores must cool and unclamp.
+  p.set_workload(0.0, 1.0, 0.0);
+  p.set_all_freq(0);
+  p.run_for(60.0);
+  for (std::size_t c = 0; c < p.cores(); ++c) {
+    EXPECT_FALSE(p.throttled(c));
+    EXPECT_LT(p.temperature(c), 76.0);
+  }
+}
+
+TEST(Thermal, ModerateFrequencySustainsWithoutThrottling) {
+  // The sprint-vs-sustain trade-off: mid frequency under the same load
+  // never crosses the envelope.
+  Platform p(thermal_config(), 6);
+  p.set_all_freq(1);
+  p.set_workload(25.0, 0.15, 0.0);
+  p.run_for(60.0);
+  const auto s = p.harvest();
+  EXPECT_DOUBLE_EQ(s.throttle_frac, 0.0);
+  EXPECT_LT(s.max_temp_c, 85.0);
+}
+
+TEST(Thermal, SustainedThroughputBeatsNaiveSprint) {
+  // Over a long horizon, max frequency (which throttle-oscillates) can be
+  // matched or beaten by a cooler configuration on *sustained* work done —
+  // the scenario E12 explores with a self-aware manager.
+  auto run = [](std::size_t level) {
+    Platform p(thermal_config(), 7);
+    p.set_all_freq(level);
+    p.set_workload(45.0, 0.25, 0.0);  // heavy, saturating load
+    p.run_for(60.0);
+    return p.harvest();
+  };
+  const auto sprint = run(3);
+  const auto sustain = run(2);
+  EXPECT_GT(sprint.throttle_frac, sustain.throttle_frac);
+  // Sustained config completes at least ~95% of the sprinter's work
+  // without ever hitting the thermal wall.
+  EXPECT_GT(sustain.throughput, 0.95 * sprint.throughput);
+}
+
+}  // namespace
+}  // namespace sa::multicore

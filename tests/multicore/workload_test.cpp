@@ -1,0 +1,62 @@
+#include "multicore/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sa::multicore {
+namespace {
+
+TEST(PhasedWorkload, StandardHasThreePhases) {
+  const auto w = PhasedWorkload::standard();
+  ASSERT_EQ(w.phases().size(), 3u);
+  EXPECT_EQ(w.phases()[0].name, "steady");
+  EXPECT_EQ(w.phases()[1].name, "burst");
+  EXPECT_EQ(w.phases()[2].name, "interactive");
+  EXPECT_DOUBLE_EQ(w.cycle_length(), 60.0);
+}
+
+TEST(PhasedWorkload, PhaseIndexWalksSchedule) {
+  const auto w = PhasedWorkload::standard();
+  EXPECT_EQ(w.phase_index(0.0), 0u);
+  EXPECT_EQ(w.phase_index(19.9), 0u);
+  EXPECT_EQ(w.phase_index(20.0), 1u);
+  EXPECT_EQ(w.phase_index(39.9), 1u);
+  EXPECT_EQ(w.phase_index(40.0), 2u);
+  EXPECT_EQ(w.phase_index(59.9), 2u);
+}
+
+TEST(PhasedWorkload, CyclesWrapAround) {
+  const auto w = PhasedWorkload::standard();
+  EXPECT_EQ(w.phase_index(60.0), 0u);
+  EXPECT_EQ(w.phase_index(145.0), w.phase_index(25.0));
+}
+
+TEST(PhasedWorkload, CurrentReturnsActivePhase) {
+  const auto w = PhasedWorkload::standard();
+  EXPECT_EQ(w.current(25.0).name, "burst");
+}
+
+TEST(PhasedWorkload, ApplySetsPlatformWorkload) {
+  Platform p(PlatformConfig::big_little(1, 1), 1);
+  PhasedWorkload w({{"only", 10.0, 5.0, 0.1, 0.0}});
+  w.apply(p);
+  p.run_for(10.0);
+  const auto s = p.harvest();
+  // rate 5/s over 10 s ≈ 50 arrivals.
+  EXPECT_NEAR(static_cast<double>(s.arrived), 50.0, 25.0);
+}
+
+TEST(PhasedWorkload, BurstDemandExceedsSteady) {
+  const auto w = PhasedWorkload::standard();
+  const auto& steady = w.phases()[0];
+  const auto& burst = w.phases()[1];
+  EXPECT_GT(burst.rate * burst.mean_work, steady.rate * steady.mean_work);
+}
+
+TEST(PhasedWorkload, SinglePhaseAlwaysActive) {
+  PhasedWorkload w({{"p", 7.0, 1.0, 1.0, 0.0}});
+  EXPECT_EQ(w.phase_index(3.0), 0u);
+  EXPECT_EQ(w.phase_index(700.0), 0u);
+}
+
+}  // namespace
+}  // namespace sa::multicore

@@ -1,0 +1,77 @@
+// Property tests on the discrete-event engine: ordering, completeness and
+// time monotonicity under random schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace sa::sim {
+namespace {
+
+class EnginePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnginePropertyTest, RandomScheduleExecutesInNondecreasingTime) {
+  Engine e;
+  sim::Rng rng(GetParam());
+  std::vector<double> fired;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    e.at(t, [&fired, &e] { fired.push_back(e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST_P(EnginePropertyTest, NestedSchedulingLosesNothing) {
+  Engine e;
+  sim::Rng rng(GetParam());
+  int executed = 0, scheduled = 0;
+  // Events spawn children with decaying probability; every spawn must run.
+  std::function<void(int)> spawn = [&](int depth) {
+    ++executed;
+    if (depth < 4 && rng.chance(0.6)) {
+      for (int k = 0; k < 2; ++k) {
+        ++scheduled;
+        e.in(rng.uniform(0.1, 2.0), [&spawn, depth] { spawn(depth + 1); });
+      }
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    ++scheduled;
+    e.at(rng.uniform(0.0, 10.0), [&spawn] { spawn(0); });
+  }
+  e.run();
+  EXPECT_EQ(executed, scheduled);
+  EXPECT_EQ(e.executed(), static_cast<std::size_t>(scheduled));
+}
+
+TEST_P(EnginePropertyTest, PiecewiseRunUntilEqualsOneShot) {
+  sim::Rng rng(GetParam());
+  std::vector<std::pair<double, int>> schedule;
+  for (int i = 0; i < 200; ++i) {
+    schedule.emplace_back(rng.uniform(0.0, 50.0), i);
+  }
+  auto run = [&](const std::vector<double>& horizons) {
+    Engine e;
+    std::vector<int> order;
+    for (const auto& [t, id] : schedule) {
+      e.at(t, [&order, id = id] { order.push_back(id); });
+    }
+    for (const double h : horizons) e.run_until(h);
+    return order;
+  };
+  const auto oneshot = run({50.0});
+  const auto piecewise = run({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_EQ(oneshot, piecewise);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace sa::sim

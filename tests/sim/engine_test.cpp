@@ -1,0 +1,126 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sa::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.executed(), 0u);
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.at(3.0, [&] { order.push_back(3); });
+  e.at(1.0, [&] { order.push_back(1); });
+  e.at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.executed(), 3u);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.at(5.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, NowAdvancesToEventTime) {
+  Engine e;
+  double seen = -1.0;
+  e.at(4.5, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+  EXPECT_DOUBLE_EQ(e.now(), 4.5);
+}
+
+TEST(Engine, InSchedulesRelativeToNow) {
+  Engine e;
+  double seen = -1.0;
+  e.at(2.0, [&] { e.in(3.0, [&] { seen = e.now(); }); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Engine, RunUntilStopsAtHorizonButIncludesIt) {
+  Engine e;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    e.at(t, [&fired, t] { fired.push_back(t); });
+  }
+  e.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  e.run_until(10.0);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(Engine, EveryRepeatsUntilFalse) {
+  Engine e;
+  int count = 0;
+  e.every(1.0, [&] {
+    ++count;
+    return count < 5;
+  });
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, EveryRespectsHorizon) {
+  Engine e;
+  int count = 0;
+  e.every(1.0, [&] {
+    ++count;
+    return true;
+  });
+  e.run_until(10.5);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  Engine e;
+  int count = 0;
+  e.at(1.0, [&] { ++count; });
+  e.at(2.0, [&] { ++count; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  std::vector<double> times;
+  e.at(1.0, [&] {
+    times.push_back(e.now());
+    e.at(1.5, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 1.5}));
+}
+
+TEST(Engine, ClearDropsPending) {
+  Engine e;
+  int count = 0;
+  e.at(1.0, [&] { ++count; });
+  e.clear();
+  e.run();
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace sa::sim

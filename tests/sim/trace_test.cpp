@@ -1,0 +1,65 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sa::sim {
+namespace {
+
+TEST(Trace, RecordsInOrder) {
+  Trace tr;
+  tr.record(1.0, "decision", "agent1", "chose A");
+  tr.record(2.0, "observation", "agent1", "saw B");
+  ASSERT_EQ(tr.size(), 2u);
+  EXPECT_DOUBLE_EQ(tr.at(0).t, 1.0);
+  EXPECT_EQ(tr.at(0).category, "decision");
+  EXPECT_EQ(tr.at(1).subject, "agent1");
+  EXPECT_EQ(tr.at(1).detail, "saw B");
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  Trace tr(false);
+  tr.record(1.0, "x", "y", "z");
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_FALSE(tr.enabled());
+}
+
+TEST(Trace, CanBeToggled) {
+  Trace tr(false);
+  tr.set_enabled(true);
+  tr.record(1.0, "x", "y", "z");
+  EXPECT_EQ(tr.size(), 1u);
+  tr.set_enabled(false);
+  tr.record(2.0, "x", "y", "z");
+  EXPECT_EQ(tr.size(), 1u);
+}
+
+TEST(Trace, ByCategoryFilters) {
+  Trace tr;
+  tr.record(1.0, "a", "s1", "1");
+  tr.record(2.0, "b", "s1", "2");
+  tr.record(3.0, "a", "s2", "3");
+  const auto as = tr.by_category("a");
+  ASSERT_EQ(as.size(), 2u);
+  EXPECT_EQ(as[0]->detail, "1");
+  EXPECT_EQ(as[1]->detail, "3");
+  EXPECT_TRUE(tr.by_category("missing").empty());
+}
+
+TEST(Trace, BySubjectFilters) {
+  Trace tr;
+  tr.record(1.0, "a", "s1", "1");
+  tr.record(2.0, "b", "s2", "2");
+  const auto s2 = tr.by_subject("s2");
+  ASSERT_EQ(s2.size(), 1u);
+  EXPECT_EQ(s2[0]->category, "b");
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace tr;
+  tr.record(1.0, "a", "s", "d");
+  tr.clear();
+  EXPECT_EQ(tr.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sa::sim

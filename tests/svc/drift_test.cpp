@@ -1,0 +1,92 @@
+// Tests for environmental drift (the orbiting hotspot) and the learning
+// fleet's re-adaptation to it.
+#include <gtest/gtest.h>
+
+#include "svc/fleet.hpp"
+#include "svc/network.hpp"
+
+namespace sa::svc {
+namespace {
+
+TEST(HotspotDrift, StationaryByDefault) {
+  NetworkParams p;
+  p.seed = 1;
+  auto net = Network::clustered_layout(p);
+  const Vec2 before = net.current_hotspot();
+  net.run(500);
+  const Vec2 after = net.current_hotspot();
+  EXPECT_DOUBLE_EQ(before.x, after.x);
+  EXPECT_DOUBLE_EQ(before.y, after.y);
+}
+
+TEST(HotspotDrift, OrbitMovesTheHotspot) {
+  NetworkParams p;
+  p.seed = 1;
+  p.hotspot_drift = 0.01;
+  auto net = Network::clustered_layout(p);
+  const Vec2 before = net.current_hotspot();
+  net.run(200);
+  const Vec2 after = net.current_hotspot();
+  EXPECT_GT(distance(before, after), 0.05);
+}
+
+TEST(HotspotDrift, HotspotStaysInsideTheArena) {
+  NetworkParams p;
+  p.seed = 1;
+  p.hotspot_drift = 0.02;
+  p.hotspot_orbit = 5.0;  // absurdly large orbit: clamping must hold
+  auto net = Network::clustered_layout(p);
+  for (int i = 0; i < 400; ++i) {
+    net.step();
+    const Vec2 h = net.current_hotspot();
+    ASSERT_GE(h.x, 0.1);
+    ASSERT_LE(h.x, 0.9);
+    ASSERT_GE(h.y, 0.1);
+    ASSERT_LE(h.y, 0.9);
+  }
+}
+
+TEST(HotspotDrift, LearningFleetKeepsTrackingUnderDrift) {
+  // With the scene slowly migrating, a learning fleet should still hold
+  // useful coverage in the long run (strategies keep re-adapting).
+  NetworkParams p;
+  p.seed = 3;
+  p.hotspot_drift = 0.002;  // one orbit every ~3000 steps
+  auto net = Network::clustered_layout(p);
+  CameraFleet::Params fp;
+  fp.seed = 3;
+  CameraFleet fleet(net, fp);
+  sim::RunningStats late_cov;
+  for (int e = 0; e < 240; ++e) {
+    const auto ne = fleet.run_epoch();
+    if (e >= 120) late_cov.add(ne.coverage);
+  }
+  EXPECT_GT(late_cov.mean(), 0.45);
+}
+
+TEST(HotspotDrift, StrategiesKeepMoving) {
+  // Under drift the per-camera optimum changes, so the assignment should
+  // not freeze permanently: at least one camera changes strategy between
+  // the mid-run and late-run checkpoints.
+  NetworkParams p;
+  p.seed = 4;
+  p.hotspot_drift = 0.004;
+  auto net = Network::clustered_layout(p);
+  CameraFleet::Params fp;
+  fp.seed = 4;
+  CameraFleet fleet(net, fp);
+  for (int e = 0; e < 120; ++e) fleet.run_epoch();
+  std::vector<Strategy> mid;
+  for (std::size_t c = 0; c < net.cameras(); ++c) {
+    mid.push_back(net.strategy(c));
+  }
+  for (int e = 0; e < 120; ++e) fleet.run_epoch();
+  std::size_t changed = 0;
+  for (std::size_t c = 0; c < net.cameras(); ++c) {
+    changed += net.strategy(c) != mid[c] ? 1 : 0;
+  }
+  EXPECT_GT(changed, 0u);
+}
+
+}  // namespace
+}  // namespace sa::svc

@@ -1,0 +1,106 @@
+#include "svc/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sa::svc {
+namespace {
+
+NetworkParams world_params(std::uint64_t seed = 4) {
+  NetworkParams p;
+  p.objects = 16;
+  p.seed = seed;
+  return p;
+}
+
+TEST(CameraFleet, HomogeneousAppliesFixedStrategyEverywhere) {
+  auto net = Network::clustered_layout(world_params());
+  CameraFleet::Params p;
+  p.mode = CameraFleet::Mode::Homogeneous;
+  p.fixed = Strategy::Smooth;
+  CameraFleet fleet(net, p);
+  for (std::size_t c = 0; c < net.cameras(); ++c) {
+    EXPECT_EQ(net.strategy(c), Strategy::Smooth);
+  }
+  EXPECT_DOUBLE_EQ(fleet.diversity(), 0.0);
+}
+
+TEST(CameraFleet, HistogramSumsToCameraCount) {
+  auto net = Network::clustered_layout(world_params());
+  CameraFleet fleet(net, {});
+  for (int i = 0; i < 5; ++i) fleet.run_epoch();
+  const auto hist = fleet.strategy_histogram();
+  std::size_t total = 0;
+  for (auto c : hist) total += c;
+  EXPECT_EQ(total, net.cameras());
+}
+
+TEST(CameraFleet, DiversityIsZeroWhenUniform) {
+  auto net = Network::clustered_layout(world_params());
+  CameraFleet::Params p;
+  p.mode = CameraFleet::Mode::Homogeneous;
+  p.fixed = Strategy::Broadcast;
+  CameraFleet fleet(net, p);
+  fleet.run_epoch();
+  EXPECT_DOUBLE_EQ(fleet.diversity(), 0.0);
+}
+
+TEST(CameraFleet, DiversityIsOneWhenBalanced) {
+  auto net = Network::clustered_layout(world_params());
+  CameraFleet::Params p;
+  p.mode = CameraFleet::Mode::Homogeneous;
+  CameraFleet fleet(net, p);
+  // Hand-assign a perfectly balanced strategy split (12 cameras / 3).
+  for (std::size_t c = 0; c < net.cameras(); ++c) {
+    net.set_strategy(c, static_cast<Strategy>(c % kStrategies));
+  }
+  EXPECT_NEAR(fleet.diversity(), 1.0, 1e-9);
+}
+
+TEST(CameraFleet, LearningRunsAndAccumulates) {
+  auto net = Network::clustered_layout(world_params());
+  CameraFleet::Params p;
+  p.epoch_steps = 20;
+  CameraFleet fleet(net, p);
+  for (int i = 0; i < 10; ++i) {
+    const auto e = fleet.run_epoch();
+    EXPECT_GE(e.coverage, 0.0);
+    EXPECT_LE(e.coverage, 1.0);
+  }
+  EXPECT_EQ(fleet.coverage().count(), 10u);
+}
+
+TEST(CameraFleet, LearningAgentsExist) {
+  auto net = Network::clustered_layout(world_params());
+  CameraFleet fleet(net, {});
+  fleet.run_epoch();
+  EXPECT_EQ(fleet.cameras(), net.cameras());
+  EXPECT_EQ(fleet.agent(0).id(), "cam0");
+  EXPECT_GT(fleet.agent(0).steps(), 0u);
+}
+
+TEST(CameraFleet, LearningDevelopsNonTrivialAssignment) {
+  // After enough epochs the learners should have committed to concrete
+  // strategies (not stuck at construction defaults with no exploration).
+  auto net = Network::clustered_layout(world_params(9));
+  CameraFleet::Params p;
+  p.epoch_steps = 20;
+  p.seed = 9;
+  CameraFleet fleet(net, p);
+  for (int i = 0; i < 60; ++i) fleet.run_epoch();
+  const auto hist = fleet.strategy_histogram();
+  // Exploration guarantees every strategy was tried; final histogram must
+  // be a valid partition.
+  std::size_t total = 0;
+  for (auto c : hist) total += c;
+  EXPECT_EQ(total, net.cameras());
+}
+
+TEST(CameraFleet, AgentsReceiveGoalUtility) {
+  auto net = Network::clustered_layout(world_params());
+  CameraFleet fleet(net, {});
+  for (int i = 0; i < 3; ++i) fleet.run_epoch();
+  EXPECT_TRUE(fleet.agent(0).knowledge().contains("goal.utility"));
+}
+
+}  // namespace
+}  // namespace sa::svc
