@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_goalchange.dir/bench_e11_goalchange.cpp.o"
+  "CMakeFiles/bench_e11_goalchange.dir/bench_e11_goalchange.cpp.o.d"
+  "bench_e11_goalchange"
+  "bench_e11_goalchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_goalchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

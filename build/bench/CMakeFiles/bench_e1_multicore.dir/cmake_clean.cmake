@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_multicore.dir/bench_e1_multicore.cpp.o"
+  "CMakeFiles/bench_e1_multicore.dir/bench_e1_multicore.cpp.o.d"
+  "bench_e1_multicore"
+  "bench_e1_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_cloud.dir/bench_e3_cloud.cpp.o"
+  "CMakeFiles/bench_e3_cloud.dir/bench_e3_cloud.cpp.o.d"
+  "bench_e3_cloud"
+  "bench_e3_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_cpn.dir/bench_e4_cpn.cpp.o"
+  "CMakeFiles/bench_e4_cpn.dir/bench_e4_cpn.cpp.o.d"
+  "bench_e4_cpn"
+  "bench_e4_cpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_cpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

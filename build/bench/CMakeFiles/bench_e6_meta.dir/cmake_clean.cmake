@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_meta.dir/bench_e6_meta.cpp.o"
+  "CMakeFiles/bench_e6_meta.dir/bench_e6_meta.cpp.o.d"
+  "bench_e6_meta"
+  "bench_e6_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_collective.dir/bench_e7_collective.cpp.o"
+  "CMakeFiles/bench_e7_collective.dir/bench_e7_collective.cpp.o.d"
+  "bench_e7_collective"
+  "bench_e7_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

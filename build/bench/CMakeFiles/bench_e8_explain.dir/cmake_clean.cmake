@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_explain.dir/bench_e8_explain.cpp.o"
+  "CMakeFiles/bench_e8_explain.dir/bench_e8_explain.cpp.o.d"
+  "bench_e8_explain"
+  "bench_e8_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

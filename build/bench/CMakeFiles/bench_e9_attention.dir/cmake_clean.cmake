@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_attention.dir/bench_e9_attention.cpp.o"
+  "CMakeFiles/bench_e9_attention.dir/bench_e9_attention.cpp.o.d"
+  "bench_e9_attention"
+  "bench_e9_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_network.dir/camera_network.cpp.o"
+  "CMakeFiles/camera_network.dir/camera_network.cpp.o.d"
+  "camera_network"
+  "camera_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_autoscaler.dir/cloud_autoscaler.cpp.o"
+  "CMakeFiles/cloud_autoscaler.dir/cloud_autoscaler.cpp.o.d"
+  "cloud_autoscaler"
+  "cloud_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

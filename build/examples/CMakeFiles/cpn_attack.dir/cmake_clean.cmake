@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpn_attack.dir/cpn_attack.cpp.o"
+  "CMakeFiles/cpn_attack.dir/cpn_attack.cpp.o.d"
+  "cpn_attack"
+  "cpn_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpn_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_agent.dir/multi_agent.cpp.o"
+  "CMakeFiles/multi_agent.dir/multi_agent.cpp.o.d"
+  "multi_agent"
+  "multi_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

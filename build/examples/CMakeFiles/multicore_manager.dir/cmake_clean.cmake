@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_manager.dir/multicore_manager.cpp.o"
+  "CMakeFiles/multicore_manager.dir/multicore_manager.cpp.o.d"
+  "multicore_manager"
+  "multicore_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

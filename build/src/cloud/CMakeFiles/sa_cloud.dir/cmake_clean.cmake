@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_cloud.dir/autoscaler.cpp.o"
+  "CMakeFiles/sa_cloud.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/sa_cloud.dir/cluster.cpp.o"
+  "CMakeFiles/sa_cloud.dir/cluster.cpp.o.d"
+  "libsa_cloud.a"
+  "libsa_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cpp" "src/core/CMakeFiles/sa_core.dir/agent.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/agent.cpp.o.d"
+  "/root/repo/src/core/attention.cpp" "src/core/CMakeFiles/sa_core.dir/attention.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/attention.cpp.o.d"
+  "/root/repo/src/core/collective.cpp" "src/core/CMakeFiles/sa_core.dir/collective.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/collective.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/sa_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/goal.cpp" "src/core/CMakeFiles/sa_core.dir/goal.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/goal.cpp.o.d"
+  "/root/repo/src/core/goal_awareness.cpp" "src/core/CMakeFiles/sa_core.dir/goal_awareness.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/goal_awareness.cpp.o.d"
+  "/root/repo/src/core/interaction.cpp" "src/core/CMakeFiles/sa_core.dir/interaction.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/interaction.cpp.o.d"
+  "/root/repo/src/core/knowledge.cpp" "src/core/CMakeFiles/sa_core.dir/knowledge.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/knowledge.cpp.o.d"
+  "/root/repo/src/core/meta.cpp" "src/core/CMakeFiles/sa_core.dir/meta.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/meta.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/sa_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/sa_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/sa_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/sharing.cpp" "src/core/CMakeFiles/sa_core.dir/sharing.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/sharing.cpp.o.d"
+  "/root/repo/src/core/stimulus.cpp" "src/core/CMakeFiles/sa_core.dir/stimulus.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/stimulus.cpp.o.d"
+  "/root/repo/src/core/time_awareness.cpp" "src/core/CMakeFiles/sa_core.dir/time_awareness.cpp.o" "gcc" "src/core/CMakeFiles/sa_core.dir/time_awareness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

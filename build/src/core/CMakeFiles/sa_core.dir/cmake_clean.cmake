@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_core.dir/agent.cpp.o"
+  "CMakeFiles/sa_core.dir/agent.cpp.o.d"
+  "CMakeFiles/sa_core.dir/attention.cpp.o"
+  "CMakeFiles/sa_core.dir/attention.cpp.o.d"
+  "CMakeFiles/sa_core.dir/collective.cpp.o"
+  "CMakeFiles/sa_core.dir/collective.cpp.o.d"
+  "CMakeFiles/sa_core.dir/explain.cpp.o"
+  "CMakeFiles/sa_core.dir/explain.cpp.o.d"
+  "CMakeFiles/sa_core.dir/goal.cpp.o"
+  "CMakeFiles/sa_core.dir/goal.cpp.o.d"
+  "CMakeFiles/sa_core.dir/goal_awareness.cpp.o"
+  "CMakeFiles/sa_core.dir/goal_awareness.cpp.o.d"
+  "CMakeFiles/sa_core.dir/interaction.cpp.o"
+  "CMakeFiles/sa_core.dir/interaction.cpp.o.d"
+  "CMakeFiles/sa_core.dir/knowledge.cpp.o"
+  "CMakeFiles/sa_core.dir/knowledge.cpp.o.d"
+  "CMakeFiles/sa_core.dir/meta.cpp.o"
+  "CMakeFiles/sa_core.dir/meta.cpp.o.d"
+  "CMakeFiles/sa_core.dir/pareto.cpp.o"
+  "CMakeFiles/sa_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/sa_core.dir/policy.cpp.o"
+  "CMakeFiles/sa_core.dir/policy.cpp.o.d"
+  "CMakeFiles/sa_core.dir/runtime.cpp.o"
+  "CMakeFiles/sa_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/sa_core.dir/sharing.cpp.o"
+  "CMakeFiles/sa_core.dir/sharing.cpp.o.d"
+  "CMakeFiles/sa_core.dir/stimulus.cpp.o"
+  "CMakeFiles/sa_core.dir/stimulus.cpp.o.d"
+  "CMakeFiles/sa_core.dir/time_awareness.cpp.o"
+  "CMakeFiles/sa_core.dir/time_awareness.cpp.o.d"
+  "libsa_core.a"
+  "libsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpn/network.cpp" "src/cpn/CMakeFiles/sa_cpn.dir/network.cpp.o" "gcc" "src/cpn/CMakeFiles/sa_cpn.dir/network.cpp.o.d"
+  "/root/repo/src/cpn/supervisor.cpp" "src/cpn/CMakeFiles/sa_cpn.dir/supervisor.cpp.o" "gcc" "src/cpn/CMakeFiles/sa_cpn.dir/supervisor.cpp.o.d"
+  "/root/repo/src/cpn/traffic.cpp" "src/cpn/CMakeFiles/sa_cpn.dir/traffic.cpp.o" "gcc" "src/cpn/CMakeFiles/sa_cpn.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

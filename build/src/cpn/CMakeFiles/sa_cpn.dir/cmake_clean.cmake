@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_cpn.dir/network.cpp.o"
+  "CMakeFiles/sa_cpn.dir/network.cpp.o.d"
+  "CMakeFiles/sa_cpn.dir/supervisor.cpp.o"
+  "CMakeFiles/sa_cpn.dir/supervisor.cpp.o.d"
+  "CMakeFiles/sa_cpn.dir/traffic.cpp.o"
+  "CMakeFiles/sa_cpn.dir/traffic.cpp.o.d"
+  "libsa_cpn.a"
+  "libsa_cpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_cpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

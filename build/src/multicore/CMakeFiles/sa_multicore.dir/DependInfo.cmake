@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multicore/manager.cpp" "src/multicore/CMakeFiles/sa_multicore.dir/manager.cpp.o" "gcc" "src/multicore/CMakeFiles/sa_multicore.dir/manager.cpp.o.d"
+  "/root/repo/src/multicore/platform.cpp" "src/multicore/CMakeFiles/sa_multicore.dir/platform.cpp.o" "gcc" "src/multicore/CMakeFiles/sa_multicore.dir/platform.cpp.o.d"
+  "/root/repo/src/multicore/workload.cpp" "src/multicore/CMakeFiles/sa_multicore.dir/workload.cpp.o" "gcc" "src/multicore/CMakeFiles/sa_multicore.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_multicore.dir/manager.cpp.o"
+  "CMakeFiles/sa_multicore.dir/manager.cpp.o.d"
+  "CMakeFiles/sa_multicore.dir/platform.cpp.o"
+  "CMakeFiles/sa_multicore.dir/platform.cpp.o.d"
+  "CMakeFiles/sa_multicore.dir/workload.cpp.o"
+  "CMakeFiles/sa_multicore.dir/workload.cpp.o.d"
+  "libsa_multicore.a"
+  "libsa_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

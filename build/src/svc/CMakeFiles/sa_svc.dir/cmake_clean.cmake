@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_svc.dir/fleet.cpp.o"
+  "CMakeFiles/sa_svc.dir/fleet.cpp.o.d"
+  "CMakeFiles/sa_svc.dir/network.cpp.o"
+  "CMakeFiles/sa_svc.dir/network.cpp.o.d"
+  "libsa_svc.a"
+  "libsa_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

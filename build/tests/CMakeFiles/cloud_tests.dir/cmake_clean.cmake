@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_tests.dir/cloud/autoscaler_test.cpp.o"
+  "CMakeFiles/cloud_tests.dir/cloud/autoscaler_test.cpp.o.d"
+  "CMakeFiles/cloud_tests.dir/cloud/boot_lag_test.cpp.o"
+  "CMakeFiles/cloud_tests.dir/cloud/boot_lag_test.cpp.o.d"
+  "CMakeFiles/cloud_tests.dir/cloud/cluster_test.cpp.o"
+  "CMakeFiles/cloud_tests.dir/cloud/cluster_test.cpp.o.d"
+  "cloud_tests"
+  "cloud_tests.pdb"
+  "cloud_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/agent_test.cpp" "tests/CMakeFiles/core_tests.dir/core/agent_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/agent_test.cpp.o.d"
+  "/root/repo/tests/core/agent_trace_test.cpp" "tests/CMakeFiles/core_tests.dir/core/agent_trace_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/agent_trace_test.cpp.o.d"
+  "/root/repo/tests/core/attention_test.cpp" "tests/CMakeFiles/core_tests.dir/core/attention_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/attention_test.cpp.o.d"
+  "/root/repo/tests/core/collective_test.cpp" "tests/CMakeFiles/core_tests.dir/core/collective_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/collective_test.cpp.o.d"
+  "/root/repo/tests/core/contextual_policy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/contextual_policy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/contextual_policy_test.cpp.o.d"
+  "/root/repo/tests/core/explain_test.cpp" "tests/CMakeFiles/core_tests.dir/core/explain_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/explain_test.cpp.o.d"
+  "/root/repo/tests/core/goal_awareness_test.cpp" "tests/CMakeFiles/core_tests.dir/core/goal_awareness_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/goal_awareness_test.cpp.o.d"
+  "/root/repo/tests/core/goal_test.cpp" "tests/CMakeFiles/core_tests.dir/core/goal_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/goal_test.cpp.o.d"
+  "/root/repo/tests/core/interaction_test.cpp" "tests/CMakeFiles/core_tests.dir/core/interaction_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/interaction_test.cpp.o.d"
+  "/root/repo/tests/core/knowledge_test.cpp" "tests/CMakeFiles/core_tests.dir/core/knowledge_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/knowledge_test.cpp.o.d"
+  "/root/repo/tests/core/levels_test.cpp" "tests/CMakeFiles/core_tests.dir/core/levels_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/levels_test.cpp.o.d"
+  "/root/repo/tests/core/meta_test.cpp" "tests/CMakeFiles/core_tests.dir/core/meta_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/meta_test.cpp.o.d"
+  "/root/repo/tests/core/pareto_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pareto_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pareto_test.cpp.o.d"
+  "/root/repo/tests/core/policy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/policy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/policy_test.cpp.o.d"
+  "/root/repo/tests/core/runtime_test.cpp" "tests/CMakeFiles/core_tests.dir/core/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/runtime_test.cpp.o.d"
+  "/root/repo/tests/core/sharing_test.cpp" "tests/CMakeFiles/core_tests.dir/core/sharing_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sharing_test.cpp.o.d"
+  "/root/repo/tests/core/stimulus_test.cpp" "tests/CMakeFiles/core_tests.dir/core/stimulus_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/stimulus_test.cpp.o.d"
+  "/root/repo/tests/core/time_awareness_test.cpp" "tests/CMakeFiles/core_tests.dir/core/time_awareness_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/time_awareness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/sa_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sa_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicore/CMakeFiles/sa_multicore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpn/CMakeFiles/sa_cpn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

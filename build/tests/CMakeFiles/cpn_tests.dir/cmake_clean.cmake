@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpn_tests.dir/cpn/defence_test.cpp.o"
+  "CMakeFiles/cpn_tests.dir/cpn/defence_test.cpp.o.d"
+  "CMakeFiles/cpn_tests.dir/cpn/failure_test.cpp.o"
+  "CMakeFiles/cpn_tests.dir/cpn/failure_test.cpp.o.d"
+  "CMakeFiles/cpn_tests.dir/cpn/network_test.cpp.o"
+  "CMakeFiles/cpn_tests.dir/cpn/network_test.cpp.o.d"
+  "CMakeFiles/cpn_tests.dir/cpn/supervisor_test.cpp.o"
+  "CMakeFiles/cpn_tests.dir/cpn/supervisor_test.cpp.o.d"
+  "CMakeFiles/cpn_tests.dir/cpn/traffic_test.cpp.o"
+  "CMakeFiles/cpn_tests.dir/cpn/traffic_test.cpp.o.d"
+  "cpn_tests"
+  "cpn_tests.pdb"
+  "cpn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/learn/bandit_test.cpp" "tests/CMakeFiles/learn_tests.dir/learn/bandit_test.cpp.o" "gcc" "tests/CMakeFiles/learn_tests.dir/learn/bandit_test.cpp.o.d"
+  "/root/repo/tests/learn/drift_test.cpp" "tests/CMakeFiles/learn_tests.dir/learn/drift_test.cpp.o" "gcc" "tests/CMakeFiles/learn_tests.dir/learn/drift_test.cpp.o.d"
+  "/root/repo/tests/learn/estimators_test.cpp" "tests/CMakeFiles/learn_tests.dir/learn/estimators_test.cpp.o" "gcc" "tests/CMakeFiles/learn_tests.dir/learn/estimators_test.cpp.o.d"
+  "/root/repo/tests/learn/forecast_test.cpp" "tests/CMakeFiles/learn_tests.dir/learn/forecast_test.cpp.o" "gcc" "tests/CMakeFiles/learn_tests.dir/learn/forecast_test.cpp.o.d"
+  "/root/repo/tests/learn/horizon_test.cpp" "tests/CMakeFiles/learn_tests.dir/learn/horizon_test.cpp.o" "gcc" "tests/CMakeFiles/learn_tests.dir/learn/horizon_test.cpp.o.d"
+  "/root/repo/tests/learn/kalman_test.cpp" "tests/CMakeFiles/learn_tests.dir/learn/kalman_test.cpp.o" "gcc" "tests/CMakeFiles/learn_tests.dir/learn/kalman_test.cpp.o.d"
+  "/root/repo/tests/learn/markov_test.cpp" "tests/CMakeFiles/learn_tests.dir/learn/markov_test.cpp.o" "gcc" "tests/CMakeFiles/learn_tests.dir/learn/markov_test.cpp.o.d"
+  "/root/repo/tests/learn/qlearn_test.cpp" "tests/CMakeFiles/learn_tests.dir/learn/qlearn_test.cpp.o" "gcc" "tests/CMakeFiles/learn_tests.dir/learn/qlearn_test.cpp.o.d"
+  "/root/repo/tests/learn/rls_test.cpp" "tests/CMakeFiles/learn_tests.dir/learn/rls_test.cpp.o" "gcc" "tests/CMakeFiles/learn_tests.dir/learn/rls_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/sa_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sa_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicore/CMakeFiles/sa_multicore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpn/CMakeFiles/sa_cpn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

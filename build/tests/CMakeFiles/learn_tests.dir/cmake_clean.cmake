@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learn_tests.dir/learn/bandit_test.cpp.o"
+  "CMakeFiles/learn_tests.dir/learn/bandit_test.cpp.o.d"
+  "CMakeFiles/learn_tests.dir/learn/drift_test.cpp.o"
+  "CMakeFiles/learn_tests.dir/learn/drift_test.cpp.o.d"
+  "CMakeFiles/learn_tests.dir/learn/estimators_test.cpp.o"
+  "CMakeFiles/learn_tests.dir/learn/estimators_test.cpp.o.d"
+  "CMakeFiles/learn_tests.dir/learn/forecast_test.cpp.o"
+  "CMakeFiles/learn_tests.dir/learn/forecast_test.cpp.o.d"
+  "CMakeFiles/learn_tests.dir/learn/horizon_test.cpp.o"
+  "CMakeFiles/learn_tests.dir/learn/horizon_test.cpp.o.d"
+  "CMakeFiles/learn_tests.dir/learn/kalman_test.cpp.o"
+  "CMakeFiles/learn_tests.dir/learn/kalman_test.cpp.o.d"
+  "CMakeFiles/learn_tests.dir/learn/markov_test.cpp.o"
+  "CMakeFiles/learn_tests.dir/learn/markov_test.cpp.o.d"
+  "CMakeFiles/learn_tests.dir/learn/qlearn_test.cpp.o"
+  "CMakeFiles/learn_tests.dir/learn/qlearn_test.cpp.o.d"
+  "CMakeFiles/learn_tests.dir/learn/rls_test.cpp.o"
+  "CMakeFiles/learn_tests.dir/learn/rls_test.cpp.o.d"
+  "learn_tests"
+  "learn_tests.pdb"
+  "learn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_tests.dir/multicore/manager_test.cpp.o"
+  "CMakeFiles/multicore_tests.dir/multicore/manager_test.cpp.o.d"
+  "CMakeFiles/multicore_tests.dir/multicore/platform_test.cpp.o"
+  "CMakeFiles/multicore_tests.dir/multicore/platform_test.cpp.o.d"
+  "CMakeFiles/multicore_tests.dir/multicore/thermal_manager_test.cpp.o"
+  "CMakeFiles/multicore_tests.dir/multicore/thermal_manager_test.cpp.o.d"
+  "CMakeFiles/multicore_tests.dir/multicore/thermal_test.cpp.o"
+  "CMakeFiles/multicore_tests.dir/multicore/thermal_test.cpp.o.d"
+  "CMakeFiles/multicore_tests.dir/multicore/workload_test.cpp.o"
+  "CMakeFiles/multicore_tests.dir/multicore/workload_test.cpp.o.d"
+  "multicore_tests"
+  "multicore_tests.pdb"
+  "multicore_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc_tests.dir/svc/drift_test.cpp.o"
+  "CMakeFiles/svc_tests.dir/svc/drift_test.cpp.o.d"
+  "CMakeFiles/svc_tests.dir/svc/fleet_test.cpp.o"
+  "CMakeFiles/svc_tests.dir/svc/fleet_test.cpp.o.d"
+  "CMakeFiles/svc_tests.dir/svc/links_test.cpp.o"
+  "CMakeFiles/svc_tests.dir/svc/links_test.cpp.o.d"
+  "CMakeFiles/svc_tests.dir/svc/network_test.cpp.o"
+  "CMakeFiles/svc_tests.dir/svc/network_test.cpp.o.d"
+  "svc_tests"
+  "svc_tests.pdb"
+  "svc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
