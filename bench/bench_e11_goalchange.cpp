@@ -27,6 +27,7 @@
 
 #include "core/pareto.hpp"
 #include "core/policy.hpp"
+#include "exp/harness.hpp"
 #include "learn/bandit.hpp"
 #include "multicore/manager.hpp"
 #include "sim/report.hpp"
@@ -70,15 +71,9 @@ std::vector<core::ParetoPoint> measure_configs() {
   return points;
 }
 
-struct RunStats {
-  sim::RunningStats before, after;
-  int recovery_epochs = -1;  ///< epochs after the change to reach 90% of
-                             ///< the post-change steady level
-};
-
 enum class Kind { Static, ValueLearning, ModelPredictive };
 
-RunStats run(Kind kind, std::uint64_t seed, double post_target) {
+exp::TaskOutput run(Kind kind, std::uint64_t seed, double post_target) {
   Platform platform(PlatformConfig::big_little(2, 4), seed);
   platform.set_workload(kRate, kWork, kDeadline);
   Manager::Params p;
@@ -95,29 +90,38 @@ RunStats run(Kind kind, std::uint64_t seed, double post_target) {
   }
   set_regime(mgr.agent().goals(), /*energy_first=*/false);
 
-  RunStats r;
+  sim::RunningStats before, after;
+  int recovery_epochs = -1;  // epochs after the change to reach 90% of
+                             // the post-change steady level
   for (int e = 0; e < kEpochs; ++e) {
     if (e == kChangeAt) {
       set_regime(mgr.agent().goals(), /*energy_first=*/true);
     }
     const double u = mgr.run_epoch();
-    (e < kChangeAt ? r.before : r.after).add(u);
-    if (e >= kChangeAt && r.recovery_epochs < 0 &&
-        u >= 0.9 * post_target) {
-      r.recovery_epochs = e - kChangeAt;
+    (e < kChangeAt ? before : after).add(u);
+    if (e >= kChangeAt && recovery_epochs < 0 && u >= 0.9 * post_target) {
+      recovery_epochs = e - kChangeAt;
     }
   }
-  return r;
+  return {{{"before", before.mean()},
+           {"after", after.mean()},
+           {"recovery_epochs",
+            recovery_epochs < 0 ? static_cast<double>(kEpochs)
+                                : static_cast<double>(recovery_epochs)}}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Harness h("e11_goalchange", argc, argv);
   std::cout << "E11: the stakeholder flips from performance-first to "
                "energy-first at epoch " << kChangeAt << " of " << kEpochs
-            << " (steady workload, " << kSeeds.size() << " seeds).\n\n";
+            << " (steady workload, " << h.seeds_for(kSeeds).size()
+            << " seeds).\n\n";
 
   // ---- Table 1: the trade-off space itself --------------------------------
+  // Deterministic (fixed seed 77) and cheap, so it stays a serial pre-pass
+  // outside the grid.
   const auto points = measure_configs();
   core::GoalModel goals;
   goals.add_objective({"throughput", core::utility::rising(0.0, 45.0), 1.0});
@@ -159,26 +163,26 @@ int main() {
     return goals.utility(points[energy_pick].metrics);
   }();
 
+  const std::vector<std::pair<std::string, Kind>> rows{
+      {"static (design-time)", Kind::Static},
+      {"self-aware, value-learning", Kind::ValueLearning},
+      {"self-aware, model-predictive", Kind::ModelPredictive}};
+
+  exp::Grid g;
+  g.name = "e11";
+  for (const auto& [name, kind] : rows) g.variants.push_back(name);
+  g.seeds = kSeeds;
+  g.task = [&rows, post_target](const exp::TaskContext& ctx) {
+    return run(rows[ctx.variant].second, ctx.seed, post_target);
+  };
+  const auto res = h.run(std::move(g));
+
   sim::Table t2("E11.2  utility before/after the goal change",
                 {"manager", "before", "after", "recovery_epochs"});
-  struct Row {
-    std::string name;
-    Kind kind;
-  };
-  for (const auto& row :
-       {Row{"static (design-time)", Kind::Static},
-        Row{"self-aware, value-learning", Kind::ValueLearning},
-        Row{"self-aware, model-predictive", Kind::ModelPredictive}}) {
-    sim::RunningStats before, after, recovery;
-    for (const auto seed : kSeeds) {
-      const auto r = run(row.kind, seed, post_target);
-      before.add(r.before.mean());
-      after.add(r.after.mean());
-      recovery.add(r.recovery_epochs < 0 ? static_cast<double>(kEpochs)
-                                         : r.recovery_epochs);
-    }
-    t2.add_row({row.name, before.mean(), after.mean(), recovery.mean()});
+  for (std::size_t v = 0; v < res.variants.size(); ++v) {
+    t2.add_row({res.variants[v], res.mean(v, "before"),
+                res.mean(v, "after"), res.mean(v, "recovery_epochs")});
   }
   t2.print(std::cout);
-  return 0;
+  return h.finish();
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/harness.hpp"
 #include "multicore/manager.hpp"
 #include "sim/report.hpp"
 #include "sim/stats.hpp"
@@ -30,12 +31,8 @@ using namespace sa::multicore;
 constexpr int kEpochs = 240;  // 120 s at 0.5 s epochs
 const std::vector<std::uint64_t> kSeeds{121, 122, 123};
 
-struct Outcome {
-  sim::RunningStats utility, throughput, throttle, peak_temp;
-};
-
-Outcome run(Manager::Variant variant, std::size_t static_action,
-            std::uint64_t seed) {
+exp::TaskOutput run(Manager::Variant variant, std::size_t static_action,
+                    std::uint64_t seed) {
   auto cfg = PlatformConfig::big_little(2, 4);
   cfg.thermal = true;
   Platform platform(cfg, seed);
@@ -47,7 +44,6 @@ Outcome run(Manager::Variant variant, std::size_t static_action,
   p.static_action = static_action;
   p.seed = seed;
   Manager mgr(platform, p);
-  Outcome o;
   sim::RunningStats u, thr, throttle, temp;
   for (int e = 0; e < kEpochs; ++e) {
     u.add(mgr.run_epoch());
@@ -55,18 +51,19 @@ Outcome run(Manager::Variant variant, std::size_t static_action,
     throttle.add(mgr.last_stats().throttle_frac);
     temp.add(mgr.last_stats().max_temp_c);
   }
-  o.utility.add(u.mean());
-  o.throughput.add(thr.mean());
-  o.throttle.add(throttle.mean());
-  o.peak_temp.add(temp.max());
-  return o;
+  return {{{"utility", u.mean()},
+           {"sustained_thr", thr.mean()},
+           {"throttled", throttle.mean()},
+           {"peak_temp", temp.max()}}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Harness h("e12_thermal", argc, argv);
   std::cout << "E12: managing a thermally limited chip under saturating "
-               "load (" << kEpochs << " epochs, " << kSeeds.size()
+               "load (" << kEpochs << " epochs, "
+            << h.seeds_for(kSeeds).size()
             << " seeds). Throttling clamps a hot core to f_min until it "
                "cools 25 C.\n\n";
 
@@ -82,20 +79,23 @@ int main() {
       {"self-aware (thermal model)", Manager::Variant::SelfAware, 0},
   };
 
+  exp::Grid g;
+  g.name = "e12";
+  for (const auto& row : rows) g.variants.push_back(row.name);
+  g.seeds = kSeeds;
+  g.task = [&rows](const exp::TaskContext& ctx) {
+    const auto& row = rows[ctx.variant];
+    return run(row.variant, row.static_action, ctx.seed);
+  };
+  const auto res = h.run(std::move(g));
+
   sim::Table t("E12.1  sprint vs sustain under the thermal envelope",
                {"manager", "utility", "sustained_thr", "throttled",
                 "peak_temp"});
-  for (const auto& row : rows) {
-    Outcome agg;
-    for (const auto seed : kSeeds) {
-      const auto o = run(row.variant, row.static_action, seed);
-      agg.utility.merge(o.utility);
-      agg.throughput.merge(o.throughput);
-      agg.throttle.merge(o.throttle);
-      agg.peak_temp.merge(o.peak_temp);
-    }
-    t.add_row({row.name, agg.utility.mean(), agg.throughput.mean(),
-               agg.throttle.mean(), agg.peak_temp.mean()});
+  for (std::size_t v = 0; v < res.variants.size(); ++v) {
+    t.add_row({res.variants[v], res.mean(v, "utility"),
+               res.mean(v, "sustained_thr"), res.mean(v, "throttled"),
+               res.mean(v, "peak_temp")});
   }
   t.print(std::cout);
   std::cout
@@ -106,5 +106,5 @@ int main() {
          "the self-model works out that briefly sprinting the big cores\n"
          "and letting the hardware clamp them yields more sustained\n"
          "capacity than never crossing the envelope.\n";
-  return 0;
+  return h.finish();
 }

@@ -10,11 +10,15 @@
 //          phase (upper bound).
 // Table 2: mean utility per workload phase for the key variants — shows
 //          *where* the self-aware manager earns its advantage.
+//
+// The seed x variant grid runs on the sa::exp parallel runner; every cell
+// is self-contained, so results are identical for any --jobs value.
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "exp/harness.hpp"
 #include "multicore/manager.hpp"
 #include "multicore/workload.hpp"
 #include "sim/report.hpp"
@@ -124,57 +128,59 @@ RunResult run_oracle(std::uint64_t seed,
   return r;
 }
 
+exp::Metrics to_metrics(const RunResult& r) {
+  return {{"utility", r.utility.mean()},
+          {"power_w", r.power.mean()},
+          {"p95_s", r.latency.mean()},
+          {"cap_viol", r.cap_violation},
+          {"phase.steady", r.per_phase.at("steady").mean()},
+          {"phase.burst", r.per_phase.at("burst").mean()},
+          {"phase.interactive", r.per_phase.at("interactive").mean()}};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Harness h("e1_multicore", argc, argv);
   std::cout << "E1: self-aware vs static vs reactive run-time management of "
                "a big.LITTLE platform\nWorkload: "
             << kEpochs << " epochs x 0.5 s, phases steady/burst/interactive, "
-            << kSeeds.size() << " seeds.\n\n";
+            << h.seeds_for(kSeeds).size() << " seeds.\n\n";
 
   const auto oracle_actions = best_action_per_phase();
 
-  struct Row {
-    std::string name;
-    std::vector<RunResult> runs;
+  exp::Grid g;
+  g.name = "e1";
+  g.variants = {"static (design-time)", "reactive (rules)", "self-aware",
+                "oracle (per-phase best)"};
+  g.seeds = kSeeds;
+  g.task = [&oracle_actions](const exp::TaskContext& ctx) -> exp::TaskOutput {
+    switch (ctx.variant) {
+      case 0: return {to_metrics(run_variant(Manager::Variant::Static,
+                                             ctx.seed))};
+      case 1: return {to_metrics(run_variant(Manager::Variant::Reactive,
+                                             ctx.seed))};
+      case 2: return {to_metrics(run_variant(Manager::Variant::SelfAware,
+                                             ctx.seed))};
+      default: return {to_metrics(run_oracle(ctx.seed, oracle_actions))};
+    }
   };
-  std::vector<Row> rows;
-  rows.push_back({"static (design-time)", {}});
-  rows.push_back({"reactive (rules)", {}});
-  rows.push_back({"self-aware", {}});
-  rows.push_back({"oracle (per-phase best)", {}});
-  for (const auto seed : kSeeds) {
-    rows[0].runs.push_back(run_variant(Manager::Variant::Static, seed));
-    rows[1].runs.push_back(run_variant(Manager::Variant::Reactive, seed));
-    rows[2].runs.push_back(run_variant(Manager::Variant::SelfAware, seed));
-    rows[3].runs.push_back(run_oracle(seed, oracle_actions));
-  }
+  const auto res = h.run(std::move(g));
 
   sim::Table t1("E1.1  whole-run comparison (mean over seeds)",
                 {"manager", "utility", "power_w", "p95_s", "cap_viol"});
-  for (const auto& row : rows) {
-    sim::RunningStats u, p, l, v;
-    for (const auto& r : row.runs) {
-      u.add(r.utility.mean());
-      p.add(r.power.mean());
-      l.add(r.latency.mean());
-      v.add(r.cap_violation);
-    }
-    t1.add_row({row.name, u.mean(), p.mean(), l.mean(), v.mean()});
+  for (std::size_t v = 0; v < res.variants.size(); ++v) {
+    t1.add_row({res.variants[v], res.mean(v, "utility"), res.mean(v, "power_w"),
+                res.mean(v, "p95_s"), res.mean(v, "cap_viol")});
   }
   t1.print(std::cout);
 
   sim::Table t2("E1.2  mean utility by workload phase",
                 {"manager", "steady", "burst", "interactive"});
-  for (const auto& row : rows) {
-    sim::RunningStats s, b, i;
-    for (const auto& r : row.runs) {
-      s.add(r.per_phase.at("steady").mean());
-      b.add(r.per_phase.at("burst").mean());
-      i.add(r.per_phase.at("interactive").mean());
-    }
-    t2.add_row({row.name, s.mean(), b.mean(), i.mean()});
+  for (std::size_t v = 0; v < res.variants.size(); ++v) {
+    t2.add_row({res.variants[v], res.mean(v, "phase.steady"),
+                res.mean(v, "phase.burst"), res.mean(v, "phase.interactive")});
   }
   t2.print(std::cout);
-  return 0;
+  return h.finish();
 }

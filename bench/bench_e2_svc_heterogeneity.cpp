@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/harness.hpp"
 #include "sim/report.hpp"
 #include "sim/stats.hpp"
 #include "svc/fleet.hpp"
@@ -27,12 +28,6 @@ using namespace sa::svc;
 constexpr int kEpochs = 400;
 const std::vector<std::uint64_t> kSeeds{31, 32, 33};
 
-struct Outcome {
-  sim::RunningStats coverage, messages, utility, diversity;
-  std::vector<std::size_t> cluster_hist{0, 0, 0};
-  std::vector<std::size_t> ring_hist{0, 0, 0};
-};
-
 NetworkParams world(std::uint64_t seed) {
   NetworkParams p;
   p.objects = 24;
@@ -40,14 +35,22 @@ NetworkParams world(std::uint64_t seed) {
   return p;
 }
 
-Outcome run(CameraFleet::Mode mode, Strategy fixed, std::uint64_t seed) {
+const char* strategy_label(std::size_t s) {
+  switch (s) {
+    case 0: return "broadcast";
+    case 1: return "smooth";
+    default: return "passive";
+  }
+}
+
+exp::TaskOutput run(CameraFleet::Mode mode, Strategy fixed,
+                    std::uint64_t seed) {
   auto net = Network::clustered_layout(world(seed));
   CameraFleet::Params p;
   p.mode = mode;
   p.fixed = fixed;
   p.seed = seed;
   CameraFleet fleet(net, p);
-  Outcome o;
   sim::RunningStats tail_cov, tail_msg, tail_u;
   for (int e = 0; e < kEpochs; ++e) {
     const auto ne = fleet.run_epoch();
@@ -57,34 +60,32 @@ Outcome run(CameraFleet::Mode mode, Strategy fixed, std::uint64_t seed) {
       tail_u.add(ne.global_utility);
     }
   }
-  o.coverage.add(tail_cov.mean());
-  o.messages.add(tail_msg.mean());
-  o.utility.add(tail_u.mean());
-  o.diversity.add(fleet.diversity());
+  exp::Metrics m{{"coverage", tail_cov.mean()},
+                 {"msgs_per_epoch", tail_msg.mean()},
+                 {"global_utility", tail_u.mean()},
+                 {"diversity", fleet.diversity()}};
   // Cameras 0-3 form the dense cluster; 4-11 the sparse ring.
+  std::size_t cluster_hist[kStrategies] = {};
+  std::size_t ring_hist[kStrategies] = {};
   for (std::size_t c = 0; c < net.cameras(); ++c) {
-    auto& hist = c < 4 ? o.cluster_hist : o.ring_hist;
+    auto* hist = c < 4 ? cluster_hist : ring_hist;
     ++hist[static_cast<std::size_t>(net.strategy(c))];
   }
-  return o;
-}
-
-void merge(Outcome& into, const Outcome& from) {
-  into.coverage.merge(from.coverage);
-  into.messages.merge(from.messages);
-  into.utility.merge(from.utility);
-  into.diversity.merge(from.diversity);
   for (std::size_t s = 0; s < kStrategies; ++s) {
-    into.cluster_hist[s] += from.cluster_hist[s];
-    into.ring_hist[s] += from.ring_hist[s];
+    m.emplace_back(std::string("cluster.") + strategy_label(s),
+                   static_cast<double>(cluster_hist[s]));
+    m.emplace_back(std::string("ring.") + strategy_label(s),
+                   static_cast<double>(ring_hist[s]));
   }
+  return {std::move(m)};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Harness h("e2_svc_heterogeneity", argc, argv);
   std::cout << "E2: homogeneous strategies vs per-camera learning, "
-            << kEpochs << " epochs x 25 steps, " << kSeeds.size()
+            << kEpochs << " epochs x 25 steps, " << h.seeds_for(kSeeds).size()
             << " seeds. Cameras 0-3 cluster at the hotspot; 4-11 are an "
                "isolated ring.\n\n";
 
@@ -104,33 +105,41 @@ int main() {
        Strategy::Broadcast},
   };
 
+  exp::Grid g;
+  g.name = "e2";
+  for (const auto& cfg : configs) g.variants.push_back(cfg.name);
+  g.seeds = kSeeds;
+  g.task = [&configs](const exp::TaskContext& ctx) {
+    const auto& cfg = configs[ctx.variant];
+    return run(cfg.mode, cfg.fixed, ctx.seed);
+  };
+  const auto res = h.run(std::move(g));
+
   sim::Table t1("E2.1  global outcomes (tail half of run, mean over seeds)",
                 {"configuration", "coverage", "msgs/epoch", "global_utility",
                  "diversity"});
-  std::vector<Outcome> outcomes;
-  for (const auto& cfg : configs) {
-    Outcome agg;
-    for (const auto seed : kSeeds) {
-      merge(agg, run(cfg.mode, cfg.fixed, seed));
-    }
-    outcomes.push_back(agg);
-    t1.add_row({cfg.name, agg.coverage.mean(), agg.messages.mean(),
-                agg.utility.mean(), agg.diversity.mean()});
+  for (std::size_t v = 0; v < res.variants.size(); ++v) {
+    t1.add_row({res.variants[v], res.mean(v, "coverage"),
+                res.mean(v, "msgs_per_epoch"), res.mean(v, "global_utility"),
+                res.mean(v, "diversity")});
   }
   t1.print(std::cout);
 
-  const auto& learned = outcomes.back();
+  // Strategy histograms of the learned configuration, summed over seeds.
+  const std::size_t learned = res.variants.size() - 1;
   sim::Table t2(
       "E2.2  learned strategy counts by camera situation (all seeds)",
       {"group", "broadcast", "smooth", "passive"});
-  t2.add_row({std::string("cluster (dense)"),
-              static_cast<std::int64_t>(learned.cluster_hist[0]),
-              static_cast<std::int64_t>(learned.cluster_hist[1]),
-              static_cast<std::int64_t>(learned.cluster_hist[2])});
-  t2.add_row({std::string("ring (isolated)"),
-              static_cast<std::int64_t>(learned.ring_hist[0]),
-              static_cast<std::int64_t>(learned.ring_hist[1]),
-              static_cast<std::int64_t>(learned.ring_hist[2])});
+  for (const auto& [row, prefix] :
+       {std::pair{"cluster (dense)", "cluster."},
+        std::pair{"ring (isolated)", "ring."}}) {
+    std::vector<sim::Cell> cells{std::string(row)};
+    for (const char* s : {"broadcast", "smooth", "passive"}) {
+      cells.push_back(static_cast<std::int64_t>(
+          res.sum(learned, std::string(prefix) + s)));
+    }
+    t2.add_row(std::move(cells));
+  }
   t2.print(std::cout);
-  return 0;
+  return h.finish();
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cloud/autoscaler.hpp"
+#include "exp/harness.hpp"
 #include "sim/report.hpp"
 #include "sim/stats.hpp"
 
@@ -25,11 +26,8 @@ using namespace sa::cloud;
 constexpr int kEpochs = 400;
 const std::vector<std::uint64_t> kSeeds{21, 22, 23};
 
-struct Outcome {
-  sim::RunningStats sla, cost, utility, violations;
-};
-
-Outcome run(Autoscaler::Variant v, double mttf_mult, std::uint64_t seed) {
+exp::TaskOutput run(Autoscaler::Variant v, double mttf_mult,
+                    std::uint64_t seed) {
   Cluster::Params cp;
   cp.nodes = 30;
   cp.mttf_mean_s = 300.0 * mttf_mult;
@@ -58,43 +56,56 @@ Outcome run(Autoscaler::Variant v, double mttf_mult, std::uint64_t seed) {
       if (ep.sla < ap.sla_target) ++viol;
     }
   }
-  Outcome o;
-  o.sla.add(tail_sla.mean());
-  o.cost.add(tail_cost.mean());
-  o.utility.add(as.utility().mean());
-  o.violations.add(static_cast<double>(viol) / static_cast<double>(judged));
-  return o;
+  return {{{"sla", tail_sla.mean()},
+           {"viol_rate",
+            static_cast<double>(viol) / static_cast<double>(judged)},
+           {"cost_per_epoch", tail_cost.mean()},
+           {"utility", as.utility().mean()}}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Harness h("e3_cloud", argc, argv);
   std::cout << "E3: autoscaling a volunteer cloud, " << kEpochs
-            << " epochs x 10 s, diurnal+bursty demand, " << kSeeds.size()
+            << " epochs x 10 s, diurnal+bursty demand, "
+            << h.seeds_for(kSeeds).size()
             << " seeds. MTTF multiplier scales node flakiness (lower = "
                "flakier).\n\n";
+
+  struct Config {
+    double mttf_mult;
+    Autoscaler::Variant variant;
+  };
+  std::vector<Config> configs;
+  exp::Grid g;
+  g.name = "e3";
+  g.seeds = kSeeds;
+  for (const double mttf_mult : {2.0, 1.0, 0.5}) {
+    for (const auto v :
+         {Autoscaler::Variant::Static, Autoscaler::Variant::Reactive,
+          Autoscaler::Variant::SelfAware}) {
+      configs.push_back({mttf_mult, v});
+      g.variants.push_back(std::string(Autoscaler::variant_name(v)) + "@x" +
+                           std::to_string(mttf_mult).substr(0, 3));
+    }
+  }
+  g.task = [&configs](const exp::TaskContext& ctx) {
+    const auto& cfg = configs[ctx.variant];
+    return run(cfg.variant, cfg.mttf_mult, ctx.seed);
+  };
+  const auto res = h.run(std::move(g));
 
   sim::Table t("E3.1  SLA / cost by variant and node reliability",
                {"mttf_x", "variant", "sla", "viol_rate", "cost/epoch",
                 "utility"});
   t.precision(0, 1);
-  for (const double mttf_mult : {2.0, 1.0, 0.5}) {
-    for (const auto v :
-         {Autoscaler::Variant::Static, Autoscaler::Variant::Reactive,
-          Autoscaler::Variant::SelfAware}) {
-      Outcome agg;
-      for (const auto seed : kSeeds) {
-        const Outcome o = run(v, mttf_mult, seed);
-        agg.sla.merge(o.sla);
-        agg.cost.merge(o.cost);
-        agg.utility.merge(o.utility);
-        agg.violations.merge(o.violations);
-      }
-      t.add_row({mttf_mult, std::string(Autoscaler::variant_name(v)),
-                 agg.sla.mean(), agg.violations.mean(), agg.cost.mean(),
-                 agg.utility.mean()});
-    }
+  for (std::size_t v = 0; v < configs.size(); ++v) {
+    t.add_row({configs[v].mttf_mult,
+               std::string(Autoscaler::variant_name(configs[v].variant)),
+               res.mean(v, "sla"), res.mean(v, "viol_rate"),
+               res.mean(v, "cost_per_epoch"), res.mean(v, "utility")});
   }
   t.print(std::cout);
-  return 0;
+  return h.finish();
 }

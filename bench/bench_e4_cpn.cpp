@@ -16,6 +16,7 @@
 
 #include "cpn/network.hpp"
 #include "cpn/traffic.hpp"
+#include "exp/harness.hpp"
 #include "sim/report.hpp"
 #include "sim/stats.hpp"
 
@@ -29,16 +30,10 @@ constexpr double kAttack = 3000.0;
 constexpr double kAfter = 3000.0;
 const std::vector<std::uint64_t> kSeeds{41, 42, 43};
 
-struct WindowStats {
-  sim::RunningStats delivery, latency, p95;
-};
+const char* const kWindows[] = {"before", "during", "after"};
 
-struct RunStats {
-  WindowStats before, during, after;
-};
-
-RunStats run(PacketNetwork::Router router, bool defence,
-             std::uint64_t seed) {
+exp::TaskOutput run(PacketNetwork::Router router, bool defence,
+                    std::uint64_t seed) {
   const auto topo = Topology::grid(4, 6, 4, seed);
   PacketNetwork::Params np;
   np.router = router;
@@ -55,82 +50,74 @@ RunStats run(PacketNetwork::Router router, bool defence,
   tp.seed = seed;
   TrafficGenerator gen(topo, tp);
 
-  auto run_window = [&](double ticks, WindowStats& w) {
-    for (double i = 0; i < ticks; ++i) {
+  exp::Metrics m;
+  const double ticks[] = {kBefore, kAttack, kAfter};
+  for (int w = 0; w < 3; ++w) {
+    for (double i = 0; i < ticks[w]; ++i) {
       gen.tick(net);
       net.step();
     }
     const auto s = net.harvest();
-    w.delivery.add(s.delivery_rate());
-    w.latency.add(s.mean_latency);
-    w.p95.add(s.p95_latency);
-  };
-
-  RunStats r;
-  run_window(kBefore, r.before);
-  run_window(kAttack, r.during);
-  run_window(kAfter, r.after);
-  return r;
+    const std::string prefix = std::string(kWindows[w]) + ".";
+    m.emplace_back(prefix + "delivery", s.delivery_rate());
+    m.emplace_back(prefix + "mean_lat", s.mean_latency);
+    m.emplace_back(prefix + "p95_lat", s.p95_latency);
+  }
+  return {std::move(m)};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Harness h("e4_cpn", argc, argv);
   std::cout << "E4: DoS resilience — static shortest-path vs self-aware "
                "Q-routing (CPN loop).\nFlood of 25 pkts/tick from 3 "
                "attackers onto the central node during the middle window; "
-            << kSeeds.size() << " seeds.\n\n";
+            << h.seeds_for(kSeeds).size() << " seeds.\n\n";
 
   struct Config {
     std::string name;
     PacketNetwork::Router router;
     bool defence;
-    RunStats stats;
   };
-  std::vector<Config> configs{
-      {"static", PacketNetwork::Router::Static, false, {}},
-      {"static+defence", PacketNetwork::Router::Static, true, {}},
-      {"q-routing", PacketNetwork::Router::QRouting, false, {}},
-      {"self-aware (q+defence)", PacketNetwork::Router::QRouting, true, {}},
+  const std::vector<Config> configs{
+      {"static", PacketNetwork::Router::Static, false},
+      {"static+defence", PacketNetwork::Router::Static, true},
+      {"q-routing", PacketNetwork::Router::QRouting, false},
+      {"self-aware (q+defence)", PacketNetwork::Router::QRouting, true},
   };
-  for (auto& cfg : configs) {
-    for (const auto seed : kSeeds) {
-      const auto r = run(cfg.router, cfg.defence, seed);
-      for (auto [into, from] : {std::pair{&cfg.stats.before, &r.before},
-                                std::pair{&cfg.stats.during, &r.during},
-                                std::pair{&cfg.stats.after, &r.after}}) {
-        into->delivery.merge(from->delivery);
-        into->latency.merge(from->latency);
-        into->p95.merge(from->p95);
-      }
-    }
-  }
+
+  exp::Grid g;
+  g.name = "e4";
+  for (const auto& cfg : configs) g.variants.push_back(cfg.name);
+  g.seeds = kSeeds;
+  g.task = [&configs](const exp::TaskContext& ctx) {
+    const auto& cfg = configs[ctx.variant];
+    return run(cfg.router, cfg.defence, ctx.seed);
+  };
+  const auto res = h.run(std::move(g));
 
   sim::Table t1("E4.1  legitimate-traffic QoS by attack window",
                 {"router", "window", "delivery", "mean_lat", "p95_lat"});
-  for (const auto& cfg : configs) {
-    for (const auto& [win, w] :
-         {std::pair<std::string, const WindowStats*>{"before",
-                                                     &cfg.stats.before},
-          std::pair<std::string, const WindowStats*>{"during",
-                                                     &cfg.stats.during},
-          std::pair<std::string, const WindowStats*>{"after",
-                                                     &cfg.stats.after}}) {
-      t1.add_row({cfg.name, win, w->delivery.mean(), w->latency.mean(),
-                  w->p95.mean()});
+  for (std::size_t v = 0; v < res.variants.size(); ++v) {
+    for (const char* win : kWindows) {
+      const std::string prefix = std::string(win) + ".";
+      t1.add_row({res.variants[v], std::string(win),
+                  res.mean(v, prefix + "delivery"),
+                  res.mean(v, prefix + "mean_lat"),
+                  res.mean(v, prefix + "p95_lat")});
     }
   }
   t1.print(std::cout);
 
   sim::Table t2("E4.2  degradation during attack (during / before)",
                 {"router", "latency_x", "delivery_drop"});
-  for (const auto& cfg : configs) {
-    t2.add_row({cfg.name,
-                cfg.stats.during.latency.mean() /
-                    cfg.stats.before.latency.mean(),
-                cfg.stats.before.delivery.mean() -
-                    cfg.stats.during.delivery.mean()});
+  for (std::size_t v = 0; v < res.variants.size(); ++v) {
+    t2.add_row({res.variants[v],
+                res.mean(v, "during.mean_lat") / res.mean(v, "before.mean_lat"),
+                res.mean(v, "before.delivery") -
+                    res.mean(v, "during.delivery")});
   }
   t2.print(std::cout);
-  return 0;
+  return h.finish();
 }

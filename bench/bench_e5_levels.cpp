@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cloud/autoscaler.hpp"
+#include "exp/harness.hpp"
 #include "multicore/manager.hpp"
 #include "multicore/workload.hpp"
 #include "sim/report.hpp"
@@ -59,14 +60,54 @@ double run(const Row& row, std::uint64_t seed) {
   return u.mean();
 }
 
+struct CloudRow {
+  std::string name;
+  core::LevelSet levels;
+};
+
+exp::TaskOutput run_cloud(const CloudRow& row, std::uint64_t seed) {
+  cloud::Cluster::Params cp;
+  cp.nodes = 30;
+  cp.seed = seed;
+  cp.boot_s = 10.0;  // one epoch of provisioning lag
+  cloud::Cluster cluster(cp);
+  // A steep, fast diurnal cycle: demand moves by whole nodes' worth
+  // between control epochs, so anticipating it (vs chasing it) shows.
+  cloud::DemandModel::Params dp;
+  dp.base = 80.0;
+  dp.diurnal_amp = 0.6;
+  dp.period_s = 300.0;
+  dp.burst_prob = 0.03;
+  dp.burst_mult = 2.0;
+  cloud::DemandModel demand(dp);
+  cloud::Autoscaler::Params ap;
+  ap.variant = cloud::Autoscaler::Variant::SelfAware;
+  ap.levels = row.levels;
+  ap.seasonal_epochs = 30;  // period_s / epoch_s
+  ap.seed = seed;
+  cloud::Autoscaler as(cluster, demand, ap);
+  sim::RunningStats tail_sla, tail_cost;
+  for (int e = 0; e < 400; ++e) {
+    const auto ep = as.run_epoch();
+    if (e >= 100) {
+      tail_sla.add(ep.sla);
+      tail_cost.add(ep.cost);
+    }
+  }
+  return {{{"sla", tail_sla.mean()},
+           {"cost", tail_cost.mean()},
+           {"utility", as.utility().mean()}}};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using core::Level;
   using core::LevelSet;
+  exp::Harness h("e5_levels", argc, argv);
   std::cout << "E5: what does each self-awareness level buy? Multicore "
-               "scenario, " << kEpochs << " epochs, " << kSeeds.size()
-            << " seeds.\n\n";
+               "scenario, " << kEpochs << " epochs, "
+            << h.seeds_for(kSeeds).size() << " seeds.\n\n";
 
   const std::vector<Row> rows{
       {"none (static)", Manager::Variant::Static, LevelSet{}},
@@ -80,20 +121,24 @@ int main() {
        LevelSet::full()},
   };
 
+  exp::Grid g;
+  g.name = "e5.multicore";
+  for (const auto& row : rows) g.variants.push_back(row.name);
+  g.seeds = kSeeds;
+  g.task = [&rows](const exp::TaskContext& ctx) -> exp::TaskOutput {
+    return {{{"utility", run(rows[ctx.variant], ctx.seed)}}};
+  };
+  const auto res = h.run(std::move(g));
+
   sim::Table t("E5.1  multicore: mean utility by enabled awareness levels",
                {"configuration", "levels", "utility"});
-  for (const auto& row : rows) {
-    sim::RunningStats u;
-    for (const auto seed : kSeeds) u.add(run(row, seed));
-    t.add_row({row.name, row.levels.to_string(), u.mean()});
+  for (std::size_t v = 0; v < rows.size(); ++v) {
+    t.add_row({rows[v].name, rows[v].levels.to_string(),
+               res.mean(v, "utility")});
   }
   t.print(std::cout);
 
   // ---- Cloud ablation: interaction + time awareness matter directly ----
-  struct CloudRow {
-    std::string name;
-    LevelSet levels;
-  };
   const std::vector<CloudRow> cloud_rows{
       {"goal only", LevelSet{Level::Stimulus, Level::Goal}},
       {"+time (forecast)",
@@ -106,45 +151,21 @@ int main() {
       {"full stack (+meta)", LevelSet::full()},
   };
 
+  exp::Grid gc;
+  gc.name = "e5.cloud";
+  for (const auto& row : cloud_rows) gc.variants.push_back(row.name);
+  gc.seeds = kSeeds;
+  gc.task = [&cloud_rows](const exp::TaskContext& ctx) {
+    return run_cloud(cloud_rows[ctx.variant], ctx.seed);
+  };
+  const auto resc = h.run(std::move(gc));
+
   sim::Table tc("E5.2  volunteer cloud: SLA/cost by enabled levels",
                 {"configuration", "sla", "cost", "utility"});
-  for (const auto& row : cloud_rows) {
-    sim::RunningStats sla, cost, u;
-    for (const auto seed : kSeeds) {
-      cloud::Cluster::Params cp;
-      cp.nodes = 30;
-      cp.seed = seed;
-      cp.boot_s = 10.0;  // one epoch of provisioning lag
-      cloud::Cluster cluster(cp);
-      // A steep, fast diurnal cycle: demand moves by whole nodes' worth
-      // between control epochs, so anticipating it (vs chasing it) shows.
-      cloud::DemandModel::Params dp;
-      dp.base = 80.0;
-      dp.diurnal_amp = 0.6;
-      dp.period_s = 300.0;
-      dp.burst_prob = 0.03;
-      dp.burst_mult = 2.0;
-      cloud::DemandModel demand(dp);
-      cloud::Autoscaler::Params ap;
-      ap.variant = cloud::Autoscaler::Variant::SelfAware;
-      ap.levels = row.levels;
-      ap.seasonal_epochs = 30;  // period_s / epoch_s
-      ap.seed = seed;
-      cloud::Autoscaler as(cluster, demand, ap);
-      sim::RunningStats tail_sla, tail_cost;
-      for (int e = 0; e < 400; ++e) {
-        const auto ep = as.run_epoch();
-        if (e >= 100) {
-          tail_sla.add(ep.sla);
-          tail_cost.add(ep.cost);
-        }
-      }
-      sla.add(tail_sla.mean());
-      cost.add(tail_cost.mean());
-      u.add(as.utility().mean());
-    }
-    tc.add_row({row.name, sla.mean(), cost.mean(), u.mean()});
+  for (std::size_t v = 0; v < cloud_rows.size(); ++v) {
+    tc.add_row({cloud_rows[v].name, resc.mean(v, "sla"),
+                resc.mean(v, "cost"), resc.mean(v, "utility")});
   }
   tc.print(std::cout);
-  return 0;
+  return h.finish();
 }

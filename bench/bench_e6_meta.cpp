@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/agent.hpp"
+#include "exp/harness.hpp"
 #include "learn/bandit.hpp"
 #include "sim/report.hpp"
 #include "sim/stats.hpp"
@@ -48,12 +49,7 @@ struct Config {
   bool discounted;
 };
 
-struct EraStats {
-  sim::RunningStats era[3];
-  sim::RunningStats overall;
-};
-
-EraStats run(const Config& cfg, std::uint64_t seed) {
+exp::TaskOutput run(const Config& cfg, std::uint64_t seed) {
   core::AgentConfig ac;
   ac.seed = seed;
   ac.levels = cfg.meta
@@ -85,23 +81,27 @@ EraStats run(const Config& cfg, std::uint64_t seed) {
   agent.set_policy(std::make_unique<core::BanditPolicy>(std::move(bandit)));
 
   sim::Rng env(sim::mix64(seed) ^ 0xe6);
-  EraStats out;
+  sim::RunningStats era[3], overall;
   for (int t = 0; t < kSteps; ++t) {
-    const int era = t / kEraLen;
+    const int e = t / kEraLen;
     const auto d = agent.step(t);
     const double r =
-        env.chance(arm_mean(d.action_index, era)) ? 1.0 : 0.0;
+        env.chance(arm_mean(d.action_index, e)) ? 1.0 : 0.0;
     last_reward = r;
     agent.reward(r);
-    out.era[era].add(r);
-    out.overall.add(r);
+    era[e].add(r);
+    overall.add(r);
   }
-  return out;
+  return {{{"era0", era[0].mean()},
+           {"era1", era[1].mean()},
+           {"era2", era[2].mean()},
+           {"overall", overall.mean()}}};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Harness h("e6_meta", argc, argv);
   std::cout << "E6: recovering from structural drift — meta level vs fixed "
                "vs discount-forgetting. Best arm moves at steps 1000 and "
                "2000; oracle mean reward is 0.9.\n\n";
@@ -112,20 +112,22 @@ int main() {
       {"meta-self-aware (drift reset)", true, false},
   };
 
+  exp::Grid g;
+  g.name = "e6";
+  for (const auto& cfg : configs) g.variants.push_back(cfg.name);
+  g.seeds = kSeeds;
+  g.task = [&configs](const exp::TaskContext& ctx) {
+    return run(configs[ctx.variant], ctx.seed);
+  };
+  const auto res = h.run(std::move(g));
+
   sim::Table t("E6.1  mean reward by drift era",
                {"agent", "era0", "era1", "era2", "overall", "regret"});
-  for (const auto& cfg : configs) {
-    sim::RunningStats e0, e1, e2, all;
-    for (const auto seed : kSeeds) {
-      const auto s = run(cfg, seed);
-      e0.add(s.era[0].mean());
-      e1.add(s.era[1].mean());
-      e2.add(s.era[2].mean());
-      all.add(s.overall.mean());
-    }
-    t.add_row({cfg.name, e0.mean(), e1.mean(), e2.mean(), all.mean(),
-               0.9 - all.mean()});
+  for (std::size_t v = 0; v < res.variants.size(); ++v) {
+    const double overall = res.mean(v, "overall");
+    t.add_row({res.variants[v], res.mean(v, "era0"), res.mean(v, "era1"),
+               res.mean(v, "era2"), overall, 0.9 - overall});
   }
   t.print(std::cout);
-  return 0;
+  return h.finish();
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/collective.hpp"
+#include "exp/harness.hpp"
 #include "sim/report.hpp"
 #include "sim/stats.hpp"
 
@@ -37,24 +38,6 @@ double mean_of(const std::vector<double>& v) {
          static_cast<double>(v.size());
 }
 
-struct Convergence {
-  double rounds = 0.0;
-  double messages = 0.0;
-};
-
-Convergence converge(CollectiveAggregator& agg,
-                     const std::vector<double>& values, sim::Rng& rng) {
-  agg.reset(values);
-  const double truth = mean_of(values);
-  const double tol = 0.01 * truth;
-  Convergence c;
-  while (agg.max_error(truth) > tol && c.rounds < 500) {
-    c.messages += static_cast<double>(agg.round(rng));
-    c.rounds += 1.0;
-  }
-  return c;
-}
-
 std::unique_ptr<CollectiveAggregator> make(const std::string& kind,
                                            std::size_t n) {
   if (kind == "central") return std::make_unique<CentralAggregator>(n);
@@ -62,70 +45,109 @@ std::unique_ptr<CollectiveAggregator> make(const std::string& kind,
   return std::make_unique<HierarchyAggregator>(n, 2);
 }
 
+/// (a) cost to converge for one (population, scheme) cell.
+exp::TaskOutput run_convergence(std::size_t n, const std::string& kind,
+                                std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const auto values = make_values(n, rng);
+  auto agg = make(kind, n);
+  agg->reset(values);
+  const double truth = mean_of(values);
+  const double tol = 0.01 * truth;
+  double rounds = 0.0, messages = 0.0;
+  while (agg->max_error(truth) > tol && rounds < 500) {
+    messages += static_cast<double>(agg->round(rng));
+    rounds += 1.0;
+  }
+  return {{{"rounds", rounds}, {"messages", messages}}};
+}
+
+/// (b) error after the key node fails and the world moves on.
+exp::TaskOutput run_failure(const std::string& kind, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  auto values = make_values(64, rng);
+  auto agg = make(kind, 64);
+  agg->reset(values);
+  for (int r = 0; r < 3; ++r) agg->round(rng);
+  agg->fail_node(0);
+  // The world also moves on: survivors' values shift, so frozen
+  // estimates become wrong, not just stale.
+  for (std::size_t i = 1; i < values.size(); ++i) values[i] += 20.0;
+  std::vector<double> live_values;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    live_values.push_back(values[i]);
+  }
+  const double truth = mean_of(live_values);
+  // Re-seed the live nodes' local values (aggregators track the mean of
+  // what reset() gave them; emulate the update by resetting and
+  // re-failing — gossip/hierarchy handle this as a fresh epoch).
+  agg->reset(values);
+  agg->fail_node(0);
+  double moved = 0.0;
+  for (int r = 0; r < 30; ++r) moved += agg->round(rng);
+  return {{{"mean_error_pct", agg->mean_error(truth) / truth * 100.0},
+           {"moved", moved}}};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Harness h("e7_collective", argc, argv);
   std::cout << "E7: maintaining collective knowledge of a global mean — "
                "centralised vs gossip vs hierarchy.\nConvergence = every "
                "live node within 1% of the true mean; "
-            << kSeeds.size() << " seeds.\n\n";
+            << h.seeds_for(kSeeds).size() << " seeds.\n\n";
+
+  const std::vector<std::size_t> sizes{16, 64, 256};
+  const std::vector<std::string> kinds{"central", "gossip", "hierarchy"};
+
+  exp::Grid g1;
+  g1.name = "e7.convergence";
+  g1.seeds = kSeeds;
+  for (const auto n : sizes) {
+    for (const auto& kind : kinds) {
+      g1.variants.push_back(kind + "@" + std::to_string(n));
+    }
+  }
+  g1.task = [&](const exp::TaskContext& ctx) {
+    const std::size_t n = sizes[ctx.variant / kinds.size()];
+    const auto& kind = kinds[ctx.variant % kinds.size()];
+    return run_convergence(n, kind, ctx.seed);
+  };
+  const auto res1 = h.run(std::move(g1));
 
   sim::Table t1("E7.1  cost to converge vs population size",
                 {"nodes", "scheme", "rounds", "messages"});
-  for (const std::size_t n : {16, 64, 256}) {
-    for (const std::string kind : {"central", "gossip", "hierarchy"}) {
-      sim::RunningStats rounds, msgs;
-      for (const auto seed : kSeeds) {
-        sim::Rng rng(seed);
-        const auto values = make_values(n, rng);
-        auto agg = make(kind, n);
-        const auto c = converge(*agg, values, rng);
-        rounds.add(c.rounds);
-        msgs.add(c.messages);
-      }
-      t1.add_row({static_cast<std::int64_t>(n), kind, rounds.mean(),
-                  msgs.mean()});
-    }
+  for (std::size_t v = 0; v < res1.variants.size(); ++v) {
+    t1.add_row({static_cast<std::int64_t>(sizes[v / kinds.size()]),
+                kinds[v % kinds.size()], res1.mean(v, "rounds"),
+                res1.mean(v, "messages")});
   }
   t1.print(std::cout);
 
   // (b) Failure of the structurally most important node: the coordinator
   // for central, the root for hierarchy, an arbitrary node for gossip.
+  exp::Grid g2;
+  g2.name = "e7.failure";
+  g2.variants = kinds;
+  g2.seeds = kSeeds;
+  g2.task = [&](const exp::TaskContext& ctx) {
+    return run_failure(kinds[ctx.variant], ctx.seed);
+  };
+  const auto res2 = h.run(std::move(g2));
+
   sim::Table t2(
       "E7.2  error after key-node failure + 30 more rounds (n=64)",
       {"scheme", "key_node", "mean_error_pct", "still_converging"});
-  for (const std::string kind : {"central", "gossip", "hierarchy"}) {
-    sim::RunningStats err;
-    bool converging = true;
-    for (const auto seed : kSeeds) {
-      sim::Rng rng(seed);
-      auto values = make_values(64, rng);
-      auto agg = make(kind, 64);
-      agg->reset(values);
-      for (int r = 0; r < 3; ++r) agg->round(rng);
-      agg->fail_node(0);
-      // The world also moves on: survivors' values shift, so frozen
-      // estimates become wrong, not just stale.
-      for (std::size_t i = 1; i < values.size(); ++i) values[i] += 20.0;
-      std::vector<double> live_values;
-      for (std::size_t i = 1; i < values.size(); ++i) {
-        live_values.push_back(values[i]);
-      }
-      const double truth = mean_of(live_values);
-      // Re-seed the live nodes' local values (aggregators track the mean of
-      // what reset() gave them; emulate the update by resetting and
-      // re-failing — gossip/hierarchy handle this as a fresh epoch).
-      agg->reset(values);
-      agg->fail_node(0);
-      double moved = 0.0;
-      for (int r = 0; r < 30; ++r) moved += agg->round(rng);
-      err.add(agg->mean_error(truth) / truth * 100.0);
-      converging = converging && moved > 0.0;
-    }
-    t2.add_row({kind, std::string(kind == "gossip" ? "random" : "node 0"),
-                err.mean(),
+  for (std::size_t v = 0; v < kinds.size(); ++v) {
+    // "Still converging" iff every seed's survivors kept exchanging
+    // messages after the failure.
+    const bool converging = res2.stats(v, "moved").min() > 0.0;
+    t2.add_row({kinds[v],
+                std::string(kinds[v] == "gossip" ? "random" : "node 0"),
+                res2.mean(v, "mean_error_pct"),
                 std::string(converging ? "yes" : "no (dead)")});
   }
   t2.print(std::cout);
-  return 0;
+  return h.finish();
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/agent.hpp"
+#include "exp/harness.hpp"
 #include "sim/report.hpp"
 #include "sim/stats.hpp"
 
@@ -80,30 +81,49 @@ double run(core::AttentionManager::Strategy strategy, std::size_t budget,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Harness h("e9_attention", argc, argv);
   std::cout << "E9: directing a limited monitoring budget over " << kSignals
             << " signals (" << kDynamic
             << " dynamic, rest near-constant). Metric: mean |known - true| "
                "across all signals (lower is better); "
-            << kSeeds.size() << " seeds.\n\n";
+            << h.seeds_for(kSeeds).size() << " seeds.\n\n";
 
   using Strategy = core::AttentionManager::Strategy;
+  const std::vector<std::size_t> budgets{2, 4, 8, 16};
+  const std::vector<std::pair<std::string, Strategy>> strategies{
+      {"rr", Strategy::RoundRobin},
+      {"random", Strategy::Random},
+      {"adaptive", Strategy::Adaptive}};
+
+  exp::Grid g;
+  g.name = "e9";
+  g.seeds = kSeeds;
+  for (const auto budget : budgets) {
+    for (const auto& [label, strategy] : strategies) {
+      g.variants.push_back(label + "@" + std::to_string(budget));
+    }
+  }
+  g.task = [&](const exp::TaskContext& ctx) -> exp::TaskOutput {
+    const std::size_t budget = budgets[ctx.variant / strategies.size()];
+    const auto strategy = strategies[ctx.variant % strategies.size()].second;
+    return {{{"staleness", run(strategy, budget, ctx.seed)}}};
+  };
+  const auto res = h.run(std::move(g));
+
   sim::Table t("E9.1  knowledge staleness by attention strategy and budget",
                {"budget", "round-robin", "random", "adaptive",
                 "adaptive_gain"});
-  for (const std::size_t budget : {2, 4, 8, 16}) {
-    sim::RunningStats rr, rnd, ad;
-    for (const auto seed : kSeeds) {
-      rr.add(run(Strategy::RoundRobin, budget, seed));
-      rnd.add(run(Strategy::Random, budget, seed));
-      ad.add(run(Strategy::Adaptive, budget, seed));
-    }
-    const double gain = ad.mean() > 1e-12 ? rr.mean() / ad.mean() : 1.0;
-    t.add_row({static_cast<std::int64_t>(budget), rr.mean(), rnd.mean(),
-               ad.mean(), gain});
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    const std::size_t base = b * strategies.size();
+    const double rr = res.mean(base + 0, "staleness");
+    const double rnd = res.mean(base + 1, "staleness");
+    const double ad = res.mean(base + 2, "staleness");
+    const double gain = ad > 1e-12 ? rr / ad : 1.0;
+    t.add_row({static_cast<std::int64_t>(budgets[b]), rr, rnd, ad, gain});
   }
   t.print(std::cout);
   std::cout << "adaptive_gain = round-robin error / adaptive error "
                "(>1 means self-aware attention wins).\n";
-  return 0;
+  return h.finish();
 }

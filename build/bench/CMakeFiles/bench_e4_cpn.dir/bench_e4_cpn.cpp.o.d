@@ -194,7 +194,20 @@ bench/CMakeFiles/bench_e4_cpn.dir/bench_e4_cpn.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/cpn/traffic.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/report.hpp \
- /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/exp/harness.hpp \
+ /root/repo/src/exp/args.hpp /root/repo/src/exp/json.hpp \
+ /root/repo/src/exp/runner.hpp /root/repo/src/exp/aggregate.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/exp/grid.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/sim/report.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h

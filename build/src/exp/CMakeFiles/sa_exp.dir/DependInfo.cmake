@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/aggregate.cpp" "src/exp/CMakeFiles/sa_exp.dir/aggregate.cpp.o" "gcc" "src/exp/CMakeFiles/sa_exp.dir/aggregate.cpp.o.d"
+  "/root/repo/src/exp/args.cpp" "src/exp/CMakeFiles/sa_exp.dir/args.cpp.o" "gcc" "src/exp/CMakeFiles/sa_exp.dir/args.cpp.o.d"
+  "/root/repo/src/exp/harness.cpp" "src/exp/CMakeFiles/sa_exp.dir/harness.cpp.o" "gcc" "src/exp/CMakeFiles/sa_exp.dir/harness.cpp.o.d"
+  "/root/repo/src/exp/json.cpp" "src/exp/CMakeFiles/sa_exp.dir/json.cpp.o" "gcc" "src/exp/CMakeFiles/sa_exp.dir/json.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/exp/CMakeFiles/sa_exp.dir/runner.cpp.o" "gcc" "src/exp/CMakeFiles/sa_exp.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_exp.dir/aggregate.cpp.o"
+  "CMakeFiles/sa_exp.dir/aggregate.cpp.o.d"
+  "CMakeFiles/sa_exp.dir/args.cpp.o"
+  "CMakeFiles/sa_exp.dir/args.cpp.o.d"
+  "CMakeFiles/sa_exp.dir/harness.cpp.o"
+  "CMakeFiles/sa_exp.dir/harness.cpp.o.d"
+  "CMakeFiles/sa_exp.dir/json.cpp.o"
+  "CMakeFiles/sa_exp.dir/json.cpp.o.d"
+  "CMakeFiles/sa_exp.dir/runner.cpp.o"
+  "CMakeFiles/sa_exp.dir/runner.cpp.o.d"
+  "libsa_exp.a"
+  "libsa_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -32,6 +32,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/sa_core.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/sa_exp.dir/DependInfo.cmake"
   "/root/repo/build/src/svc/CMakeFiles/sa_svc.dir/DependInfo.cmake"
   "/root/repo/build/src/cloud/CMakeFiles/sa_cloud.dir/DependInfo.cmake"
   "/root/repo/build/src/multicore/CMakeFiles/sa_multicore.dir/DependInfo.cmake"

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exp/aggregate_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/aggregate_test.cpp.o.d"
+  "/root/repo/tests/exp/args_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/args_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/args_test.cpp.o.d"
+  "/root/repo/tests/exp/json_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/json_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/json_test.cpp.o.d"
+  "/root/repo/tests/exp/runner_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/runner_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/runner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/sa_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/sa_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sa_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicore/CMakeFiles/sa_multicore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpn/CMakeFiles/sa_cpn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

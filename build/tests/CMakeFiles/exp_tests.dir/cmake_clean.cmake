@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tests.dir/exp/aggregate_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/aggregate_test.cpp.o.d"
+  "CMakeFiles/exp_tests.dir/exp/args_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/args_test.cpp.o.d"
+  "CMakeFiles/exp_tests.dir/exp/json_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/json_test.cpp.o.d"
+  "CMakeFiles/exp_tests.dir/exp/runner_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/runner_test.cpp.o.d"
+  "exp_tests"
+  "exp_tests.pdb"
+  "exp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

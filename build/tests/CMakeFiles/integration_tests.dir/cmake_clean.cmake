@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/parallel_determinism_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/parallel_determinism_test.cpp.o.d"
   "CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o"
   "CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o.d"
   "integration_tests"

@@ -11,5 +11,6 @@ include("/root/repo/build/tests/multicore_tests[1]_include.cmake")
 include("/root/repo/build/tests/cloud_tests[1]_include.cmake")
 include("/root/repo/build/tests/svc_tests[1]_include.cmake")
 include("/root/repo/build/tests/cpn_tests[1]_include.cmake")
+include("/root/repo/build/tests/exp_tests[1]_include.cmake")
 include("/root/repo/build/tests/property_tests[1]_include.cmake")
 include("/root/repo/build/tests/integration_tests[1]_include.cmake")

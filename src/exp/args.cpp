@@ -1,0 +1,79 @@
+#include "exp/args.hpp"
+
+#include <charconv>
+#include <cstdint>
+
+namespace sa::exp {
+namespace {
+
+/// Parses a non-negative integer; returns false on garbage or overflow.
+bool parse_uint(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+std::string parse_args(int argc, const char* const* argv, Options& out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    std::string_view value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto next_value = [&]() -> bool {
+      if (has_value) return true;
+      if (i + 1 >= argc) return false;
+      value = argv[++i];
+      return true;
+    };
+
+    if (arg == "--help" || arg == "-h") {
+      out.help = true;
+    } else if (arg == "--jobs" || arg == "-j") {
+      std::uint64_t n = 0;
+      if (!next_value() || !parse_uint(value, n) || n == 0 || n > 4096) {
+        return std::string(arg) + " expects an integer in [1, 4096]";
+      }
+      out.jobs = static_cast<unsigned>(n);
+    } else if (arg == "--seeds") {
+      std::uint64_t n = 0;
+      if (!next_value() || !parse_uint(value, n) || n == 0 || n > 100000) {
+        return "--seeds expects an integer in [1, 100000]";
+      }
+      out.seeds = static_cast<std::size_t>(n);
+    } else if (arg == "--json") {
+      if (!next_value() || value.empty()) {
+        return "--json expects an output path";
+      }
+      out.json = std::string(value);
+    } else {
+      return "unknown argument: " + std::string(argv[i]);
+    }
+  }
+  return {};
+}
+
+std::string usage(std::string_view program) {
+  std::string u;
+  u += "usage: ";
+  u += program;
+  u += " [--jobs N] [--seeds K] [--json PATH]\n";
+  u +=
+      "  --jobs N, -j N  worker threads for the seed x variant grid\n"
+      "                  (default: all hardware threads; results are\n"
+      "                  bitwise-identical for every N)\n"
+      "  --seeds K       run K seeds instead of the experiment default\n"
+      "                  (first K of the canonical list, then derived)\n"
+      "  --json PATH     also write a BENCH_<exp>.json document with\n"
+      "                  per-seed raws, aggregates, wall-clock and git rev\n"
+      "  --help, -h      this text\n";
+  return u;
+}
+
+}  // namespace sa::exp

@@ -1,0 +1,34 @@
+// Shared command-line options for the experiment binaries.
+//
+// Every bench_e* binary accepts the same three flags so that the whole
+// suite can be driven uniformly (and in parallel) by scripts and CI:
+//
+//   --jobs N    worker threads for the seed×variant grid (default: all
+//               hardware threads; results are identical for any N)
+//   --seeds K   override the experiment's default seed count
+//   --json PATH write a machine-readable BENCH_<exp>.json document
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace sa::exp {
+
+struct Options {
+  unsigned jobs = 0;      ///< worker threads; 0 = hardware_concurrency()
+  std::size_t seeds = 0;  ///< seed-count override; 0 = experiment default
+  std::string json;       ///< BENCH json output path; empty = no JSON
+  bool help = false;      ///< --help was given
+};
+
+/// Parses argv into `out`. Returns an empty string on success, otherwise
+/// a one-line error message (the caller should print usage and exit).
+/// Accepts `--flag value` and `--flag=value` spellings plus `-j N`.
+[[nodiscard]] std::string parse_args(int argc, const char* const* argv,
+                                     Options& out);
+
+/// Usage text for --help and parse errors.
+[[nodiscard]] std::string usage(std::string_view program);
+
+}  // namespace sa::exp

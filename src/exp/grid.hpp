@@ -1,0 +1,77 @@
+// Declarative seed × variant experiment grids.
+//
+// An experiment describes its runs as a Grid — a list of named variants,
+// a list of seeds, and a task function evaluating one (variant, seed)
+// cell to a set of named metrics. The Runner fans the cells out across
+// hardware threads; because every cell owns its own substrate instances
+// and a deterministic RNG stream derived from (experiment, variant, seed)
+// via splitmix64, the results are bitwise-identical regardless of thread
+// count or scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace sa::exp {
+
+/// Named metric values produced by one task, in a fixed (reported) order.
+using Metrics = std::vector<std::pair<std::string, double>>;
+
+/// What one grid cell returns: metrics plus an optional free-text payload
+/// (e.g. a sample explanation) surfaced in the console/JSON reports.
+struct TaskOutput {
+  Metrics metrics;
+  std::string note;
+
+  TaskOutput() = default;
+  TaskOutput(Metrics m, std::string n = {})  // NOLINT(google-explicit-constructor)
+      : metrics(std::move(m)), note(std::move(n)) {}
+};
+
+/// FNV-1a string hash (stable across platforms; used for stream keys).
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// The deterministic RNG stream key of a grid cell: splitmix64 chained
+/// over (experiment, variant, seed). Independent of thread count and of
+/// every other cell, so adding variants/seeds never perturbs existing ones.
+constexpr std::uint64_t stream_of(std::string_view experiment,
+                                  std::string_view variant,
+                                  std::uint64_t seed) noexcept {
+  return sim::mix64(sim::mix64(sim::mix64(fnv1a(experiment)) ^ fnv1a(variant)) ^
+                    seed);
+}
+
+/// Everything a task may depend on. Tasks must derive all randomness from
+/// `seed` (substrate seeding, as the original serial binaries did) and/or
+/// `rng()` — never from global state, time, or other cells.
+struct TaskContext {
+  std::string_view experiment;   ///< owning experiment name
+  std::string_view variant_name; ///< grid.variants[variant]
+  std::size_t variant = 0;       ///< index into grid.variants
+  std::uint64_t seed = 0;        ///< the cell's seed
+  std::uint64_t stream = 0;      ///< stream_of(experiment, variant, seed)
+
+  /// A fresh generator on this cell's private stream.
+  [[nodiscard]] sim::Rng rng() const noexcept { return sim::Rng{stream}; }
+};
+
+struct Grid {
+  std::string name;                   ///< short id, e.g. "e1" or "e5.cloud"
+  std::vector<std::string> variants;  ///< row/configuration names
+  std::vector<std::uint64_t> seeds;   ///< replications per variant
+  std::function<TaskOutput(const TaskContext&)> task;
+};
+
+}  // namespace sa::exp

@@ -1,0 +1,158 @@
+#include "exp/harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+namespace sa::exp {
+
+Json to_json(const GridResult& result, bool include_timing) {
+  Json g = Json::object();
+  g["name"] = result.name;
+  Json& variants = g["variants"] = Json::array();
+  for (const auto& v : result.variants) variants.push_back(v);
+  Json& seeds = g["seeds"] = Json::array();
+  for (const auto s : result.seeds) {
+    seeds.push_back(static_cast<std::int64_t>(s));
+  }
+  Json& results = g["results"] = Json::array();
+  for (const auto& t : result.tasks) {
+    Json cell = Json::object();
+    cell["variant"] = result.variants[t.variant];
+    cell["seed"] = static_cast<std::int64_t>(t.seed);
+    Json& metrics = cell["metrics"] = Json::object();
+    for (const auto& [name, value] : t.metrics) metrics[name] = value;
+    if (!t.note.empty()) cell["note"] = t.note;
+    if (!t.error.empty()) cell["error"] = t.error;
+    if (include_timing) cell["wall_s"] = t.wall_s;
+    results.push_back(std::move(cell));
+  }
+  Json& summary = g["summary"] = Json::object();
+  for (std::size_t v = 0; v < result.variants.size(); ++v) {
+    Json& per_variant = summary[result.variants[v]] = Json::object();
+    const Aggregate agg = result.aggregate(v);
+    for (const auto& metric : agg.names()) {
+      const MetricSummary s = agg.summary(metric);
+      Json& m = per_variant[metric] = Json::object();
+      m["n"] = s.n;
+      m["mean"] = s.mean;
+      m["stddev"] = s.stddev;
+      m["ci95"] = s.ci95;
+      m["min"] = s.min;
+      m["max"] = s.max;
+    }
+  }
+  if (include_timing) {
+    g["wall_s"] = result.wall_s;
+    g["jobs"] = static_cast<std::int64_t>(result.jobs);
+  }
+  return g;
+}
+
+std::string git_rev() {
+  if (const char* env = std::getenv("SA_GIT_REV"); env && *env) return env;
+  std::string rev;
+  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p)) rev = buf;
+    pclose(p);
+  }
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
+Harness::Harness(std::string experiment, int argc, const char* const* argv)
+    : experiment_(std::move(experiment)),
+      opts_([&] {
+        Options o;
+        const std::string err = parse_args(argc, argv, o);
+        const char* prog = argc > 0 ? argv[0] : "bench";
+        if (!err.empty()) {
+          std::cerr << prog << ": " << err << "\n" << usage(prog);
+          std::exit(2);
+        }
+        if (o.help) {
+          std::cout << usage(prog);
+          std::exit(0);
+        }
+        return o;
+      }()),
+      runner_(opts_.jobs) {}
+
+std::vector<std::uint64_t> Harness::seeds_for(
+    std::vector<std::uint64_t> defaults) const {
+  if (opts_.seeds == 0 || opts_.seeds == defaults.size()) return defaults;
+  if (opts_.seeds < defaults.size()) {
+    defaults.resize(opts_.seeds);
+    return defaults;
+  }
+  // Extend deterministically past the canonical list.
+  const std::uint64_t key = fnv1a(experiment_);
+  for (std::size_t i = defaults.size(); i < opts_.seeds; ++i) {
+    defaults.push_back(sim::mix64(key ^ (0x5eed0000ULL + i)));
+  }
+  return defaults;
+}
+
+GridResult Harness::run(Grid grid) {
+  grid.seeds = seeds_for(std::move(grid.seeds));
+  results_.push_back(runner_.run(experiment_, grid));
+  return results_.back();
+}
+
+Json Harness::document() const {
+  Json doc = Json::object();
+  doc["schema"] = 1;
+  doc["experiment"] = experiment_;
+  Json& meta = doc["meta"] = Json::object();
+  meta["git_rev"] = git_rev();
+  meta["jobs"] = static_cast<std::int64_t>(jobs());
+  double wall = 0.0;
+  for (const auto& g : results_) wall += g.wall_s;
+  meta["wall_clock_s"] = wall;
+  Json& grids = doc["grids"] = Json::array();
+  for (const auto& g : results_) grids.push_back(to_json(g));
+  return doc;
+}
+
+int Harness::finish(std::ostream& os) {
+  std::size_t failed = 0;
+  for (const auto& g : results_) {
+    for (const auto& t : g.tasks) {
+      if (t.error.empty()) continue;
+      ++failed;
+      os << "error: " << experiment_ << "/" << g.name << " variant '"
+         << g.variants[t.variant] << "' seed " << t.seed << ": " << t.error
+         << "\n";
+    }
+  }
+  double wall = 0.0;
+  std::size_t cells = 0;
+  for (const auto& g : results_) {
+    wall += g.wall_s;
+    cells += g.tasks.size();
+  }
+  os << "[" << experiment_ << "] " << cells << " runs in " << wall
+     << " s wall-clock on " << jobs() << " job(s)\n";
+
+  int rc = failed != 0 ? 1 : 0;
+  if (!opts_.json.empty()) {
+    std::ofstream out(opts_.json);
+    if (!out) {
+      std::cerr << "error: cannot write " << opts_.json << "\n";
+      rc = 1;
+    } else {
+      document().dump(out);
+      out << "\n";
+      os << "wrote " << opts_.json << "\n";
+    }
+  }
+  return rc;
+}
+
+int Harness::finish() { return finish(std::cout); }
+
+}  // namespace sa::exp

@@ -1,0 +1,76 @@
+// Per-binary experiment harness: flags + parallel runner + emitters.
+//
+// Every bench_e* binary constructs one Harness, runs its grid(s) through
+// it, prints its sim::Table reports exactly as before, and returns
+// harness.finish(). The harness contributes the shared behaviour: the
+// --jobs/--seeds/--json flags, the thread pool, the per-grid aggregation
+// recorded for JSON, the BENCH_<exp>.json document (metrics, per-seed
+// raws, wall-clock, git rev) and the error/timing footer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/args.hpp"
+#include "exp/json.hpp"
+#include "exp/runner.hpp"
+
+namespace sa::exp {
+
+/// Serialises one grid's results (variants, seeds, per-seed raw metrics,
+/// notes, errors, per-variant summaries). Timing fields are emitted only
+/// when `include_timing` — the parallel-determinism tests compare the
+/// timing-free form byte-for-byte across thread counts.
+[[nodiscard]] Json to_json(const GridResult& result,
+                           bool include_timing = true);
+
+/// Best-effort current git revision: $SA_GIT_REV, else `git rev-parse
+/// --short HEAD`, else "unknown". Never throws.
+[[nodiscard]] std::string git_rev();
+
+class Harness {
+ public:
+  /// Parses argv; on --help prints usage and exits 0, on a bad flag
+  /// prints the error and usage and exits 2.
+  Harness(std::string experiment, int argc, const char* const* argv);
+
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+  [[nodiscard]] unsigned jobs() const noexcept { return runner_.jobs(); }
+  [[nodiscard]] const std::string& experiment() const noexcept {
+    return experiment_;
+  }
+
+  /// The seed list actually run: the grid's defaults, overridden by
+  /// --seeds K (first K canonical seeds, then splitmix-derived extras —
+  /// so K <= default count reproduces a prefix of the canonical runs).
+  [[nodiscard]] std::vector<std::uint64_t> seeds_for(
+      std::vector<std::uint64_t> defaults) const;
+
+  /// Applies the --seeds override, evaluates the grid on the pool and
+  /// records the result for the JSON document.
+  GridResult run(Grid grid);
+
+  /// All grid results recorded so far.
+  [[nodiscard]] const std::vector<GridResult>& results() const noexcept {
+    return results_;
+  }
+
+  /// The full BENCH_<exp>.json document.
+  [[nodiscard]] Json document() const;
+
+  /// Prints the timing/error footer, writes the JSON file when --json was
+  /// given, and returns the process exit code (non-zero if any task
+  /// failed or the JSON file could not be written).
+  [[nodiscard]] int finish(std::ostream& os);
+  [[nodiscard]] int finish();
+
+ private:
+  std::string experiment_;
+  Options opts_;
+  Runner runner_;
+  std::vector<GridResult> results_;
+};
+
+}  // namespace sa::exp

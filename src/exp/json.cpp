@@ -1,0 +1,158 @@
+#include "exp/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sa::exp {
+namespace {
+
+void dump_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Json& Json::operator[](std::string_view key) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  if (kind_ != Kind::Object) {
+    throw std::logic_error("Json::operator[]: not an object");
+  }
+  for (auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  object_.emplace_back(std::string(key), Json());
+  return object_.back().second;
+}
+
+const Json& Json::at(std::string_view key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  throw std::out_of_range("Json::at: missing key " + std::string(key));
+}
+
+bool Json::contains(std::string_view key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Json& Json::push_back(Json v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  if (kind_ != Kind::Array) {
+    throw std::logic_error("Json::push_back: not an array");
+  }
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+std::size_t Json::size() const noexcept {
+  switch (kind_) {
+    case Kind::Array: return array_.size();
+    case Kind::Object: return object_.size();
+    default: return 0;
+  }
+}
+
+std::string Json::format_double(double d) {
+  if (!std::isfinite(d)) return "null";
+  // Shortest representation that round-trips exactly: try increasing
+  // precision until strtod gives the same bits back. Deterministic for a
+  // given value, so identical runs serialise identically.
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  std::string s(buf);
+  // Keep doubles visually distinct from ints ("1" -> "1.0").
+  if (s.find_first_of(".eEnN") == std::string::npos) s += ".0";
+  return s;
+}
+
+void Json::dump_impl(std::ostream& os, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+             : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+             : std::string();
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+
+  switch (kind_) {
+    case Kind::Null: os << "null"; break;
+    case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+    case Kind::Int: os << int_; break;
+    case Kind::Double: os << format_double(double_); break;
+    case Kind::String: dump_escaped(os, string_); break;
+    case Kind::Array: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[' << nl;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        os << pad;
+        array_[i].dump_impl(os, indent, depth + 1);
+        if (i + 1 < array_.size()) os << ',';
+        os << nl;
+      }
+      os << close_pad << ']';
+      break;
+    }
+    case Kind::Object: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{' << nl;
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        os << pad;
+        dump_escaped(os, object_[i].first);
+        os << colon;
+        object_[i].second.dump_impl(os, indent, depth + 1);
+        if (i + 1 < object_.size()) os << ',';
+        os << nl;
+      }
+      os << close_pad << '}';
+      break;
+    }
+  }
+}
+
+void Json::dump(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+}  // namespace sa::exp

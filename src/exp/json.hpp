@@ -1,0 +1,73 @@
+// Minimal JSON document builder for the BENCH_<exp>.json emitters.
+//
+// Deliberately tiny (build-and-dump only, no parsing): object keys keep
+// insertion order and numbers are formatted deterministically, so two
+// documents built from the same values serialise byte-identically — the
+// property the parallel-determinism regression tests assert on.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sa::exp {
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() noexcept : kind_(Kind::Null) {}
+  Json(bool b) noexcept : kind_(Kind::Bool), bool_(b) {}
+  Json(std::int64_t i) noexcept : kind_(Kind::Int), int_(i) {}
+  Json(int i) noexcept : Json(static_cast<std::int64_t>(i)) {}
+  Json(std::size_t u) noexcept : Json(static_cast<std::int64_t>(u)) {}
+  Json(double d) noexcept : kind_(Kind::Double), double_(d) {}
+  Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  Json(std::string_view s) : Json(std::string(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  [[nodiscard]] static Json array() { return Json(Kind::Array); }
+  [[nodiscard]] static Json object() { return Json(Kind::Object); }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::Object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+
+  /// Object member access; inserts a null member if absent. A null value
+  /// silently becomes an object first (convenient for building).
+  Json& operator[](std::string_view key);
+  /// Read-only lookup; throws std::out_of_range on a missing key.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Array append. A null value silently becomes an array first.
+  Json& push_back(Json v);
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Serialises with 2-space indentation (indent < 0 → compact).
+  void dump(std::ostream& os, int indent = 2) const;
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Deterministic double formatting used for all JSON numbers:
+  /// shortest round-trip-exact decimal (NaN/Inf serialise as null).
+  [[nodiscard]] static std::string format_double(double d);
+
+ private:
+  explicit Json(Kind k) : kind_(k) {}
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace sa::exp

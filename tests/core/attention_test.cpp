@@ -34,16 +34,17 @@ TEST_P(AttentionBudgetTest, RespectsBudget) {
   }
 }
 
-/// Property: no signal is starved forever.
+/// Property: no signal is starved forever. Round-robin and adaptive
+/// guarantee this deterministically; random gives probabilistic coverage,
+/// which the fixed seed and horizon make effectively certain: each signal
+/// is drawn with p = budget/signals = 1/3 per step, so the chance any of
+/// the 6 is missed in 140 steps is at most 6 * (2/3)^140 < 1e-23.
 TEST_P(AttentionBudgetTest, EverySignalEventuallySampled) {
-  if (GetParam() == Strategy::Random) {
-    GTEST_SKIP() << "random gives only probabilistic coverage";
-  }
   AttentionManager am(GetParam(), 2);
   for (int i = 0; i < 6; ++i) am.register_signal("s" + std::to_string(i));
   sim::Rng rng(2);
   std::map<std::string, int> sampled;
-  for (int step = 0; step < 60; ++step) {
+  for (int step = 0; step < 140; ++step) {
     for (const auto& name : am.select(rng)) {
       ++sampled[name];
       am.feed(name, 0.0);

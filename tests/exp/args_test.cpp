@@ -1,0 +1,99 @@
+#include "exp/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using sa::exp::Options;
+using sa::exp::parse_args;
+using sa::exp::usage;
+
+std::string parse(std::vector<const char*> argv, Options& out) {
+  argv.insert(argv.begin(), "prog");
+  return parse_args(static_cast<int>(argv.size()), argv.data(), out);
+}
+
+TEST(ArgsTest, DefaultsWhenNoFlags) {
+  Options o;
+  EXPECT_EQ(parse({}, o), "");
+  EXPECT_EQ(o.jobs, 0u);
+  EXPECT_EQ(o.seeds, 0u);
+  EXPECT_TRUE(o.json.empty());
+  EXPECT_FALSE(o.help);
+}
+
+TEST(ArgsTest, ParsesAllSpellings) {
+  Options o;
+  EXPECT_EQ(parse({"--jobs", "8", "--seeds", "5", "--json", "out.json"}, o),
+            "");
+  EXPECT_EQ(o.jobs, 8u);
+  EXPECT_EQ(o.seeds, 5u);
+  EXPECT_EQ(o.json, "out.json");
+
+  Options eq;
+  EXPECT_EQ(parse({"--jobs=2", "--seeds=7", "--json=x.json"}, eq), "");
+  EXPECT_EQ(eq.jobs, 2u);
+  EXPECT_EQ(eq.seeds, 7u);
+  EXPECT_EQ(eq.json, "x.json");
+
+  Options shortj;
+  EXPECT_EQ(parse({"-j", "3"}, shortj), "");
+  EXPECT_EQ(shortj.jobs, 3u);
+}
+
+TEST(ArgsTest, HelpFlag) {
+  Options o;
+  EXPECT_EQ(parse({"--help"}, o), "");
+  EXPECT_TRUE(o.help);
+  Options h;
+  EXPECT_EQ(parse({"-h"}, h), "");
+  EXPECT_TRUE(h.help);
+}
+
+TEST(ArgsTest, RejectsUnknownFlag) {
+  Options o;
+  EXPECT_NE(parse({"--bogus"}, o), "");
+}
+
+TEST(ArgsTest, RejectsMissingOrBadValues) {
+  Options o;
+  EXPECT_NE(parse({"--jobs"}, o), "");        // missing value
+  EXPECT_NE(parse({"--jobs", "zero"}, o), "");  // not a number
+  EXPECT_NE(parse({"--jobs", "0"}, o), "");     // out of range
+  EXPECT_NE(parse({"--jobs", "99999"}, o), "");
+  EXPECT_NE(parse({"--jobs", "-4"}, o), "");    // negative
+  EXPECT_NE(parse({"--seeds", "0"}, o), "");
+  EXPECT_NE(parse({"--seeds"}, o), "");
+  EXPECT_NE(parse({"--json"}, o), "");
+  EXPECT_NE(parse({"--json="}, o), "");         // empty path
+}
+
+TEST(ArgsTest, BoundaryValuesAccepted) {
+  Options o;
+  EXPECT_EQ(parse({"--jobs", "1", "--seeds", "1"}, o), "");
+  EXPECT_EQ(o.jobs, 1u);
+  Options hi;
+  EXPECT_EQ(parse({"--jobs", "4096", "--seeds", "100000"}, hi), "");
+  EXPECT_EQ(hi.jobs, 4096u);
+  EXPECT_EQ(hi.seeds, 100000u);
+}
+
+TEST(ArgsTest, LaterFlagWins) {
+  Options o;
+  EXPECT_EQ(parse({"--jobs", "2", "--jobs", "6"}, o), "");
+  EXPECT_EQ(o.jobs, 6u);
+}
+
+TEST(ArgsTest, UsageMentionsEveryFlag) {
+  const std::string u = usage("bench_x");
+  EXPECT_NE(u.find("bench_x"), std::string::npos);
+  EXPECT_NE(u.find("--jobs"), std::string::npos);
+  EXPECT_NE(u.find("--seeds"), std::string::npos);
+  EXPECT_NE(u.find("--json"), std::string::npos);
+  EXPECT_NE(u.find("--help"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include "exp/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using sa::exp::Json;
+
+TEST(JsonTest, ObjectKeepsInsertionOrder) {
+  Json j = Json::object();
+  j["zeta"] = 1;
+  j["alpha"] = 2;
+  j["mid"] = 3;
+  EXPECT_EQ(j.dump(-1), R"({"zeta":1,"alpha":2,"mid":3})");
+}
+
+TEST(JsonTest, NullUpgradesToObjectOrArrayOnUse) {
+  Json j;
+  j["a"]["b"] = "deep";           // null -> object, twice
+  j["list"].push_back(1);         // null -> array
+  j["list"].push_back(2);
+  EXPECT_EQ(j.dump(-1), R"({"a":{"b":"deep"},"list":[1,2]})");
+}
+
+TEST(JsonTest, ScalarsSerialise) {
+  Json j = Json::object();
+  j["b"] = true;
+  j["i"] = std::int64_t{-42};
+  j["d"] = 0.5;
+  j["s"] = "text";
+  j["n"] = Json();
+  EXPECT_EQ(j.dump(-1), R"({"b":true,"i":-42,"d":0.5,"s":"text","n":null})");
+}
+
+TEST(JsonTest, StringsAreEscaped) {
+  Json j = Json::object();
+  j["k"] = "quote\" slash\\ newline\n tab\t bell\x07";
+  EXPECT_EQ(j.dump(-1),
+            "{\"k\":\"quote\\\" slash\\\\ newline\\n tab\\t bell\\u0007\"}");
+}
+
+TEST(JsonTest, IndentedDumpIsStable) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"].push_back("x");
+  EXPECT_EQ(j.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}");
+}
+
+TEST(JsonTest, AtThrowsOnMissingKey) {
+  Json j = Json::object();
+  j["present"] = 1;
+  EXPECT_TRUE(j.contains("present"));
+  EXPECT_FALSE(j.contains("absent"));
+  EXPECT_NO_THROW(static_cast<void>(j.at("present")));
+  EXPECT_THROW(static_cast<void>(j.at("absent")), std::out_of_range);
+}
+
+TEST(JsonTest, FormatDoubleRoundTripsExactly) {
+  // The formatter must emit the shortest decimal that strtod's back to
+  // the identical bits — the foundation of byte-identical documents.
+  const double cases[] = {0.0,   1.0,      -1.0,         0.1,
+                          1e-9,  1e300,    1.0 / 3.0,    0.8469999999999995,
+                          123.456, -0.030000000000000002};
+  for (const double d : cases) {
+    const std::string s = Json::format_double(d);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), d) << s;
+  }
+  // Integral doubles keep a decimal marker so the type survives reparsing.
+  EXPECT_EQ(Json::format_double(4.0), "4.0");
+  EXPECT_EQ(Json::format_double(0.5), "0.5");
+}
+
+TEST(JsonTest, NonFiniteDoublesSerialiseAsNull) {
+  EXPECT_EQ(Json::format_double(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(Json::format_double(std::numeric_limits<double>::infinity()),
+            "null");
+  Json j = Json::object();
+  j["bad"] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(j.dump(-1), R"({"bad":null})");
+}
+
+TEST(JsonTest, SizeReportsElements) {
+  Json arr = Json::array();
+  EXPECT_EQ(arr.size(), 0u);
+  arr.push_back(1);
+  arr.push_back(2);
+  EXPECT_EQ(arr.size(), 2u);
+  Json obj = Json::object();
+  obj["a"] = 1;
+  EXPECT_EQ(obj.size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/grid.hpp"
+#include "exp/harness.hpp"
+
+namespace {
+
+using namespace sa::exp;
+
+Grid toy_grid(std::size_t variants, std::size_t seeds) {
+  Grid g;
+  g.name = "toy";
+  for (std::size_t v = 0; v < variants; ++v) {
+    g.variants.push_back("v" + std::to_string(v));
+  }
+  for (std::size_t s = 0; s < seeds; ++s) {
+    g.seeds.push_back(100 + s);
+  }
+  // A deterministic task whose output depends on every TaskContext field
+  // plus a few draws from the cell's private stream.
+  g.task = [](const TaskContext& ctx) -> TaskOutput {
+    auto rng = ctx.rng();
+    double acc = 0.0;
+    for (int i = 0; i < 16; ++i) acc += rng.uniform(0.0, 1.0);
+    return {{{"acc", acc},
+             {"cell", static_cast<double>(ctx.variant * 1000 + ctx.seed)}}};
+  };
+  return g;
+}
+
+TEST(RunnerTest, EveryCellExecutesExactlyOnce) {
+  constexpr std::size_t kVariants = 3, kSeeds = 5;
+  std::vector<std::atomic<int>> hits(kVariants * kSeeds);
+  Grid g = toy_grid(kVariants, kSeeds);
+  auto inner = g.task;
+  g.task = [&hits, inner, kSeeds](const TaskContext& ctx) {
+    hits[ctx.variant * kSeeds + (ctx.seed - 100)].fetch_add(1);
+    return inner(ctx);
+  };
+
+  const Runner runner(4);
+  const auto res = runner.run("runner_test", g);
+  ASSERT_EQ(res.tasks.size(), kVariants * kSeeds);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(res.errors(), 0u);
+}
+
+TEST(RunnerTest, ResultsAreVariantMajorWhateverTheScheduling) {
+  const Runner runner(4);
+  const auto res = runner.run("runner_test", toy_grid(4, 3));
+  for (std::size_t v = 0; v < 4; ++v) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      const auto& cell = res.at(v, s);
+      EXPECT_EQ(cell.variant, v);
+      EXPECT_EQ(cell.seed, 100 + s);
+    }
+  }
+}
+
+TEST(RunnerTest, SerialAndParallelAreBitwiseIdentical) {
+  const Grid g = toy_grid(4, 6);
+  const auto serial = Runner(1).run("runner_test", g);
+  for (const unsigned jobs : {2u, 4u, 8u}) {
+    const auto parallel = Runner(jobs).run("runner_test", g);
+    ASSERT_EQ(parallel.tasks.size(), serial.tasks.size());
+    for (std::size_t i = 0; i < serial.tasks.size(); ++i) {
+      EXPECT_EQ(parallel.tasks[i].variant, serial.tasks[i].variant);
+      EXPECT_EQ(parallel.tasks[i].seed, serial.tasks[i].seed);
+      ASSERT_EQ(parallel.tasks[i].metrics.size(),
+                serial.tasks[i].metrics.size());
+      for (std::size_t m = 0; m < serial.tasks[i].metrics.size(); ++m) {
+        EXPECT_EQ(parallel.tasks[i].metrics[m].first,
+                  serial.tasks[i].metrics[m].first);
+        // Bitwise: EQ on doubles, not NEAR.
+        EXPECT_EQ(parallel.tasks[i].metrics[m].second,
+                  serial.tasks[i].metrics[m].second)
+            << "cell " << i << " metric " << m << " jobs " << jobs;
+      }
+    }
+    // The timing-free JSON form is the canonical determinism witness.
+    EXPECT_EQ(to_json(parallel, false).dump(), to_json(serial, false).dump());
+  }
+}
+
+TEST(RunnerTest, ExceptionInOneTaskDoesNotLoseTheOthers) {
+  Grid g = toy_grid(2, 4);
+  auto inner = g.task;
+  g.task = [inner](const TaskContext& ctx) -> TaskOutput {
+    if (ctx.variant == 1 && ctx.seed == 102) {
+      throw std::runtime_error("boom in cell (1, 102)");
+    }
+    return inner(ctx);
+  };
+
+  const auto res = Runner(4).run("runner_test", g);
+  EXPECT_EQ(res.errors(), 1u);
+  EXPECT_EQ(res.at(1, 2).error, "boom in cell (1, 102)");
+  EXPECT_TRUE(res.at(1, 2).metrics.empty());
+  // Every other cell completed normally.
+  for (std::size_t v = 0; v < 2; ++v) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      if (v == 1 && s == 2) continue;
+      EXPECT_TRUE(res.at(v, s).error.empty());
+      EXPECT_FALSE(res.at(v, s).metrics.empty());
+    }
+  }
+  // Aggregation skips the errored cell instead of poisoning the mean.
+  EXPECT_EQ(res.stats(1, "acc").count(), 3u);
+  EXPECT_EQ(res.stats(0, "acc").count(), 4u);
+}
+
+TEST(RunnerTest, NonStdExceptionIsCaughtToo) {
+  Grid g = toy_grid(1, 2);
+  g.task = [](const TaskContext& ctx) -> TaskOutput {
+    if (ctx.seed == 100) throw 42;  // NOLINT(hicpp-exception-baseclass)
+    return {{{"m", 1.0}}};
+  };
+  const auto res = Runner(2).run("runner_test", g);
+  EXPECT_EQ(res.errors(), 1u);
+  EXPECT_EQ(res.at(0, 0).error, "unknown exception");
+  EXPECT_TRUE(res.at(0, 1).error.empty());
+}
+
+TEST(RunnerTest, StreamsAreUniquePerCell) {
+  // The RNG stream key must differ across variants and seeds (same
+  // experiment), and across experiments for the same cell.
+  EXPECT_NE(stream_of("e1", "a", 1), stream_of("e1", "a", 2));
+  EXPECT_NE(stream_of("e1", "a", 1), stream_of("e1", "b", 1));
+  EXPECT_NE(stream_of("e1", "a", 1), stream_of("e2", "a", 1));
+}
+
+TEST(RunnerTest, MeanAndSumAndNoteHelpers) {
+  Grid g;
+  g.name = "helpers";
+  g.variants = {"only"};
+  g.seeds = {1, 2, 3};
+  g.task = [](const TaskContext& ctx) -> TaskOutput {
+    TaskOutput out;
+    out.metrics = {{"x", static_cast<double>(ctx.seed)}};
+    if (ctx.seed == 2) out.note = "from seed 2";
+    return out;
+  };
+  const auto res = Runner(1).run("runner_test", g);
+  EXPECT_DOUBLE_EQ(res.mean(0, "x"), 2.0);
+  EXPECT_DOUBLE_EQ(res.sum(0, "x"), 6.0);
+  EXPECT_EQ(res.note(0), "from seed 2");
+}
+
+TEST(RunnerTest, ZeroJobsMeansHardwareConcurrency) {
+  const Runner runner(0);
+  EXPECT_GE(runner.jobs(), 1u);
+}
+
+TEST(RunnerTest, MoreJobsThanCellsIsFine) {
+  const auto res = Runner(16).run("runner_test", toy_grid(1, 2));
+  EXPECT_EQ(res.tasks.size(), 2u);
+  EXPECT_EQ(res.errors(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Parallel-determinism regression: the sa::exp runner must produce
+// byte-identical results whatever the thread count, on real substrate
+// workloads (not just toy tasks). These are reduced-size versions of the
+// E1 (multicore management) and E4 (CPN under DoS) grids — the two
+// heaviest simulators — serialised through the timing-free JSON form and
+// compared as strings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpn/network.hpp"
+#include "cpn/traffic.hpp"
+#include "exp/harness.hpp"
+#include "exp/runner.hpp"
+#include "multicore/manager.hpp"
+#include "multicore/workload.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace sa;
+
+/// A pool that genuinely interleaves even on small CI machines.
+unsigned parallel_jobs() {
+  return std::max(4u, std::thread::hardware_concurrency());
+}
+
+std::string timing_free_json(const exp::GridResult& result) {
+  return exp::to_json(result, /*include_timing=*/false).dump();
+}
+
+/// Reduced E1: two manager variants on the phased big.LITTLE workload.
+exp::Grid multicore_grid() {
+  exp::Grid g;
+  g.name = "e1.reduced";
+  g.variants = {"static", "self-aware"};
+  g.seeds = {11, 12};
+  g.task = [](const exp::TaskContext& ctx) -> exp::TaskOutput {
+    multicore::Platform platform(
+        multicore::PlatformConfig::big_little(2, 4), ctx.seed);
+    auto workload = multicore::PhasedWorkload::standard();
+    multicore::Manager::Params p;
+    p.variant = ctx.variant == 0 ? multicore::Manager::Variant::Static
+                                 : multicore::Manager::Variant::SelfAware;
+    p.seed = ctx.seed;
+    multicore::Manager mgr(platform, p);
+    sim::RunningStats utility, power, latency;
+    for (int i = 0; i < 120; ++i) {
+      workload.apply(platform);
+      utility.add(mgr.run_epoch());
+      power.add(mgr.last_stats().mean_power);
+      latency.add(mgr.last_stats().p95_latency);
+    }
+    return {{{"utility", utility.mean()},
+             {"power_w", power.mean()},
+             {"p95_s", latency.mean()},
+             {"cap_viol", mgr.cap_violation_rate()}}};
+  };
+  return g;
+}
+
+/// Reduced E4: static vs self-aware routing through a short DoS window.
+exp::Grid cpn_grid() {
+  exp::Grid g;
+  g.name = "e4.reduced";
+  g.variants = {"static", "self-aware"};
+  g.seeds = {41, 42};
+  g.task = [](const exp::TaskContext& ctx) -> exp::TaskOutput {
+    const auto topo = cpn::Topology::grid(4, 6, 4, ctx.seed);
+    cpn::PacketNetwork::Params np;
+    np.router = ctx.variant == 0 ? cpn::PacketNetwork::Router::Static
+                                 : cpn::PacketNetwork::Router::QRouting;
+    np.dos_defence = ctx.variant == 1;
+    np.seed = ctx.seed;
+    cpn::PacketNetwork net(topo, np);
+    cpn::TrafficParams tp;
+    tp.flows = 8;
+    tp.legit_rate = 2.0;
+    tp.attack_start = 300;
+    tp.attack_end = 600;
+    tp.attack_rate = 25.0;
+    tp.attackers = 3;
+    tp.seed = ctx.seed;
+    cpn::TrafficGenerator gen(topo, tp);
+
+    exp::Metrics m;
+    const char* const windows[] = {"before", "during", "after"};
+    for (const char* window : windows) {
+      for (int i = 0; i < 300; ++i) {
+        gen.tick(net);
+        net.step();
+      }
+      const auto s = net.harvest();
+      const std::string prefix = std::string(window) + ".";
+      m.emplace_back(prefix + "delivery", s.delivery_rate());
+      m.emplace_back(prefix + "mean_lat", s.mean_latency);
+      m.emplace_back(prefix + "p95_lat", s.p95_latency);
+    }
+    return {std::move(m)};
+  };
+  return g;
+}
+
+class ParallelDeterminism : public ::testing::Test {};
+
+TEST(ParallelDeterminism, MulticoreGridIsThreadCountInvariant) {
+  const auto grid = multicore_grid();
+  const auto serial = exp::Runner(1).run("determinism", grid);
+  const auto parallel = exp::Runner(parallel_jobs()).run("determinism", grid);
+  ASSERT_EQ(serial.errors(), 0u);
+  ASSERT_EQ(parallel.errors(), 0u);
+  EXPECT_EQ(timing_free_json(serial), timing_free_json(parallel));
+}
+
+TEST(ParallelDeterminism, CpnGridIsThreadCountInvariant) {
+  const auto grid = cpn_grid();
+  const auto serial = exp::Runner(1).run("determinism", grid);
+  const auto parallel = exp::Runner(parallel_jobs()).run("determinism", grid);
+  ASSERT_EQ(serial.errors(), 0u);
+  ASSERT_EQ(parallel.errors(), 0u);
+  EXPECT_EQ(timing_free_json(serial), timing_free_json(parallel));
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAgree) {
+  // Not just serial == parallel: two parallel runs with different pool
+  // sizes must agree with each other too.
+  const auto grid = multicore_grid();
+  const auto a = exp::Runner(2).run("determinism", grid);
+  const auto b = exp::Runner(parallel_jobs() + 1).run("determinism", grid);
+  EXPECT_EQ(timing_free_json(a), timing_free_json(b));
+}
+
+}  // namespace

@@ -64,15 +64,25 @@ TEST_P(AnyBanditTest, ResetRestoresTheInitialValues) {
 }
 
 TEST_P(AnyBanditTest, ValueApproximatesMeanReward) {
-  if (GetParam().label == "exp3") {
-    GTEST_SKIP() << "EXP3's value() is a play probability, not a reward "
-                    "estimate";
-  }
   auto bandit = GetParam().make(2);
   sim::Rng rng(11);
   for (int i = 0; i < 4000; ++i) {
     const auto arm = bandit->select(rng);
     bandit->update(arm, rng.chance(arm == 0 ? 0.3 : 0.8) ? 1.0 : 0.0);
+  }
+  if (GetParam().label == "exp3") {
+    // EXP3's value() is a play probability, not a reward estimate, so
+    // "approximates the mean reward" translates to: the probabilities
+    // form a distribution that concentrates on the better arm.
+    const double v0 = bandit->value(0), v1 = bandit->value(1);
+    EXPECT_NEAR(v0 + v1, 1.0, 1e-9);
+    EXPECT_GE(v0, 0.0);
+    EXPECT_GE(v1, 0.0);
+    // On this wide gap (0.8 vs 0.3) the weights all but collapse onto
+    // the best arm over 4000 rounds (measured ~1.0 across seeds; 0.9
+    // leaves a wide margin).
+    EXPECT_GT(v1, 0.9);
+    return;
   }
   // The frequently-pulled best arm's estimate should be near truth.
   EXPECT_NEAR(bandit->value(1), 0.8, 0.15) << GetParam().label;
