@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exp/harness.hpp"
+#include "sim/engine.hpp"
 #include "sim/report.hpp"
 #include "sim/stats.hpp"
 #include "svc/fleet.hpp"
@@ -51,15 +52,21 @@ exp::TaskOutput run(CameraFleet::Mode mode, Strategy fixed,
   p.fixed = fixed;
   p.seed = seed;
   CameraFleet fleet(net, p);
+  // Event-driven run: every world step is an engine event; the fleet's
+  // epoch work rides on the 25th step. Trajectory is identical to the old
+  // synchronous run_epoch() loop.
+  sim::Engine engine;
   sim::RunningStats tail_cov, tail_msg, tail_u;
-  for (int e = 0; e < kEpochs; ++e) {
-    const auto ne = fleet.run_epoch();
+  int e = 0;
+  fleet.bind(engine, 1.0, [&](const NetworkEpoch& ne) {
     if (e >= kEpochs / 2) {  // judge converged behaviour
       tail_cov.add(ne.coverage);
       tail_msg.add(ne.messages);
       tail_u.add(ne.global_utility);
     }
-  }
+    ++e;
+  });
+  engine.run_until(kEpochs * static_cast<double>(p.epoch_steps));
   exp::Metrics m{{"coverage", tail_cov.mean()},
                  {"msgs_per_epoch", tail_msg.mean()},
                  {"global_utility", tail_u.mean()},

@@ -17,6 +17,7 @@
 #include "cpn/network.hpp"
 #include "cpn/traffic.hpp"
 #include "exp/harness.hpp"
+#include "sim/engine.hpp"
 #include "sim/report.hpp"
 #include "sim/stats.hpp"
 
@@ -50,13 +51,19 @@ exp::TaskOutput run(PacketNetwork::Router router, bool defence,
   tp.seed = seed;
   TrafficGenerator gen(topo, tp);
 
+  // Event-driven run: injection and transit are two order-0 streams on one
+  // engine (registration order keeps injection first each tick); the attack
+  // windows become run_until() horizons. Identical to the old tick loop.
+  sim::Engine engine;
+  gen.bind(engine, net);
+  net.bind(engine);
+
   exp::Metrics m;
   const double ticks[] = {kBefore, kAttack, kAfter};
+  double horizon = 0.0;
   for (int w = 0; w < 3; ++w) {
-    for (double i = 0; i < ticks[w]; ++i) {
-      gen.tick(net);
-      net.step();
-    }
+    horizon += ticks[w];
+    engine.run_until(horizon);
     const auto s = net.harvest();
     const std::string prefix = std::string(kWindows[w]) + ".";
     m.emplace_back(prefix + "delivery", s.delivery_rate());

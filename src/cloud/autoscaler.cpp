@@ -17,12 +17,27 @@ const char* Autoscaler::variant_name(Variant v) noexcept {
 
 Autoscaler::Autoscaler(Cluster& cluster, DemandModel& demand, Params p)
     : cluster_(cluster), demand_(demand), p_(p), target_(p.initial_nodes) {
+  if (p_.telemetry != nullptr) cluster_.set_telemetry(p_.telemetry);
   build_agent();
+}
+
+void Autoscaler::bind(sim::Engine& engine, double period,
+                      std::function<void(const CloudEpoch&)> on_epoch) {
+  if (period <= 0.0) period = cluster_.epoch_seconds();
+  engine.every(
+      period,
+      [this, on_epoch = std::move(on_epoch)] {
+        const CloudEpoch e = run_epoch();
+        if (on_epoch) on_epoch(e);
+        return true;
+      },
+      /*order=*/1);
 }
 
 void Autoscaler::build_agent() {
   core::AgentConfig cfg;
   cfg.seed = p_.seed;
+  cfg.telemetry = p_.telemetry;
   switch (p_.variant) {
     case Variant::Static:
       cfg.levels = core::LevelSet{};

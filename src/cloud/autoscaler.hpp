@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cloud/cluster.hpp"
 #include "core/agent.hpp"
+#include "sim/engine.hpp"
 #include "sim/stats.hpp"
 
 namespace sa::cloud {
@@ -39,6 +41,9 @@ class Autoscaler {
     /// Holt-Winters member of time awareness. 0 disables seasonality.
     std::size_t seasonal_epochs = 60;
     std::uint64_t seed = 23;
+    /// Optional telemetry bus: wired into the agent (and the cluster via
+    /// the constructor). Non-owning; must outlive the autoscaler.
+    sim::TelemetryBus* telemetry = nullptr;
   };
 
   Autoscaler(Cluster& cluster, DemandModel& demand, Params p);
@@ -46,6 +51,13 @@ class Autoscaler {
   /// One full control epoch: decide enrolment, run the cluster, learn.
   /// Returns the epoch record.
   CloudEpoch run_epoch();
+
+  /// Event-driven equivalent of calling run_epoch() in a loop: schedules
+  /// one control epoch every `period` (order 1 = control; <= 0 defaults to
+  /// the cluster's epoch length, keeping cluster time aligned with engine
+  /// time). The trajectory is identical to the synchronous loop.
+  void bind(sim::Engine& engine, double period = 0.0,
+            std::function<void(const CloudEpoch&)> on_epoch = {});
 
   [[nodiscard]] core::SelfAwareAgent& agent() noexcept { return *agent_; }
   [[nodiscard]] std::size_t target() const noexcept { return target_; }

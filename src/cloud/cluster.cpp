@@ -82,7 +82,12 @@ CloudEpoch Cluster::run_epoch(double rate) {
       frac = 0.5;
     }
     capacity += n.capacity * frac;
-    outcomes_.push_back({i, was_up && n.up, n.capacity * frac});
+    const bool stayed_up = was_up && n.up;
+    outcomes_.push_back({i, stayed_up, n.capacity * frac});
+    if (!stayed_up && telemetry_) {
+      telemetry_->record(t_end, sim::TelemetryBus::kFailure, subject_,
+                         n.capacity * frac, n.id);
+    }
   }
 
   CloudEpoch e;
@@ -108,7 +113,16 @@ CloudEpoch Cluster::run_epoch(double rate) {
     e.cost += n.cost_per_s * dt;
   }
   now_ = t_end;
+  if (telemetry_) {
+    telemetry_->record(now_, sim::TelemetryBus::kObservation, subject_,
+                       e.sla, "epoch");
+  }
   return e;
+}
+
+void Cluster::set_telemetry(sim::TelemetryBus* bus) {
+  telemetry_ = bus;
+  if (telemetry_) subject_ = telemetry_->intern_subject("cloud.cluster");
 }
 
 }  // namespace sa::cloud

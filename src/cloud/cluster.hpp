@@ -21,6 +21,7 @@
 
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "sim/telemetry.hpp"
 
 namespace sa::cloud {
 
@@ -102,6 +103,7 @@ class Cluster {
   CloudEpoch run_epoch(double rate);
 
   [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] double epoch_seconds() const noexcept { return p_.epoch_s; }
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] const VolunteerNode& node(std::size_t i) const {
     return nodes_[i];
@@ -117,6 +119,11 @@ class Cluster {
     return outcomes_;
   }
 
+  /// Emits one kFailure per enrolled node that went down during an epoch
+  /// (detail = node id) and one kObservation per epoch (value = SLA).
+  /// Non-owning; null disables emission.
+  void set_telemetry(sim::TelemetryBus* bus);
+
  private:
   void advance_availability(VolunteerNode& n, double until);
 
@@ -126,6 +133,9 @@ class Cluster {
   double now_ = 0.0;
   double backlog_ = 0.0;
   std::vector<NodeOutcome> outcomes_;
+
+  sim::TelemetryBus* telemetry_ = nullptr;
+  sim::SubjectId subject_ = 0;
 };
 
 }  // namespace sa::cloud

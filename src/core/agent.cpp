@@ -14,6 +14,9 @@ SelfAwareAgent::SelfAwareAgent(std::string id, AgentConfig cfg)
       kb_(cfg.history_limit),
       explainer_(cfg.explain),
       attention_(cfg.attention_strategy, cfg.attention_budget) {
+  if (cfg_.telemetry != nullptr) {
+    subject_ = cfg_.telemetry->intern_subject(id_);
+  }
   if (cfg_.levels.has(Level::Stimulus)) {
     stimulus_ = std::make_unique<StimulusAwareness>(cfg_.stimulus);
   }
@@ -88,14 +91,15 @@ void SelfAwareAgent::run_processes(double t, const Observation& obs) {
 Decision SelfAwareAgent::step(double t) {
   ++steps_;
   const Observation obs = observe();
-  if (cfg_.trace != nullptr) {
+  if (cfg_.telemetry != nullptr && cfg_.telemetry->enabled()) {
     std::string sampled;
     for (const auto& [sig, v] : obs) {
       (void)v;
       if (!sampled.empty()) sampled += ',';
       sampled += sig;
     }
-    cfg_.trace->record(t, "observe", id_, sampled);
+    cfg_.telemetry->record(t, sim::TelemetryBus::kObservation, subject_,
+                           static_cast<double>(obs.size()), sampled);
   }
   // Without stimulus awareness nothing else mirrors raw readings into the
   // KB; do it here so higher levels and policies can still see them.
@@ -111,8 +115,10 @@ Decision SelfAwareAgent::step(double t) {
   if (policy_ && !action_names_.empty()) {
     d = policy_->decide(t, kb_, action_names_, rng_);
     if (d.action_index < actuators_.size()) actuators_[d.action_index]();
-    if (cfg_.trace != nullptr) {
-      cfg_.trace->record(t, "decide", id_, d.action + ": " + d.rationale);
+    if (cfg_.telemetry != nullptr && cfg_.telemetry->enabled()) {
+      cfg_.telemetry->record(t, sim::TelemetryBus::kDecision, subject_,
+                             static_cast<double>(d.action_index),
+                             d.action + ": " + d.rationale);
     }
     explain_decision(t, d);
   }

@@ -42,7 +42,7 @@
 #include "core/stimulus.hpp"
 #include "core/time_awareness.hpp"
 #include "sim/rng.hpp"
-#include "sim/trace.hpp"
+#include "sim/telemetry.hpp"
 
 namespace sa::core {
 
@@ -64,10 +64,11 @@ struct AgentConfig {
   bool explain = true;            ///< record explanations for decisions
   std::size_t history_limit = 128;///< KB history depth per key
 
-  /// Optional structured trace: the agent records one "observe" record per
-  /// step (signals sampled) and one "decide" record per decision (action +
-  /// rationale). Non-owning; must outlive the agent. Null disables tracing.
-  sim::Trace* trace = nullptr;
+  /// Optional telemetry bus: the agent emits one kObservation event per
+  /// step (value = signals sampled, detail = their names) and one kDecision
+  /// event per decision (value = action index, detail = action + rationale).
+  /// Non-owning; must outlive the agent. Null disables emission.
+  sim::TelemetryBus* telemetry = nullptr;
 };
 
 /// One self-aware entity. Not thread-safe; one agent per logical entity.
@@ -162,6 +163,7 @@ class SelfAwareAgent {
   std::unique_ptr<GoalAwareness> goal_aware_;
   std::unique_ptr<MetaSelfAwareness> meta_;
 
+  sim::SubjectId subject_ = 0;  ///< interned id_ when cfg_.telemetry is set
   std::size_t steps_ = 0;
 };
 

@@ -5,29 +5,48 @@ namespace sa::core {
 void AgentRuntime::schedule(SelfAwareAgent& agent, double period,
                             std::function<double()> reward_after) {
   ++scheduled_;
-  engine_.every(period, [this, &agent,
-                         reward_after = std::move(reward_after)] {
-    agent.step(engine_.now());
-    ++steps_;
-    if (reward_after) agent.reward(reward_after());
-    return true;
-  });
+  engine_.every(
+      period,
+      [this, &agent, reward_after = std::move(reward_after)] {
+        agent.step(engine_.now());
+        ++steps_;
+        if (reward_after) agent.reward(reward_after());
+        return true;
+      },
+      kOrderControl);
+}
+
+void AgentRuntime::schedule_substrate(std::string name, double period,
+                                      std::function<void()> tick) {
+  ++scheduled_;
+  substrates_.push_back(std::move(name));
+  engine_.every(
+      period,
+      [this, tick = std::move(tick)] {
+        tick();
+        ++substrate_ticks_;
+        return true;
+      },
+      kOrderDynamics);
 }
 
 void AgentRuntime::schedule_exchange(std::vector<SelfAwareAgent*> agents,
                                      double period,
                                      KnowledgeExchange exchange) {
   ++scheduled_;
-  engine_.every(period, [this, agents = std::move(agents), exchange] {
-    for (SelfAwareAgent* from : agents) {
-      for (SelfAwareAgent* into : agents) {
-        if (from == into) continue;
-        exchanged_ +=
-            exchange.import(from->knowledge(), from->id(), into->knowledge());
-      }
-    }
-    return true;
-  });
+  engine_.every(
+      period,
+      [this, agents = std::move(agents), exchange] {
+        for (SelfAwareAgent* from : agents) {
+          for (SelfAwareAgent* into : agents) {
+            if (from == into) continue;
+            exchanged_ += exchange.import(from->knowledge(), from->id(),
+                                          into->knowledge());
+          }
+        }
+        return true;
+      },
+      kOrderExchange);
 }
 
 }  // namespace sa::core

@@ -1,10 +1,18 @@
 // AgentRuntime: periodic agent execution on the simulation engine.
 //
 // Binds SelfAwareAgents to a sim::Engine so that control loops, reward
-// delivery and knowledge exchange run as scheduled events in simulated
-// time — the glue for multi-agent scenarios where entities run at
-// different periods (e.g. a fast platform manager next to a slow
-// fleet-level coordinator).
+// delivery, knowledge exchange and substrate dynamics run as scheduled
+// events in simulated time — the glue for multi-agent scenarios where
+// entities run at different periods (e.g. a fast platform manager next to
+// a slow fleet-level coordinator), and the one place where agents and the
+// worlds they control are co-scheduled.
+//
+// Event ordering at coincident times follows the engine-wide convention
+// (see sim/engine.hpp): substrate dynamics at kOrderDynamics, agent steps
+// and reward delivery at kOrderControl, knowledge exchange at
+// kOrderExchange. A control step at t therefore always sees the world
+// state *after* the dynamics tick at t, and exchanges see post-decision
+// knowledge.
 #pragma once
 
 #include <cstddef>
@@ -20,33 +28,57 @@ namespace sa::core {
 
 class AgentRuntime {
  public:
+  /// Engine `order` values used by the runtime (lower runs first at ties).
+  static constexpr int kOrderDynamics = 0;
+  static constexpr int kOrderControl = 1;
+  static constexpr int kOrderExchange = 2;
+
   explicit AgentRuntime(sim::Engine& engine) : engine_(engine) {}
 
-  /// Steps `agent` every `period` seconds (first step after one period).
-  /// If `reward_after` is set, its value is fed to the agent after each
-  /// step. The agent must outlive the runtime's engine events.
+  /// Steps `agent` every `period` seconds (first step after one period) at
+  /// kOrderControl. If `reward_after` is set, its value is fed to the agent
+  /// after each step. The agent must outlive the runtime's engine events.
   void schedule(SelfAwareAgent& agent, double period,
                 std::function<double()> reward_after = {});
 
+  /// Runs `tick` every `period` seconds at kOrderDynamics — the hook the
+  /// substrate bind() adapters use, exposed here so scenarios can co-locate
+  /// ad-hoc world dynamics with their agents. `name` labels the stream for
+  /// introspection only.
+  void schedule_substrate(std::string name, double period,
+                          std::function<void()> tick);
+
   /// Every `period`, exchanges public knowledge among `agents` in a full
-  /// mesh (each imports every other's snapshot). Pointers must stay valid.
+  /// mesh (each imports every other's snapshot) at kOrderExchange.
+  /// Pointers must stay valid.
   void schedule_exchange(std::vector<SelfAwareAgent*> agents, double period,
                          KnowledgeExchange exchange = KnowledgeExchange{});
 
-  /// Number of schedule()/schedule_exchange() registrations.
+  /// Number of schedule()/schedule_substrate()/schedule_exchange()
+  /// registrations.
   [[nodiscard]] std::size_t scheduled() const noexcept { return scheduled_; }
   /// Total agent steps executed through this runtime.
   [[nodiscard]] std::size_t steps_run() const noexcept { return steps_; }
+  /// Total substrate ticks executed through this runtime.
+  [[nodiscard]] std::size_t substrate_ticks() const noexcept {
+    return substrate_ticks_;
+  }
   /// Total knowledge items imported through scheduled exchanges.
   [[nodiscard]] std::size_t items_exchanged() const noexcept {
     return exchanged_;
+  }
+  /// Names passed to schedule_substrate(), in registration order.
+  [[nodiscard]] const std::vector<std::string>& substrates() const noexcept {
+    return substrates_;
   }
 
  private:
   sim::Engine& engine_;
   std::size_t scheduled_ = 0;
   std::size_t steps_ = 0;
+  std::size_t substrate_ticks_ = 0;
   std::size_t exchanged_ = 0;
+  std::vector<std::string> substrates_;
 };
 
 }  // namespace sa::core

@@ -159,6 +159,10 @@ bool PacketNetwork::send(Packet& pkt, std::size_t from, std::size_t to) {
         rng_.chance(1.0 - p_.dest_rate_cap / rate)) {
       ++defence_drops_;
       if (pkt.legit) ++dropped_;
+      if (telemetry_) {
+        telemetry_->record(now_, sim::TelemetryBus::kFailure, subject_,
+                           static_cast<double>(pkt.hops), "shed");
+      }
       return false;
     }
     fwd_count_[from * topo_.nodes() + pkt.dst] += 1.0;
@@ -180,6 +184,11 @@ bool PacketNetwork::send(Packet& pkt, std::size_t from, std::size_t to) {
       }
     }
     if (pkt.legit) ++dropped_;
+    if (telemetry_) {
+      telemetry_->record(now_, sim::TelemetryBus::kFailure, subject_,
+                         static_cast<double>(pkt.hops),
+                         dead_[l] ? "dead-link" : "buffer");
+    }
     return false;
   }
   pkt.prev = pkt.at;
@@ -206,6 +215,10 @@ void PacketNetwork::inject(std::size_t src, std::size_t dst, bool legit) {
   const std::size_t nxt = choose_next(src, dst, kNone);
   if (nxt == kNone) {
     if (legit) ++dropped_;
+    if (telemetry_) {
+      telemetry_->record(now_, sim::TelemetryBus::kFailure, subject_, 0.0,
+                         "no-route");
+    }
     return;
   }
   send(pkt, src, nxt);  // a full buffer counts the drop itself
@@ -248,16 +261,28 @@ void PacketNetwork::arrive(Packet pkt) {
       latency_.add(lat);
       latency_hist_.add(lat);
       hops_.add(static_cast<double>(pkt.hops));
+      if (telemetry_) {
+        telemetry_->record(now_, sim::TelemetryBus::kObservation, subject_,
+                           lat, "delivered");
+      }
     }
     return;
   }
   if (pkt.hops >= p_.ttl_hops) {
     if (pkt.legit) ++dropped_;
+    if (telemetry_) {
+      telemetry_->record(now_, sim::TelemetryBus::kFailure, subject_,
+                         static_cast<double>(pkt.hops), "ttl");
+    }
     return;
   }
   const std::size_t nxt = choose_next(here, pkt.dst, pkt.at);
   if (nxt == kNone) {
     if (pkt.legit) ++dropped_;
+    if (telemetry_) {
+      telemetry_->record(now_, sim::TelemetryBus::kFailure, subject_,
+                         static_cast<double>(pkt.hops), "no-route");
+    }
     return;
   }
   Packet onward = pkt;
@@ -293,6 +318,16 @@ void PacketNetwork::step() {
 
 void PacketNetwork::run(std::size_t ticks) {
   for (std::size_t i = 0; i < ticks; ++i) step();
+}
+
+void PacketNetwork::bind(sim::Engine& engine, double period) {
+  engine.every(
+      period, [this] { step(); return true; }, /*order=*/0);
+}
+
+void PacketNetwork::set_telemetry(sim::TelemetryBus* bus) {
+  telemetry_ = bus;
+  if (telemetry_) subject_ = telemetry_->intern_subject("cpn.network");
 }
 
 double PacketNetwork::mean_load() const {

@@ -24,8 +24,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "sim/telemetry.hpp"
 
 namespace sa::cpn {
 
@@ -122,6 +124,14 @@ class PacketNetwork {
   void step();
   void run(std::size_t ticks);
   [[nodiscard]] double now() const noexcept { return now_; }
+  /// Drives step() through `engine` every `period` (order 0 = dynamics).
+  /// Bind the traffic generator *before* the network so each tick's
+  /// injections precede the transit step, as in the synchronous loop.
+  void bind(sim::Engine& engine, double period = 1.0);
+  /// Emits one kObservation per legit delivery (value = latency) and one
+  /// kFailure per drop (detail = "shed"/"dead-link"/"buffer"/"ttl"/
+  /// "no-route"). Non-owning; null disables emission.
+  void set_telemetry(sim::TelemetryBus* bus);
 
   /// Statistics since the last harvest (legit traffic only).
   CpnStats harvest();
@@ -191,6 +201,9 @@ class PacketNetwork {
   std::vector<double> fwd_count_;  ///< packets forwarded this tick
   std::vector<double> fwd_rate_;   ///< EWMA packets/tick
   std::size_t defence_drops_ = 0;
+
+  sim::TelemetryBus* telemetry_ = nullptr;
+  sim::SubjectId subject_ = 0;
 
   std::size_t injected_ = 0, delivered_ = 0, dropped_ = 0;
   sim::RunningStats latency_;

@@ -3,8 +3,10 @@
 namespace sa::cpn {
 
 Supervisor::Supervisor(PacketNetwork& net, Params p) : net_(net), p_(p) {
+  if (p_.telemetry != nullptr) net_.set_telemetry(p_.telemetry);
   core::AgentConfig cfg;
   cfg.seed = p_.seed;
+  cfg.telemetry = p_.telemetry;
   cfg.levels = core::LevelSet{core::Level::Stimulus, core::Level::Time,
                               core::Level::Goal, core::Level::Meta};
   cfg.meta = p_.meta;
@@ -29,6 +31,12 @@ Supervisor::Supervisor(PacketNetwork& net, Params p) : net_(net), p_(p) {
       ++boosts_;
     });
   }
+}
+
+void Supervisor::bind(sim::Engine& engine, double period) {
+  if (period <= 0.0) period = p_.epoch_ticks;
+  engine.every(
+      period, [this] { observe_epoch(); return true; }, /*order=*/1);
 }
 
 double Supervisor::observe_epoch() {

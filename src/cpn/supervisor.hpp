@@ -14,6 +14,7 @@
 
 #include "core/agent.hpp"
 #include "cpn/network.hpp"
+#include "sim/engine.hpp"
 
 namespace sa::cpn {
 
@@ -28,6 +29,9 @@ class Supervisor {
     core::MetaSelfAwareness::Params meta{
         /*quality_alpha=*/0.1, /*quality_floor=*/0.25,
         /*grace_updates=*/8, /*ph_delta=*/0.02, /*ph_lambda=*/1.5};
+    /// Optional telemetry bus: wired into the agent (and the network via
+    /// the constructor). Non-owning; must outlive the supervisor.
+    sim::TelemetryBus* telemetry = nullptr;
   };
 
   Supervisor(PacketNetwork& net, Params p);
@@ -37,6 +41,12 @@ class Supervisor {
   /// driver first, or use observe_only()), harvests stats, and lets the
   /// agent update its self-models. Returns the epoch's delivery rate.
   double observe_epoch();
+
+  /// Event-driven equivalent of calling observe_epoch() between runs:
+  /// schedules one supervision epoch every `period` ticks (order 1 =
+  /// control; <= 0 defaults to epoch_ticks). Pair with the traffic
+  /// generator's and network's bind() for a fully event-driven scenario.
+  void bind(sim::Engine& engine, double period = 0.0);
 
   [[nodiscard]] core::SelfAwareAgent& agent() noexcept { return *agent_; }
   /// Exploration boosts fired so far.

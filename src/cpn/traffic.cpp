@@ -32,6 +32,12 @@ TrafficGenerator::TrafficGenerator(const Topology& topo, TrafficParams p)
   }
 }
 
+void TrafficGenerator::bind(sim::Engine& engine, PacketNetwork& net,
+                            double period) {
+  engine.every(
+      period, [this, &net] { tick(net); return true; }, /*order=*/0);
+}
+
 void TrafficGenerator::tick(PacketNetwork& net) {
   const int legit = rng_.poisson(p_.legit_rate);
   for (int i = 0; i < legit; ++i) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cpn/network.hpp"
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
 namespace sa::cpn {
@@ -35,6 +36,12 @@ class TrafficGenerator {
   /// Injects this tick's packets into `net` (call once per tick, before
   /// net.step()).
   void tick(PacketNetwork& net);
+
+  /// Drives tick(net) through `engine` every `period` (order 0). Call
+  /// before net.bind() on the same engine so injections run before the
+  /// transit step at each tick, as in the synchronous loop. `net` must
+  /// outlive the engine events.
+  void bind(sim::Engine& engine, PacketNetwork& net, double period = 1.0);
 
   [[nodiscard]] bool attacking(double t) const {
     return p_.attack_start >= 0.0 && t >= p_.attack_start &&

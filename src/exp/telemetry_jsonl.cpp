@@ -1,0 +1,19 @@
+#include "exp/telemetry_jsonl.hpp"
+
+#include "exp/json.hpp"
+
+namespace sa::exp {
+
+void JsonlSink::on_event(const sim::TelemetryEvent& ev) {
+  Json line = Json::object();
+  line["t"] = ev.t;
+  line["category"] = bus_.category_name(ev.category);
+  line["subject"] = bus_.subject_name(ev.subject);
+  line["value"] = ev.value;
+  if (!ev.detail.empty()) line["detail"] = ev.detail;
+  line.dump(os_, /*indent=*/-1);
+  os_ << '\n';
+  ++written_;
+}
+
+}  // namespace sa::exp

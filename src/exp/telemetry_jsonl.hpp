@@ -1,0 +1,37 @@
+// JSONL sink for the sa::sim telemetry bus.
+//
+// Streams one compact JSON object per event to an ostream, using the same
+// deterministic number formatting as the BENCH_<exp>.json emitters, so two
+// runs with the same seeds produce byte-identical logs. Lives in sa::exp
+// (not sa::sim) because it reuses the exp::Json writer — sim stays at the
+// bottom of the layering.
+#pragma once
+
+#include <ostream>
+
+#include "sim/telemetry.hpp"
+
+namespace sa::exp {
+
+class JsonlSink : public sim::TelemetrySink {
+ public:
+  /// Writes events to `os` as lines of the form
+  ///   {"t":12.5,"category":"failure","subject":"cpn.network",
+  ///    "value":3.0,"detail":"ttl"}
+  /// ("detail" is omitted when empty). Category/subject names are resolved
+  /// through `bus`, which must outlive the sink.
+  JsonlSink(std::ostream& os, const sim::TelemetryBus& bus)
+      : os_(os), bus_(bus) {}
+
+  void on_event(const sim::TelemetryEvent& ev) override;
+
+  /// Events written so far.
+  [[nodiscard]] std::size_t written() const noexcept { return written_; }
+
+ private:
+  std::ostream& os_;
+  const sim::TelemetryBus& bus_;
+  std::size_t written_ = 0;
+};
+
+}  // namespace sa::exp

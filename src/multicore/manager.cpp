@@ -32,12 +32,27 @@ const char* Manager::variant_name(Variant v) noexcept {
 
 Manager::Manager(Platform& platform, Params params)
     : platform_(platform), p_(params), actions_(default_actions(platform)) {
+  if (p_.telemetry != nullptr) platform_.set_telemetry(p_.telemetry);
   build_agent();
+}
+
+void Manager::bind(sim::Engine& engine, double period,
+                   std::function<void(double)> on_epoch) {
+  if (period <= 0.0) period = p_.epoch_s;
+  engine.every(
+      period,
+      [this, period, on_epoch = std::move(on_epoch)] {
+        const double u = run_epoch_for(period);
+        if (on_epoch) on_epoch(u);
+        return true;
+      },
+      /*order=*/1);
 }
 
 void Manager::build_agent() {
   core::AgentConfig cfg;
   cfg.seed = p_.seed;
+  cfg.telemetry = p_.telemetry;
   switch (p_.variant) {
     case Variant::Static:
       cfg.levels = core::LevelSet{};  // no awareness machinery at all
@@ -282,8 +297,10 @@ void Manager::apply(const ManagerAction& a) {
   platform_.set_mapping(a.mapping);
 }
 
-double Manager::run_epoch() {
-  platform_.run_for(p_.epoch_s);
+double Manager::run_epoch() { return run_epoch_for(p_.epoch_s); }
+
+double Manager::run_epoch_for(double secs) {
+  platform_.run_for(secs);
   stats_ = platform_.harvest();
 
   // Measured utility is computed here, from the same goal model, for every

@@ -19,12 +19,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/agent.hpp"
 #include "multicore/platform.hpp"
+#include "sim/engine.hpp"
 #include "sim/stats.hpp"
 
 namespace sa::multicore {
@@ -53,6 +55,9 @@ class Manager {
     double throughput_scale = 45.0;///< tasks/s mapped to utility 1.0
     std::size_t static_action = 3; ///< Static's fixed choice: f-mid/balanced
     std::uint64_t seed = 7;
+    /// Optional telemetry bus: wired into the agent (and the platform via
+    /// the constructor). Non-owning; must outlive the manager.
+    sim::TelemetryBus* telemetry = nullptr;
   };
 
   Manager(Platform& platform, Params params);
@@ -60,6 +65,14 @@ class Manager {
   /// Advances the platform one epoch, harvests stats, runs one control
   /// decision, applies it, and feeds reward back. Returns epoch utility.
   double run_epoch();
+
+  /// Event-driven equivalent of calling run_epoch() in a loop: schedules
+  /// one control epoch every `period` (order 1 = control; <= 0 defaults to
+  /// epoch_s). Each firing steps the platform for the whole period itself,
+  /// so do not also bind() the platform. `on_epoch`, if set, receives each
+  /// epoch's utility. The trajectory is identical to the synchronous loop.
+  void bind(sim::Engine& engine, double period = 0.0,
+            std::function<void(double)> on_epoch = {});
 
   [[nodiscard]] const EpochStats& last_stats() const noexcept {
     return stats_;
@@ -92,6 +105,9 @@ class Manager {
 
  private:
   void build_agent();
+  /// run_epoch() generalised to an arbitrary epoch length (bind() uses the
+  /// scheduling period so engine time and platform time stay aligned).
+  double run_epoch_for(double secs);
   void apply(const ManagerAction& a);
   /// Predicted epoch metrics if configuration `a` ran against the
   /// currently sensed workload (the agent's self-model).

@@ -140,6 +140,10 @@ void Platform::step() {
       max_temp_epoch_ = std::max(max_temp_epoch_, temp_[c]);
       if (!throttled_[c] && temp_[c] >= cfg_.throttle_c) {
         throttled_[c] = true;
+        if (telemetry_) {
+          telemetry_->record(now_ + dt, sim::TelemetryBus::kFailure,
+                             subject_, temp_[c], specs_[c].name);
+        }
       } else if (throttled_[c] && temp_[c] <= cfg_.recover_c) {
         throttled_[c] = false;
       }
@@ -154,6 +158,17 @@ void Platform::step() {
 void Platform::run_for(double secs) {
   const auto ticks = static_cast<std::size_t>(std::ceil(secs / cfg_.tick));
   for (std::size_t i = 0; i < ticks; ++i) step();
+}
+
+void Platform::bind(sim::Engine& engine, double period) {
+  if (period <= 0.0) period = cfg_.tick;
+  engine.every(
+      period, [this] { step(); return true; }, /*order=*/0);
+}
+
+void Platform::set_telemetry(sim::TelemetryBus* bus) {
+  telemetry_ = bus;
+  if (telemetry_) subject_ = telemetry_->intern_subject("multicore.platform");
 }
 
 std::size_t Platform::queued() const {

@@ -20,8 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "sim/telemetry.hpp"
 
 namespace sa::multicore {
 
@@ -118,6 +120,14 @@ class Platform {
   void step();                 ///< advance one tick
   void run_for(double secs);   ///< advance ⌈secs/tick⌉ ticks
   [[nodiscard]] double now() const noexcept { return now_; }
+  /// Drives step() through `engine` every `period` (<= 0 defaults to the
+  /// configured tick) at order 0 = dynamics. Don't combine with a
+  /// Manager::bind on the same platform — the manager adapter steps the
+  /// platform itself.
+  void bind(sim::Engine& engine, double period = 0.0);
+  /// Emits one kFailure per thermal-throttle engagement (value = core
+  /// temperature, detail = core name). Non-owning; null disables emission.
+  void set_telemetry(sim::TelemetryBus* bus);
 
   // -- Sensing ----------------------------------------------------------------
   /// Stats accumulated since the previous harvest; resets accumulators.
@@ -172,6 +182,9 @@ class Platform {
 
   std::vector<double> temp_;       ///< per-core temperature (thermal only)
   std::vector<bool> throttled_;    ///< hardware clamp active
+
+  sim::TelemetryBus* telemetry_ = nullptr;
+  sim::SubjectId subject_ = 0;
 
   // Epoch accumulators.
   double epoch_start_ = 0.0;

@@ -16,7 +16,7 @@
 #include "sim/report.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
-#include "sim/trace.hpp"
+#include "sim/telemetry.hpp"
 
 // Online learning substrate.
 #include "learn/bandit.hpp"

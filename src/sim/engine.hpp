@@ -1,9 +1,26 @@
 // Discrete-event simulation engine.
 //
-// A minimal, deterministic DES kernel: events are (time, sequence, action)
-// triples in a binary heap; ties in time break by insertion order so runs
-// are exactly reproducible. All substrates (svc, cloud, multicore, cpn)
-// schedule their dynamics through one Engine instance.
+// A minimal, deterministic DES kernel: events are (time, order, sequence,
+// action) tuples in a binary heap. All substrates (svc, cloud, multicore,
+// cpn) can schedule their dynamics through one Engine instance via their
+// bind() adapters (see each substrate's simulator/controller), which is how
+// core::AgentRuntime co-schedules agents, reward delivery, knowledge
+// exchange and substrate ticks at independent periods.
+//
+// Determinism contract:
+//  * Ties in time break by `order` (lower first), then by scheduling
+//    sequence (earlier at() call first). Periodic streams created by
+//    every() re-schedule on each firing, so at a coincidence of two
+//    equal-order streams the LONGER-period stream runs first (its event was
+//    scheduled further in the past). When the intent is "dynamics before
+//    control at the same instant", encode it with `order` — the convention
+//    used throughout is: substrate dynamics at order 0, agent/control steps
+//    at order 1, knowledge exchange at order 2 — rather than relying on
+//    scheduling age.
+//  * every(period) fires at base + n*period computed by multiplication,
+//    not by accumulating now+period, so periodic events do not drift: the
+//    100th firing of every(0.005) lands exactly on t=0.5 and coincides
+//    with a control event scheduled there.
 #pragma once
 
 #include <cstddef>
@@ -29,18 +46,20 @@ class Engine {
   /// Number of events currently pending.
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
-  /// Schedules `action` at absolute time `t` (must be >= now()).
-  void at(Time t, Action action) {
-    heap_.push(Ev{t, seq_++, std::move(action)});
+  /// Schedules `action` at absolute time `t` (must be >= now()). Events at
+  /// equal time run in ascending `order`, then in scheduling order.
+  void at(Time t, Action action, int order = 0) {
+    heap_.push(Ev{t, order, seq_++, std::move(action)});
   }
   /// Schedules `action` after a delay (>= 0) from now.
-  void in(Time delay, Action action) { at(now_ + delay, std::move(action)); }
+  void in(Time delay, Action action, int order = 0) {
+    at(now_ + delay, std::move(action), order);
+  }
   /// Schedules `action` every `period` starting at now()+period, until it
-  /// returns false or the run ends.
-  void every(Time period, std::function<bool()> action) {
-    in(period, [this, period, action = std::move(action)]() mutable {
-      if (action()) every(period, std::move(action));
-    });
+  /// returns false or the run ends. The n-th firing is at now()+n*period
+  /// (computed multiplicatively — no floating-point drift across firings).
+  void every(Time period, std::function<bool()> action, int order = 0) {
+    schedule_periodic(now_, period, 1, std::move(action), order);
   }
 
   /// Runs until the event queue empties or simulated time reaches `horizon`.
@@ -73,12 +92,26 @@ class Engine {
   }
 
  private:
+  void schedule_periodic(Time base, Time period, std::uint64_t n,
+                         std::function<bool()> action, int order) {
+    at(base + static_cast<Time>(n) * period,
+       [this, base, period, n, order, action = std::move(action)]() mutable {
+         if (action()) {
+           schedule_periodic(base, period, n + 1, std::move(action), order);
+         }
+       },
+       order);
+  }
+
   struct Ev {
     Time t;
+    int order;
     std::uint64_t seq;
     Action action;
     bool operator>(const Ev& o) const noexcept {
-      return t != o.t ? t > o.t : seq > o.seq;
+      if (t != o.t) return t > o.t;
+      if (order != o.order) return order > o.order;
+      return seq > o.seq;
     }
   };
   std::priority_queue<Ev, std::vector<Ev>, std::greater<>> heap_;

@@ -1,0 +1,97 @@
+#include "sim/telemetry.hpp"
+
+namespace sa::sim {
+
+namespace {
+
+// Linear-scan intern table: category/subject populations are small (a few
+// to a few hundred) and interning happens at wiring time, so a scan keeps
+// the data structure trivially deterministic.
+std::uint32_t intern(std::vector<std::string>& names, std::string_view name) {
+  for (std::uint32_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+}  // namespace
+
+TelemetryBus::TelemetryBus(bool enabled) : enabled_(enabled) {
+  // Must match the kDecision/kObservation/kFailure constants.
+  category_names_ = {"decision", "observation", "failure"};
+  per_category_.resize(category_names_.size());
+}
+
+CategoryId TelemetryBus::intern_category(std::string_view name) {
+  const CategoryId id = intern(category_names_, name);
+  if (per_category_.size() < category_names_.size()) {
+    per_category_.resize(category_names_.size());
+  }
+  return id;
+}
+
+SubjectId TelemetryBus::intern_subject(std::string_view name) {
+  return intern(subject_names_, name);
+}
+
+void TelemetryBus::enable_histogram(CategoryId category, double lo, double hi,
+                                    std::size_t bins) {
+  per_category_.at(category).hist =
+      std::make_unique<Histogram>(lo, hi, bins);
+}
+
+void TelemetryBus::record_impl(double t, CategoryId category,
+                               SubjectId subject, double value,
+                               std::string_view detail) {
+  PerCategory& pc = per_category_.at(category);
+  ++pc.count;
+  pc.values.add(value);
+  if (pc.hist) pc.hist->add(value);
+  ++total_;
+  if (sinks_.empty()) return;
+  const TelemetryEvent ev{t, category, subject, value, detail};
+  for (TelemetrySink* sink : sinks_) sink->on_event(ev);
+}
+
+void RingBufferSink::on_event(const TelemetryEvent& ev) {
+  ++seen_;
+  Rec rec{ev.t, ev.category, ev.subject, ev.value, std::string(ev.detail)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+    return;
+  }
+  ring_[head_] = std::move(rec);
+  head_ = (head_ + 1) % capacity_;
+}
+
+const RingBufferSink::Rec& RingBufferSink::at(std::size_t i) const {
+  return ring_.at((head_ + i) % ring_.size());
+}
+
+std::vector<const RingBufferSink::Rec*> RingBufferSink::by_category(
+    CategoryId c) const {
+  std::vector<const Rec*> out;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Rec& r = at(i);
+    if (r.category == c) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const RingBufferSink::Rec*> RingBufferSink::by_subject(
+    SubjectId s) const {
+  std::vector<const Rec*> out;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Rec& r = at(i);
+    if (r.subject == s) out.push_back(&r);
+  }
+  return out;
+}
+
+void RingBufferSink::clear() {
+  ring_.clear();
+  head_ = 0;
+}
+
+}  // namespace sa::sim

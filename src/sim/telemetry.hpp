@@ -1,0 +1,184 @@
+// Typed telemetry bus.
+//
+// Replaces the old string-triple Trace: substrates and awareness processes
+// emit (time, category, subject, value, detail) events through one
+// TelemetryBus per scenario. Categories and subjects are interned once to
+// small integer ids, so the hot path is O(1): bump a per-category counter,
+// fold the value into that category's running stats (and optional
+// histogram), and hand the event to each registered sink. The disabled
+// path costs exactly one branch and performs no heap allocation — the
+// telemetry test asserts this — and defining SA_TELEMETRY_OFF compiles
+// record() out entirely.
+//
+// Sinks are non-owning observers. RingBufferSink retains the last N events
+// for self-explanation queries (by_category / by_subject, in emission
+// order); sa::exp provides a JSONL file sink built on the deterministic
+// JSON writer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace sa::sim {
+
+/// Interned id of an event category ("decision", "observation", ...).
+using CategoryId = std::uint32_t;
+/// Interned id of an emitting component ("autoscaler", "cpn.network", ...).
+using SubjectId = std::uint32_t;
+
+/// One telemetry event, as seen by sinks during dispatch. `detail` is a
+/// view into caller storage and is only valid for the duration of
+/// on_event(); sinks that retain events must copy it.
+struct TelemetryEvent {
+  double t = 0.0;
+  CategoryId category = 0;
+  SubjectId subject = 0;
+  double value = 0.0;
+  std::string_view detail;
+};
+
+/// Observer interface. Implementations must not re-enter the bus.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void on_event(const TelemetryEvent& ev) = 0;
+};
+
+class TelemetryBus {
+ public:
+  // The three canonical categories every substrate emits; interned by the
+  // constructor so emitters can use them without a lookup.
+  static constexpr CategoryId kDecision = 0;
+  static constexpr CategoryId kObservation = 1;
+  static constexpr CategoryId kFailure = 2;
+
+  explicit TelemetryBus(bool enabled = true);
+
+  /// Returns the id for `name`, interning it on first use. O(categories);
+  /// call once at wiring time, not per event.
+  CategoryId intern_category(std::string_view name);
+  SubjectId intern_subject(std::string_view name);
+  [[nodiscard]] const std::string& category_name(CategoryId c) const {
+    return category_names_.at(c);
+  }
+  [[nodiscard]] const std::string& subject_name(SubjectId s) const {
+    return subject_names_.at(s);
+  }
+  [[nodiscard]] std::size_t categories() const noexcept {
+    return category_names_.size();
+  }
+  [[nodiscard]] std::size_t subjects() const noexcept {
+    return subject_names_.size();
+  }
+
+  /// Registers a non-owning sink; it must outlive the bus (or be removed
+  /// by clear_sinks()). Events are dispatched in registration order.
+  void add_sink(TelemetrySink* sink) { sinks_.push_back(sink); }
+  void clear_sinks() { sinks_.clear(); }
+
+  [[nodiscard]] bool enabled() const noexcept {
+#ifdef SA_TELEMETRY_OFF
+    return false;
+#else
+    return enabled_;
+#endif
+  }
+  void set_enabled(bool e) noexcept { enabled_ = e; }
+
+  /// Records one event. Disabled: one branch, no allocation. Enabled:
+  /// counter bump + stats fold + sink dispatch, no allocation in the bus
+  /// itself (sinks may allocate to retain the event).
+  void record(double t, CategoryId category, SubjectId subject,
+              double value = 0.0, std::string_view detail = {}) {
+#ifdef SA_TELEMETRY_OFF
+    (void)t, (void)category, (void)subject, (void)value, (void)detail;
+#else
+    if (!enabled_) return;
+    record_impl(t, category, subject, value, detail);
+#endif
+  }
+
+  /// Events recorded under `category` so far.
+  [[nodiscard]] std::uint64_t count(CategoryId category) const {
+    return category < per_category_.size() ? per_category_[category].count
+                                           : 0;
+  }
+  /// Running stats over the `value` field of `category`'s events.
+  [[nodiscard]] const RunningStats& values(CategoryId category) const {
+    return per_category_.at(category).values;
+  }
+  /// Opts `category` into a fixed-range histogram over its values (e.g.
+  /// latencies). Resets any previous histogram for the category.
+  void enable_histogram(CategoryId category, double lo, double hi,
+                        std::size_t bins);
+  /// The category's histogram, or nullptr if none was enabled.
+  [[nodiscard]] const Histogram* histogram(CategoryId category) const {
+    return category < per_category_.size()
+               ? per_category_[category].hist.get()
+               : nullptr;
+  }
+  /// Total events recorded across all categories.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  struct PerCategory {
+    std::uint64_t count = 0;
+    RunningStats values;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  void record_impl(double t, CategoryId category, SubjectId subject,
+                   double value, std::string_view detail);
+
+  bool enabled_;
+  std::vector<std::string> category_names_;
+  std::vector<std::string> subject_names_;
+  std::vector<PerCategory> per_category_;
+  std::vector<TelemetrySink*> sinks_;
+  std::uint64_t total_ = 0;
+};
+
+/// Bounded in-memory sink: retains the most recent `capacity` events (with
+/// their details copied) and answers the query API the old Trace offered —
+/// by_category / by_subject in emission order.
+class RingBufferSink : public TelemetrySink {
+ public:
+  struct Rec {
+    double t = 0.0;
+    CategoryId category = 0;
+    SubjectId subject = 0;
+    double value = 0.0;
+    std::string detail;
+  };
+
+  explicit RingBufferSink(std::size_t capacity = 4096)
+      : capacity_(capacity ? capacity : 1) {}
+
+  void on_event(const TelemetryEvent& ev) override;
+
+  /// Events currently retained (≤ capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  /// Total events observed, including evicted ones.
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  /// i-th retained event, oldest first.
+  [[nodiscard]] const Rec& at(std::size_t i) const;
+  /// Retained events with the given category, in emission order.
+  [[nodiscard]] std::vector<const Rec*> by_category(CategoryId c) const;
+  /// Retained events emitted by the given subject, in emission order.
+  [[nodiscard]] std::vector<const Rec*> by_subject(SubjectId s) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<Rec> ring_;   ///< circular once full
+  std::size_t head_ = 0;    ///< index of the oldest retained event
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace sa::sim

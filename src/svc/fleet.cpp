@@ -8,6 +8,7 @@ namespace sa::svc {
 
 CameraFleet::CameraFleet(Network& net, Params p)
     : net_(net), p_(p), last_(net.cameras()) {
+  if (p_.telemetry != nullptr) net_.set_telemetry(p_.telemetry);
   if (p_.mode == Mode::Homogeneous) {
     for (std::size_t c = 0; c < net_.cameras(); ++c) {
       net_.set_strategy(c, p_.fixed);
@@ -19,6 +20,7 @@ CameraFleet::CameraFleet(Network& net, Params p)
     core::AgentConfig cfg;
     cfg.levels = p_.levels;
     cfg.seed = p_.seed + c;
+    cfg.telemetry = p_.telemetry;
     auto agent = std::make_unique<core::SelfAwareAgent>(
         "cam" + std::to_string(c), cfg);
 
@@ -55,6 +57,26 @@ CameraFleet::CameraFleet(Network& net, Params p)
 
 NetworkEpoch CameraFleet::run_epoch() {
   net_.run(p_.epoch_steps);
+  return finish_epoch();
+}
+
+void CameraFleet::bind(sim::Engine& engine, double step_period,
+                       std::function<void(const NetworkEpoch&)> on_epoch) {
+  engine.every(
+      step_period,
+      [this, on_epoch = std::move(on_epoch)] {
+        net_.step();
+        ++bound_steps_;
+        if (bound_steps_ % p_.epoch_steps == 0) {
+          const NetworkEpoch e = finish_epoch();
+          if (on_epoch) on_epoch(e);
+        }
+        return true;
+      },
+      /*order=*/0);
+}
+
+NetworkEpoch CameraFleet::finish_epoch() {
   for (std::size_t c = 0; c < net_.cameras(); ++c) {
     last_[c] = net_.harvest_camera(c);
   }

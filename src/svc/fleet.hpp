@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/agent.hpp"
+#include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "svc/network.hpp"
 
@@ -28,6 +30,9 @@ class CameraFleet {
     std::size_t epoch_steps = 25;
     core::LevelSet levels = core::LevelSet::full();
     std::uint64_t seed = 31;
+    /// Optional telemetry bus: wired into every camera agent and the
+    /// network. Non-owning; must outlive the fleet.
+    sim::TelemetryBus* telemetry = nullptr;
   };
 
   CameraFleet(Network& net, Params p);
@@ -35,6 +40,14 @@ class CameraFleet {
   /// Runs one epoch of world steps, then lets every camera (re)choose its
   /// strategy. Returns the network epoch record.
   NetworkEpoch run_epoch();
+
+  /// Event-driven equivalent of calling run_epoch() in a loop: schedules
+  /// one world step every `step_period` (order 0 = dynamics); every
+  /// epoch_steps-th step the epoch work (harvest, agent steps, rewards)
+  /// runs in the same event, so the trajectory is identical to the
+  /// synchronous loop. `on_epoch`, if set, receives each epoch record.
+  void bind(sim::Engine& engine, double step_period = 1.0,
+            std::function<void(const NetworkEpoch&)> on_epoch = {});
 
   /// Normalised Shannon entropy of the current strategy assignment in
   /// [0,1]: 0 = all cameras identical, 1 = uniform over strategies.
@@ -61,11 +74,16 @@ class CameraFleet {
   }
 
  private:
+  /// The post-world-steps half of run_epoch(): harvest, agent steps,
+  /// rewards, aggregate updates.
+  NetworkEpoch finish_epoch();
+
   Network& net_;
   Params p_;
   std::vector<std::unique_ptr<core::SelfAwareAgent>> agents_;
   std::vector<CameraEpoch> last_;
   std::size_t epoch_ = 0;
+  std::size_t bound_steps_ = 0;
   sim::RunningStats coverage_, messages_, global_utility_;
 };
 

@@ -110,10 +110,15 @@ void Network::move_objects() {
 }
 
 void Network::auction(std::size_t obj, std::size_t seller) {
+  const double t = static_cast<double>(steps_);
   const Strategy s = strategy_[seller];
   if (s == Strategy::Passive) {
     owner_[obj] = kUnowned;
     cam_epoch_[seller].lost += 1.0;
+    if (telemetry_) {
+      telemetry_->record(t, sim::TelemetryBus::kFailure, subject_,
+                         static_cast<double>(seller), "lost");
+    }
     return;
   }
   std::vector<std::size_t> audience;
@@ -149,9 +154,17 @@ void Network::auction(std::size_t obj, std::size_t seller) {
     // The successful sale teaches the vision graph, whatever strategy
     // found the buyer.
     links_[seller][best] += 1.0;
+    if (telemetry_) {
+      telemetry_->record(t, sim::TelemetryBus::kObservation, subject_,
+                         best_bid, "handover");
+    }
   } else {
     owner_[obj] = kUnowned;
     cam_epoch_[seller].lost += 1.0;
+    if (telemetry_) {
+      telemetry_->record(t, sim::TelemetryBus::kFailure, subject_,
+                         static_cast<double>(seller), "lost");
+    }
   }
 }
 
@@ -225,6 +238,16 @@ void Network::step() {
 
 void Network::run(std::size_t steps) {
   for (std::size_t i = 0; i < steps; ++i) step();
+}
+
+void Network::bind(sim::Engine& engine, double period) {
+  engine.every(
+      period, [this] { step(); return true; }, /*order=*/0);
+}
+
+void Network::set_telemetry(sim::TelemetryBus* bus) {
+  telemetry_ = bus;
+  if (telemetry_) subject_ = telemetry_->intern_subject("svc.network");
 }
 
 CameraEpoch Network::harvest_camera(std::size_t cam) {

@@ -29,7 +29,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "sim/telemetry.hpp"
 
 namespace sa::svc {
 
@@ -115,6 +117,13 @@ class Network {
   /// One world step: motion, tracking, handovers, re-detection.
   void step();
   void run(std::size_t steps);
+  /// Drives step() through `engine` every `period` (order 0 = dynamics).
+  /// The engine-driven trajectory is identical to calling step() directly
+  /// at the same cadence.
+  void bind(sim::Engine& engine, double period = 1.0);
+  /// Emits handover observations and lost-track failures to `bus` (event
+  /// time = world step count). Non-owning; null disables emission.
+  void set_telemetry(sim::TelemetryBus* bus);
   /// Current hotspot centre (moves when hotspot_drift > 0).
   [[nodiscard]] Vec2 current_hotspot() const;
 
@@ -169,6 +178,9 @@ class Network {
 
   std::vector<CameraEpoch> cam_epoch_;
   NetworkEpoch net_epoch_;
+
+  sim::TelemetryBus* telemetry_ = nullptr;
+  sim::SubjectId subject_ = 0;
 };
 
 }  // namespace sa::svc

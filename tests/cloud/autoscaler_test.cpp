@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/telemetry.hpp"
+
 namespace sa::cloud {
 namespace {
 
@@ -135,6 +139,43 @@ TEST(Autoscaler, SelfAwareLearnsNodeReliability) {
   }
   EXPECT_TRUE(some_evidence);
 }
+
+TEST(Autoscaler, BindReproducesRunEpochLoop) {
+  // The autoscaler bound to an engine (one control event per cluster epoch)
+  // must follow the same trajectory as the synchronous loop.
+  Rig a(7), b(7);
+  Autoscaler legacy(a.cluster, a.demand,
+                    params_for(Autoscaler::Variant::SelfAware));
+  sim::RunningStats legacy_sla;
+  for (int i = 0; i < 30; ++i) legacy_sla.add(legacy.run_epoch().sla);
+
+  Autoscaler bound(b.cluster, b.demand,
+                   params_for(Autoscaler::Variant::SelfAware));
+  sim::Engine engine;
+  sim::RunningStats bound_sla;
+  bound.bind(engine, 0.0, [&](const CloudEpoch& e) { bound_sla.add(e.sla); });
+  engine.run_until(30.0 * b.cluster.epoch_seconds());
+
+  ASSERT_EQ(bound_sla.count(), 30u);
+  EXPECT_DOUBLE_EQ(bound_sla.mean(), legacy_sla.mean());
+  EXPECT_EQ(bound.target(), legacy.target());
+}
+
+#ifndef SA_TELEMETRY_OFF
+TEST(Autoscaler, TelemetryRecordsEpochsAndFailures) {
+  sim::TelemetryBus bus;
+  Rig rig(8);
+  auto p = params_for(Autoscaler::Variant::SelfAware);
+  p.telemetry = &bus;
+  Autoscaler as(rig.cluster, rig.demand, p);
+  for (int i = 0; i < 30; ++i) as.run_epoch();
+  // One cluster SLA observation per epoch plus the agent's own sampling.
+  EXPECT_GE(bus.count(sim::TelemetryBus::kObservation), 30u);
+  EXPECT_GT(bus.count(sim::TelemetryBus::kDecision), 0u);
+  // With 24 churning nodes over 30 epochs, some went down mid-epoch.
+  EXPECT_GT(bus.count(sim::TelemetryBus::kFailure), 0u);
+}
+#endif  // SA_TELEMETRY_OFF
 
 TEST(Autoscaler, UtilityBlendsSlaAndCost) {
   Rig rig(11);

@@ -87,5 +87,57 @@ TEST(AgentRuntime, ExchangedKnowledgeTracksUpdates) {
   EXPECT_DOUBLE_EQ(b.knowledge().number("shared.alpha.load"), 42.0);
 }
 
+TEST(AgentRuntime, SubstrateTicksBeforeAgentStepsAtCoincidentTimes) {
+  // Substrate dynamics run at kOrderDynamics (0), agents at kOrderControl
+  // (1): whenever a tick and a step land on the same instant, the agent
+  // observes the post-tick world.
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  int world = 0;
+  int seen_at_step = -1;
+  SelfAwareAgent agent("observer", quiet());
+  agent.add_sensor("world", [&] {
+    seen_at_step = world;
+    return static_cast<double>(world);
+  });
+  rt.schedule(agent, 1.0);           // registered FIRST...
+  rt.schedule_substrate("counter", 0.5, [&] { ++world; });
+  engine.run_until(1.0);
+  // ...but at t = 1.0 the substrate (ticks at 0.5 and 1.0) still ran first.
+  EXPECT_EQ(seen_at_step, 2);
+  EXPECT_EQ(rt.substrate_ticks(), 2u);
+}
+
+TEST(AgentRuntime, TracksSubstratesByName) {
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  rt.schedule_substrate("svc.network", 1.0, [] {});
+  rt.schedule_substrate("cloud.cluster", 10.0, [] {});
+  ASSERT_EQ(rt.substrates().size(), 2u);
+  EXPECT_EQ(rt.substrates()[0], "svc.network");
+  EXPECT_EQ(rt.substrates()[1], "cloud.cluster");
+  engine.run_until(20.0);
+  EXPECT_EQ(rt.substrate_ticks(), 22u);  // 20 fast + 2 slow
+}
+
+TEST(AgentRuntime, ExchangeRunsAfterStepsAtCoincidentTimes) {
+  // Exchange is kOrderExchange (2): at a coincident instant both agents step
+  // first, so the exchanged snapshot reflects this round's observations.
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  SelfAwareAgent a("alpha", quiet()), b("beta", quiet());
+  double va = 0.0;
+  a.add_sensor("load", [&] {
+    va += 1.0;  // each step observes a fresh value
+    return va;
+  });
+  rt.schedule_exchange({&a, &b}, 2.0);  // registered before the agents...
+  rt.schedule(a, 2.0);
+  rt.schedule(b, 2.0);
+  engine.run_until(2.0);
+  // ...yet b already holds the value a sampled at t = 2.0.
+  EXPECT_DOUBLE_EQ(b.knowledge().number("shared.alpha.load"), 1.0);
+}
+
 }  // namespace
 }  // namespace sa::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/telemetry.hpp"
+
 namespace sa::cpn {
 namespace {
 
@@ -177,6 +179,25 @@ TEST(PacketNetwork, BoostExplorationRaisesThenDecays) {
   for (int i = 0; i < 200; ++i) net.step();
   EXPECT_NEAR(net.epsilon(), 0.01, 1e-6);  // decayed back to the floor
 }
+
+#ifndef SA_TELEMETRY_OFF
+TEST(PacketNetwork, TelemetryRecordsDeliveriesAndDrops) {
+  sim::TelemetryBus bus;
+  PacketNetwork net(Topology::grid(2, 3, 0, 1),
+                    params_for(PacketNetwork::Router::Static));
+  net.set_telemetry(&bus);
+  for (int t = 0; t < 200; ++t) {
+    net.inject(0, 5, true);
+    net.step();
+  }
+  const auto s = net.harvest();
+  // Every legit delivery shows up as an observation; TTL/buffer losses as
+  // failures — together they account for all terminated packets.
+  EXPECT_EQ(bus.count(sim::TelemetryBus::kObservation),
+            static_cast<std::size_t>(s.delivered));
+  EXPECT_GT(bus.count(sim::TelemetryBus::kObservation), 0u);
+}
+#endif  // SA_TELEMETRY_OFF
 
 TEST(PacketNetwork, QRoutingRoutesAroundCongestion) {
   // 2-row grid: two disjoint-ish corridors between the far corners. Flood

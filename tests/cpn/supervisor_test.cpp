@@ -3,6 +3,7 @@
 
 #include "cpn/supervisor.hpp"
 #include "cpn/traffic.hpp"
+#include "sim/engine.hpp"
 
 namespace sa::cpn {
 namespace {
@@ -79,6 +80,37 @@ TEST(Supervisor, SustainedDegradationBoostsExploration) {
     sup.observe_epoch();
   }
   EXPECT_GE(sup.boosts(), 1u);
+}
+
+TEST(Supervisor, BindReproducesManualLoop) {
+  // Generator, network, and supervisor each bound to one engine reproduce
+  // the manual gen.tick()/net.step()/observe_epoch() loop exactly: ticks at
+  // order 0 (gen before net, registration order), supervision at order 1.
+  auto run = [](bool engine_driven) {
+    const auto topo = Topology::grid(3, 4, 0, 1);
+    PacketNetwork net(topo, {});
+    Supervisor sup(net, {});
+    TrafficParams tp;
+    tp.seed = 1;
+    TrafficGenerator gen(topo, tp);
+    if (engine_driven) {
+      sim::Engine engine;
+      gen.bind(engine, net);
+      net.bind(engine);
+      sup.bind(engine);  // default period = epoch_ticks = 200
+      engine.run_until(5.0 * 200.0);
+    } else {
+      for (int e = 0; e < 5; ++e) {
+        for (int t = 0; t < 200; ++t) {
+          gen.tick(net);
+          net.step();
+        }
+        sup.observe_epoch();
+      }
+    }
+    return sup.agent().knowledge().number("delivery");
+  };
+  EXPECT_DOUBLE_EQ(run(true), run(false));
 }
 
 }  // namespace

@@ -1,0 +1,62 @@
+// Tests for the JSONL telemetry sink.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/telemetry_jsonl.hpp"
+
+namespace sa::exp {
+namespace {
+
+using sim::TelemetryBus;
+
+// All of these assert that events reach the sink, so they only apply when
+// the telemetry hot path is compiled in.
+#ifndef SA_TELEMETRY_OFF
+TEST(JsonlSink, WritesOneCompactObjectPerEvent) {
+  TelemetryBus bus;
+  std::ostringstream os;
+  JsonlSink sink(os, bus);
+  bus.add_sink(&sink);
+  const auto subj = bus.intern_subject("cpn.network");
+  bus.record(12.5, TelemetryBus::kFailure, subj, 3.0, "ttl");
+  bus.record(13.0, TelemetryBus::kObservation, subj, 7.25);
+  EXPECT_EQ(sink.written(), 2u);
+  EXPECT_EQ(os.str(),
+            "{\"t\":12.5,\"category\":\"failure\",\"subject\":"
+            "\"cpn.network\",\"value\":3.0,\"detail\":\"ttl\"}\n"
+            "{\"t\":13.0,\"category\":\"observation\",\"subject\":"
+            "\"cpn.network\",\"value\":7.25}\n");
+}
+
+TEST(JsonlSink, OutputIsDeterministicAcrossRuns) {
+  auto run = [] {
+    TelemetryBus bus;
+    std::ostringstream os;
+    JsonlSink sink(os, bus);
+    bus.add_sink(&sink);
+    const auto a = bus.intern_subject("a");
+    const auto b = bus.intern_subject("b");
+    for (int i = 0; i < 50; ++i) {
+      bus.record(i * 0.1, TelemetryBus::kDecision, a, i, "act");
+      bus.record(i * 0.1, TelemetryBus::kObservation, b, i * 1.5);
+    }
+    return os.str();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(JsonlSink, EscapesDetailStrings) {
+  TelemetryBus bus;
+  std::ostringstream os;
+  JsonlSink sink(os, bus);
+  bus.add_sink(&sink);
+  const auto subj = bus.intern_subject("svc");
+  bus.record(0.0, TelemetryBus::kDecision, subj, 0.0, "say \"hi\"\n");
+  EXPECT_NE(os.str().find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(os.str().find("\\n"), std::string::npos);
+}
+#endif  // SA_TELEMETRY_OFF
+
+}  // namespace
+}  // namespace sa::exp

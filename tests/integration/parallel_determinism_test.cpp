@@ -11,12 +11,14 @@
 #include <thread>
 #include <vector>
 
+#include "core/runtime.hpp"
 #include "cpn/network.hpp"
 #include "cpn/traffic.hpp"
 #include "exp/harness.hpp"
 #include "exp/runner.hpp"
 #include "multicore/manager.hpp"
 #include "multicore/workload.hpp"
+#include "sim/engine.hpp"
 #include "sim/stats.hpp"
 
 namespace {
@@ -104,6 +106,104 @@ exp::Grid cpn_grid() {
   return g;
 }
 
+/// Reduced E1 driven by the event kernel: same physics, but the manager is
+/// bound to a sim::Engine (order 1) with the workload phase applied as a
+/// dynamics event (order 0) at each epoch boundary, plus a passive monitor
+/// agent stepping at an incommensurate-looking (but dyadic) 0.75 s period
+/// to prove co-scheduling does not perturb the trajectory.
+exp::Grid multicore_engine_grid() {
+  exp::Grid g;
+  g.name = "e1.reduced";
+  g.variants = {"static", "self-aware"};
+  g.seeds = {11, 12};
+  g.task = [](const exp::TaskContext& ctx) -> exp::TaskOutput {
+    multicore::Platform platform(
+        multicore::PlatformConfig::big_little(2, 4), ctx.seed);
+    auto workload = multicore::PhasedWorkload::standard();
+    multicore::Manager::Params p;
+    p.variant = ctx.variant == 0 ? multicore::Manager::Variant::Static
+                                 : multicore::Manager::Variant::SelfAware;
+    p.seed = ctx.seed;
+    multicore::Manager mgr(platform, p);
+
+    sim::Engine engine;
+    core::AgentRuntime rt(engine);
+    engine.every(p.epoch_s,
+                 [&] {
+                   workload.apply(platform);
+                   return true;
+                 },
+                 core::AgentRuntime::kOrderDynamics);
+    sim::RunningStats utility, power, latency;
+    mgr.bind(engine, 0.0, [&](double u) {
+      utility.add(u);
+      power.add(mgr.last_stats().mean_power);
+      latency.add(mgr.last_stats().p95_latency);
+    });
+    // Passive observer with its own seed: reads harvested stats only, so it
+    // must not change what the manager does.
+    core::AgentConfig monitor_cfg;
+    monitor_cfg.seed = 999;
+    core::SelfAwareAgent monitor("monitor", monitor_cfg);
+    monitor.add_sensor("power", [&] { return mgr.last_stats().mean_power; });
+    rt.schedule(monitor, 0.75);
+
+    engine.run_until(120 * p.epoch_s);
+    return {{{"utility", utility.mean()},
+             {"power_w", power.mean()},
+             {"p95_s", latency.mean()},
+             {"cap_viol", mgr.cap_violation_rate()}}};
+  };
+  return g;
+}
+
+/// Reduced E4 driven by the event kernel: generator and network bound as
+/// two order-0 streams (registration order = per-tick order), windows
+/// realised as run_until() horizons.
+exp::Grid cpn_engine_grid() {
+  exp::Grid g;
+  g.name = "e4.reduced";
+  g.variants = {"static", "self-aware"};
+  g.seeds = {41, 42};
+  g.task = [](const exp::TaskContext& ctx) -> exp::TaskOutput {
+    const auto topo = cpn::Topology::grid(4, 6, 4, ctx.seed);
+    cpn::PacketNetwork::Params np;
+    np.router = ctx.variant == 0 ? cpn::PacketNetwork::Router::Static
+                                 : cpn::PacketNetwork::Router::QRouting;
+    np.dos_defence = ctx.variant == 1;
+    np.seed = ctx.seed;
+    cpn::PacketNetwork net(topo, np);
+    cpn::TrafficParams tp;
+    tp.flows = 8;
+    tp.legit_rate = 2.0;
+    tp.attack_start = 300;
+    tp.attack_end = 600;
+    tp.attack_rate = 25.0;
+    tp.attackers = 3;
+    tp.seed = ctx.seed;
+    cpn::TrafficGenerator gen(topo, tp);
+
+    sim::Engine engine;
+    gen.bind(engine, net);  // injection first...
+    net.bind(engine);       // ...then transit, every tick
+
+    exp::Metrics m;
+    const char* const windows[] = {"before", "during", "after"};
+    double horizon = 0.0;
+    for (const char* window : windows) {
+      horizon += 300.0;
+      engine.run_until(horizon);
+      const auto s = net.harvest();
+      const std::string prefix = std::string(window) + ".";
+      m.emplace_back(prefix + "delivery", s.delivery_rate());
+      m.emplace_back(prefix + "mean_lat", s.mean_latency);
+      m.emplace_back(prefix + "p95_lat", s.p95_latency);
+    }
+    return {std::move(m)};
+  };
+  return g;
+}
+
 class ParallelDeterminism : public ::testing::Test {};
 
 TEST(ParallelDeterminism, MulticoreGridIsThreadCountInvariant) {
@@ -121,6 +221,36 @@ TEST(ParallelDeterminism, CpnGridIsThreadCountInvariant) {
   const auto parallel = exp::Runner(parallel_jobs()).run("determinism", grid);
   ASSERT_EQ(serial.errors(), 0u);
   ASSERT_EQ(parallel.errors(), 0u);
+  EXPECT_EQ(timing_free_json(serial), timing_free_json(parallel));
+}
+
+TEST(ParallelDeterminism, MulticoreEngineDrivenMatchesLockStep) {
+  // The engine-driven E1 (Manager::bind + workload events + a co-scheduled
+  // monitor agent) must reproduce the legacy synchronous loop bit for bit.
+  const auto legacy = exp::Runner(1).run("determinism", multicore_grid());
+  const auto engine =
+      exp::Runner(1).run("determinism", multicore_engine_grid());
+  ASSERT_EQ(legacy.errors(), 0u);
+  ASSERT_EQ(engine.errors(), 0u);
+  EXPECT_EQ(timing_free_json(legacy), timing_free_json(engine));
+}
+
+TEST(ParallelDeterminism, CpnEngineDrivenMatchesLockStep) {
+  // The engine-driven E4 (TrafficGenerator::bind + PacketNetwork::bind)
+  // must reproduce the legacy gen.tick()/net.step() loop bit for bit.
+  const auto legacy = exp::Runner(1).run("determinism", cpn_grid());
+  const auto engine = exp::Runner(1).run("determinism", cpn_engine_grid());
+  ASSERT_EQ(legacy.errors(), 0u);
+  ASSERT_EQ(engine.errors(), 0u);
+  EXPECT_EQ(timing_free_json(legacy), timing_free_json(engine));
+}
+
+TEST(ParallelDeterminism, EngineDrivenGridIsThreadCountInvariant) {
+  // The event-driven path must stay deterministic under the parallel
+  // runner too (each task owns its engine; nothing is shared).
+  const auto grid = cpn_engine_grid();
+  const auto serial = exp::Runner(1).run("determinism", grid);
+  const auto parallel = exp::Runner(parallel_jobs()).run("determinism", grid);
   EXPECT_EQ(timing_free_json(serial), timing_free_json(parallel));
 }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "multicore/workload.hpp"
+#include "sim/engine.hpp"
+#include "sim/telemetry.hpp"
 
 namespace sa::multicore {
 namespace {
@@ -105,6 +107,42 @@ TEST(Manager, UtilityPenalisesCapViolations) {
   EXPECT_DOUBLE_EQ(mgr.utility().mean(), 0.0);  // hard constraint zeroes it
   EXPECT_DOUBLE_EQ(mgr.cap_violation_rate(), 1.0);
 }
+
+TEST(Manager, BindReproducesRunEpochLoop) {
+  // Manager::bind schedules run_epoch_for(period) at the control order; the
+  // default period equals epoch_s, so the trajectory must match the
+  // synchronous loop exactly.
+  auto run = [](bool engine_driven) {
+    Platform platform(PlatformConfig::big_little(2, 4), 13);
+    auto p = params_for(Manager::Variant::SelfAware);
+    p.seed = 13;
+    Manager mgr(platform, p);
+    platform.set_workload(20.0, 0.4, 0.5);
+    if (engine_driven) {
+      sim::Engine engine;
+      mgr.bind(engine);
+      engine.run_until(40 * p.epoch_s);
+    } else {
+      for (int i = 0; i < 40; ++i) mgr.run_epoch();
+    }
+    return mgr.utility().mean();
+  };
+  EXPECT_DOUBLE_EQ(run(true), run(false));
+}
+
+#ifndef SA_TELEMETRY_OFF
+TEST(Manager, TelemetryCapturesAgentActivity) {
+  sim::TelemetryBus bus;
+  Platform platform(PlatformConfig::big_little(2, 4), 7);
+  auto p = params_for(Manager::Variant::SelfAware);
+  p.telemetry = &bus;
+  Manager mgr(platform, p);
+  platform.set_workload(20.0, 0.4, 0.5);
+  for (int i = 0; i < 10; ++i) mgr.run_epoch();
+  EXPECT_GE(bus.count(sim::TelemetryBus::kObservation), 10u);
+  EXPECT_GE(bus.count(sim::TelemetryBus::kDecision), 10u);
+}
+#endif  // SA_TELEMETRY_OFF
 
 TEST(Manager, SelfAwareBeatsStaticOnPhasedWorkload) {
   // The headline E1 comparison in miniature (short horizon, fixed seed):

@@ -113,6 +113,74 @@ TEST(Engine, EventsCanScheduleEvents) {
   EXPECT_EQ(times, (std::vector<double>{1.0, 1.5}));
 }
 
+TEST(Engine, OrderBreaksTiesBeforeInsertionSeq) {
+  Engine e;
+  std::vector<int> fired;
+  // Insert in reverse-order priority: control (1) before dynamics (0).
+  e.at(2.0, [&] { fired.push_back(1); }, /*order=*/1);
+  e.at(2.0, [&] { fired.push_back(0); }, /*order=*/0);
+  e.at(2.0, [&] { fired.push_back(2); }, /*order=*/2);
+  e.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, CoincidentPeriodicStreamsRespectOrder) {
+  // A dynamics stream (order 0) at period 0.5 and a control stream (order 1)
+  // at period 1.0 coincide at t = 1, 2, 3...; dynamics must always run first
+  // even though the control stream was registered first.
+  Engine e;
+  std::vector<char> fired;
+  e.every(1.0, [&] {
+    fired.push_back('c');
+    return true;
+  }, /*order=*/1);
+  e.every(0.5, [&] {
+    fired.push_back('d');
+    return true;
+  }, /*order=*/0);
+  e.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<char>{'d', 'd', 'c', 'd', 'd', 'c'}));
+}
+
+TEST(Engine, EveryIsDriftFree) {
+  // Firing times are computed as base + n * period (one rounding), not by
+  // accumulating now + period, so 100 firings of every(0.005) land exactly
+  // on 0.5 and coincide bit-exactly with an every(0.5) stream.
+  Engine e;
+  int fine = 0;
+  double coarse_seen_fine = -1;
+  e.every(0.005, [&] {
+    ++fine;
+    return true;
+  }, /*order=*/0);
+  e.every(0.5, [&] {
+    coarse_seen_fine = fine;
+    return true;
+  }, /*order=*/1);
+  e.run_until(0.5);
+  EXPECT_EQ(fine, 100);
+  // Order 0 ran before order 1 at the coincident instant t = 0.5.
+  EXPECT_DOUBLE_EQ(coarse_seen_fine, 100.0);
+  EXPECT_DOUBLE_EQ(e.now(), 0.5);
+}
+
+TEST(Engine, SameOrderPeriodicStreamsKeepRegistrationOrderEachRound) {
+  // Two every(1.0) streams at the same order: each re-schedules immediately
+  // after firing, so the first-registered stream fires first every round.
+  Engine e;
+  std::vector<char> fired;
+  e.every(1.0, [&] {
+    fired.push_back('a');
+    return true;
+  });
+  e.every(1.0, [&] {
+    fired.push_back('b');
+    return true;
+  });
+  e.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<char>{'a', 'b', 'a', 'b', 'a', 'b'}));
+}
+
 TEST(Engine, ClearDropsPending) {
   Engine e;
   int count = 0;

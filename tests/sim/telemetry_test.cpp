@@ -1,0 +1,176 @@
+// Tests for the typed telemetry bus: interning, counters, histograms, ring
+// sink queries, sink dispatch, and the cost contract of the disabled path
+// (one branch, zero heap allocations).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "sim/telemetry.hpp"
+
+// Global allocation counter: every operator new bumps it, so a test can
+// assert that a code region performs no heap allocation at all.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sa::sim {
+namespace {
+
+TEST(TelemetryBus, CanonicalCategoriesArePreInterned) {
+  TelemetryBus bus;
+  EXPECT_EQ(bus.categories(), 3u);
+  EXPECT_EQ(bus.category_name(TelemetryBus::kDecision), "decision");
+  EXPECT_EQ(bus.category_name(TelemetryBus::kObservation), "observation");
+  EXPECT_EQ(bus.category_name(TelemetryBus::kFailure), "failure");
+}
+
+TEST(TelemetryBus, InterningIsIdempotent) {
+  TelemetryBus bus;
+  const auto a = bus.intern_category("checkpoint");
+  const auto b = bus.intern_category("checkpoint");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(bus.intern_category("decision"), TelemetryBus::kDecision);
+  const auto s1 = bus.intern_subject("mgr");
+  const auto s2 = bus.intern_subject("mgr");
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(bus.subject_name(s1), "mgr");
+}
+
+// Everything from here to the disabled-path tests asserts that events are
+// actually delivered, so it only applies when the hot path is compiled in.
+#ifndef SA_TELEMETRY_OFF
+TEST(TelemetryBus, CountsAndValueStatsPerCategory) {
+  TelemetryBus bus;
+  const auto subj = bus.intern_subject("x");
+  bus.record(0.0, TelemetryBus::kObservation, subj, 2.0);
+  bus.record(1.0, TelemetryBus::kObservation, subj, 4.0);
+  bus.record(2.0, TelemetryBus::kFailure, subj, 7.0);
+  EXPECT_EQ(bus.count(TelemetryBus::kObservation), 2u);
+  EXPECT_EQ(bus.count(TelemetryBus::kFailure), 1u);
+  EXPECT_EQ(bus.count(TelemetryBus::kDecision), 0u);
+  EXPECT_EQ(bus.total(), 3u);
+  EXPECT_DOUBLE_EQ(bus.values(TelemetryBus::kObservation).mean(), 3.0);
+}
+
+TEST(TelemetryBus, OptInHistogramCollectsValues) {
+  TelemetryBus bus;
+  const auto subj = bus.intern_subject("x");
+  EXPECT_EQ(bus.histogram(TelemetryBus::kObservation), nullptr);
+  bus.enable_histogram(TelemetryBus::kObservation, 0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    bus.record(i, TelemetryBus::kObservation, subj, i % 10);
+  }
+  const auto* h = bus.histogram(TelemetryBus::kObservation);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total(), 100u);
+}
+
+TEST(TelemetryBus, SinksSeeEventsInOrderWithDetail) {
+  TelemetryBus bus;
+  RingBufferSink sink;
+  bus.add_sink(&sink);
+  const auto subj = bus.intern_subject("net");
+  bus.record(1.0, TelemetryBus::kFailure, subj, 3.0, "ttl");
+  bus.record(2.0, TelemetryBus::kObservation, subj, 12.5, "delivered");
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_DOUBLE_EQ(sink.at(0).t, 1.0);
+  EXPECT_EQ(sink.at(0).detail, "ttl");
+  EXPECT_EQ(sink.at(1).category, TelemetryBus::kObservation);
+  EXPECT_DOUBLE_EQ(sink.at(1).value, 12.5);
+}
+
+TEST(RingBufferSink, EvictsOldestBeyondCapacity) {
+  TelemetryBus bus;
+  RingBufferSink sink(4);
+  bus.add_sink(&sink);
+  const auto subj = bus.intern_subject("x");
+  for (int i = 0; i < 10; ++i) {
+    bus.record(i, TelemetryBus::kObservation, subj, i);
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.seen(), 10u);
+  EXPECT_DOUBLE_EQ(sink.at(0).value, 6.0);  // oldest retained
+  EXPECT_DOUBLE_EQ(sink.at(3).value, 9.0);  // newest
+}
+
+TEST(RingBufferSink, QueriesByCategoryAndSubject) {
+  TelemetryBus bus;
+  RingBufferSink sink;
+  bus.add_sink(&sink);
+  const auto a = bus.intern_subject("a");
+  const auto b = bus.intern_subject("b");
+  bus.record(0.0, TelemetryBus::kDecision, a, 1.0);
+  bus.record(1.0, TelemetryBus::kFailure, b, 2.0);
+  bus.record(2.0, TelemetryBus::kDecision, b, 3.0);
+  const auto decisions = sink.by_category(TelemetryBus::kDecision);
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_DOUBLE_EQ(decisions[0]->value, 1.0);
+  EXPECT_DOUBLE_EQ(decisions[1]->value, 3.0);
+  const auto from_b = sink.by_subject(b);
+  ASSERT_EQ(from_b.size(), 2u);
+  EXPECT_EQ(from_b[0]->category, TelemetryBus::kFailure);
+}
+#endif  // SA_TELEMETRY_OFF
+
+TEST(TelemetryBus, DisabledPathPerformsNoHeapAllocation) {
+  TelemetryBus bus(/*enabled=*/false);
+  RingBufferSink sink;
+  bus.add_sink(&sink);
+  const auto subj = bus.intern_subject("hot");
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    bus.record(i, TelemetryBus::kObservation, subj, 1.0, "detail");
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(bus.total(), 0u);
+  EXPECT_EQ(sink.seen(), 0u);
+}
+
+#ifndef SA_TELEMETRY_OFF
+TEST(TelemetryBus, EnabledPathCountsWithoutBusAllocation) {
+  // With no histogram and a no-op sink, the bus's own hot path (counter
+  // bump + stats fold + dispatch) must not allocate either.
+  struct NullSink : TelemetrySink {
+    void on_event(const TelemetryEvent&) override {}
+  };
+  TelemetryBus bus;
+  NullSink sink;
+  bus.add_sink(&sink);
+  const auto subj = bus.intern_subject("hot");
+  bus.record(0.0, TelemetryBus::kObservation, subj, 1.0);  // warm per-category
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    bus.record(i, TelemetryBus::kObservation, subj, 1.0, "detail");
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(bus.count(TelemetryBus::kObservation), 10001u);
+}
+#endif
+
+#ifdef SA_TELEMETRY_OFF
+TEST(TelemetryBus, CompileTimeOffReportsDisabled) {
+  TelemetryBus bus(/*enabled=*/true);
+  EXPECT_FALSE(bus.enabled());
+  bus.record(0.0, TelemetryBus::kFailure, 0, 1.0);
+  EXPECT_EQ(bus.total(), 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace sa::sim

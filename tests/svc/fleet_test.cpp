@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/telemetry.hpp"
+
 namespace sa::svc {
 namespace {
 
@@ -94,6 +98,49 @@ TEST(CameraFleet, LearningDevelopsNonTrivialAssignment) {
   for (auto c : hist) total += c;
   EXPECT_EQ(total, net.cameras());
 }
+
+TEST(CameraFleet, BindReproducesRunEpochLoop) {
+  // The engine-driven fleet (every step an event, epoch work piggybacked on
+  // the epoch_steps-th step) must match the synchronous run_epoch() loop.
+  CameraFleet::Params p;
+  p.epoch_steps = 10;
+  p.seed = 6;
+
+  auto legacy_net = Network::clustered_layout(world_params(6));
+  CameraFleet legacy(legacy_net, p);
+  sim::RunningStats legacy_u;
+  for (int i = 0; i < 8; ++i) legacy_u.add(legacy.run_epoch().global_utility);
+
+  auto bound_net = Network::clustered_layout(world_params(6));
+  CameraFleet bound(bound_net, p);
+  sim::Engine engine;
+  sim::RunningStats bound_u;
+  bound.bind(engine, 1.0, [&](const NetworkEpoch& e) {
+    bound_u.add(e.global_utility);
+  });
+  engine.run_until(8.0 * 10.0);
+
+  ASSERT_EQ(bound_u.count(), 8u);
+  EXPECT_DOUBLE_EQ(bound_u.mean(), legacy_u.mean());
+  EXPECT_DOUBLE_EQ(bound.coverage().mean(), legacy.coverage().mean());
+}
+
+#ifndef SA_TELEMETRY_OFF
+TEST(CameraFleet, TelemetryFlowsFromNetworkAndAgents) {
+  sim::TelemetryBus bus;
+  auto net = Network::clustered_layout(world_params());
+  CameraFleet::Params p;
+  p.telemetry = &bus;
+  CameraFleet fleet(net, p);
+  for (int i = 0; i < 5; ++i) fleet.run_epoch();
+  // Agents emit observation/decision; the auction layer emits handover
+  // observations under the shared "svc.network" subject.
+  EXPECT_GT(bus.count(sim::TelemetryBus::kObservation), 0u);
+  EXPECT_GT(bus.count(sim::TelemetryBus::kDecision), 0u);
+  EXPECT_EQ(bus.subject_name(bus.intern_subject("svc.network")),
+            "svc.network");
+}
+#endif  // SA_TELEMETRY_OFF
 
 TEST(CameraFleet, AgentsReceiveGoalUtility) {
   auto net = Network::clustered_layout(world_params());
