@@ -38,14 +38,19 @@ struct RunResult {
   std::map<std::string, sim::RunningStats> per_phase;
 };
 
-RunResult run_variant(Manager::Variant v, std::uint64_t seed,
+RunResult run_variant(Manager::Variant v, const exp::TaskContext& ctx,
                       std::size_t static_action = 3) {
+  const std::uint64_t seed = ctx.seed;
   Platform platform(PlatformConfig::big_little(2, 4), seed);
   auto workload = PhasedWorkload::standard();
   Manager::Params p;
   p.variant = v;
   p.seed = seed;
   p.static_action = static_action;
+  // Observability hooks from the harness's traced cell (--trace /
+  // --metrics); sim-time derived, so the trajectory is unchanged.
+  p.telemetry = ctx.telemetry;
+  p.tracer = ctx.tracer;
   Manager mgr(platform, p);
   RunResult r;
   for (int i = 0; i < kEpochs; ++i) {
@@ -98,13 +103,16 @@ std::vector<std::size_t> best_action_per_phase() {
   return best;
 }
 
-RunResult run_oracle(std::uint64_t seed,
+RunResult run_oracle(const exp::TaskContext& ctx,
                      const std::vector<std::size_t>& phase_actions) {
+  const std::uint64_t seed = ctx.seed;
   Platform platform(PlatformConfig::big_little(2, 4), seed);
   auto workload = PhasedWorkload::standard();
   Manager::Params p;
   p.variant = Manager::Variant::Static;
   p.seed = seed;
+  p.telemetry = ctx.telemetry;
+  p.tracer = ctx.tracer;
   Manager mgr(platform, p);
   const auto actions = default_actions(platform);
   RunResult r;
@@ -156,13 +164,12 @@ int main(int argc, char** argv) {
   g.seeds = kSeeds;
   g.task = [&oracle_actions](const exp::TaskContext& ctx) -> exp::TaskOutput {
     switch (ctx.variant) {
-      case 0: return {to_metrics(run_variant(Manager::Variant::Static,
-                                             ctx.seed))};
+      case 0: return {to_metrics(run_variant(Manager::Variant::Static, ctx))};
       case 1: return {to_metrics(run_variant(Manager::Variant::Reactive,
-                                             ctx.seed))};
+                                             ctx))};
       case 2: return {to_metrics(run_variant(Manager::Variant::SelfAware,
-                                             ctx.seed))};
-      default: return {to_metrics(run_oracle(ctx.seed, oracle_actions))};
+                                             ctx))};
+      default: return {to_metrics(run_oracle(ctx, oracle_actions))};
     }
   };
   const auto res = h.run(std::move(g));

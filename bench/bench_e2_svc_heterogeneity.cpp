@@ -45,13 +45,26 @@ const char* strategy_label(std::size_t s) {
 }
 
 exp::TaskOutput run(CameraFleet::Mode mode, Strategy fixed,
-                    std::uint64_t seed) {
+                    const exp::TaskContext& ctx) {
+  const std::uint64_t seed = ctx.seed;
   auto net = Network::clustered_layout(world(seed));
   CameraFleet::Params p;
   p.mode = mode;
   p.fixed = fixed;
   p.seed = seed;
+  // The harness's traced cell (--trace/--metrics) gets the observability
+  // hooks; tracing derives everything from sim time, so metrics are
+  // unchanged whether or not they are set.
+  p.telemetry = ctx.telemetry;
+  p.tracer = ctx.tracer;
   CameraFleet fleet(net, p);
+  sim::MetricsRegistry* metrics = ctx.metrics;
+  sim::MetricsRegistry::MetricId g_cov = 0, g_msg = 0, g_util = 0;
+  if (metrics != nullptr) {
+    g_cov = metrics->gauge("svc.coverage");
+    g_msg = metrics->gauge("svc.messages");
+    g_util = metrics->gauge("svc.global_utility");
+  }
   // Event-driven run: every world step is an engine event; the fleet's
   // epoch work rides on the 25th step. Trajectory is identical to the old
   // synchronous run_epoch() loop.
@@ -63,6 +76,12 @@ exp::TaskOutput run(CameraFleet::Mode mode, Strategy fixed,
       tail_cov.add(ne.coverage);
       tail_msg.add(ne.messages);
       tail_u.add(ne.global_utility);
+    }
+    if (metrics != nullptr) {
+      metrics->set(g_cov, ne.coverage);
+      metrics->set(g_msg, ne.messages);
+      metrics->set(g_util, ne.global_utility);
+      metrics->snapshot(static_cast<double>(e));
     }
     ++e;
   });
@@ -118,7 +137,7 @@ int main(int argc, char** argv) {
   g.seeds = kSeeds;
   g.task = [&configs](const exp::TaskContext& ctx) {
     const auto& cfg = configs[ctx.variant];
-    return run(cfg.mode, cfg.fixed, ctx.seed);
+    return run(cfg.mode, cfg.fixed, ctx);
   };
   const auto res = h.run(std::move(g));
 

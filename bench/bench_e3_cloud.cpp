@@ -27,7 +27,8 @@ constexpr int kEpochs = 400;
 const std::vector<std::uint64_t> kSeeds{21, 22, 23};
 
 exp::TaskOutput run(Autoscaler::Variant v, double mttf_mult,
-                    std::uint64_t seed) {
+                    const exp::TaskContext& ctx) {
+  const std::uint64_t seed = ctx.seed;
   Cluster::Params cp;
   cp.nodes = 30;
   cp.mttf_mean_s = 300.0 * mttf_mult;
@@ -43,6 +44,10 @@ exp::TaskOutput run(Autoscaler::Variant v, double mttf_mult,
   ap.variant = v;
   ap.seed = seed;
   ap.initial_nodes = 12;
+  // Observability hooks from the harness's traced cell (--trace /
+  // --metrics); sim-time derived, so the trajectory is unchanged.
+  ap.telemetry = ctx.telemetry;
+  ap.tracer = ctx.tracer;
   Autoscaler as(cluster, demand, ap);
 
   sim::RunningStats tail_sla, tail_cost;
@@ -92,7 +97,7 @@ int main(int argc, char** argv) {
   }
   g.task = [&configs](const exp::TaskContext& ctx) {
     const auto& cfg = configs[ctx.variant];
-    return run(cfg.variant, cfg.mttf_mult, ctx.seed);
+    return run(cfg.variant, cfg.mttf_mult, ctx);
   };
   const auto res = h.run(std::move(g));
 

@@ -20,6 +20,7 @@
 #include "sim/engine.hpp"
 #include "sim/report.hpp"
 #include "sim/stats.hpp"
+#include "sim/trace.hpp"
 
 namespace {
 
@@ -34,13 +35,26 @@ const std::vector<std::uint64_t> kSeeds{41, 42, 43};
 const char* const kWindows[] = {"before", "during", "after"};
 
 exp::TaskOutput run(PacketNetwork::Router router, bool defence,
-                    std::uint64_t seed) {
+                    const exp::TaskContext& ctx) {
+  const std::uint64_t seed = ctx.seed;
   const auto topo = Topology::grid(4, 6, 4, seed);
   PacketNetwork::Params np;
   np.router = router;
   np.dos_defence = defence;
   np.seed = seed;
   PacketNetwork net(topo, np);
+  // E4 has no per-node agents, so tracing here is coarse: the network's
+  // telemetry feed plus one span per attack window on subject "cpn.bench"
+  // (sim-time derived; the trajectory is unchanged).
+  if (ctx.telemetry != nullptr) net.set_telemetry(ctx.telemetry);
+  sim::SubjectId trace_subject = 0;
+  sim::NameId n_window = 0, k_delivery = 0, k_mean_lat = 0;
+  if (ctx.tracer != nullptr) {
+    trace_subject = ctx.tracer->bus().intern_subject("cpn.bench");
+    n_window = ctx.tracer->intern_name("window");
+    k_delivery = ctx.tracer->intern_name("delivery");
+    k_mean_lat = ctx.tracer->intern_name("mean_latency");
+  }
   TrafficParams tp;
   tp.flows = 8;
   tp.legit_rate = 2.0;
@@ -62,9 +76,18 @@ exp::TaskOutput run(PacketNetwork::Router router, bool defence,
   const double ticks[] = {kBefore, kAttack, kAfter};
   double horizon = 0.0;
   for (int w = 0; w < 3; ++w) {
+    const double start = horizon;
     horizon += ticks[w];
+    auto span = (ctx.tracer != nullptr && ctx.tracer->enabled())
+                    ? ctx.tracer->span(start, trace_subject, n_window)
+                    : sim::Tracer::Span{};
     engine.run_until(horizon);
     const auto s = net.harvest();
+    if (span) {
+      span.arg(k_delivery, s.delivery_rate());
+      span.arg(k_mean_lat, s.mean_latency);
+      span.end_at(horizon);
+    }
     const std::string prefix = std::string(kWindows[w]) + ".";
     m.emplace_back(prefix + "delivery", s.delivery_rate());
     m.emplace_back(prefix + "mean_lat", s.mean_latency);
@@ -100,7 +123,7 @@ int main(int argc, char** argv) {
   g.seeds = kSeeds;
   g.task = [&configs](const exp::TaskContext& ctx) {
     const auto& cfg = configs[ctx.variant];
-    return run(cfg.router, cfg.defence, ctx.seed);
+    return run(cfg.router, cfg.defence, ctx);
   };
   const auto res = h.run(std::move(g));
 

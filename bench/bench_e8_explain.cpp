@@ -32,12 +32,17 @@ using namespace sa::multicore;
 constexpr int kEpochs = 2000;
 const std::vector<std::uint64_t> kRepeats{1, 2, 3};
 
-exp::TaskOutput run(bool explain) {
+exp::TaskOutput run(bool explain, const exp::TaskContext& ctx) {
   Platform platform(PlatformConfig::big_little(2, 4), 81);
   auto workload = PhasedWorkload::standard();
   Manager::Params p;
   p.variant = Manager::Variant::SelfAware;
   p.seed = 81;
+  // Under --trace the designated cell ("on", first repeat) runs with a
+  // tracer, and its rendered explanations cite trace ids resolvable in
+  // the exported file.
+  p.telemetry = ctx.telemetry;
+  p.tracer = ctx.tracer;
   Manager mgr(platform, p);
   mgr.agent().explainer().set_enabled(explain);
 
@@ -74,7 +79,7 @@ int main(int argc, char** argv) {
   g.variants = {"off", "on"};
   g.seeds = kRepeats;
   g.task = [](const exp::TaskContext& ctx) {
-    return run(ctx.variant == 1);
+    return run(ctx.variant == 1, ctx);
   };
   const auto res = h.run(std::move(g));
 

@@ -18,6 +18,12 @@ const char* Autoscaler::variant_name(Variant v) noexcept {
 Autoscaler::Autoscaler(Cluster& cluster, DemandModel& demand, Params p)
     : cluster_(cluster), demand_(demand), p_(p), target_(p.initial_nodes) {
   if (p_.telemetry != nullptr) cluster_.set_telemetry(p_.telemetry);
+  if (p_.tracer != nullptr) {
+    trace_subject_ = p_.tracer->bus().intern_subject("cloud.autoscaler");
+    n_epoch_ = p_.tracer->intern_name("epoch");
+    k_sla_ = p_.tracer->intern_name("sla");
+    k_cost_ = p_.tracer->intern_name("cost");
+  }
   build_agent();
 }
 
@@ -38,6 +44,7 @@ void Autoscaler::build_agent() {
   core::AgentConfig cfg;
   cfg.seed = p_.seed;
   cfg.telemetry = p_.telemetry;
+  cfg.tracer = p_.tracer;
   switch (p_.variant) {
     case Variant::Static:
       cfg.levels = core::LevelSet{};
@@ -177,6 +184,11 @@ core::MetricMap Autoscaler::predict(std::size_t k) const {
 }
 
 CloudEpoch Autoscaler::run_epoch() {
+  // Epoch-length span on the autoscaler's track; the agent's ODA spans
+  // (decide-first) open it, the reward's outcome span closes the chain.
+  auto span = (p_.tracer != nullptr && p_.tracer->enabled())
+                  ? p_.tracer->span(cluster_.now(), trace_subject_, n_epoch_)
+                  : sim::Tracer::Span{};
   // Decide first (using knowledge from previous epochs), then live with it.
   agent_->step(cluster_.now());
   cluster_.enrol(enrolment_order(), target_);
@@ -200,6 +212,11 @@ CloudEpoch Autoscaler::run_epoch() {
   cost_.add(last_.cost);
   utility_.add(u);
   if (last_.sla < p_.sla_target) ++violations_;
+  if (span) {
+    span.arg(k_sla_, last_.sla);
+    span.arg(k_cost_, last_.cost);
+    span.end_at(cluster_.now());
+  }
   return last_;
 }
 

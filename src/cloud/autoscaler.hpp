@@ -44,6 +44,10 @@ class Autoscaler {
     /// Optional telemetry bus: wired into the agent (and the cluster via
     /// the constructor). Non-owning; must outlive the autoscaler.
     sim::TelemetryBus* telemetry = nullptr;
+    /// Optional tracer: the agent emits ODA spans + flow chains; the
+    /// autoscaler emits one epoch-length span per control epoch under
+    /// subject "cloud.autoscaler". Non-owning; must outlive the autoscaler.
+    sim::Tracer* tracer = nullptr;
   };
 
   Autoscaler(Cluster& cluster, DemandModel& demand, Params p);
@@ -96,6 +100,8 @@ class Autoscaler {
 
   sim::RunningStats sla_, cost_, utility_;
   std::size_t epochs_ = 0, violations_ = 0;
+  sim::SubjectId trace_subject_ = 0;  ///< "cloud.autoscaler" when tracing
+  sim::NameId n_epoch_ = 0, k_sla_ = 0, k_cost_ = 0;
 };
 
 }  // namespace sa::cloud

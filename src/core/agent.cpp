@@ -17,6 +17,23 @@ SelfAwareAgent::SelfAwareAgent(std::string id, AgentConfig cfg)
   if (cfg_.telemetry != nullptr) {
     subject_ = cfg_.telemetry->intern_subject(id_);
   }
+  if (cfg_.tracer != nullptr) {
+    // Subjects intern on the tracer's own bus, so a tracer can be used
+    // with or without sharing the telemetry bus above.
+    trace_subject_ = cfg_.tracer->bus().intern_subject(id_);
+    n_step_ = cfg_.tracer->intern_name("step");
+    n_observe_ = cfg_.tracer->intern_name("observe");
+    n_knowledge_ = cfg_.tracer->intern_name("knowledge");
+    n_decide_ = cfg_.tracer->intern_name("decide");
+    n_act_ = cfg_.tracer->intern_name("act");
+    n_outcome_ = cfg_.tracer->intern_name("outcome");
+    n_flow_obs_ = cfg_.tracer->intern_name("observation");
+    n_flow_stim_ = cfg_.tracer->intern_name("stimulus");
+    n_flow_decision_ = cfg_.tracer->intern_name("decision");
+    k_signals_ = cfg_.tracer->intern_name("signals");
+    k_action_ = cfg_.tracer->intern_name("action_index");
+    k_reward_ = cfg_.tracer->intern_name("reward");
+  }
   if (cfg_.levels.has(Level::Stimulus)) {
     stimulus_ = std::make_unique<StimulusAwareness>(cfg_.stimulus);
   }
@@ -90,7 +107,24 @@ void SelfAwareAgent::run_processes(double t, const Observation& obs) {
 
 Decision SelfAwareAgent::step(double t) {
   ++steps_;
-  const Observation obs = observe();
+  last_step_t_ = t;
+  sim::Tracer* tr = active_tracer();
+  auto s_step = tr ? tr->span(t, trace_subject_, n_step_)
+                   : sim::Tracer::Span{};
+
+  // Observe: the attention-filtered sensor sweep opens the causal chain.
+  sim::TraceId obs_id = 0;
+  Observation obs;
+  {
+    auto s_obs = tr ? tr->span(t, trace_subject_, n_observe_)
+                    : sim::Tracer::Span{};
+    obs = observe();
+    if (tr) {
+      s_obs.arg(k_signals_, static_cast<double>(obs.size()));
+      obs_id = s_obs.id();
+      tr->flow(t, sim::FlowPhase::Begin, obs_id, trace_subject_, n_flow_obs_);
+    }
+  }
   if (cfg_.telemetry != nullptr && cfg_.telemetry->enabled()) {
     std::string sampled;
     for (const auto& [sig, v] : obs) {
@@ -108,24 +142,71 @@ Decision SelfAwareAgent::step(double t) {
       kb_.put_number(sig, v, t, 1.0, Scope::Public, "sensor");
     }
   }
-  run_processes(t, obs);
+
+  // Knowledge: awareness processes fold the observation into the KB; the
+  // observation chain passes through here, and each novel stimulus opens
+  // its own chain (its id is stamped onto the StimulusEvent).
+  std::vector<sim::TraceId> cited;
+  {
+    auto s_know = tr ? tr->span(t, trace_subject_, n_knowledge_)
+                     : sim::Tracer::Span{};
+    run_processes(t, obs);
+    if (tr) {
+      tr->flow(t, sim::FlowPhase::Step, obs_id, trace_subject_, n_flow_obs_);
+      cited.push_back(obs_id);
+      if (stimulus_) {
+        for (StimulusEvent& sev : stimulus_->events()) {
+          sev.trace_id = tr->next_id();
+          tr->flow(t, sim::FlowPhase::Begin, sev.trace_id, trace_subject_,
+                   n_flow_stim_);
+          cited.push_back(sev.trace_id);
+        }
+      }
+    }
+  }
 
   Decision d;
   d.action_index = static_cast<std::size_t>(-1);
   if (policy_ && !action_names_.empty()) {
-    d = policy_->decide(t, kb_, action_names_, rng_);
-    if (d.action_index < actuators_.size()) actuators_[d.action_index]();
+    // Decide: evidence chains terminate here; the decision chain opens.
+    {
+      auto s_dec = tr ? tr->span(t, trace_subject_, n_decide_)
+                      : sim::Tracer::Span{};
+      d = policy_->decide(t, kb_, action_names_, rng_);
+      if (tr) {
+        d.trace_id = s_dec.id();
+        s_dec.arg(k_action_, static_cast<double>(d.action_index));
+        for (const sim::TraceId id : cited) {
+          tr->flow(t, sim::FlowPhase::End, id, trace_subject_,
+                   id == obs_id ? n_flow_obs_ : n_flow_stim_);
+        }
+        tr->flow(t, sim::FlowPhase::Begin, d.trace_id, trace_subject_,
+                 n_flow_decision_);
+      }
+    }
+    // Act: the chosen actuator fires inside the decision chain.
+    if (d.action_index < actuators_.size()) {
+      auto s_act = tr ? tr->span(t, trace_subject_, n_act_)
+                      : sim::Tracer::Span{};
+      actuators_[d.action_index]();
+      if (tr) {
+        tr->flow(t, sim::FlowPhase::Step, d.trace_id, trace_subject_,
+                 n_flow_decision_);
+      }
+    }
     if (cfg_.telemetry != nullptr && cfg_.telemetry->enabled()) {
       cfg_.telemetry->record(t, sim::TelemetryBus::kDecision, subject_,
                              static_cast<double>(d.action_index),
                              d.action + ": " + d.rationale);
     }
-    explain_decision(t, d);
+    pending_outcome_ = d.trace_id;
+    explain_decision(t, d, std::move(cited));
   }
   return d;
 }
 
-void SelfAwareAgent::explain_decision(double t, const Decision& d) {
+void SelfAwareAgent::explain_decision(double t, const Decision& d,
+                                      std::vector<sim::TraceId> cited) {
   if (!explainer_.enabled()) {
     explainer_.note_unexplained();
     return;
@@ -134,6 +215,8 @@ void SelfAwareAgent::explain_decision(double t, const Decision& d) {
   e.t = t;
   e.agent = id_;
   e.decision = d;
+  e.trace_id = d.trace_id;
+  e.cited = std::move(cited);
   for (const auto& key : d.evidence) {
     if (const auto item = kb_.latest(key)) {
       e.evidence.push_back(
@@ -149,6 +232,16 @@ void SelfAwareAgent::explain_decision(double t, const Decision& d) {
 
 void SelfAwareAgent::reward(double r) {
   if (policy_) policy_->feedback(r);
+  // Outcome: reward settles the pending decision chain. The span sits at
+  // the deciding step's time (reward arrives between sim events).
+  sim::Tracer* tr = active_tracer();
+  if (tr != nullptr && pending_outcome_ != 0) {
+    auto s = tr->span(last_step_t_, trace_subject_, n_outcome_);
+    s.arg(k_reward_, r);
+    tr->flow(last_step_t_, sim::FlowPhase::End, pending_outcome_,
+             trace_subject_, n_flow_decision_);
+    pending_outcome_ = 0;
+  }
 }
 
 void SelfAwareAgent::record_interaction(const std::string& peer, bool success,

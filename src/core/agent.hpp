@@ -69,6 +69,15 @@ struct AgentConfig {
   /// event per decision (value = action index, detail = action + rationale).
   /// Non-owning; must outlive the agent. Null disables emission.
   sim::TelemetryBus* telemetry = nullptr;
+
+  /// Optional decision-provenance tracer: the agent emits spans for each
+  /// ODA phase (step > observe/knowledge/decide/act, plus an outcome span
+  /// when reward() settles a decision) and flow links chaining
+  /// observation -> knowledge -> decision -> action -> outcome. Decisions,
+  /// stimulus events and explanations carry the assigned TraceIds, so
+  /// Explanation::render() cites trace records. Non-owning; must outlive
+  /// the agent. Null disables tracing.
+  sim::Tracer* tracer = nullptr;
 };
 
 /// One self-aware entity. Not thread-safe; one agent per logical entity.
@@ -142,7 +151,13 @@ class SelfAwareAgent {
  private:
   Observation observe();
   void run_processes(double t, const Observation& obs);
-  void explain_decision(double t, const Decision& d);
+  void explain_decision(double t, const Decision& d,
+                        std::vector<sim::TraceId> cited);
+  /// Active tracer, or null when absent/disabled (checked once per step).
+  [[nodiscard]] sim::Tracer* active_tracer() const noexcept {
+    return (cfg_.tracer != nullptr && cfg_.tracer->enabled()) ? cfg_.tracer
+                                                              : nullptr;
+  }
 
   std::string id_;
   AgentConfig cfg_;
@@ -164,6 +179,17 @@ class SelfAwareAgent {
   std::unique_ptr<MetaSelfAwareness> meta_;
 
   sim::SubjectId subject_ = 0;  ///< interned id_ when cfg_.telemetry is set
+
+  // Tracing state (meaningful only when cfg_.tracer is set). Names are
+  // interned once at construction; ids are stamped per step.
+  sim::SubjectId trace_subject_ = 0;  ///< id_ on the tracer's bus
+  sim::NameId n_step_ = 0, n_observe_ = 0, n_knowledge_ = 0, n_decide_ = 0,
+              n_act_ = 0, n_outcome_ = 0;
+  sim::NameId n_flow_obs_ = 0, n_flow_stim_ = 0, n_flow_decision_ = 0;
+  sim::NameId k_signals_ = 0, k_action_ = 0, k_reward_ = 0;
+  double last_step_t_ = 0.0;          ///< sim time of the latest step()
+  sim::TraceId pending_outcome_ = 0;  ///< decision chain awaiting reward()
+
   std::size_t steps_ = 0;
 };
 

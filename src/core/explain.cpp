@@ -1,5 +1,6 @@
 #include "core/explain.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
@@ -27,6 +28,16 @@ std::string Explanation::render() const {
     os << ".";
   }
   if (has_goal) os << " Goal utility at decision time: " << goal_utility << ".";
+  if (trace_id != 0) {
+    os << " Trace: decision #" << trace_id;
+    if (!cited.empty()) {
+      os << " from evidence";
+      for (std::size_t i = 0; i < cited.size(); ++i) {
+        os << (i == 0 ? " #" : ", #") << cited[i];
+      }
+    }
+    os << ".";
+  }
   return os.str();
 }
 
@@ -35,7 +46,8 @@ Explainer::ActionSummary Explainer::summarise(
   ActionSummary out;
   double utility_sum = 0.0;
   std::size_t with_goal = 0;
-  for (const auto& e : log_) {
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    const Explanation& e = at(i);  // chronological: last match is newest
     if (e.decision.action != action) continue;
     ++out.count;
     out.last_rationale = e.decision.rationale;
@@ -50,14 +62,37 @@ Explainer::ActionSummary Explainer::summarise(
   return out;
 }
 
+std::vector<Explanation> Explainer::all() const {
+  std::vector<Explanation> out;
+  out.reserve(log_.size());
+  for (std::size_t i = 0; i < log_.size(); ++i) out.push_back(at(i));
+  return out;
+}
+
 void Explainer::record(Explanation e) {
   ++decisions_;
-  if (!enabled_) return;
-  if (log_.size() >= capacity_) {
-    log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(
-                                                capacity_ / 4 + 1));
+  if (!enabled_ || capacity_ == 0) return;
+  if (log_.size() < capacity_) {
+    log_.push_back(std::move(e));
+  } else {
+    log_[head_] = std::move(e);
+    head_ = (head_ + 1) % capacity_;
   }
-  log_.push_back(std::move(e));
+}
+
+void Explainer::set_capacity(std::size_t cap) {
+  if (cap != capacity_ && !log_.empty()) {
+    // Re-linearise, keeping the newest min(cap, size) entries in order.
+    std::vector<Explanation> kept;
+    const std::size_t n = std::min(cap, log_.size());
+    kept.reserve(n);
+    for (std::size_t i = log_.size() - n; i < log_.size(); ++i) {
+      kept.push_back(at(i));
+    }
+    log_ = std::move(kept);
+    head_ = 0;
+  }
+  capacity_ = cap;
 }
 
 }  // namespace sa::core

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/policy.hpp"
+#include "sim/trace.hpp"
 
 namespace sa::core {
 
@@ -34,6 +35,12 @@ struct Explanation {
   std::vector<EvidenceSnapshot> evidence;
   double goal_utility = 0.0;
   bool has_goal = false;
+  /// Trace id of the decide span (0 when the agent ran untraced). With a
+  /// tracer attached, every explanation is reproducible from the exported
+  /// trace file: render() cites these ids.
+  sim::TraceId trace_id = 0;
+  /// Trace ids of the evidence consulted (observation + stimulus chains).
+  std::vector<sim::TraceId> cited;
 
   /// Renders a human-readable explanation paragraph.
   [[nodiscard]] std::string render() const;
@@ -61,16 +68,20 @@ class Explainer {
                : static_cast<double>(log_.size()) /
                      static_cast<double>(decisions_);
   }
-  [[nodiscard]] const std::vector<Explanation>& all() const noexcept {
-    return log_;
+  /// The i-th retained explanation, oldest first.
+  [[nodiscard]] const Explanation& at(std::size_t i) const {
+    return log_[(head_ + i) % log_.size()];
   }
+  /// Retained explanations in chronological order (materialised copy —
+  /// the backing store is a ring).
+  [[nodiscard]] std::vector<Explanation> all() const;
   [[nodiscard]] std::optional<Explanation> last() const {
     if (log_.empty()) return std::nullopt;
-    return log_.back();
+    return at(log_.size() - 1);
   }
   /// Rendered explanation of the most recent decision ("" if none).
   [[nodiscard]] std::string why_last() const {
-    return log_.empty() ? std::string{} : log_.back().render();
+    return log_.empty() ? std::string{} : at(log_.size() - 1).render();
   }
   /// Aggregate view over the retained log: how often was `action` chosen,
   /// at what mean goal utility, and what did the most recent choice of it
@@ -82,17 +93,23 @@ class Explainer {
   };
   [[nodiscard]] ActionSummary summarise(const std::string& action) const;
 
-  /// Keeps memory bounded on long runs.
-  void set_capacity(std::size_t cap) { capacity_ = cap; }
+  /// Keeps memory bounded on long runs: the log is a ring holding the
+  /// most recent `capacity` explanations. Shrinking drops the oldest.
+  void set_capacity(std::size_t cap);
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   void clear() {
     log_.clear();
+    head_ = 0;
     decisions_ = 0;
   }
 
  private:
   bool enabled_;
   std::size_t capacity_ = 4096;
+  /// Ring buffer: log_ grows to capacity_, then head_ marks the oldest
+  /// slot and record() overwrites in place — no per-decision reshuffle.
   std::vector<Explanation> log_;
+  std::size_t head_ = 0;
   std::size_t decisions_ = 0;
 };
 

@@ -17,6 +17,7 @@
 #include "core/knowledge.hpp"
 #include "learn/bandit.hpp"
 #include "sim/rng.hpp"
+#include "sim/trace.hpp"
 
 namespace sa::core {
 
@@ -33,6 +34,9 @@ struct Decision {
   std::string rationale;               ///< one-line human-readable reason
   std::vector<OptionScore> considered; ///< alternatives with scores
   std::vector<std::string> evidence;   ///< KB keys that informed the choice
+  /// Id of the decide span when the agent ran traced (0 otherwise); set by
+  /// SelfAwareAgent::step, not by policies.
+  sim::TraceId trace_id = 0;
 };
 
 /// Interface for decision policies.

@@ -1,16 +1,62 @@
 #include "core/runtime.hpp"
 
+#include <chrono>
+
 namespace sa::core {
+
+namespace {
+/// Wall-clock duration of `fn` in milliseconds — only measured when a
+/// metrics registry asked for it; never feeds back into simulation state.
+template <typename Fn>
+double timed_ms(Fn&& fn) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  fn();
+  const std::chrono::duration<double, std::milli> wall =
+      std::chrono::steady_clock::now() - wall0;
+  return wall.count();
+}
+}  // namespace
+
+AgentRuntime::StreamInstruments AgentRuntime::instrument(
+    const std::string& name, const char* span_name) {
+  StreamInstruments si;
+  if (metrics_ != nullptr) {
+    si.count = metrics_->counter("profile." + name + ".count");
+    si.ms = metrics_->timer("profile." + name + ".ms");
+  }
+  if (tracer_ != nullptr) {
+    si.subject = tracer_->bus().intern_subject("runtime." + name);
+    si.name = tracer_->intern_name(span_name);
+  }
+  return si;
+}
 
 void AgentRuntime::schedule(SelfAwareAgent& agent, double period,
                             std::function<double()> reward_after) {
   ++scheduled_;
+  const StreamInstruments si = instrument(agent.id(), "oda");
   engine_.every(
       period,
-      [this, &agent, reward_after = std::move(reward_after)] {
-        agent.step(engine_.now());
-        ++steps_;
-        if (reward_after) agent.reward(reward_after());
+      [this, &agent, reward_after = std::move(reward_after), si] {
+        const double t = engine_.now();
+        auto span = tracer_ != nullptr ? tracer_->span(t, si.subject, si.name)
+                                       : sim::Tracer::Span{};
+        auto body = [&] {
+          agent.step(t);
+          ++steps_;
+          if (reward_after) agent.reward(reward_after());
+        };
+        if (metrics_ != nullptr) {
+          const double ms = timed_ms(body);
+          metrics_->add(si.count);
+          metrics_->observe(si.ms, ms);
+          // The agent reads its own loop latency next step, like any
+          // other knowledge item.
+          agent.knowledge().put_number("meta.profile.step_ms", ms, t, 1.0,
+                                       Scope::Private, "profiler");
+        } else {
+          body();
+        }
         return true;
       },
       kOrderControl);
@@ -19,11 +65,21 @@ void AgentRuntime::schedule(SelfAwareAgent& agent, double period,
 void AgentRuntime::schedule_substrate(std::string name, double period,
                                       std::function<void()> tick) {
   ++scheduled_;
+  const StreamInstruments si = instrument(name, "tick");
   substrates_.push_back(std::move(name));
   engine_.every(
       period,
-      [this, tick = std::move(tick)] {
-        tick();
+      [this, tick = std::move(tick), si] {
+        auto span = tracer_ != nullptr
+                        ? tracer_->span(engine_.now(), si.subject, si.name)
+                        : sim::Tracer::Span{};
+        if (metrics_ != nullptr) {
+          const double ms = timed_ms(tick);
+          metrics_->add(si.count);
+          metrics_->observe(si.ms, ms);
+        } else {
+          tick();
+        }
         ++substrate_ticks_;
         return true;
       },
@@ -34,15 +90,28 @@ void AgentRuntime::schedule_exchange(std::vector<SelfAwareAgent*> agents,
                                      double period,
                                      KnowledgeExchange exchange) {
   ++scheduled_;
+  const StreamInstruments si = instrument("exchange", "exchange");
   engine_.every(
       period,
-      [this, agents = std::move(agents), exchange] {
-        for (SelfAwareAgent* from : agents) {
-          for (SelfAwareAgent* into : agents) {
-            if (from == into) continue;
-            exchanged_ += exchange.import(from->knowledge(), from->id(),
-                                          into->knowledge());
+      [this, agents = std::move(agents), exchange, si] {
+        auto span = tracer_ != nullptr
+                        ? tracer_->span(engine_.now(), si.subject, si.name)
+                        : sim::Tracer::Span{};
+        auto body = [&] {
+          for (SelfAwareAgent* from : agents) {
+            for (SelfAwareAgent* into : agents) {
+              if (from == into) continue;
+              exchanged_ += exchange.import(from->knowledge(), from->id(),
+                                            into->knowledge());
+            }
           }
+        };
+        if (metrics_ != nullptr) {
+          const double ms = timed_ms(body);
+          metrics_->add(si.count);
+          metrics_->observe(si.ms, ms);
+        } else {
+          body();
         }
         return true;
       },

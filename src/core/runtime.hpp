@@ -23,6 +23,8 @@
 #include "core/agent.hpp"
 #include "core/sharing.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace sa::core {
 
@@ -34,6 +36,22 @@ class AgentRuntime {
   static constexpr int kOrderExchange = 2;
 
   explicit AgentRuntime(sim::Engine& engine) : engine_(engine) {}
+
+  /// Attaches a self-profiling registry: every subsequently scheduled
+  /// stream registers a `profile.<name>.count` counter and a
+  /// `profile.<name>.ms` wall-clock timer, and each agent's measured
+  /// ODA-loop latency is additionally written into its own knowledge base
+  /// as `meta.profile.step_ms` — the meta level reading its own cost as
+  /// just another knowledge item. Wall-clock values never enter simulation
+  /// logic or the trace; they are observational only. Call before
+  /// schedule*(). Non-owning; null disables.
+  void set_metrics(sim::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+  /// Attaches a tracer: each subsequently scheduled stream emits one span
+  /// per firing under subject `runtime.<name>`. Call before schedule*().
+  /// Non-owning; null disables.
+  void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// Steps `agent` every `period` seconds (first step after one period) at
   /// kOrderControl. If `reward_after` is set, its value is fed to the agent
@@ -73,7 +91,19 @@ class AgentRuntime {
   }
 
  private:
+  /// Per-stream profiling/tracing handles resolved at schedule time.
+  struct StreamInstruments {
+    sim::MetricsRegistry::MetricId count = 0;
+    sim::MetricsRegistry::MetricId ms = 0;
+    sim::SubjectId subject = 0;
+    sim::NameId name = 0;
+  };
+  StreamInstruments instrument(const std::string& name,
+                               const char* span_name);
+
   sim::Engine& engine_;
+  sim::MetricsRegistry* metrics_ = nullptr;
+  sim::Tracer* tracer_ = nullptr;
   std::size_t scheduled_ = 0;
   std::size_t steps_ = 0;
   std::size_t substrate_ticks_ = 0;

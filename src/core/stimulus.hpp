@@ -13,6 +13,7 @@
 
 #include "core/process.hpp"
 #include "learn/estimators.hpp"
+#include "sim/trace.hpp"
 
 namespace sa::core {
 
@@ -22,6 +23,9 @@ struct StimulusEvent {
   double value = 0.0;
   double zscore = 0.0;
   double time = 0.0;
+  /// Causal chain id assigned by a traced agent (0 when untraced); lets a
+  /// decision cite the exact stimulus that informed it.
+  sim::TraceId trace_id = 0;
 };
 
 class StimulusAwareness final : public AwarenessProcess {
@@ -44,6 +48,11 @@ class StimulusAwareness final : public AwarenessProcess {
 
   /// Events fired on the most recent update().
   [[nodiscard]] const std::vector<StimulusEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Mutable view for the owning agent to stamp trace ids onto this
+  /// step's events.
+  [[nodiscard]] std::vector<StimulusEvent>& events() noexcept {
     return events_;
   }
   /// Learned baseline mean of a signal (0 if unseen).

@@ -4,9 +4,16 @@ namespace sa::cpn {
 
 Supervisor::Supervisor(PacketNetwork& net, Params p) : net_(net), p_(p) {
   if (p_.telemetry != nullptr) net_.set_telemetry(p_.telemetry);
+  if (p_.tracer != nullptr) {
+    trace_subject_ = p_.tracer->bus().intern_subject("cpn.supervisor");
+    n_epoch_ = p_.tracer->intern_name("epoch");
+    k_delivery_ = p_.tracer->intern_name("delivery");
+    k_latency_ = p_.tracer->intern_name("mean_latency");
+  }
   core::AgentConfig cfg;
   cfg.seed = p_.seed;
   cfg.telemetry = p_.telemetry;
+  cfg.tracer = p_.tracer;
   cfg.levels = core::LevelSet{core::Level::Stimulus, core::Level::Time,
                               core::Level::Goal, core::Level::Meta};
   cfg.meta = p_.meta;
@@ -40,8 +47,15 @@ void Supervisor::bind(sim::Engine& engine, double period) {
 }
 
 double Supervisor::observe_epoch() {
+  auto span = (p_.tracer != nullptr && p_.tracer->enabled())
+                  ? p_.tracer->span(net_.now(), trace_subject_, n_epoch_)
+                  : sim::Tracer::Span{};
   last_ = net_.harvest();
   agent_->step(net_.now());
+  if (span) {
+    span.arg(k_delivery_, last_.delivery_rate());
+    span.arg(k_latency_, last_.mean_latency);
+  }
   return last_.delivery_rate();
 }
 

@@ -32,6 +32,10 @@ class Supervisor {
     /// Optional telemetry bus: wired into the agent (and the network via
     /// the constructor). Non-owning; must outlive the supervisor.
     sim::TelemetryBus* telemetry = nullptr;
+    /// Optional tracer: the agent emits ODA spans + flow chains; the
+    /// supervisor emits one span per supervision epoch under subject
+    /// "cpn.supervisor". Non-owning; must outlive the supervisor.
+    sim::Tracer* tracer = nullptr;
   };
 
   Supervisor(PacketNetwork& net, Params p);
@@ -58,6 +62,8 @@ class Supervisor {
   CpnStats last_;
   std::unique_ptr<core::SelfAwareAgent> agent_;
   std::size_t boosts_ = 0;
+  sim::SubjectId trace_subject_ = 0;  ///< "cpn.supervisor" when tracing
+  sim::NameId n_epoch_ = 0, k_delivery_ = 0, k_latency_ = 0;
 };
 
 }  // namespace sa::cpn

@@ -52,6 +52,16 @@ std::string parse_args(int argc, const char* const* argv, Options& out) {
         return "--json expects an output path";
       }
       out.json = std::string(value);
+    } else if (arg == "--trace") {
+      if (!next_value() || value.empty()) {
+        return "--trace expects an output path";
+      }
+      out.trace = std::string(value);
+    } else if (arg == "--metrics") {
+      if (!next_value() || value.empty()) {
+        return "--metrics expects an output path";
+      }
+      out.metrics = std::string(value);
     } else {
       return "unknown argument: " + std::string(argv[i]);
     }
@@ -63,7 +73,8 @@ std::string usage(std::string_view program) {
   std::string u;
   u += "usage: ";
   u += program;
-  u += " [--jobs N] [--seeds K] [--json PATH]\n";
+  u += " [--jobs N] [--seeds K] [--json PATH] [--trace PATH]"
+       " [--metrics PATH]\n";
   u +=
       "  --jobs N, -j N  worker threads for the seed x variant grid\n"
       "                  (default: all hardware threads; results are\n"
@@ -72,6 +83,13 @@ std::string usage(std::string_view program) {
       "                  (first K of the canonical list, then derived)\n"
       "  --json PATH     also write a BENCH_<exp>.json document with\n"
       "                  per-seed raws, aggregates, wall-clock and git rev\n"
+      "  --trace PATH    write a Chrome trace-event JSON (open it at\n"
+      "                  ui.perfetto.dev) of one designated cell: last\n"
+      "                  variant, first seed. Sim-time timestamps, so the\n"
+      "                  file is bitwise-identical for every --jobs N\n"
+      "  --metrics PATH  write the traced cell's self-profiling metrics\n"
+      "                  snapshots as JSONL (wall-clock timers: values\n"
+      "                  vary run to run)\n"
       "  --help, -h      this text\n";
   return u;
 }

@@ -3,10 +3,13 @@
 // Every bench_e* binary accepts the same three flags so that the whole
 // suite can be driven uniformly (and in parallel) by scripts and CI:
 //
-//   --jobs N    worker threads for the seed×variant grid (default: all
-//               hardware threads; results are identical for any N)
-//   --seeds K   override the experiment's default seed count
-//   --json PATH write a machine-readable BENCH_<exp>.json document
+//   --jobs N       worker threads for the seed×variant grid (default: all
+//                  hardware threads; results are identical for any N)
+//   --seeds K      override the experiment's default seed count
+//   --json PATH    write a machine-readable BENCH_<exp>.json document
+//   --trace PATH   write a Chrome/Perfetto trace-event JSON of one
+//                  designated cell (bitwise-stable across --jobs N)
+//   --metrics PATH write that cell's metrics snapshots as JSONL
 #pragma once
 
 #include <cstddef>
@@ -19,6 +22,8 @@ struct Options {
   unsigned jobs = 0;      ///< worker threads; 0 = hardware_concurrency()
   std::size_t seeds = 0;  ///< seed-count override; 0 = experiment default
   std::string json;       ///< BENCH json output path; empty = no JSON
+  std::string trace;      ///< Chrome trace output path; empty = no trace
+  std::string metrics;    ///< metrics JSONL output path; empty = none
   bool help = false;      ///< --help was given
 };
 

@@ -18,6 +18,12 @@
 
 #include "sim/rng.hpp"
 
+namespace sa::sim {
+class TelemetryBus;
+class Tracer;
+class MetricsRegistry;
+}  // namespace sa::sim
+
 namespace sa::exp {
 
 /// Named metric values produced by one task, in a fixed (reported) order.
@@ -62,6 +68,16 @@ struct TaskContext {
   std::size_t variant = 0;       ///< index into grid.variants
   std::uint64_t seed = 0;        ///< the cell's seed
   std::uint64_t stream = 0;      ///< stream_of(experiment, variant, seed)
+
+  /// Observability hooks — non-null only for the harness's *traced cell*
+  /// (one designated cell when --trace/--metrics was given; see
+  /// exp/harness.hpp). Tasks that support tracing wire these into their
+  /// substrate/agent configs. They must never influence the trajectory:
+  /// telemetry and tracing never touch an Rng, so a task's metrics must
+  /// be identical whether or not these are set.
+  sim::TelemetryBus* telemetry = nullptr;
+  sim::Tracer* tracer = nullptr;
+  sim::MetricsRegistry* metrics = nullptr;
 
   /// A fresh generator on this cell's private stream.
   [[nodiscard]] sim::Rng rng() const noexcept { return sim::Rng{stream}; }

@@ -5,6 +5,9 @@
 #include <fstream>
 #include <iostream>
 
+#include "exp/metrics_jsonl.hpp"
+#include "exp/trace_json.hpp"
+
 namespace sa::exp {
 
 Json to_json(const GridResult& result, bool include_timing) {
@@ -99,6 +102,31 @@ std::vector<std::uint64_t> Harness::seeds_for(
 
 GridResult Harness::run(Grid grid) {
   grid.seeds = seeds_for(std::move(grid.seeds));
+  const bool want_observability =
+      !opts_.trace.empty() || !opts_.metrics.empty();
+  if (want_observability && !trace_cell_assigned_ && !grid.variants.empty() &&
+      !grid.seeds.empty()) {
+    trace_cell_assigned_ = true;
+    trace_bus_ = std::make_unique<sim::TelemetryBus>();
+    tracer_ = std::make_unique<sim::Tracer>(*trace_bus_);
+    metrics_ = std::make_unique<sim::MetricsRegistry>();
+    const std::size_t traced_variant = grid.variants.size() - 1;
+    const std::uint64_t traced_seed = grid.seeds.front();
+    traced_cell_ = grid.name + "/" + grid.variants[traced_variant] +
+                   "/seed " + std::to_string(traced_seed);
+    auto inner = std::move(grid.task);
+    grid.task = [this, inner = std::move(inner), traced_variant,
+                 traced_seed](const TaskContext& ctx) {
+      if (ctx.variant == traced_variant && ctx.seed == traced_seed) {
+        TaskContext traced = ctx;
+        traced.telemetry = trace_bus_.get();
+        traced.tracer = tracer_.get();
+        traced.metrics = metrics_.get();
+        return inner(traced);
+      }
+      return inner(ctx);
+    };
+  }
   results_.push_back(runner_.run(experiment_, grid));
   return results_.back();
 }
@@ -148,6 +176,41 @@ int Harness::finish(std::ostream& os) {
       document().dump(out);
       out << "\n";
       os << "wrote " << opts_.json << "\n";
+    }
+  }
+  if (!opts_.trace.empty()) {
+    std::ofstream out(opts_.trace);
+    if (!out) {
+      std::cerr << "error: cannot write " << opts_.trace << "\n";
+      rc = 1;
+    } else {
+      // A run with no grids still produces a valid, empty document.
+      sim::TelemetryBus empty_bus;
+      sim::Tracer empty(empty_bus);
+      const sim::Tracer& tr = tracer_ ? *tracer_ : empty;
+      write_chrome_trace(out, tr);
+      os << "wrote " << opts_.trace;
+      if (tracer_) {
+        os << " (cell " << traced_cell_ << ", " << tr.spans() << " spans, "
+           << tr.flows() << " flow points)";
+      }
+      os << "\n";
+    }
+  }
+  if (!opts_.metrics.empty()) {
+    std::ofstream out(opts_.metrics);
+    if (!out) {
+      std::cerr << "error: cannot write " << opts_.metrics << "\n";
+      rc = 1;
+    } else {
+      sim::MetricsRegistry empty;
+      write_metrics_jsonl(out, metrics_ ? *metrics_ : empty);
+      os << "wrote " << opts_.metrics;
+      if (metrics_) {
+        os << " (cell " << traced_cell_ << ", " << metrics_->size()
+           << " metrics, " << metrics_->snapshots().size() << " snapshots)";
+      }
+      os << "\n";
     }
   }
   return rc;

@@ -10,12 +10,16 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exp/args.hpp"
 #include "exp/json.hpp"
 #include "exp/runner.hpp"
+#include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
+#include "sim/trace.hpp"
 
 namespace sa::exp {
 
@@ -50,7 +54,23 @@ class Harness {
 
   /// Applies the --seeds override, evaluates the grid on the pool and
   /// records the result for the JSON document.
+  ///
+  /// When --trace or --metrics was given, exactly one *traced cell* —
+  /// last variant, first seed, of the first grid run — receives a
+  /// TaskContext with non-null telemetry/tracer/metrics (the last variant
+  /// is by convention the full self-aware configuration). The same cell
+  /// is picked regardless of --jobs, and trace timestamps are sim-time,
+  /// so the exported file is bitwise-identical for every thread count.
   GridResult run(Grid grid);
+
+  /// The tracer/metrics captured from the traced cell (null before a
+  /// traced run() happened).
+  [[nodiscard]] const sim::Tracer* tracer() const noexcept {
+    return tracer_.get();
+  }
+  [[nodiscard]] const sim::MetricsRegistry* metrics() const noexcept {
+    return metrics_.get();
+  }
 
   /// All grid results recorded so far.
   [[nodiscard]] const std::vector<GridResult>& results() const noexcept {
@@ -71,6 +91,15 @@ class Harness {
   Options opts_;
   Runner runner_;
   std::vector<GridResult> results_;
+
+  // Observability state for the traced cell (owned here so task lambdas
+  // can reference it from worker threads; only the one traced cell ever
+  // touches it).
+  std::unique_ptr<sim::TelemetryBus> trace_bus_;
+  std::unique_ptr<sim::Tracer> tracer_;
+  std::unique_ptr<sim::MetricsRegistry> metrics_;
+  bool trace_cell_assigned_ = false;
+  std::string traced_cell_;  ///< "grid/variant/seed" label for the footer
 };
 
 }  // namespace sa::exp

@@ -1,0 +1,82 @@
+#include "exp/trace_json.hpp"
+
+#include <ostream>
+
+namespace sa::exp {
+
+namespace {
+
+Json meta_event(int tid, const char* field, const std::string& value) {
+  Json m = Json::object();
+  m["ph"] = "M";
+  m["pid"] = 1;
+  m["tid"] = tid;
+  m["name"] = field;
+  m["args"]["name"] = value;
+  return m;
+}
+
+}  // namespace
+
+Json chrome_trace(const sim::Tracer& tracer) {
+  const sim::TelemetryBus& bus = tracer.bus();
+  Json doc = Json::object();
+  doc["displayTimeUnit"] = "ms";
+  Json& events = doc["traceEvents"] = Json::array();
+
+  events.push_back(meta_event(0, "process_name", "sa-sim"));
+  for (sim::SubjectId s = 0; s < bus.subjects(); ++s) {
+    events.push_back(
+        meta_event(static_cast<int>(s), "thread_name", bus.subject_name(s)));
+  }
+
+  using Kind = sim::Tracer::Event::Kind;
+  for (const sim::Tracer::Event& e : tracer.events()) {
+    Json j = Json::object();
+    switch (e.kind) {
+      case Kind::Begin: {
+        j["name"] = tracer.name(e.name);
+        j["cat"] = "span";
+        j["ph"] = "B";
+        j["ts"] = e.t * 1e6;
+        j["pid"] = 1;
+        j["tid"] = static_cast<int>(e.subject);
+        Json& args = j["args"] = Json::object();
+        args["trace_id"] = static_cast<std::int64_t>(e.id);
+        for (const auto& [key, value] : e.args) {
+          args[tracer.name(key)] = value;
+        }
+        break;
+      }
+      case Kind::End:
+        j["ph"] = "E";
+        j["ts"] = e.t * 1e6;
+        j["pid"] = 1;
+        j["tid"] = static_cast<int>(e.subject);
+        break;
+      case Kind::Flow:
+        j["name"] = tracer.name(e.name);
+        j["cat"] = "flow";
+        j["ph"] = e.phase == sim::FlowPhase::Begin  ? "s"
+                  : e.phase == sim::FlowPhase::Step ? "t"
+                                                    : "f";
+        j["id"] = static_cast<std::int64_t>(e.id);
+        j["ts"] = e.t * 1e6;
+        j["pid"] = 1;
+        j["tid"] = static_cast<int>(e.subject);
+        // Bind the terminating point to the enclosing slice, matching
+        // how the chain's earlier points attach.
+        if (e.phase == sim::FlowPhase::End) j["bp"] = "e";
+        break;
+    }
+    events.push_back(std::move(j));
+  }
+  return doc;
+}
+
+void write_chrome_trace(std::ostream& os, const sim::Tracer& tracer) {
+  chrome_trace(tracer).dump(os, /*indent=*/-1);
+  os << "\n";
+}
+
+}  // namespace sa::exp

@@ -1,0 +1,41 @@
+// Chrome/Perfetto trace-event export of a sim::Tracer record.
+//
+// Produces the Trace Event Format JSON object form
+// ({"displayTimeUnit":"ms","traceEvents":[...]}) loadable in
+// ui.perfetto.dev or chrome://tracing:
+//
+//   * one "M" (metadata) event names the process ("sa-sim", pid 1) and one
+//     per interned subject names its thread (tid = SubjectId) — every
+//     subject renders as its own track;
+//   * span begins/ends become "B"/"E" duration events. Timestamps are
+//     sim-time seconds scaled to microseconds (ts = t * 1e6); most spans
+//     are zero-duration in sim time and still nest correctly because
+//     "B"/"E" pair by order within a tid;
+//   * flow points become "s"/"t"/"f" flow events keyed by TraceId, drawing
+//     the stimulus → knowledge → decision → action → outcome arrows
+//     between slices;
+//   * each span's "args" carries its trace_id plus any recorded numeric
+//     args, so an Explanation citing "decision #N" resolves to the slice
+//     whose args.trace_id == N.
+//
+// Determinism: everything serialised here derives from sim time and
+// interned ids — no wall clock, no pointers — and the Json writer is
+// byte-deterministic, so the same cell traced under any --jobs N yields a
+// bitwise-identical file.
+#pragma once
+
+#include <iosfwd>
+
+#include "exp/json.hpp"
+#include "sim/trace.hpp"
+
+namespace sa::exp {
+
+/// Builds the trace-event document from a tracer's record (subjects come
+/// from the tracer's bus).
+[[nodiscard]] Json chrome_trace(const sim::Tracer& tracer);
+
+/// Serialises chrome_trace() compactly, newline-terminated.
+void write_chrome_trace(std::ostream& os, const sim::Tracer& tracer);
+
+}  // namespace sa::exp

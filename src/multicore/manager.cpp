@@ -33,6 +33,12 @@ const char* Manager::variant_name(Variant v) noexcept {
 Manager::Manager(Platform& platform, Params params)
     : platform_(platform), p_(params), actions_(default_actions(platform)) {
   if (p_.telemetry != nullptr) platform_.set_telemetry(p_.telemetry);
+  if (p_.tracer != nullptr) {
+    trace_subject_ = p_.tracer->bus().intern_subject("multicore.manager");
+    n_epoch_ = p_.tracer->intern_name("epoch");
+    k_utility_ = p_.tracer->intern_name("utility");
+    k_power_ = p_.tracer->intern_name("mean_power");
+  }
   build_agent();
 }
 
@@ -53,6 +59,7 @@ void Manager::build_agent() {
   core::AgentConfig cfg;
   cfg.seed = p_.seed;
   cfg.telemetry = p_.telemetry;
+  cfg.tracer = p_.tracer;
   switch (p_.variant) {
     case Variant::Static:
       cfg.levels = core::LevelSet{};  // no awareness machinery at all
@@ -300,6 +307,12 @@ void Manager::apply(const ManagerAction& a) {
 double Manager::run_epoch() { return run_epoch_for(p_.epoch_s); }
 
 double Manager::run_epoch_for(double secs) {
+  // Epoch-length span on the manager's track; the agent's ODA spans (on
+  // its own track) land at the epoch's end time, inside this interval.
+  const double t0 = platform_.now();
+  auto span = (p_.tracer != nullptr && p_.tracer->enabled())
+                  ? p_.tracer->span(t0, trace_subject_, n_epoch_)
+                  : sim::Tracer::Span{};
   platform_.run_for(secs);
   stats_ = platform_.harvest();
 
@@ -321,6 +334,11 @@ double Manager::run_epoch_for(double secs) {
   latency_.add(stats_.p95_latency);
   throughput_.add(stats_.throughput);
   if (stats_.mean_power > p_.power_cap_w) ++cap_violations_;
+  if (span) {
+    span.arg(k_utility_, u);
+    span.arg(k_power_, stats_.mean_power);
+    span.end_at(platform_.now());
+  }
   return u;
 }
 

@@ -58,6 +58,10 @@ class Manager {
     /// Optional telemetry bus: wired into the agent (and the platform via
     /// the constructor). Non-owning; must outlive the manager.
     sim::TelemetryBus* telemetry = nullptr;
+    /// Optional tracer: the agent emits ODA spans + flow chains; the
+    /// manager emits one epoch-length span per control epoch under
+    /// subject "multicore.manager". Non-owning; must outlive the manager.
+    sim::Tracer* tracer = nullptr;
   };
 
   Manager(Platform& platform, Params params);
@@ -122,6 +126,8 @@ class Manager {
 
   sim::RunningStats utility_, power_, latency_, throughput_;
   std::size_t epochs_ = 0, cap_violations_ = 0;
+  sim::SubjectId trace_subject_ = 0;  ///< "multicore.manager" when tracing
+  sim::NameId n_epoch_ = 0, k_utility_ = 0, k_power_ = 0;
 };
 
 }  // namespace sa::multicore

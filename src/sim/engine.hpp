@@ -23,6 +23,7 @@
 //    with a control event scheduled there.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -83,9 +84,24 @@ class Engine {
     heap_.pop();
     now_ = ev.t;
     ++executed_;
-    ev.action();
+    if (profile_) {
+      const auto wall0 = std::chrono::steady_clock::now();
+      ev.action();
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - wall0;
+      profile_(ev.t, ev.order, wall.count());
+    } else {
+      ev.action();
+    }
     return true;
   }
+
+  /// Self-profiling hook: called after every executed event with its sim
+  /// time, order, and measured wall-clock handler cost in seconds. Wall
+  /// times belong in a MetricsRegistry, never in simulation logic or the
+  /// trace file — they are not reproducible.
+  using ProfileHook = std::function<void(Time t, int order, double wall_s)>;
+  void set_profile_hook(ProfileHook hook) { profile_ = std::move(hook); }
   /// Discards all pending events (end of scenario teardown).
   void clear() {
     heap_ = {};
@@ -118,6 +134,7 @@ class Engine {
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::size_t executed_ = 0;
+  ProfileHook profile_;
 };
 
 }  // namespace sa::sim

@@ -1,0 +1,96 @@
+// Self-profiling metrics registry: counters, gauges, timers and histograms
+// behind O(1) pre-registered handles, with per-epoch snapshots.
+//
+// This is where *wall-clock* self-measurement lives (ODA-loop latency,
+// handler cost per subject) — deliberately separated from the Tracer,
+// whose record is pure sim-time and must stay bitwise reproducible.
+// Register metrics once at wiring time (`counter`/`gauge`/`timer`/
+// `histogram`, idempotent by name); the hot path (`add`/`set`/`observe`)
+// is an index into a flat vector and performs no heap allocation.
+// `snapshot(t)` appends one row of all current values, giving a
+// time-series exportable as JSONL (exp::write_metrics_jsonl).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace sa::sim {
+
+class MetricsRegistry {
+ public:
+  using MetricId = std::uint32_t;
+
+  enum class Kind : std::uint8_t { Counter, Gauge, Timer, Histogram };
+
+  /// Registration — linear scan by name, idempotent: re-registering an
+  /// existing name returns its id. Throws std::logic_error if the name is
+  /// already registered with a different kind (programmer error).
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  /// Timers fold observed durations (milliseconds by convention) into
+  /// RunningStats.
+  MetricId timer(std::string_view name);
+  MetricId histogram(std::string_view name, double lo, double hi,
+                     std::size_t bins);
+
+  /// Hot path — O(1), no allocation.
+  void add(MetricId m, double delta = 1.0) { metrics_[m].value += delta; }
+  void set(MetricId m, double value) { metrics_[m].value = value; }
+  void observe(MetricId m, double value) {
+    Metric& metric = metrics_[m];
+    metric.value += 1.0;  // observation count
+    metric.stats.add(value);
+    if (metric.hist) metric.hist->add(value);
+  }
+
+  /// Counter: running total. Gauge: last set value. Timer/Histogram:
+  /// number of observations.
+  [[nodiscard]] double value(MetricId m) const { return metrics_[m].value; }
+  [[nodiscard]] const RunningStats& stats(MetricId m) const {
+    return metrics_[m].stats;
+  }
+  [[nodiscard]] const Histogram* hist(MetricId m) const {
+    return metrics_[m].hist.get();
+  }
+  [[nodiscard]] const std::string& name(MetricId m) const {
+    return metrics_[m].name;
+  }
+  [[nodiscard]] Kind kind(MetricId m) const { return metrics_[m].kind; }
+  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+  [[nodiscard]] std::optional<MetricId> find(std::string_view name) const;
+
+  /// One row of the exported time-series: every metric's scalar at time t
+  /// (counters/gauges: value; timers/histograms: mean of observations so
+  /// far, cumulative).
+  struct Snapshot {
+    double t = 0.0;
+    std::vector<double> values;
+  };
+  void snapshot(double t);
+  [[nodiscard]] const std::vector<Snapshot>& snapshots() const noexcept {
+    return snapshots_;
+  }
+  void clear_snapshots() { snapshots_.clear(); }
+
+ private:
+  struct Metric {
+    std::string name;
+    Kind kind = Kind::Counter;
+    double value = 0.0;
+    RunningStats stats;
+    std::unique_ptr<Histogram> hist;
+  };
+  MetricId register_metric(std::string_view name, Kind kind);
+
+  std::vector<Metric> metrics_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace sa::sim

@@ -9,6 +9,13 @@ namespace sa::svc {
 CameraFleet::CameraFleet(Network& net, Params p)
     : net_(net), p_(p), last_(net.cameras()) {
   if (p_.telemetry != nullptr) net_.set_telemetry(p_.telemetry);
+  if (p_.tracer != nullptr) {
+    trace_subject_ = p_.tracer->bus().intern_subject("svc.fleet");
+    n_epoch_ = p_.tracer->intern_name("epoch");
+    k_coverage_ = p_.tracer->intern_name("coverage");
+    k_messages_ = p_.tracer->intern_name("messages");
+    k_utility_ = p_.tracer->intern_name("global_utility");
+  }
   if (p_.mode == Mode::Homogeneous) {
     for (std::size_t c = 0; c < net_.cameras(); ++c) {
       net_.set_strategy(c, p_.fixed);
@@ -21,6 +28,7 @@ CameraFleet::CameraFleet(Network& net, Params p)
     cfg.levels = p_.levels;
     cfg.seed = p_.seed + c;
     cfg.telemetry = p_.telemetry;
+    cfg.tracer = p_.tracer;
     auto agent = std::make_unique<core::SelfAwareAgent>(
         "cam" + std::to_string(c), cfg);
 
@@ -77,6 +85,12 @@ void CameraFleet::bind(sim::Engine& engine, double step_period,
 }
 
 NetworkEpoch CameraFleet::finish_epoch() {
+  // Epoch span on the fleet's own track; camera agents emit their ODA
+  // spans inside it (on their own tracks, at t = epoch index).
+  auto span = (p_.tracer != nullptr && p_.tracer->enabled())
+                  ? p_.tracer->span(static_cast<double>(epoch_),
+                                    trace_subject_, n_epoch_)
+                  : sim::Tracer::Span{};
   for (std::size_t c = 0; c < net_.cameras(); ++c) {
     last_[c] = net_.harvest_camera(c);
   }
@@ -97,6 +111,11 @@ NetworkEpoch CameraFleet::finish_epoch() {
   coverage_.add(e.coverage);
   messages_.add(e.messages);
   global_utility_.add(e.global_utility);
+  if (span) {
+    span.arg(k_coverage_, e.coverage);
+    span.arg(k_messages_, e.messages);
+    span.arg(k_utility_, e.global_utility);
+  }
   return e;
 }
 

@@ -33,6 +33,10 @@ class CameraFleet {
     /// Optional telemetry bus: wired into every camera agent and the
     /// network. Non-owning; must outlive the fleet.
     sim::TelemetryBus* telemetry = nullptr;
+    /// Optional tracer: wired into every camera agent (ODA spans + flow
+    /// chains); the fleet itself emits one "epoch" span per epoch under
+    /// subject "svc.fleet". Non-owning; must outlive the fleet.
+    sim::Tracer* tracer = nullptr;
   };
 
   CameraFleet(Network& net, Params p);
@@ -85,6 +89,8 @@ class CameraFleet {
   std::size_t epoch_ = 0;
   std::size_t bound_steps_ = 0;
   sim::RunningStats coverage_, messages_, global_utility_;
+  sim::SubjectId trace_subject_ = 0;  ///< "svc.fleet" when tracing
+  sim::NameId n_epoch_ = 0, k_coverage_ = 0, k_messages_ = 0, k_utility_ = 0;
 };
 
 }  // namespace sa::svc

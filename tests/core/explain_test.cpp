@@ -126,5 +126,79 @@ TEST(Explainer, ClearResets) {
   EXPECT_EQ(ex.decisions(), 0u);
 }
 
+Explanation stamped(double t) {
+  auto e = sample_explanation();
+  e.t = t;
+  return e;
+}
+
+TEST(Explainer, RingKeepsNewestInChronologicalOrder) {
+  Explainer ex;
+  ex.set_capacity(4);
+  for (int i = 0; i < 10; ++i) ex.record(stamped(i));
+  ASSERT_EQ(ex.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(ex.at(i).t, 6.0 + static_cast<double>(i));
+  }
+  ASSERT_TRUE(ex.last().has_value());
+  EXPECT_DOUBLE_EQ(ex.last()->t, 9.0);
+  const auto all = ex.all();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_DOUBLE_EQ(all.front().t, 6.0);
+  EXPECT_DOUBLE_EQ(all.back().t, 9.0);
+}
+
+TEST(Explainer, ShrinkingCapacityDropsOldest) {
+  Explainer ex;
+  ex.set_capacity(8);
+  for (int i = 0; i < 8; ++i) ex.record(stamped(i));
+  ex.set_capacity(3);
+  ASSERT_EQ(ex.size(), 3u);
+  EXPECT_DOUBLE_EQ(ex.at(0).t, 5.0);
+  EXPECT_DOUBLE_EQ(ex.at(2).t, 7.0);
+  // The shrunk ring keeps rotating correctly.
+  ex.record(stamped(8.0));
+  ASSERT_EQ(ex.size(), 3u);
+  EXPECT_DOUBLE_EQ(ex.at(0).t, 6.0);
+  EXPECT_DOUBLE_EQ(ex.last()->t, 8.0);
+}
+
+TEST(Explainer, GrowingCapacityKeepsEverything) {
+  Explainer ex;
+  ex.set_capacity(2);
+  ex.record(stamped(0.0));
+  ex.record(stamped(1.0));
+  ex.record(stamped(2.0));  // evicts t=0
+  ex.set_capacity(4);
+  ex.record(stamped(3.0));
+  ASSERT_EQ(ex.size(), 3u);
+  EXPECT_DOUBLE_EQ(ex.at(0).t, 1.0);
+  EXPECT_DOUBLE_EQ(ex.last()->t, 3.0);
+}
+
+TEST(Explainer, LongRunMemoryStaysBoundedAtCapacity) {
+  // The long-run contract behind E8: millions of decisions, ring-bounded
+  // retention, full decision accounting, correct newest/oldest window.
+  Explainer ex;
+  ex.set_capacity(64);
+  constexpr int kDecisions = 100000;
+  for (int i = 0; i < kDecisions; ++i) ex.record(stamped(i));
+  EXPECT_EQ(ex.size(), 64u);
+  EXPECT_EQ(ex.decisions(), static_cast<std::size_t>(kDecisions));
+  EXPECT_DOUBLE_EQ(ex.coverage(),
+                   64.0 / static_cast<double>(kDecisions));
+  EXPECT_DOUBLE_EQ(ex.at(0).t, kDecisions - 64.0);
+  EXPECT_DOUBLE_EQ(ex.last()->t, kDecisions - 1.0);
+}
+
+TEST(Explainer, ZeroCapacityRetainsNothingButCounts) {
+  Explainer ex;
+  ex.set_capacity(0);
+  ex.record(sample_explanation());
+  EXPECT_EQ(ex.size(), 0u);
+  EXPECT_EQ(ex.decisions(), 1u);
+  EXPECT_FALSE(ex.last().has_value());
+}
+
 }  // namespace
 }  // namespace sa::core

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "learn/bandit.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace sa::core {
 namespace {
@@ -137,6 +139,85 @@ TEST(AgentRuntime, ExchangeRunsAfterStepsAtCoincidentTimes) {
   engine.run_until(2.0);
   // ...yet b already holds the value a sampled at t = 2.0.
   EXPECT_DOUBLE_EQ(b.knowledge().number("shared.alpha.load"), 1.0);
+}
+
+TEST(AgentRuntime, ProfilesScheduledStreamsIntoMetrics) {
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  sim::MetricsRegistry metrics;
+  rt.set_metrics(&metrics);
+  SelfAwareAgent agent("prof", quiet());
+  agent.add_sensor("x", [] { return 1.0; });
+  rt.schedule(agent, 1.0);
+  rt.schedule_substrate("world", 0.5, [] {});
+  engine.run_until(10.0);
+
+  const auto steps = metrics.find("profile.prof.count");
+  const auto step_ms = metrics.find("profile.prof.ms");
+  const auto ticks = metrics.find("profile.world.count");
+  ASSERT_TRUE(steps.has_value());
+  ASSERT_TRUE(step_ms.has_value());
+  ASSERT_TRUE(ticks.has_value());
+  EXPECT_DOUBLE_EQ(metrics.value(*steps), 10.0);
+  EXPECT_DOUBLE_EQ(metrics.value(*ticks), 20.0);
+  EXPECT_EQ(metrics.stats(*step_ms).count(), 10u);
+  EXPECT_GE(metrics.stats(*step_ms).min(), 0.0);
+}
+
+TEST(AgentRuntime, SelfProfileVisibleToTheAgentAsKnowledge) {
+  // The self-awareness hook: the agent can read its own ODA-loop latency
+  // from its knowledge base, like any other sensed quantity.
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  sim::MetricsRegistry metrics;
+  rt.set_metrics(&metrics);
+  SelfAwareAgent agent("introspect", quiet());
+  agent.add_sensor("x", [] { return 1.0; });
+  rt.schedule(agent, 1.0);
+  engine.run_until(3.0);
+  const auto item = agent.knowledge().latest("meta.profile.step_ms");
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->source, "profiler");
+  EXPECT_GE(as_number(item->value), 0.0);
+}
+
+#ifndef SA_TELEMETRY_OFF
+TEST(AgentRuntime, TracerRecordsRuntimeSpansPerStream) {
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  sim::TelemetryBus bus;
+  sim::Tracer tracer(bus);
+  rt.set_tracer(&tracer);
+  SelfAwareAgent a("alpha", quiet()), b("beta", quiet());
+  a.add_sensor("x", [] { return 1.0; });
+  rt.schedule(a, 1.0);
+  rt.schedule(b, 2.0);
+  rt.schedule_substrate("world", 1.0, [] {});
+  rt.schedule_exchange({&a, &b}, 5.0);
+  engine.run_until(10.0);
+
+  EXPECT_EQ(tracer.depth(), 0u);
+  // Per-stream subjects exist and carry spans: 10 + 5 oda, 10 ticks,
+  // 2 exchanges.
+  EXPECT_EQ(tracer.spans(), 27u);
+  std::size_t runtime_subjects = 0;
+  for (sim::SubjectId s = 0; s < bus.subjects(); ++s) {
+    if (bus.subject_name(s).rfind("runtime.", 0) == 0) ++runtime_subjects;
+  }
+  EXPECT_EQ(runtime_subjects, 4u);  // alpha, beta, world, exchange
+}
+#endif  // SA_TELEMETRY_OFF
+
+TEST(AgentRuntime, UnprofiledSchedulingIsUnchanged) {
+  // No registry, no tracer: the scheduled body runs exactly as before.
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  SelfAwareAgent agent("plain", quiet());
+  agent.add_sensor("x", [] { return 1.0; });
+  rt.schedule(agent, 1.0);
+  engine.run_until(5.0);
+  EXPECT_EQ(agent.steps(), 5u);
+  EXPECT_FALSE(agent.knowledge().latest("meta.profile.step_ms").has_value());
 }
 
 }  // namespace

@@ -1,14 +1,19 @@
 // Tests for the typed telemetry bus: interning, counters, histograms, ring
 // sink queries, sink dispatch, and the cost contract of the disabled path
-// (one branch, zero heap allocations).
+// (one branch, zero heap allocations). The tracer's and the metrics
+// registry's allocation contracts are asserted here too, because this
+// binary owns the one global operator-new counter.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <string>
 
+#include "sim/metrics.hpp"
 #include "sim/telemetry.hpp"
+#include "sim/trace.hpp"
 
 // Global allocation counter: every operator new bumps it, so a test can
 // assert that a code region performs no heap allocation at all.
@@ -169,6 +174,80 @@ TEST(TelemetryBus, CompileTimeOffReportsDisabled) {
   EXPECT_FALSE(bus.enabled());
   bus.record(0.0, TelemetryBus::kFailure, 0, 1.0);
   EXPECT_EQ(bus.total(), 0u);
+}
+#endif
+
+#ifndef SA_TELEMETRY_OFF
+TEST(RingBufferSink, DeepCopiesDetailBeyondCallerLifetime) {
+  // record() takes the detail as a string_view; the sink must own its copy
+  // so reading it after the caller's buffer dies is valid (ASan-visible if
+  // it is not).
+  TelemetryBus bus;
+  RingBufferSink sink;
+  bus.add_sink(&sink);
+  const auto subj = bus.intern_subject("x");
+  {
+    auto detail = std::make_unique<std::string>("a detail long enough to be "
+                                                "heap-allocated for sure");
+    bus.record(0.0, TelemetryBus::kFailure, subj, 1.0, *detail);
+    detail->assign("clobbered");  // invalidate + overwrite the old buffer
+  }  // ...then free it entirely
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.at(0).detail,
+            "a detail long enough to be heap-allocated for sure");
+}
+#endif
+
+// --- Tracer / MetricsRegistry allocation contracts -----------------------
+
+TEST(Tracer, DisabledPathPerformsNoHeapAllocation) {
+  TelemetryBus bus;
+  Tracer tracer(bus, /*enabled=*/false);
+  const auto subj = bus.intern_subject("hot");
+  const auto name = tracer.intern_name("op");
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    auto span = tracer.span(i, subj, name);
+    span.arg(name, 1.0);
+    tracer.flow(i, FlowPhase::Step, tracer.next_id(), subj, name);
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(tracer.spans(), 0u);
+  EXPECT_EQ(tracer.flows(), 0u);
+  EXPECT_EQ(tracer.last_id(), 0u);  // ids only assigned to recorded work
+}
+
+TEST(MetricsRegistry, HotPathPerformsNoHeapAllocation) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("ops");
+  const auto g = reg.gauge("level");
+  const auto t = reg.timer("ms");
+  const auto h = reg.histogram("lat", 0.0, 1.0, 16);
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    reg.add(c);
+    reg.set(g, static_cast<double>(i));
+    reg.observe(t, 0.25);
+    reg.observe(h, 0.5);
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  EXPECT_DOUBLE_EQ(reg.value(c), 10000.0);
+}
+
+#ifdef SA_TELEMETRY_OFF
+TEST(Tracer, CompileTimeOffRecordsNothing) {
+  TelemetryBus bus;
+  Tracer tracer(bus, /*enabled=*/true);
+  EXPECT_FALSE(tracer.enabled());
+  {
+    auto span = tracer.span(0.0, 0, 0);
+    EXPECT_FALSE(static_cast<bool>(span));
+  }
+  tracer.flow(0.0, FlowPhase::Begin, 1, 0, 0);
+  EXPECT_EQ(tracer.events().size(), 0u);
+  EXPECT_EQ(tracer.next_id(), 0u);
 }
 #endif
 
