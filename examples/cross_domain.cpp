@@ -11,14 +11,22 @@
 // box's power draw and the edge agent the cloud's SLA. One telemetry bus
 // collects every observation, decision, and failure from both domains.
 //
+// Each domain also records decision provenance through its OWN tracer,
+// with a distinct TraceId namespace (edge = 1, cloud = 2, the high 16
+// bits of every id). Stitching the two recorded streams into one is then
+// safe: ids stay globally unique even though both counters start at 1.
+//
 // Run: ./build/examples/cross_domain
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "cloud/autoscaler.hpp"
 #include "core/runtime.hpp"
 #include "multicore/manager.hpp"
 #include "multicore/workload.hpp"
 #include "sim/telemetry.hpp"
+#include "sim/trace.hpp"
 
 int main() {
   using namespace sa;
@@ -31,6 +39,10 @@ int main() {
   sim::RingBufferSink recent(4096);
   bus.add_sink(&recent);
 
+  // One tracer per domain, namespaced so the merged stream stays unique.
+  sim::Tracer edge_tracer(bus, /*enabled=*/true, /*ns=*/1);
+  sim::Tracer cloud_tracer(bus, /*enabled=*/true, /*ns=*/2);
+
   // --- Fast loop: the edge appliance (control epoch 0.5 s) ---------------
   multicore::Platform platform(multicore::PlatformConfig::big_little(2, 4),
                                21);
@@ -38,6 +50,7 @@ int main() {
   multicore::Manager::Params mp;
   mp.seed = 21;
   mp.telemetry = &bus;
+  mp.tracer = &edge_tracer;
   multicore::Manager manager(platform, mp);
   engine.every(
       mp.epoch_s,
@@ -60,6 +73,7 @@ int main() {
   cloud::Autoscaler::Params ap;
   ap.seed = 22;
   ap.telemetry = &bus;
+  ap.tracer = &cloud_tracer;
   cloud::Autoscaler autoscaler(cluster, demand, ap);
   autoscaler.bind(engine);
 
@@ -97,5 +111,27 @@ int main() {
     std::printf("edge agent sees cloud SLA: %.3f\n",
                 edge_kb.number("shared.autoscaler.sla"));
   }
+
+  // Stitch the two domains' trace streams: with per-tracer namespaces in
+  // the high bits, ids never collide even though both counters run from 1.
+  std::vector<sim::TraceId> stitched;
+  for (const auto* tracer : {&edge_tracer, &cloud_tracer}) {
+    for (const auto& ev : tracer->events()) {
+      if (ev.id != 0) stitched.push_back(ev.id);
+    }
+  }
+  std::sort(stitched.begin(), stitched.end());
+  stitched.erase(std::unique(stitched.begin(), stitched.end()),
+                 stitched.end());
+  std::size_t from_edge = 0, from_cloud = 0;
+  for (const sim::TraceId id : stitched) {
+    if (sim::trace_namespace_of(id) == 1) ++from_edge;
+    if (sim::trace_namespace_of(id) == 2) ++from_cloud;
+  }
+  std::printf(
+      "traces : %zu spans (edge) + %zu spans (cloud); stitched ids "
+      "%zu, all unique (%zu edge ns, %zu cloud ns)\n",
+      edge_tracer.spans(), cloud_tracer.spans(), stitched.size(), from_edge,
+      from_cloud);
   return 0;
 }

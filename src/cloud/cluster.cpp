@@ -71,22 +71,26 @@ CloudEpoch Cluster::run_epoch(double rate) {
   double capacity = 0.0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     auto& n = nodes_[i];
-    const bool was_up = n.up;
+    // Preemption overrides the node's own availability process; the renewal
+    // clock still advances so the node resumes mid-life on release.
+    const bool was_up = n.up && !n.preempted;
     advance_availability(n, t_end);
     if (!n.enrolled) continue;
     if (now_ < n.boot_until) continue;  // still provisioning: no capacity
+    const bool now_up = n.up && !n.preempted;
     double frac = 0.0;
-    if (was_up && n.up) {
+    if (was_up && now_up) {
       frac = 1.0;
-    } else if (was_up != n.up) {
+    } else if (was_up != now_up) {
       frac = 0.5;
     }
-    capacity += n.capacity * frac;
-    const bool stayed_up = was_up && n.up;
-    outcomes_.push_back({i, stayed_up, n.capacity * frac});
+    const double delivered = n.capacity * frac * capacity_factor_;
+    capacity += delivered;
+    const bool stayed_up = was_up && now_up;
+    outcomes_.push_back({i, stayed_up, delivered});
     if (!stayed_up && telemetry_) {
       telemetry_->record(t_end, sim::TelemetryBus::kFailure, subject_,
-                         n.capacity * frac, n.id);
+                         delivered, n.id);
     }
   }
 
@@ -109,7 +113,7 @@ CloudEpoch Cluster::run_epoch(double rate) {
   for (const auto& n : nodes_) {
     if (!n.enrolled) continue;
     ++e.enrolled;
-    if (n.up) ++e.up_enrolled;
+    if (n.up && !n.preempted) ++e.up_enrolled;
     e.cost += n.cost_per_s * dt;
   }
   now_ = t_end;

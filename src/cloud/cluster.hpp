@@ -33,6 +33,7 @@ struct VolunteerNode {
   double mttr_s = 60.0;    ///< mean time to recovery
   bool up = true;
   bool enrolled = false;
+  bool preempted = false;  ///< forced down by a fault injector
   double cost_per_s = 1.0; ///< price of keeping it enrolled
   double next_transition = 0.0;  ///< internal: next up/down flip time
   double boot_until = 0.0;       ///< provisioning lag: no capacity before
@@ -102,6 +103,25 @@ class Cluster {
   /// Advances one epoch under arrival rate `rate`; returns what happened.
   CloudEpoch run_epoch(double rate);
 
+  // -- Fault surfaces (driven by sa::fault, inert otherwise) ----------------
+  /// Preempts node `i`: it delivers no capacity regardless of its own
+  /// availability process (the provider reclaimed the VM). Its internal
+  /// renewal clock keeps running, so on release it resumes mid-life.
+  void set_preempted(std::size_t i, bool preempted) {
+    nodes_[i].preempted = preempted;
+  }
+  [[nodiscard]] bool preempted(std::size_t i) const {
+    return nodes_[i].preempted;
+  }
+  /// Scales every node's delivered capacity (cluster-wide latency spike:
+  /// while < 1 effective service drops and queues build). 1 = nominal.
+  void set_capacity_factor(double f) {
+    capacity_factor_ = std::max(0.0, f);
+  }
+  [[nodiscard]] double capacity_factor() const noexcept {
+    return capacity_factor_;
+  }
+
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] double epoch_seconds() const noexcept { return p_.epoch_s; }
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
@@ -132,6 +152,7 @@ class Cluster {
   sim::Rng rng_;
   double now_ = 0.0;
   double backlog_ = 0.0;
+  double capacity_factor_ = 1.0;  ///< fault-injected service degradation
   std::vector<NodeOutcome> outcomes_;
 
   sim::TelemetryBus* telemetry_ = nullptr;

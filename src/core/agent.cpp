@@ -1,6 +1,7 @@
 #include "core/agent.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <iomanip>
 #include <sstream>
@@ -10,6 +11,7 @@ namespace sa::core {
 SelfAwareAgent::SelfAwareAgent(std::string id, AgentConfig cfg)
     : id_(std::move(id)),
       cfg_(cfg),
+      active_levels_(cfg.levels),
       rng_(sim::mix64(cfg.seed) ^ std::hash<std::string>{}(id_)),
       kb_(cfg.history_limit),
       explainer_(cfg.explain),
@@ -88,6 +90,12 @@ Observation SelfAwareAgent::observe() {
       continue;
     }
     const double v = read();
+    // A NaN read is a dropped-out sensor (the fault surface): skip it so
+    // the key simply stops updating and its knowledge ages out.
+    if (std::isnan(v)) {
+      ++sensor_gaps_;
+      continue;
+    }
     obs[name] = v;
     attention_.feed(name, v);
   }
@@ -98,11 +106,23 @@ void SelfAwareAgent::run_processes(double t, const Observation& obs) {
   // Order matters and mirrors the levels: raw stimuli first, then models
   // over them, goals over those, and the meta level last so it sees this
   // step's goal.utility.
-  if (stimulus_) stimulus_->update(t, obs, kb_);
-  if (interaction_) interaction_->update(t, obs, kb_);
-  if (time_) time_->update(t, obs, kb_);
-  if (goal_aware_) goal_aware_->update(t, obs, kb_);
-  if (meta_) meta_->update(t, obs, kb_);
+  // Degradation (set_active_levels) pauses a constructed process without
+  // destroying it: skipped here, state intact, resumes on reactivation.
+  if (stimulus_ && active_levels_.has(Level::Stimulus)) {
+    stimulus_->update(t, obs, kb_);
+  }
+  if (interaction_ && active_levels_.has(Level::Interaction)) {
+    interaction_->update(t, obs, kb_);
+  }
+  if (time_ && active_levels_.has(Level::Time)) {
+    time_->update(t, obs, kb_);
+  }
+  if (goal_aware_ && active_levels_.has(Level::Goal)) {
+    goal_aware_->update(t, obs, kb_);
+  }
+  if (meta_ && active_levels_.has(Level::Meta)) {
+    meta_->update(t, obs, kb_);
+  }
 }
 
 Decision SelfAwareAgent::step(double t) {
@@ -135,9 +155,10 @@ Decision SelfAwareAgent::step(double t) {
     cfg_.telemetry->record(t, sim::TelemetryBus::kObservation, subject_,
                            static_cast<double>(obs.size()), sampled);
   }
-  // Without stimulus awareness nothing else mirrors raw readings into the
-  // KB; do it here so higher levels and policies can still see them.
-  if (!stimulus_) {
+  // Without stimulus awareness (disabled at construction or degraded away)
+  // nothing else mirrors raw readings into the KB; do it here so higher
+  // levels and policies can still see them.
+  if (!stimulus_ || !active_levels_.has(Level::Stimulus)) {
     for (const auto& [sig, v] : obs) {
       kb_.put_number(sig, v, t, 1.0, Scope::Public, "sensor");
     }
@@ -154,7 +175,7 @@ Decision SelfAwareAgent::step(double t) {
     if (tr) {
       tr->flow(t, sim::FlowPhase::Step, obs_id, trace_subject_, n_flow_obs_);
       cited.push_back(obs_id);
-      if (stimulus_) {
+      if (stimulus_ && active_levels_.has(Level::Stimulus)) {
         for (StimulusEvent& sev : stimulus_->events()) {
           sev.trace_id = tr->next_id();
           tr->flow(t, sim::FlowPhase::Begin, sev.trace_id, trace_subject_,
@@ -242,6 +263,16 @@ void SelfAwareAgent::reward(double r) {
              trace_subject_, n_flow_decision_);
     pending_outcome_ = 0;
   }
+}
+
+void SelfAwareAgent::set_active_levels(LevelSet levels) {
+  // Clamp to the constructor-time capability set: degradation can only
+  // pause processes that exist, never conjure new ones.
+  for (const Level l : {Level::Stimulus, Level::Interaction, Level::Time,
+                        Level::Goal, Level::Meta}) {
+    if (!cfg_.levels.has(l)) levels.unset(l);
+  }
+  active_levels_ = levels;
 }
 
 void SelfAwareAgent::record_interaction(const std::string& peer, bool success,

@@ -112,6 +112,24 @@ class SelfAwareAgent {
   [[nodiscard]] const LevelSet& levels() const noexcept {
     return cfg_.levels;
   }
+
+  // -- Graceful degradation -------------------------------------------------
+  /// Restricts which constructed levels actually run each step (clamped to
+  /// the constructor-time set — capabilities never grow at run time). The
+  /// processes keep their state while inactive and resume on
+  /// reactivation; with no stimulus level active, raw readings are
+  /// mirrored straight into the KB (the reactive baseline). Driven by
+  /// core::DegradationPolicy; harmless to call directly.
+  void set_active_levels(LevelSet levels);
+  [[nodiscard]] const LevelSet& active_levels() const noexcept {
+    return active_levels_;
+  }
+  /// Sensor reads that returned NaN (a dropped-out sensor, the fault
+  /// surface) and were skipped: the key simply stops updating and its
+  /// knowledge ages out — observe gaps trip the stale-knowledge detector.
+  [[nodiscard]] std::size_t sensor_gaps() const noexcept {
+    return sensor_gaps_;
+  }
   [[nodiscard]] KnowledgeBase& knowledge() noexcept { return kb_; }
   [[nodiscard]] const KnowledgeBase& knowledge() const noexcept { return kb_; }
   [[nodiscard]] GoalModel& goals() noexcept { return goals_; }
@@ -161,6 +179,7 @@ class SelfAwareAgent {
 
   std::string id_;
   AgentConfig cfg_;
+  LevelSet active_levels_;  ///< subset of cfg_.levels running right now
   sim::Rng rng_;
   KnowledgeBase kb_;
   GoalModel goals_;
@@ -191,6 +210,7 @@ class SelfAwareAgent {
   sim::TraceId pending_outcome_ = 0;  ///< decision chain awaiting reward()
 
   std::size_t steps_ = 0;
+  std::size_t sensor_gaps_ = 0;  ///< NaN sensor reads skipped
 };
 
 }  // namespace sa::core

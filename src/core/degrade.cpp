@@ -1,0 +1,130 @@
+#include "core/degrade.hpp"
+
+#include <sstream>
+
+namespace sa::core {
+
+DegradationPolicy::DegradationPolicy(SelfAwareAgent& agent)
+    : DegradationPolicy(agent, Params{}) {}
+
+DegradationPolicy::DegradationPolicy(SelfAwareAgent& agent, Params p)
+    : agent_(agent), params_(std::move(p)) {
+  if (params_.knowledge_ttl > 0.0) {
+    agent_.knowledge().set_default_ttl(params_.knowledge_ttl);
+  }
+  if (params_.breach_updates == 0) params_.breach_updates = 1;
+  if (params_.recover_updates == 0) params_.recover_updates = 1;
+}
+
+const char* DegradationPolicy::mode_name(Mode m) noexcept {
+  switch (m) {
+    case Mode::Meta: return "meta";
+    case Mode::Goal: return "goal";
+    case Mode::Stimulus: return "stimulus";
+    case Mode::Reactive: return "reactive";
+  }
+  return "?";
+}
+
+LevelSet DegradationPolicy::level_set_for(Mode m) const {
+  // set_active_levels clamps to the constructed set, so each rung only
+  // needs to describe the ceiling, not intersect explicitly.
+  switch (m) {
+    case Mode::Meta:
+      return agent_.levels();
+    case Mode::Goal: {
+      LevelSet s = agent_.levels();
+      s.unset(Level::Meta);
+      return s;
+    }
+    case Mode::Stimulus:
+      return LevelSet{Level::Stimulus};
+    case Mode::Reactive:
+      return LevelSet{};
+  }
+  return agent_.levels();
+}
+
+void DegradationPolicy::update(double t, sim::TraceId trace) {
+  // Dwell accrues over the interval just elapsed, while degraded.
+  if (seen_update_ && mode_ != Mode::Meta && t > last_t_) {
+    dwell_ += t - last_t_;
+  }
+  last_t_ = t;
+  seen_update_ = true;
+
+  const KnowledgeBase& kb = agent_.knowledge();
+  std::string why;
+
+  const double step_ms = kb.number("meta.profile.step_ms", 0.0);
+  if (step_ms > params_.step_ms_breach) {
+    std::ostringstream os;
+    os << "step_ms breach (" << step_ms << " > " << params_.step_ms_breach
+       << " ms)";
+    why = os.str();
+  }
+  if (why.empty()) {
+    const double active = kb.number("fault.active", 0.0);
+    if (active >= params_.fault_active_breach) {
+      std::ostringstream os;
+      os << "fault pressure (" << active << " active)";
+      why = os.str();
+    }
+  }
+  if (why.empty() && !params_.watch_keys.empty()) {
+    std::size_t stale = 0;
+    for (const std::string& key : params_.watch_keys) {
+      if (!kb.fresh(key, t)) ++stale;
+    }
+    const double frac =
+        static_cast<double>(stale) /
+        static_cast<double>(params_.watch_keys.size());
+    if (frac > params_.stale_fraction_breach) {
+      std::ostringstream os;
+      os << "stale knowledge (" << stale << "/" << params_.watch_keys.size()
+         << " watched keys)";
+      why = os.str();
+    }
+  }
+
+  if (!why.empty()) {
+    clean_streak_ = 0;
+    if (++breach_streak_ >= params_.breach_updates &&
+        mode_ != Mode::Reactive) {
+      breach_streak_ = 0;
+      transition(t, static_cast<Mode>(rung() + 1), why, trace);
+    }
+  } else {
+    breach_streak_ = 0;
+    if (++clean_streak_ >= params_.recover_updates && mode_ != Mode::Meta) {
+      clean_streak_ = 0;
+      transition(t, static_cast<Mode>(rung() - 1), "triggers clear", trace);
+    }
+  }
+}
+
+void DegradationPolicy::transition(double t, Mode to, const std::string& why,
+                                   sim::TraceId trace) {
+  const Mode from = mode_;
+  mode_ = to;
+  last_trigger_ = why;
+  const bool down = static_cast<std::size_t>(to) > static_cast<std::size_t>(from);
+  if (down) {
+    ++degradations_;
+  } else {
+    ++recoveries_;
+  }
+  agent_.set_active_levels(level_set_for(to));
+
+  Explanation e;
+  e.t = t;
+  e.agent = agent_.id();
+  e.decision.action = down ? "degrade" : "recover";
+  e.decision.rationale = why;
+  e.from_mode = mode_name(from);
+  e.to_mode = mode_name(to);
+  e.trace_id = trace;
+  agent_.explainer().record(std::move(e));
+}
+
+}  // namespace sa::core

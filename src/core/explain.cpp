@@ -9,6 +9,14 @@ namespace sa::core {
 std::string Explanation::render() const {
   std::ostringstream os;
   os << std::fixed << std::setprecision(3);
+  if (!from_mode.empty()) {
+    // Degradation transition (core::DegradationPolicy), not a decision.
+    os << (decision.action == "recover" ? "Recovered " : "Degraded ")
+       << from_mode << "→" << to_mode << " at t=" << t << ": "
+       << decision.rationale;
+    if (trace_id != 0) os << ", trace #" << trace_id;
+    return os.str();
+  }
   os << "[t=" << t << "] " << agent << " chose '" << decision.action << "'";
   if (!decision.rationale.empty()) os << " because " << decision.rationale;
   os << ".";

@@ -41,6 +41,11 @@ struct Explanation {
   sim::TraceId trace_id = 0;
   /// Trace ids of the evidence consulted (observation + stimulus chains).
   std::vector<sim::TraceId> cited;
+  /// Set by core::DegradationPolicy when this entry records a level
+  /// transition rather than an action choice: the mode stepped from/to
+  /// ("meta", "goal", "stimulus", "reactive"). render() then produces the
+  /// transition form ("Degraded meta→goal at t=…: …, trace #N").
+  std::string from_mode, to_mode;
 
   /// Renders a human-readable explanation paragraph.
   [[nodiscard]] std::string render() const;

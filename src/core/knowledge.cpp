@@ -1,6 +1,7 @@
 #include "core/knowledge.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace sa::core {
@@ -27,6 +28,8 @@ std::string to_string(const Value& v) {
 }
 
 void KnowledgeBase::put(const std::string& key, KnowledgeItem item) {
+  // Items that declared no shelf life inherit the base's default.
+  if (std::isinf(item.ttl)) item.ttl = default_ttl_;
   auto& hist = store_[key];
   hist.push_back(std::move(item));
   if (hist.size() > history_limit_) hist.pop_front();
@@ -70,6 +73,25 @@ const std::deque<KnowledgeItem>& KnowledgeBase::history(
 
 bool KnowledgeBase::contains(const std::string& key) const {
   return store_.count(key) != 0;
+}
+
+bool KnowledgeBase::fresh(const std::string& key, double now) const {
+  const auto it = store_.find(key);
+  if (it == store_.end() || it->second.empty()) return false;
+  const KnowledgeItem& item = it->second.back();
+  return now - item.time <= item.ttl;
+}
+
+std::vector<std::string> KnowledgeBase::stale_keys(const std::string& prefix,
+                                                   double now) const {
+  std::vector<std::string> out;
+  for (auto it = store_.lower_bound(prefix); it != store_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (it->second.empty()) continue;
+    const KnowledgeItem& item = it->second.back();
+    if (now - item.time > item.ttl) out.push_back(it->first);
+  }
+  return out;
 }
 
 std::vector<std::string> KnowledgeBase::keys() const {

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -34,6 +35,11 @@ struct KnowledgeItem {
   double confidence = 1.0;  ///< producer's self-assessed confidence in [0,1]
   Scope scope = Scope::Private;
   std::string source;       ///< producing process/sensor (provenance)
+  /// Sim-time shelf life: the item counts as stale once now - time > ttl.
+  /// Infinity (default) never expires. Stale items are still readable —
+  /// staleness is a *signal* (see fresh()/stale_keys() and
+  /// core::DegradationPolicy), not an eviction.
+  double ttl = std::numeric_limits<double>::infinity();
 };
 
 /// Keyed, history-preserving store of knowledge items.
@@ -70,6 +76,18 @@ class KnowledgeBase {
       const std::string& key) const;
   /// True if `key` has ever been written.
   [[nodiscard]] bool contains(const std::string& key) const;
+  /// True when `key` has an item still within its TTL at sim time `now`.
+  /// Unknown keys are not fresh. The stale-knowledge detector of the
+  /// degradation machinery is built on this.
+  [[nodiscard]] bool fresh(const std::string& key, double now) const;
+  /// Keys under `prefix` (all keys if empty) whose latest item has
+  /// outlived its TTL at `now`, sorted.
+  [[nodiscard]] std::vector<std::string> stale_keys(const std::string& prefix,
+                                                    double now) const;
+  /// Default TTL stamped onto items put() without an explicit finite TTL
+  /// (infinity = never expire). Existing items keep the TTL they carry.
+  void set_default_ttl(double ttl) noexcept { default_ttl_ = ttl; }
+  [[nodiscard]] double default_ttl() const noexcept { return default_ttl_; }
   /// All keys, sorted (deterministic iteration).
   [[nodiscard]] std::vector<std::string> keys() const;
   /// Keys beginning with `prefix`, sorted.
@@ -96,6 +114,7 @@ class KnowledgeBase {
 
  private:
   std::size_t history_limit_;
+  double default_ttl_ = std::numeric_limits<double>::infinity();
   std::map<std::string, std::deque<KnowledgeItem>> store_;
   std::vector<std::pair<std::size_t, Listener>> listeners_;
   std::size_t next_handle_ = 0;

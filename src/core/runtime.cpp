@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "core/degrade.hpp"
+
 namespace sa::core {
 
 namespace {
@@ -91,21 +93,86 @@ void AgentRuntime::schedule_exchange(std::vector<SelfAwareAgent*> agents,
                                      KnowledgeExchange exchange) {
   ++scheduled_;
   const StreamInstruments si = instrument("exchange", "exchange");
+  // Retry parameters are captured per registration so later calls to
+  // set_exchange_retry don't rewrite in-flight rounds.
+  const std::size_t retries = exchange_retries_;
+  const double backoff0 =
+      exchange_backoff0_ > 0.0 ? exchange_backoff0_ : period / 8.0;
   engine_.every(
       period,
-      [this, agents = std::move(agents), exchange, si] {
-        auto span = tracer_ != nullptr
-                        ? tracer_->span(engine_.now(), si.subject, si.name)
-                        : sim::Tracer::Span{};
-        auto body = [&] {
-          for (SelfAwareAgent* from : agents) {
-            for (SelfAwareAgent* into : agents) {
-              if (from == into) continue;
-              exchanged_ += exchange.import(from->knowledge(), from->id(),
-                                            into->knowledge());
-            }
-          }
-        };
+      [this, agents = std::move(agents), exchange, si, period, retries,
+       backoff0] {
+        run_exchange(agents, exchange, si, 0, period, retries, backoff0);
+        return true;
+      },
+      kOrderExchange);
+}
+
+void AgentRuntime::run_exchange(const std::vector<SelfAwareAgent*>& agents,
+                                const KnowledgeExchange& exchange,
+                                const StreamInstruments& si,
+                                std::size_t attempt, double period,
+                                std::size_t retries, double backoff0) {
+  if (exchange_blocked_) {
+    // Dropped exchange: a fault surface, not an abort. Defer and retry
+    // with exponential backoff; give up only after the budget is spent.
+    ++exchange_drops_;
+    if (attempt < retries) {
+      ++exchange_retry_count_;
+      const double delay = backoff0 * static_cast<double>(1ull << attempt);
+      engine_.in(
+          delay,
+          [this, &agents, exchange, si, attempt, period, retries, backoff0] {
+            run_exchange(agents, exchange, si, attempt + 1, period, retries,
+                         backoff0);
+          },
+          kOrderExchange);
+      return;
+    }
+    ++exchange_timeouts_;
+    // The failed round is knowledge too: every pair learns its peer was
+    // unreachable, feeding interaction awareness's reliability models.
+    for (SelfAwareAgent* from : agents) {
+      for (SelfAwareAgent* into : agents) {
+        if (from == into) continue;
+        into->record_interaction(from->id(), false);
+      }
+    }
+    return;
+  }
+  auto span = tracer_ != nullptr
+                  ? tracer_->span(engine_.now(), si.subject, si.name)
+                  : sim::Tracer::Span{};
+  auto body = [&] {
+    for (SelfAwareAgent* from : agents) {
+      for (SelfAwareAgent* into : agents) {
+        if (from == into) continue;
+        exchanged_ += exchange.import(from->knowledge(), from->id(),
+                                      into->knowledge());
+      }
+    }
+  };
+  if (metrics_ != nullptr) {
+    const double ms = timed_ms(body);
+    metrics_->add(si.count);
+    metrics_->observe(si.ms, ms);
+  } else {
+    body();
+  }
+}
+
+void AgentRuntime::schedule_degradation(DegradationPolicy& policy,
+                                        double period) {
+  ++scheduled_;
+  const StreamInstruments si =
+      instrument("degrade." + policy.agent().id(), "degrade");
+  engine_.every(
+      period,
+      [this, &policy, si] {
+        const double t = engine_.now();
+        auto span = tracer_ != nullptr ? tracer_->span(t, si.subject, si.name)
+                                       : sim::Tracer::Span{};
+        auto body = [&] { policy.update(t, span.id()); };
         if (metrics_ != nullptr) {
           const double ms = timed_ms(body);
           metrics_->add(si.count);
@@ -115,7 +182,7 @@ void AgentRuntime::schedule_exchange(std::vector<SelfAwareAgent*> agents,
         }
         return true;
       },
-      kOrderExchange);
+      kOrderControl);
 }
 
 }  // namespace sa::core

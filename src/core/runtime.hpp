@@ -28,9 +28,14 @@
 
 namespace sa::core {
 
+class DegradationPolicy;
+
 class AgentRuntime {
  public:
   /// Engine `order` values used by the runtime (lower runs first at ties).
+  /// Fault injection (sa::fault::Injector::kOrderFaults) sits at -1, before
+  /// dynamics, so every tick sees a settled fault state.
+  static constexpr int kOrderFaults = -1;
   static constexpr int kOrderDynamics = 0;
   static constexpr int kOrderControl = 1;
   static constexpr int kOrderExchange = 2;
@@ -68,9 +73,49 @@ class AgentRuntime {
 
   /// Every `period`, exchanges public knowledge among `agents` in a full
   /// mesh (each imports every other's snapshot) at kOrderExchange.
-  /// Pointers must stay valid.
+  /// Pointers must stay valid. When the exchange gate is blocked (see
+  /// set_exchange_blocked — the ExchangeDrop fault surface), the round is
+  /// not aborted: it retries with exponential backoff (set_exchange_retry)
+  /// and, only after the retries are exhausted, counts a timeout and
+  /// reports the failed round to every agent's interaction awareness.
   void schedule_exchange(std::vector<SelfAwareAgent*> agents, double period,
                          KnowledgeExchange exchange = KnowledgeExchange{});
+
+  /// Every `period`, runs `policy.update(now)` at kOrderControl (after
+  /// agent steps at the same instant, in registration order), passing the
+  /// monitoring span's trace id so transition explanations cite it.
+  /// The policy must outlive the runtime's engine events.
+  void schedule_degradation(DegradationPolicy& policy, double period);
+
+  // -- Exchange fault surface ----------------------------------------------
+  /// Gates scheduled exchanges: while blocked, exchange rounds defer and
+  /// retry instead of importing. Driven by fault::bind_exchange; harmless
+  /// to call directly.
+  void set_exchange_blocked(bool blocked) noexcept {
+    exchange_blocked_ = blocked;
+  }
+  [[nodiscard]] bool exchange_blocked() const noexcept {
+    return exchange_blocked_;
+  }
+  /// Retry budget per exchange round: up to `retries` re-attempts spaced
+  /// backoff0 * 2^attempt apart. `backoff0` <= 0 derives it from the
+  /// round's period (period / 8). Applies to rounds scheduled afterwards.
+  void set_exchange_retry(std::size_t retries, double backoff0 = 0.0) noexcept {
+    exchange_retries_ = retries;
+    exchange_backoff0_ = backoff0;
+  }
+  /// Rounds that found the gate blocked (each deferral counts once).
+  [[nodiscard]] std::size_t exchange_drops() const noexcept {
+    return exchange_drops_;
+  }
+  /// Retry attempts actually scheduled.
+  [[nodiscard]] std::size_t exchange_retries() const noexcept {
+    return exchange_retry_count_;
+  }
+  /// Rounds abandoned after the retry budget ran out.
+  [[nodiscard]] std::size_t exchange_timeouts() const noexcept {
+    return exchange_timeouts_;
+  }
 
   /// Number of schedule()/schedule_substrate()/schedule_exchange()
   /// registrations.
@@ -100,6 +145,13 @@ class AgentRuntime {
   };
   StreamInstruments instrument(const std::string& name,
                                const char* span_name);
+  /// One exchange round (attempt 0) or retry (attempt > 0): imports when
+  /// the gate is open, otherwise defers with exponential backoff until the
+  /// retry budget is spent.
+  void run_exchange(const std::vector<SelfAwareAgent*>& agents,
+                    const KnowledgeExchange& exchange,
+                    const StreamInstruments& si, std::size_t attempt,
+                    double period, std::size_t retries, double backoff0);
 
   sim::Engine& engine_;
   sim::MetricsRegistry* metrics_ = nullptr;
@@ -109,6 +161,13 @@ class AgentRuntime {
   std::size_t substrate_ticks_ = 0;
   std::size_t exchanged_ = 0;
   std::vector<std::string> substrates_;
+
+  bool exchange_blocked_ = false;
+  std::size_t exchange_retries_ = 3;
+  double exchange_backoff0_ = 0.0;  ///< <= 0: period / 8
+  std::size_t exchange_drops_ = 0;
+  std::size_t exchange_retry_count_ = 0;
+  std::size_t exchange_timeouts_ = 0;
 };
 
 }  // namespace sa::core

@@ -96,6 +96,7 @@ PacketNetwork::PacketNetwork(Topology topo, Params p)
       eps_floor_(p.epsilon),
       in_flight_(topo_.links().size(), 0),
       dead_(topo_.links().size(), false),
+      slowdown_(topo_.links().size(), 1.0),
       fwd_count_(topo_.nodes() * topo_.nodes(), 0.0),
       fwd_rate_(topo_.nodes() * topo_.nodes(), 0.0) {
   for (std::size_t v = 0; v < topo_.nodes(); ++v) {
@@ -124,7 +125,7 @@ double PacketNetwork::link_latency(std::size_t l) const {
   const auto& spec = topo_.links()[l];
   const double load =
       static_cast<double>(in_flight_[l]) / spec.capacity;
-  return spec.base_latency * (1.0 + load * load);
+  return spec.base_latency * (1.0 + load * load) * slowdown_[l];
 }
 
 std::size_t PacketNetwork::choose_next(std::size_t node, std::size_t dst,

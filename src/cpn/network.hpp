@@ -155,6 +155,15 @@ class PacketNetwork {
   void fail_link(std::size_t l) { dead_[l] = true; }
   void restore_link(std::size_t l) { dead_[l] = false; }
   [[nodiscard]] bool link_dead(std::size_t l) const { return dead_[l]; }
+  /// Fault surface: multiplies link `l`'s latency. Packets already in
+  /// flight keep their old transit times, so a spike reorders arrivals
+  /// relative to later sends on other routes. 1.0 restores nominal.
+  void set_link_slowdown(std::size_t l, double factor) {
+    slowdown_[l] = std::max(1.0, factor);
+  }
+  [[nodiscard]] double link_slowdown(std::size_t l) const {
+    return slowdown_[l];
+  }
   [[nodiscard]] double epsilon() const noexcept { return eps_; }
   [[nodiscard]] std::size_t in_flight_total() const;
 
@@ -193,6 +202,7 @@ class PacketNetwork {
   std::vector<Packet> flying_;
   std::vector<std::size_t> in_flight_;
   std::vector<bool> dead_;
+  std::vector<double> slowdown_;  ///< fault-injected latency multipliers
   // Q[node][dst][neighbour-slot]: estimated remaining delivery time.
   std::vector<double> q_;
   std::size_t max_degree_ = 0;

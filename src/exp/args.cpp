@@ -62,6 +62,12 @@ std::string parse_args(int argc, const char* const* argv, Options& out) {
         return "--metrics expects an output path";
       }
       out.metrics = std::string(value);
+    } else if (arg == "--fault-plan") {
+      if (!next_value() || value.empty()) {
+        return "--fault-plan expects a plan spec"
+               " (\"kind:key=value,...;...\")";
+      }
+      out.fault_plan = std::string(value);
     } else {
       return "unknown argument: " + std::string(argv[i]);
     }
@@ -74,7 +80,7 @@ std::string usage(std::string_view program) {
   u += "usage: ";
   u += program;
   u += " [--jobs N] [--seeds K] [--json PATH] [--trace PATH]"
-       " [--metrics PATH]\n";
+       " [--metrics PATH] [--fault-plan SPEC]\n";
   u +=
       "  --jobs N, -j N  worker threads for the seed x variant grid\n"
       "                  (default: all hardware threads; results are\n"
@@ -90,6 +96,9 @@ std::string usage(std::string_view program) {
       "  --metrics PATH  write the traced cell's self-profiling metrics\n"
       "                  snapshots as JSONL (wall-clock timers: values\n"
       "                  vary run to run)\n"
+      "  --fault-plan S  overlay a fault plan on fault-aware experiments\n"
+      "                  (\"kind:rate=R,dur=D,...;seed=N\"; see\n"
+      "                  sa::fault::FaultPlan::parse)\n"
       "  --help, -h      this text\n";
   return u;
 }

@@ -10,6 +10,8 @@
 //   --trace PATH   write a Chrome/Perfetto trace-event JSON of one
 //                  designated cell (bitwise-stable across --jobs N)
 //   --metrics PATH write that cell's metrics snapshots as JSONL
+//   --fault-plan S overlay a fault::FaultPlan spec on experiments that
+//                  support fault injection (others reject it)
 #pragma once
 
 #include <cstddef>
@@ -24,6 +26,9 @@ struct Options {
   std::string json;       ///< BENCH json output path; empty = no JSON
   std::string trace;      ///< Chrome trace output path; empty = no trace
   std::string metrics;    ///< metrics JSONL output path; empty = none
+  /// Fault-plan spec (fault::FaultPlan::parse syntax); empty = the
+  /// experiment's built-in plan. Only fault-aware benches consume it.
+  std::string fault_plan;
   bool help = false;      ///< --help was given
 };
 

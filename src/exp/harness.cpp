@@ -138,11 +138,32 @@ Json Harness::document() const {
   Json& meta = doc["meta"] = Json::object();
   meta["git_rev"] = git_rev();
   meta["jobs"] = static_cast<std::int64_t>(jobs());
+  // Only emitted when set: pre-existing documents stay byte-identical.
+  if (!opts_.fault_plan.empty()) meta["fault_plan"] = opts_.fault_plan;
   double wall = 0.0;
   for (const auto& g : results_) wall += g.wall_s;
   meta["wall_clock_s"] = wall;
   Json& grids = doc["grids"] = Json::array();
   for (const auto& g : results_) grids.push_back(to_json(g));
+  // Failed cells surfaced top-level so CI does not have to walk every
+  // grid's results to learn *what* made the exit code non-zero. Absent
+  // when everything passed (byte-stability of green documents).
+  std::size_t failed = 0;
+  for (const auto& g : results_) failed += g.errors();
+  if (failed != 0) {
+    Json& cells = doc["failed_cells"] = Json::array();
+    for (const auto& g : results_) {
+      for (const auto& t : g.tasks) {
+        if (t.error.empty()) continue;
+        Json cell = Json::object();
+        cell["grid"] = g.name;
+        cell["variant"] = g.variants[t.variant];
+        cell["seed"] = static_cast<std::int64_t>(t.seed);
+        cell["error"] = t.error;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
   return doc;
 }
 

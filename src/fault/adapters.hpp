@@ -1,0 +1,62 @@
+// Substrate bindings for the fault injector.
+//
+// Each bind_* registers the Injector surfaces one substrate exposes,
+// translating abstract (unit, magnitude) faults into that substrate's
+// fault-surface calls. Overlapping transient faults on the same unit are
+// reference-counted: the unit is only restored when the *last* fault
+// covering it ends, so bursty plans (burstiness > 1) behave correctly.
+//
+// The adapters only capture references — the substrate must outlive the
+// injector's engine events, exactly like the bind() adapters the runtime
+// uses for dynamics.
+#pragma once
+
+#include "core/agent.hpp"
+#include "core/runtime.hpp"
+#include "fault/fault.hpp"
+
+namespace sa::cloud {
+class Cluster;
+}
+namespace sa::cpn {
+class PacketNetwork;
+}
+namespace sa::multicore {
+class Platform;
+}
+namespace sa::svc {
+class Network;
+}
+
+namespace sa::fault {
+
+/// multicore: CoreFail (core crash-restart, queued work re-homed) and
+/// FreqCap (chip-wide DVFS cap to level = magnitude).
+void bind_platform(Injector& inj, multicore::Platform& platform);
+
+/// svc: NodeCrash (camera crash-restart, tracks released), SensorDropout
+/// (visibility 0) and SensorBlur (visibility x (1 - magnitude)).
+void bind_cameras(Injector& inj, svc::Network& net);
+
+/// cloud: VmPreempt (per-node provider reclaim) and LatencySpike
+/// (cluster capacity divided by magnitude).
+void bind_cluster(Injector& inj, cloud::Cluster& cluster);
+
+/// cpn: LinkLoss (single link down), Partition (one node's incident links
+/// all down — unit is a *node*) and LinkReorder (link latency x magnitude).
+/// LinkLoss and Partition share per-link refcounts, so a partition ending
+/// does not resurrect a link an overlapping link-loss still holds down.
+void bind_packet_network(Injector& inj, cpn::PacketNetwork& net);
+
+/// runtime: ExchangeDrop gates scheduled knowledge exchanges (they retry
+/// with backoff and eventually time out; see AgentRuntime).
+void bind_exchange(Injector& inj, core::AgentRuntime& rt);
+
+/// Mirrors the injector's state into `agent`'s knowledge base on every
+/// onset/restore: "fault.active" (faults currently in force) and
+/// "fault.count" (onsets so far), source "fault" — the signals
+/// core::DegradationPolicy triggers on. Deterministic: driven by injector
+/// events only.
+void feed_agent(Injector& inj, core::SelfAwareAgent& agent);
+
+}  // namespace sa::fault

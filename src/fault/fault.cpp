@@ -1,0 +1,292 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sa::fault {
+
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  const char* name;
+};
+constexpr KindName kKindNames[kFaultKinds] = {
+    {FaultKind::SensorDropout, "sensor-dropout"},
+    {FaultKind::SensorBlur, "sensor-blur"},
+    {FaultKind::NodeCrash, "node-crash"},
+    {FaultKind::CoreFail, "core-fail"},
+    {FaultKind::FreqCap, "freq-cap"},
+    {FaultKind::VmPreempt, "vm-preempt"},
+    {FaultKind::LatencySpike, "latency-spike"},
+    {FaultKind::LinkLoss, "link-loss"},
+    {FaultKind::Partition, "partition"},
+    {FaultKind::LinkReorder, "link-reorder"},
+    {FaultKind::ExchangeDrop, "exchange-drop"},
+};
+
+double parse_number(std::string_view text, std::string_view what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(text), &used);
+    if (used != text.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan: bad number '" +
+                                std::string(text) + "' for " +
+                                std::string(what));
+  }
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (!s.empty()) {
+    const std::size_t pos = s.find(sep);
+    out.push_back(s.substr(0, pos));
+    if (pos == std::string_view::npos) break;
+    s.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+/// Trims the formatted double the way the canonical spec wants ("0.05",
+/// not "0.050000"); plans are config strings, not data files.
+std::string format(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* kind_name(FaultKind k) noexcept {
+  for (const auto& kn : kKindNames) {
+    if (kn.kind == k) return kn.name;
+  }
+  return "?";
+}
+
+FaultKind kind_from(std::string_view name) {
+  for (const auto& kn : kKindNames) {
+    if (name == kn.name) return kn.kind;
+  }
+  throw std::invalid_argument("fault plan: unknown fault kind '" +
+                              std::string(name) + "'");
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (std::string_view item : split(spec, ';')) {
+    if (item.empty()) continue;
+    // "seed=N" stands alone; everything else is "kind:key=value,...".
+    if (item.rfind("seed=", 0) == 0) {
+      plan.seed = static_cast<std::uint64_t>(
+          parse_number(item.substr(5), "seed"));
+      continue;
+    }
+    const std::size_t colon = item.find(':');
+    FaultProcess proc;
+    proc.kind = kind_from(item.substr(0, colon));
+    if (colon != std::string_view::npos) {
+      for (std::string_view kv : split(item.substr(colon + 1), ',')) {
+        if (kv.empty()) continue;
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string_view::npos) {
+          throw std::invalid_argument("fault plan: expected key=value, got '" +
+                                      std::string(kv) + "'");
+        }
+        const std::string_view key = kv.substr(0, eq);
+        const std::string_view val = kv.substr(eq + 1);
+        if (key == "rate") {
+          proc.rate = parse_number(val, key);
+        } else if (key == "burst") {
+          proc.burstiness = std::max(1.0, parse_number(val, key));
+        } else if (key == "dur") {
+          proc.duration_mean = parse_number(val, key);
+        } else if (key == "mag") {
+          proc.magnitude = parse_number(val, key);
+        } else if (key == "start") {
+          proc.start = parse_number(val, key);
+        } else if (key == "end") {
+          proc.end = parse_number(val, key);
+        } else {
+          throw std::invalid_argument("fault plan: unknown key '" +
+                                      std::string(key) + "'");
+        }
+      }
+    }
+    if (proc.rate <= 0.0) {
+      throw std::invalid_argument("fault plan: rate must be > 0");
+    }
+    plan.processes.push_back(proc);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  if (seed != 0) out += "seed=" + std::to_string(seed);
+  for (const FaultProcess& p : processes) {
+    if (!out.empty()) out += ';';
+    out += kind_name(p.kind);
+    out += ":rate=" + format(p.rate);
+    if (p.burstiness != 1.0) out += ",burst=" + format(p.burstiness);
+    if (p.duration_mean != 10.0) out += ",dur=" + format(p.duration_mean);
+    if (p.magnitude != 1.0) out += ",mag=" + format(p.magnitude);
+    if (p.start != 0.0) out += ",start=" + format(p.start);
+    if (std::isfinite(p.end)) out += ",end=" + format(p.end);
+  }
+  return out;
+}
+
+/// Per-(process, surface) event-chain state. The Rng is forked from the
+/// plan seed and the chain indices only, so two chains never share a
+/// stream and adding a surface cannot reshuffle another chain's draws.
+struct Injector::Stream {
+  FaultProcess proc;
+  std::size_t surface = 0;  ///< index into surfaces_
+  sim::Rng rng;
+  std::size_t burst_left = 0;  ///< faults remaining in the current burst
+
+  /// Gap to the next onset: exponential inter-burst spacing at rate
+  /// rate/burstiness, then round(burstiness) faults clustered within
+  /// roughly one fault duration.
+  double next_gap() {
+    if (burst_left > 0) {
+      --burst_left;
+      const double cluster = proc.duration_mean > 0.0
+                                 ? 0.5 * proc.duration_mean
+                                 : 1.0 / (16.0 * proc.rate);
+      return rng.exponential(cluster);
+    }
+    const auto burst =
+        static_cast<std::size_t>(std::llround(proc.burstiness));
+    burst_left = burst > 1 ? burst - 1 : 0;
+    return rng.exponential(proc.burstiness / proc.rate);
+  }
+};
+
+void Injector::add_surface(Surface s) { surfaces_.push_back(std::move(s)); }
+
+void Injector::set_telemetry(sim::TelemetryBus* bus) {
+  telemetry_ = bus;
+  if (telemetry_) subject_ = telemetry_->intern_subject("fault.injector");
+}
+
+std::size_t Injector::bind(sim::Engine& engine, const FaultPlan& plan) {
+  std::size_t chains = 0;
+  for (std::size_t pi = 0; pi < plan.processes.size(); ++pi) {
+    const FaultProcess& proc = plan.processes[pi];
+    bool matched = false;
+    for (std::size_t si = 0; si < surfaces_.size(); ++si) {
+      if (surfaces_[si].kind != proc.kind) continue;
+      matched = true;
+      auto st = std::make_shared<Stream>();
+      st->proc = proc;
+      st->surface = si;
+      // splitmix64-finalised stream id: plan seed x chain coordinates.
+      st->rng = sim::Rng(sim::mix64(plan.seed ^ 0xFA01'7AB1EULL) ^
+                         sim::mix64((pi << 20) | si));
+      const double base = std::max(proc.start, engine.now());
+      engine.at(base + st->next_gap(),
+                [this, &engine, st] { fire(engine, st); }, kOrderFaults);
+      ++chains;
+    }
+    if (!matched) ++unmatched_;
+  }
+  return chains;
+}
+
+void Injector::arm(sim::Engine& engine, const std::shared_ptr<Stream>& st) {
+  engine.in(st->next_gap(), [this, &engine, st] { fire(engine, st); },
+            kOrderFaults);
+}
+
+void Injector::fire(sim::Engine& engine, const std::shared_ptr<Stream>& st) {
+  const double t = engine.now();
+  if (t > st->proc.end) return;  // process window closed: chain ends
+  Surface& s = surfaces_[st->surface];
+
+  Record rec;
+  rec.t = t;
+  rec.kind = st->proc.kind;
+  rec.surface = s.name;
+  rec.unit =
+      s.units > 1 ? static_cast<std::size_t>(st->rng.below(s.units)) : 0;
+  rec.magnitude = st->proc.magnitude;
+  const bool transient = st->proc.duration_mean > 0.0 && s.end != nullptr;
+  if (transient) {
+    rec.until = t + st->rng.exponential(st->proc.duration_mean);
+  }
+
+  s.begin(rec.unit, rec.magnitude);
+  ++injected_;
+  ++active_;
+  last_onset_ = t;
+  push_log(rec);
+  notify(rec);
+  if (telemetry_ != nullptr && telemetry_->enabled()) {
+    telemetry_->record(t, sim::TelemetryBus::kFailure, subject_,
+                       rec.magnitude,
+                       std::string(kind_name(rec.kind)) + " " + rec.surface +
+                           "#" + std::to_string(rec.unit));
+  }
+
+  if (transient) {
+    engine.at(
+        rec.until,
+        [this, &engine, st, rec] {
+          surfaces_[st->surface].end(rec.unit);
+          ++restored_;
+          --active_;
+          Record done = rec;
+          done.t = engine.now();
+          done.begin = false;
+          push_log(done);
+          notify(done);
+        },
+        kOrderFaults);
+  }
+  arm(engine, st);
+}
+
+void Injector::push_log(const Record& rec) {
+  if (log_capacity_ == 0) return;
+  if (log_.size() < log_capacity_) {
+    log_.push_back(rec);
+  } else {
+    log_[log_head_] = rec;
+    log_head_ = (log_head_ + 1) % log_capacity_;
+  }
+}
+
+void Injector::notify(const Record& rec) {
+  for (const Listener& l : listeners_) l(rec, active_);
+}
+
+std::vector<Injector::Record> Injector::records() const {
+  std::vector<Record> out;
+  out.reserve(log_.size());
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    out.push_back(log_[(log_head_ + i) % log_.size()]);
+  }
+  return out;
+}
+
+void Injector::set_log_capacity(std::size_t cap) {
+  if (cap != log_capacity_ && !log_.empty()) {
+    std::vector<Record> kept;
+    const std::size_t n = std::min(cap, log_.size());
+    kept.reserve(n);
+    for (std::size_t i = log_.size() - n; i < log_.size(); ++i) {
+      kept.push_back(log_[(log_head_ + i) % log_.size()]);
+    }
+    log_ = std::move(kept);
+    log_head_ = 0;
+  }
+  log_capacity_ = cap;
+}
+
+}  // namespace sa::fault

@@ -24,6 +24,7 @@ Platform::Platform(PlatformConfig cfg, std::uint64_t seed)
     : cfg_(std::move(cfg)),
       specs_(cfg_.cores),
       level_(specs_.size(), cfg_.freqs.size() / 2),
+      failed_(specs_.size(), false),
       queue_(specs_.size()),
       rng_(seed) {
   if (cfg_.thermal) {
@@ -48,11 +49,30 @@ void Platform::set_workload(double rate, double mean_work, double deadline) {
 }
 
 double Platform::speed(std::size_t core) const {
+  if (failed_[core]) return 0.0;
   // A throttled core is hardware-clamped to the minimum frequency
-  // regardless of what the manager asked for.
-  const double f = throttled(core) ? cfg_.freqs.front()
-                                   : cfg_.freqs[level_[core]];
+  // regardless of what the manager asked for; a fault-injected cap bounds
+  // the effective level below whatever the manager requested.
+  const double f =
+      throttled(core) ? cfg_.freqs.front()
+                      : cfg_.freqs[std::min(level_[core], freq_cap_)];
   return specs_[core].ipc * f;
+}
+
+void Platform::fail_core(std::size_t core) {
+  if (failed_[core]) return;
+  failed_[core] = true;
+  // Re-home the dead core's queued tasks; place() now skips it. If every
+  // core is down the orphans stall on core 0 until a restore.
+  std::deque<Task> orphans;
+  orphans.swap(queue_[core]);
+  for (auto& t : orphans) queue_[place(t)].push_back(t);
+}
+
+std::size_t Platform::cores_failed() const {
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < failed_.size(); ++c) n += failed_[c] ? 1 : 0;
+  return n;
 }
 
 std::size_t Platform::place(const Task& task) const {
@@ -72,6 +92,7 @@ std::size_t Platform::place(const Task& task) const {
   double best_eta = std::numeric_limits<double>::infinity();
   for (int pass = 0; pass < 2; ++pass) {
     for (std::size_t c = 0; c < specs_.size(); ++c) {
+      if (failed_[c]) continue;
       if (pass == 0 && !eligible(c)) continue;
       double backlog = 0.0;
       for (const auto& t : queue_[c]) backlog += t.remaining;
@@ -83,6 +104,8 @@ std::size_t Platform::place(const Task& task) const {
     }
     if (best != std::numeric_limits<std::size_t>::max()) break;
   }
+  // Every core failed: park on core 0 until a restore revives the chip.
+  if (best == std::numeric_limits<std::size_t>::max()) best = 0;
   return best;
 }
 
@@ -107,6 +130,7 @@ void Platform::step() {
 
   // 2. Processing: each core drains its queue head(s) for this tick.
   for (std::size_t c = 0; c < specs_.size(); ++c) {
+    if (failed_[c]) continue;  // dead silicon: no work, no power, no heat
     double budget = speed(c) * dt;  // giga-ops available this tick
     const double full_budget = budget;
     while (budget > 0.0 && !queue_[c].empty()) {
@@ -126,8 +150,9 @@ void Platform::step() {
     const double busy_frac =
         full_budget > 0.0 ? (full_budget - budget) / full_budget : 0.0;
     busy_time_ += busy_frac * dt;
-    const double f = throttled(c) ? cfg_.freqs.front()
-                                  : cfg_.freqs[level_[c]];
+    const double f =
+        throttled(c) ? cfg_.freqs.front()
+                     : cfg_.freqs[std::min(level_[c], freq_cap_)];
     // Leakage scales with f^2 (supply voltage tracks frequency under DVFS),
     // dynamic power with f^3 x activity.
     const double power = specs_[c].static_w * f * f +
@@ -180,7 +205,8 @@ std::size_t Platform::queued() const {
 double Platform::instantaneous_power() const {
   double p = 0.0;
   for (std::size_t c = 0; c < specs_.size(); ++c) {
-    const double f = cfg_.freqs[level_[c]];
+    if (failed_[c]) continue;
+    const double f = cfg_.freqs[std::min(level_[c], freq_cap_)];
     const double util = queue_[c].empty() ? 0.0 : 1.0;
     p += specs_[c].static_w * f * f +
          specs_[c].dyn_coeff * f * f * f * util;

@@ -111,6 +111,22 @@ class Platform {
   void set_all_freq(std::size_t level);
   void set_mapping(Mapping m) noexcept { mapping_ = m; }
 
+  // -- Fault surfaces (driven by sa::fault, inert otherwise) ----------------
+  /// Marks `core` failed: it drains nothing, draws no power and receives no
+  /// placements; its queued tasks are re-homed onto surviving cores. A
+  /// manager that never watches per-core state only sees throughput drop.
+  void fail_core(std::size_t core);
+  void restore_core(std::size_t core) { failed_[core] = false; }
+  [[nodiscard]] bool core_failed(std::size_t core) const {
+    return failed_[core];
+  }
+  [[nodiscard]] std::size_t cores_failed() const;
+  /// Clamps the *effective* DVFS level chip-wide (firmware/power-delivery
+  /// cap): speed and power use min(requested, cap), and the manager's
+  /// requested levels resume untouched when the cap lifts. SIZE_MAX = none.
+  void set_freq_cap(std::size_t max_level) noexcept { freq_cap_ = max_level; }
+  [[nodiscard]] std::size_t freq_cap() const noexcept { return freq_cap_; }
+
   // -- Workload (what the environment changes) ------------------------------
   /// Poisson arrivals at `rate` tasks/s, exponential work with mean
   /// `mean_work` giga-ops, relative deadline `deadline` s (0 disables).
@@ -173,6 +189,8 @@ class Platform {
   PlatformConfig cfg_;
   std::vector<CoreSpec> specs_;
   std::vector<std::size_t> level_;
+  std::vector<bool> failed_;       ///< fault-injected dead cores
+  std::size_t freq_cap_ = static_cast<std::size_t>(-1);
   std::vector<std::deque<Task>> queue_;
   Mapping mapping_ = Mapping::Balanced;
   sim::Rng rng_;

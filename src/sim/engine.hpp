@@ -14,9 +14,10 @@
 //    equal-order streams the LONGER-period stream runs first (its event was
 //    scheduled further in the past). When the intent is "dynamics before
 //    control at the same instant", encode it with `order` — the convention
-//    used throughout is: substrate dynamics at order 0, agent/control steps
-//    at order 1, knowledge exchange at order 2 — rather than relying on
-//    scheduling age.
+//    used throughout is: fault injection at order -1 (sa::fault — faults
+//    landing at t are in force before anything else at t runs), substrate
+//    dynamics at order 0, agent/control steps at order 1, knowledge
+//    exchange at order 2 — rather than relying on scheduling age.
 //  * every(period) fires at base + n*period computed by multiplication,
 //    not by accumulating now+period, so periodic events do not drift: the
 //    100th firing of every(0.005) lands exactly on t=0.5 and coincides

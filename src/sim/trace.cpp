@@ -26,7 +26,7 @@ Tracer::Span Tracer::span(double t, SubjectId subject, NameId name) {
   ev.t = t;
   ev.subject = subject;
   ev.name = name;
-  ev.id = ++last_id_;
+  ev.id = compose(++counter_);
   const std::size_t index = events_.size();
   events_.push_back(std::move(ev));
   open_.push_back(index);
@@ -75,7 +75,7 @@ void Tracer::close(std::size_t event_index, double t) {
 void Tracer::clear() {
   events_.clear();
   open_.clear();
-  last_id_ = 0;
+  counter_ = 0;
   span_count_ = 0;
   flow_count_ = 0;
 }

@@ -33,7 +33,28 @@ namespace sa::sim {
 
 /// Monotone per-Tracer identifier of a span or flow chain. 0 = "none":
 /// decisions taken without a tracer carry trace_id 0.
+///
+/// Layout: the high 16 bits carry the tracer's *namespace* (0 by default),
+/// the low 48 bits a per-tracer monotone counter. Scenarios that stitch
+/// traces from several tracers (one per domain/agent, see the
+/// cross_domain example) give each a distinct namespace so ids stay
+/// globally unique across the merged stream.
 using TraceId = std::uint64_t;
+
+/// Bit position of the namespace field within a TraceId.
+inline constexpr unsigned kTraceNamespaceShift = 48;
+/// Mask of the counter field (low 48 bits).
+inline constexpr TraceId kTraceCounterMask =
+    (TraceId{1} << kTraceNamespaceShift) - 1;
+
+/// Namespace field of a TraceId (0 for single-tracer setups).
+[[nodiscard]] constexpr std::uint16_t trace_namespace_of(TraceId id) noexcept {
+  return static_cast<std::uint16_t>(id >> kTraceNamespaceShift);
+}
+/// Counter field of a TraceId.
+[[nodiscard]] constexpr TraceId trace_counter_of(TraceId id) noexcept {
+  return id & kTraceCounterMask;
+}
 
 /// Interned id of a span/flow name ("oda", "decide", ...). Tracer-local.
 using NameId = std::uint32_t;
@@ -102,9 +123,11 @@ class Tracer {
 
   /// Subjects are interned through `bus` so span tracks and telemetry
   /// events share one subject namespace. Non-owning; must outlive the
-  /// tracer.
-  explicit Tracer(TelemetryBus& bus, bool enabled = true)
-      : bus_(&bus), enabled_(enabled) {}
+  /// tracer. `ns` becomes the high-16-bit namespace of every TraceId this
+  /// tracer assigns (0 keeps ids plain counters — the single-tracer case).
+  explicit Tracer(TelemetryBus& bus, bool enabled = true,
+                  std::uint16_t ns = 0)
+      : bus_(&bus), enabled_(enabled), ns_(ns) {}
 
   [[nodiscard]] TelemetryBus& bus() noexcept { return *bus_; }
   [[nodiscard]] const TelemetryBus& bus() const noexcept { return *bus_; }
@@ -125,12 +148,21 @@ class Tracer {
   }
   [[nodiscard]] std::size_t names() const noexcept { return names_.size(); }
 
-  /// Next TraceId (monotone from 1). Returns 0 while disabled so ids are
-  /// only ever assigned to recorded work.
+  /// Next TraceId (counter monotone from 1, namespaced). Returns 0 while
+  /// disabled so ids are only ever assigned to recorded work.
   TraceId next_id() noexcept {
-    return enabled() ? ++last_id_ : 0;
+    return enabled() ? compose(++counter_) : 0;
   }
-  [[nodiscard]] TraceId last_id() const noexcept { return last_id_; }
+  /// Last assigned TraceId (0 before the first).
+  [[nodiscard]] TraceId last_id() const noexcept {
+    return counter_ == 0 ? 0 : compose(counter_);
+  }
+
+  /// This tracer's TraceId namespace. Changing it mid-run is legal (ids
+  /// already assigned keep their old namespace) but unusual; set it at
+  /// construction.
+  void set_namespace(std::uint16_t ns) noexcept { ns_ = ns; }
+  [[nodiscard]] std::uint16_t trace_namespace() const noexcept { return ns_; }
 
   /// Opens a span at sim time `t`. Disabled: returns an inert Span, no
   /// allocation. Spans on one subject must close LIFO (they nest).
@@ -156,13 +188,18 @@ class Tracer {
  private:
   friend class Span;
   void close(std::size_t event_index, double t);
+  [[nodiscard]] TraceId compose(TraceId counter) const noexcept {
+    return (static_cast<TraceId>(ns_) << kTraceNamespaceShift) |
+           (counter & kTraceCounterMask);
+  }
 
   TelemetryBus* bus_;
   bool enabled_;
+  std::uint16_t ns_ = 0;  ///< namespace stamped into assigned TraceIds
   std::vector<std::string> names_;
   std::vector<Event> events_;
   std::vector<std::size_t> open_;  ///< stack of open Begin event indices
-  TraceId last_id_ = 0;
+  TraceId counter_ = 0;  ///< low-48-bit id counter
   std::size_t span_count_ = 0;
   std::size_t flow_count_ = 0;
 };

@@ -20,6 +20,8 @@ Network::Network(std::vector<CameraSpec> cameras, NetworkParams params)
       p_(params),
       rng_(params.seed),
       strategy_(specs_.size(), Strategy::Broadcast),
+      failed_(specs_.size(), false),
+      blur_(specs_.size(), 1.0),
       neighbours_(specs_.size()),
       links_(specs_.size()),
       cam_epoch_(specs_.size()) {
@@ -62,10 +64,29 @@ Network Network::clustered_layout(NetworkParams params) {
 }
 
 double Network::visibility(std::size_t cam, std::size_t obj) const {
+  if (failed_[cam]) return 0.0;
   const double d = distance(specs_[cam].pos, object_pos_[obj]);
   const double r = specs_[cam].radius;
   if (d >= r) return 0.0;
-  return 1.0 - d / r;  // best at the centre, fading to the rim
+  // Best at the centre, fading to the rim; a blurred sensor sees less.
+  return (1.0 - d / r) * blur_[cam];
+}
+
+void Network::fail_camera(std::size_t cam) {
+  if (failed_[cam]) return;
+  failed_[cam] = true;
+  // A crashed node forgets its tracks at once; re-detection by surviving
+  // cameras has to re-home them (no auction — the seller is gone).
+  for (std::size_t o = 0; o < owner_.size(); ++o) {
+    if (owner_[o] == cam) {
+      owner_[o] = kUnowned;
+      cam_epoch_[cam].lost += 1.0;
+    }
+  }
+}
+
+void Network::set_sensor_blur(std::size_t cam, double factor) {
+  blur_[cam] = std::clamp(factor, 0.0, 1.0);
 }
 
 std::size_t Network::load(std::size_t cam) const {

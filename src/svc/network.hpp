@@ -114,6 +114,22 @@ class Network {
     return strategy_[cam];
   }
 
+  // -- Fault surfaces (driven by sa::fault, inert otherwise) ----------------
+  /// Crashes `cam`: it sees nothing (visibility 0) and its tracks are
+  /// released immediately — the node-crash half of crash-restart.
+  void fail_camera(std::size_t cam);
+  void restore_camera(std::size_t cam) { failed_[cam] = false; }
+  [[nodiscard]] bool camera_failed(std::size_t cam) const {
+    return failed_[cam];
+  }
+  /// Degrades `cam`'s sensor: visibility is multiplied by `factor` in
+  /// [0, 1] (1 = sharp, 0 = total dropout). Tracks fade below the
+  /// vis_threshold and are auctioned away like any genuine loss.
+  void set_sensor_blur(std::size_t cam, double factor);
+  [[nodiscard]] double sensor_blur(std::size_t cam) const {
+    return blur_[cam];
+  }
+
   /// One world step: motion, tracking, handovers, re-detection.
   void step();
   void run(std::size_t steps);
@@ -168,6 +184,8 @@ class Network {
   NetworkParams p_;
   sim::Rng rng_;
   std::vector<Strategy> strategy_;
+  std::vector<bool> failed_;     ///< fault-injected crashed cameras
+  std::vector<double> blur_;     ///< fault-injected sensor quality, [0,1]
   std::vector<std::vector<std::size_t>> neighbours_;
   std::vector<std::map<std::size_t, double>> links_;  ///< learned graph
 

@@ -158,6 +158,66 @@ TEST(KnowledgeBase, SourceAndProvenancePreserved) {
   EXPECT_EQ(item->scope, Scope::Public);
 }
 
+TEST(KnowledgeBase, ItemsAreFreshWithinTheirTtl) {
+  KnowledgeBase kb;
+  KnowledgeItem item;
+  item.value = Value{1.0};
+  item.time = 10.0;
+  item.ttl = 5.0;
+  kb.put("reading", item);
+  EXPECT_TRUE(kb.fresh("reading", 10.0));
+  EXPECT_TRUE(kb.fresh("reading", 15.0));  // exactly at the TTL boundary
+  EXPECT_FALSE(kb.fresh("reading", 15.01));
+  // Staleness is a signal, not an eviction: the item is still readable.
+  EXPECT_DOUBLE_EQ(kb.number("reading"), 1.0);
+  EXPECT_FALSE(kb.fresh("unknown", 0.0));
+}
+
+TEST(KnowledgeBase, InfiniteTtlNeverGoesStale) {
+  KnowledgeBase kb;
+  kb.put_number("constant", 1.0, 0.0);
+  EXPECT_TRUE(kb.fresh("constant", 1e12));
+  EXPECT_TRUE(kb.stale_keys("", 1e12).empty());
+}
+
+TEST(KnowledgeBase, DefaultTtlIsStampedOntoNewItems) {
+  KnowledgeBase kb;
+  kb.put_number("before", 1.0, 0.0);
+  kb.set_default_ttl(2.0);
+  kb.put_number("after", 1.0, 0.0);
+  // Items already stored keep the TTL they carried.
+  EXPECT_TRUE(kb.fresh("before", 100.0));
+  EXPECT_FALSE(kb.fresh("after", 100.0));
+  ASSERT_TRUE(kb.latest("after").has_value());
+  EXPECT_DOUBLE_EQ(kb.latest("after")->ttl, 2.0);
+}
+
+TEST(KnowledgeBase, ExplicitFiniteTtlWinsOverTheDefault) {
+  KnowledgeBase kb;
+  kb.set_default_ttl(2.0);
+  KnowledgeItem item;
+  item.value = Value{1.0};
+  item.time = 0.0;
+  item.ttl = 50.0;
+  kb.put("long_lived", item);
+  EXPECT_TRUE(kb.fresh("long_lived", 10.0));
+  EXPECT_DOUBLE_EQ(kb.latest("long_lived")->ttl, 50.0);
+}
+
+TEST(KnowledgeBase, StaleKeysFiltersByPrefixAndSorts) {
+  KnowledgeBase kb;
+  kb.set_default_ttl(1.0);
+  kb.put_number("sensor.b", 1.0, 0.0);
+  kb.put_number("sensor.a", 1.0, 0.0);
+  kb.put_number("sensor.c", 1.0, 9.5);  // still fresh at t=10
+  kb.put_number("other.x", 1.0, 0.0);
+  const auto stale = kb.stale_keys("sensor.", 10.0);
+  ASSERT_EQ(stale.size(), 2u);
+  EXPECT_EQ(stale[0], "sensor.a");
+  EXPECT_EQ(stale[1], "sensor.b");
+  EXPECT_EQ(kb.stale_keys("", 10.0).size(), 3u);  // other.x included
+}
+
 TEST(KnowledgeBase, ClearRemovesEverything) {
   KnowledgeBase kb;
   kb.put_number("x", 1.0, 0.0);

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -152,6 +153,50 @@ TEST(RunnerTest, MeanAndSumAndNoteHelpers) {
   EXPECT_DOUBLE_EQ(res.mean(0, "x"), 2.0);
   EXPECT_DOUBLE_EQ(res.sum(0, "x"), 6.0);
   EXPECT_EQ(res.note(0), "from seed 2");
+}
+
+TEST(HarnessTest, ThrowingCellFailsTheRunAndIsListedInFailedCells) {
+  const char* argv[] = {"bench", "--jobs", "1"};
+  Harness h("harness_test", 3, argv);
+  Grid g;
+  g.name = "faulty";
+  g.variants = {"ok", "boom"};
+  g.seeds = {1, 2};
+  g.task = [](const TaskContext& ctx) -> TaskOutput {
+    if (ctx.variant == 1 && ctx.seed == 2) {
+      throw std::runtime_error("simulated cell failure");
+    }
+    return {{{"x", 1.0}}};
+  };
+  (void)h.run(std::move(g));
+
+  std::ostringstream os;
+  EXPECT_NE(h.finish(os), 0);  // CI must see the failure in the exit code
+  EXPECT_NE(os.str().find("simulated cell failure"), std::string::npos);
+
+  const Json doc = h.document();
+  ASSERT_TRUE(doc.contains("failed_cells"));
+  ASSERT_TRUE(doc.at("failed_cells").is_array());
+  EXPECT_EQ(doc.at("failed_cells").size(), 1u);
+  const std::string dumped = doc.at("failed_cells").dump();
+  EXPECT_NE(dumped.find("\"faulty\""), std::string::npos);
+  EXPECT_NE(dumped.find("\"boom\""), std::string::npos);
+  EXPECT_NE(dumped.find("simulated cell failure"), std::string::npos);
+}
+
+TEST(HarnessTest, GreenRunsOmitFailedCellsEntirely) {
+  // Byte-stability: a passing document must not grow a new key.
+  const char* argv[] = {"bench", "--jobs", "1"};
+  Harness h("harness_test", 3, argv);
+  Grid g;
+  g.name = "green";
+  g.variants = {"only"};
+  g.seeds = {1};
+  g.task = [](const TaskContext&) -> TaskOutput { return {{{"x", 1.0}}}; };
+  (void)h.run(std::move(g));
+  std::ostringstream os;
+  EXPECT_EQ(h.finish(os), 0);
+  EXPECT_FALSE(h.document().contains("failed_cells"));
 }
 
 TEST(RunnerTest, ZeroJobsMeansHardwareConcurrency) {

@@ -1,0 +1,121 @@
+// Knowledge-exchange under the ExchangeDrop fault: blocked rounds retry
+// with exponential backoff instead of aborting, and only an exhausted
+// retry budget counts as a timeout (reported to interaction awareness).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/agent.hpp"
+#include "core/runtime.hpp"
+#include "fault/adapters.hpp"
+#include "fault/fault.hpp"
+#include "sim/engine.hpp"
+
+namespace sa::core {
+namespace {
+
+struct ExchangeRig {
+  sim::Engine engine;
+  AgentRuntime rt{engine};
+  SelfAwareAgent a{"alice"};
+  SelfAwareAgent b{"bob"};
+
+  explicit ExchangeRig(double period = 1.0) {
+    a.knowledge().put_number("temp", 21.0, 0.0, 1.0, Scope::Public, "t");
+    b.knowledge().put_number("temp", 23.0, 0.0, 1.0, Scope::Public, "t");
+    rt.schedule_exchange({&a, &b}, period);
+  }
+};
+
+TEST(ExchangeRetry, OpenGateExchangesWithoutDropsOrRetries) {
+  ExchangeRig rig;
+  rig.engine.run_until(3.5);
+  EXPECT_GT(rig.rt.items_exchanged(), 0u);
+  EXPECT_EQ(rig.rt.exchange_drops(), 0u);
+  EXPECT_EQ(rig.rt.exchange_retries(), 0u);
+  EXPECT_EQ(rig.rt.exchange_timeouts(), 0u);
+  EXPECT_TRUE(rig.a.knowledge().contains("shared.bob.temp"));
+  EXPECT_TRUE(rig.b.knowledge().contains("shared.alice.temp"));
+}
+
+TEST(ExchangeRetry, BlockedRoundsRetryThenTimeOut) {
+  ExchangeRig rig;
+  rig.rt.set_exchange_blocked(true);
+  // One round at t=1: attempt 0 plus 3 retries (default budget), each
+  // finding the gate blocked, then one timeout. Backoff = period/8 * 2^k,
+  // so the whole ladder resolves well before the next round at t=2.
+  rig.engine.run_until(1.9);
+  EXPECT_EQ(rig.rt.exchange_drops(), 4u);
+  EXPECT_EQ(rig.rt.exchange_retries(), 3u);
+  EXPECT_EQ(rig.rt.exchange_timeouts(), 1u);
+  EXPECT_EQ(rig.rt.items_exchanged(), 0u);
+  EXPECT_FALSE(rig.a.knowledge().contains("shared.bob.temp"));
+}
+
+TEST(ExchangeRetry, TransientBlockResolvesWithinTheRetryBudget) {
+  ExchangeRig rig;
+  rig.rt.set_exchange_blocked(true);
+  // Unblock between the first attempt (t=1) and its first retry
+  // (t=1.125): the round must complete late instead of timing out.
+  rig.engine.at(1.1, [&] { rig.rt.set_exchange_blocked(false); });
+  rig.engine.run_until(1.9);
+  EXPECT_EQ(rig.rt.exchange_drops(), 1u);
+  EXPECT_EQ(rig.rt.exchange_retries(), 1u);
+  EXPECT_EQ(rig.rt.exchange_timeouts(), 0u);
+  EXPECT_GT(rig.rt.items_exchanged(), 0u);
+  EXPECT_TRUE(rig.a.knowledge().contains("shared.bob.temp"));
+}
+
+TEST(ExchangeRetry, TimeoutIsReportedToInteractionAwareness) {
+  ExchangeRig rig;
+  rig.rt.set_exchange_blocked(true);
+  rig.engine.run_until(1.9);
+  ASSERT_EQ(rig.rt.exchange_timeouts(), 1u);
+  // Each agent saw one failed interaction with its peer — the failed
+  // exchange round is evidence, not silence.
+  ASSERT_NE(rig.a.interaction(), nullptr);
+  EXPECT_EQ(rig.a.interaction()->interactions("bob"), 1u);
+  EXPECT_EQ(rig.b.interaction()->interactions("alice"), 1u);
+  EXPECT_LT(rig.a.interaction()->reliability("bob"), 1.0);
+}
+
+TEST(ExchangeRetry, CustomRetryBudgetAndBackoffAreHonoured) {
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  SelfAwareAgent a("a"), b("b");
+  a.knowledge().put_number("k", 1.0, 0.0, 1.0, Scope::Public, "t");
+  rt.set_exchange_retry(1, 0.25);
+  rt.schedule_exchange({&a, &b}, 1.0);
+  rt.set_exchange_blocked(true);
+  engine.run_until(1.9);
+  // attempt at 1.0, single retry at 1.25, then timeout.
+  EXPECT_EQ(rt.exchange_drops(), 2u);
+  EXPECT_EQ(rt.exchange_retries(), 1u);
+  EXPECT_EQ(rt.exchange_timeouts(), 1u);
+}
+
+TEST(ExchangeRetry, InjectorDrivesTheGateThroughTheFaultWindow) {
+  // End-to-end: an ExchangeDrop fault window blocks rounds mid-run; when
+  // it lifts, exchange resumes — degradation of the collective layer is
+  // graceful, not fatal.
+  sim::Engine engine;
+  AgentRuntime rt(engine);
+  SelfAwareAgent a("a"), b("b");
+  a.knowledge().put_number("k", 1.0, 0.0, 1.0, Scope::Public, "t");
+  b.knowledge().put_number("k", 2.0, 0.0, 1.0, Scope::Public, "t");
+  rt.schedule_exchange({&a, &b}, 1.0);
+
+  fault::Injector inj;
+  fault::bind_exchange(inj, rt);
+  // Fault window [0.5, 6.5): the rounds inside it defer and time out;
+  // rounds after the window exchange normally.
+  engine.at(0.5, [&] { inj.surface(0).begin(0, 1.0); });
+  engine.at(6.5, [&] { inj.surface(0).end(0); });
+  engine.run_until(10.5);
+  EXPECT_GT(rt.exchange_drops(), 0u);
+  EXPECT_GT(rt.exchange_timeouts(), 0u);
+  EXPECT_GT(rt.items_exchanged(), 0u);  // resumed after the window
+}
+
+}  // namespace
+}  // namespace sa::core

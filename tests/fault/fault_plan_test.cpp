@@ -1,0 +1,99 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace sa::fault {
+namespace {
+
+TEST(FaultPlan, EmptySpecParsesToEmptyPlan) {
+  const auto plan = FaultPlan::parse("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.seed, 0u);
+  EXPECT_EQ(plan.to_string(), "");
+}
+
+TEST(FaultPlan, DefaultsMatchFaultProcess) {
+  const auto plan = FaultPlan::parse("link-loss");
+  ASSERT_EQ(plan.processes.size(), 1u);
+  const FaultProcess def{};
+  const auto& p = plan.processes[0];
+  EXPECT_EQ(p.kind, FaultKind::LinkLoss);
+  EXPECT_DOUBLE_EQ(p.rate, def.rate);
+  EXPECT_DOUBLE_EQ(p.burstiness, def.burstiness);
+  EXPECT_DOUBLE_EQ(p.duration_mean, def.duration_mean);
+  EXPECT_DOUBLE_EQ(p.magnitude, def.magnitude);
+  EXPECT_DOUBLE_EQ(p.start, def.start);
+  EXPECT_TRUE(std::isinf(p.end));
+}
+
+TEST(FaultPlan, ParsesEveryKeyAndMultipleProcesses) {
+  const auto plan = FaultPlan::parse(
+      "core-fail:rate=0.5,burst=3,dur=8,mag=2,start=10,end=90;"
+      "freq-cap:rate=0.1,mag=0;seed=77");
+  ASSERT_EQ(plan.processes.size(), 2u);
+  EXPECT_EQ(plan.seed, 77u);
+  const auto& a = plan.processes[0];
+  EXPECT_EQ(a.kind, FaultKind::CoreFail);
+  EXPECT_DOUBLE_EQ(a.rate, 0.5);
+  EXPECT_DOUBLE_EQ(a.burstiness, 3.0);
+  EXPECT_DOUBLE_EQ(a.duration_mean, 8.0);
+  EXPECT_DOUBLE_EQ(a.magnitude, 2.0);
+  EXPECT_DOUBLE_EQ(a.start, 10.0);
+  EXPECT_DOUBLE_EQ(a.end, 90.0);
+  EXPECT_EQ(plan.processes[1].kind, FaultKind::FreqCap);
+}
+
+TEST(FaultPlan, NegativeDurationMeansPermanent) {
+  const auto plan = FaultPlan::parse("link-loss:dur=-1");
+  ASSERT_EQ(plan.processes.size(), 1u);
+  EXPECT_LE(plan.processes[0].duration_mean, 0.0);
+}
+
+TEST(FaultPlan, ToStringRoundTrips) {
+  const auto plan = FaultPlan::parse(
+      "sensor-dropout:rate=0.25,dur=5,start=100;"
+      "vm-preempt:burst=2,end=500;seed=42");
+  const auto again = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(again.seed, plan.seed);
+  ASSERT_EQ(again.processes.size(), plan.processes.size());
+  for (std::size_t i = 0; i < plan.processes.size(); ++i) {
+    EXPECT_EQ(again.processes[i].kind, plan.processes[i].kind);
+    EXPECT_DOUBLE_EQ(again.processes[i].rate, plan.processes[i].rate);
+    EXPECT_DOUBLE_EQ(again.processes[i].burstiness,
+                     plan.processes[i].burstiness);
+    EXPECT_DOUBLE_EQ(again.processes[i].duration_mean,
+                     plan.processes[i].duration_mean);
+    EXPECT_DOUBLE_EQ(again.processes[i].magnitude,
+                     plan.processes[i].magnitude);
+    EXPECT_DOUBLE_EQ(again.processes[i].start, plan.processes[i].start);
+    EXPECT_DOUBLE_EQ(again.processes[i].end, plan.processes[i].end);
+  }
+  EXPECT_EQ(FaultPlan::parse(again.to_string()).to_string(),
+            plan.to_string());
+}
+
+TEST(FaultPlan, RejectsUnknownKindsAndKeysAndGarbage) {
+  EXPECT_THROW((void)FaultPlan::parse("warp-core-breach"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("link-loss:frobnicate=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("link-loss:rate=banana"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("seed=notanumber"),
+               std::invalid_argument);
+}
+
+TEST(FaultKindNames, RoundTripThroughAllKinds) {
+  for (std::size_t i = 0; i < kFaultKinds; ++i) {
+    const auto kind = static_cast<FaultKind>(i);
+    EXPECT_EQ(kind_from(kind_name(kind)), kind) << kind_name(kind);
+  }
+  EXPECT_THROW((void)kind_from("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sa::fault

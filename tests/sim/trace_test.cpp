@@ -4,7 +4,9 @@
 // operator-new counter).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "sim/trace.hpp"
 
@@ -143,6 +145,61 @@ TEST(Tracer, ClearResetsRecordButNotInternings) {
   EXPECT_TRUE(rig.tracer.events().empty());
   EXPECT_EQ(rig.tracer.spans(), 0u);
   EXPECT_EQ(rig.tracer.name(rig.op), "op");
+}
+#endif  // SA_TELEMETRY_OFF
+
+#ifndef SA_TELEMETRY_OFF
+TEST(Tracer, NamespaceFieldOccupiesTheHighBits) {
+  TelemetryBus bus;
+  Tracer tracer(bus, /*enabled=*/true, /*ns=*/5);
+  EXPECT_EQ(tracer.trace_namespace(), 5u);
+  const TraceId id = tracer.next_id();
+  EXPECT_EQ(trace_namespace_of(id), 5u);
+  EXPECT_EQ(trace_counter_of(id), 1u);
+  EXPECT_EQ(id, (TraceId{5} << kTraceNamespaceShift) | 1u);
+  // Span ids carry the namespace too, and last_id() round-trips it.
+  const auto span_id = tracer.span(0.0, 0, tracer.intern_name("op")).id();
+  EXPECT_EQ(trace_namespace_of(span_id), 5u);
+  EXPECT_EQ(trace_counter_of(span_id), 2u);
+  EXPECT_EQ(tracer.last_id(), span_id);
+}
+
+TEST(Tracer, DefaultNamespaceZeroKeepsLegacyIds) {
+  Rig rig;
+  // ns = 0: ids are the bare counter, byte-identical to the pre-namespace
+  // encoding.
+  EXPECT_EQ(rig.tracer.trace_namespace(), 0u);
+  EXPECT_EQ(rig.tracer.next_id(), 1u);
+  EXPECT_EQ(trace_namespace_of(1u), 0u);
+  EXPECT_EQ(trace_counter_of(1u), 1u);
+}
+
+TEST(Tracer, DistinctNamespacesYieldGloballyUniqueIds) {
+  // The cross-domain pattern: one tracer per domain, stitched into one
+  // stream afterwards. Same counters, disjoint ids.
+  TelemetryBus bus_a, bus_b;
+  Tracer a(bus_a, true, 1);
+  Tracer b(bus_b, true, 2);
+  std::vector<TraceId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(a.next_id());
+    ids.push_back(b.next_id());
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+      << "namespaced ids must never collide across tracers";
+  for (const TraceId id : ids) {
+    EXPECT_TRUE(trace_namespace_of(id) == 1 || trace_namespace_of(id) == 2);
+  }
+}
+
+TEST(Tracer, SetNamespaceAppliesToSubsequentIds) {
+  Rig rig;
+  EXPECT_EQ(rig.tracer.next_id(), 1u);
+  rig.tracer.set_namespace(3);
+  const TraceId id = rig.tracer.next_id();
+  EXPECT_EQ(trace_namespace_of(id), 3u);
+  EXPECT_EQ(trace_counter_of(id), 2u);  // the counter keeps running
 }
 #endif  // SA_TELEMETRY_OFF
 
