@@ -120,9 +120,12 @@ void AgentRuntime::run_exchange(const std::vector<SelfAwareAgent*>& agents,
     if (attempt < retries) {
       ++exchange_retry_count_;
       const double delay = backoff0 * static_cast<double>(1ull << attempt);
+      // `agents` lives inside the periodic round's closure, which the
+      // engine copies out and destroys on every firing — a retry event
+      // outliving the round it came from must own its copy of the vector.
       engine_.in(
           delay,
-          [this, &agents, exchange, si, attempt, period, retries, backoff0] {
+          [this, agents, exchange, si, attempt, period, retries, backoff0] {
             run_exchange(agents, exchange, si, attempt + 1, period, retries,
                          backoff0);
           },

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "cloud/cluster.hpp"
@@ -30,28 +31,27 @@ void bind_platform(Injector& inj, multicore::Platform& platform) {
          [&platform, depth](std::size_t core, double) {
            if (++(*depth)[core] == 1) platform.fail_core(core);
          },
-         [&platform, depth](std::size_t core) {
+         [&platform, depth](std::size_t core, double) {
            if (--(*depth)[core] == 0) platform.restore_core(core);
          }});
   }
   {
-    auto depth = make_depth(1);
-    // Overlapping caps keep the tightest one; restore lifts the cap only
+    // Overlapping caps: the tightest active level governs; when it ends
+    // the chip relaxes to the loosest still-active cap, and uncaps only
     // when the last one ends.
-    auto cap = std::make_shared<std::size_t>(static_cast<std::size_t>(-1));
+    auto caps = std::make_shared<std::multiset<std::size_t>>();
     inj.add_surface(
         {FaultKind::FreqCap, "multicore.chip", 1,
-         [&platform, depth, cap](std::size_t, double magnitude) {
-           const auto level = static_cast<std::size_t>(std::max(0.0, magnitude));
-           ++(*depth)[0];
-           *cap = std::min(*cap, level);
-           platform.set_freq_cap(*cap);
+         [&platform, caps](std::size_t, double magnitude) {
+           caps->insert(static_cast<std::size_t>(std::max(0.0, magnitude)));
+           platform.set_freq_cap(*caps->begin());
          },
-         [&platform, depth, cap](std::size_t) {
-           if (--(*depth)[0] == 0) {
-             *cap = static_cast<std::size_t>(-1);
-             platform.set_freq_cap(*cap);
-           }
+         [&platform, caps](std::size_t, double magnitude) {
+           const auto it =
+               caps->find(static_cast<std::size_t>(std::max(0.0, magnitude)));
+           if (it != caps->end()) caps->erase(it);
+           platform.set_freq_cap(caps->empty() ? static_cast<std::size_t>(-1)
+                                               : *caps->begin());
          }});
   }
 }
@@ -64,7 +64,7 @@ void bind_cameras(Injector& inj, svc::Network& net) {
          [&net, depth](std::size_t cam, double) {
            if (++(*depth)[cam] == 1) net.fail_camera(cam);
          },
-         [&net, depth](std::size_t cam) {
+         [&net, depth](std::size_t cam, double) {
            if (--(*depth)[cam] == 0) net.restore_camera(cam);
          }});
   }
@@ -88,7 +88,7 @@ void bind_cameras(Injector& inj, svc::Network& net) {
                        ++(*drop)[cam];
                        apply(cam);
                      },
-                     [drop, apply](std::size_t cam) {
+                     [drop, apply](std::size_t cam, double) {
                        --(*drop)[cam];
                        apply(cam);
                      }});
@@ -99,7 +99,7 @@ void bind_cameras(Injector& inj, svc::Network& net) {
                            std::clamp(1.0 - magnitude, 0.0, 1.0);
                        apply(cam);
                      },
-                     [blur, apply](std::size_t cam) {
+                     [blur, apply](std::size_t cam, double) {
                        --(*blur)[cam];
                        apply(cam);
                      }});
@@ -114,21 +114,27 @@ void bind_cluster(Injector& inj, cloud::Cluster& cluster) {
          [&cluster, depth](std::size_t node, double) {
            if (++(*depth)[node] == 1) cluster.set_preempted(node, true);
          },
-         [&cluster, depth](std::size_t node) {
+         [&cluster, depth](std::size_t node, double) {
            if (--(*depth)[node] == 0) cluster.set_preempted(node, false);
          }});
   }
   {
-    auto depth = make_depth(1);
+    // Overlapping spikes: the strongest active magnitude governs the
+    // capacity factor (mirroring the freq-cap tightest-level rule); a
+    // milder concurrent spike neither relaxes nor deepens it, and the
+    // factor relaxes stepwise as spikes end. Magnitudes <= 1 stay a no-op.
+    auto mags = std::make_shared<std::multiset<double>>();
     inj.add_surface(
         {FaultKind::LatencySpike, "cloud.cluster", 1,
-         [&cluster, depth](std::size_t, double magnitude) {
-           ++(*depth)[0];
-           cluster.set_capacity_factor(magnitude > 1.0 ? 1.0 / magnitude
-                                                       : 1.0);
+         [&cluster, mags](std::size_t, double magnitude) {
+           mags->insert(magnitude);
+           cluster.set_capacity_factor(1.0 / std::max(1.0, *mags->rbegin()));
          },
-         [&cluster, depth](std::size_t) {
-           if (--(*depth)[0] == 0) cluster.set_capacity_factor(1.0);
+         [&cluster, mags](std::size_t, double magnitude) {
+           const auto it = mags->find(magnitude);
+           if (it != mags->end()) mags->erase(it);
+           cluster.set_capacity_factor(
+               mags->empty() ? 1.0 : 1.0 / std::max(1.0, *mags->rbegin()));
          }});
   }
 }
@@ -147,7 +153,7 @@ void bind_packet_network(Injector& inj, cpn::PacketNetwork& net) {
   };
   inj.add_surface({FaultKind::LinkLoss, "cpn.link", links,
                    [hold](std::size_t l, double) { hold(l); },
-                   [release](std::size_t l) { release(l); }});
+                   [release](std::size_t l, double) { release(l); }});
   // Partition unit = node: all its incident links go down together.
   auto incident = std::make_shared<std::vector<std::vector<std::size_t>>>(
       topo.nodes());
@@ -159,7 +165,7 @@ void bind_packet_network(Injector& inj, cpn::PacketNetwork& net) {
                    [incident, hold](std::size_t node, double) {
                      for (std::size_t l : (*incident)[node]) hold(l);
                    },
-                   [incident, release](std::size_t node) {
+                   [incident, release](std::size_t node, double) {
                      for (std::size_t l : (*incident)[node]) release(l);
                    }});
   {
@@ -170,7 +176,7 @@ void bind_packet_network(Injector& inj, cpn::PacketNetwork& net) {
            ++(*depth)[l];
            net.set_link_slowdown(l, magnitude);
          },
-         [&net, depth](std::size_t l) {
+         [&net, depth](std::size_t l, double) {
            if (--(*depth)[l] == 0) net.set_link_slowdown(l, 1.0);
          }});
   }
@@ -183,7 +189,7 @@ void bind_exchange(Injector& inj, core::AgentRuntime& rt) {
                      ++(*depth)[0];
                      rt.set_exchange_blocked(true);
                    },
-                   [&rt, depth](std::size_t) {
+                   [&rt, depth](std::size_t, double) {
                      if (--(*depth)[0] == 0) rt.set_exchange_blocked(false);
                    }});
 }

@@ -1,6 +1,7 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -38,6 +39,19 @@ double parse_number(std::string_view text, std::string_view what) {
                                 std::string(text) + "' for " +
                                 std::string(what));
   }
+}
+
+/// Seeds are full-range 64-bit: routing them through a double would
+/// silently round above 2^53 and break seed round-tripping.
+std::uint64_t parse_seed(std::string_view text) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("fault plan: bad number '" +
+                                std::string(text) + "' for seed");
+  }
+  return v;
 }
 
 std::vector<std::string_view> split(std::string_view s, char sep) {
@@ -82,8 +96,7 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
     if (item.empty()) continue;
     // "seed=N" stands alone; everything else is "kind:key=value,...".
     if (item.rfind("seed=", 0) == 0) {
-      plan.seed = static_cast<std::uint64_t>(
-          parse_number(item.substr(5), "seed"));
+      plan.seed = parse_seed(item.substr(5));
       continue;
     }
     const std::size_t colon = item.find(':');
@@ -238,7 +251,7 @@ void Injector::fire(sim::Engine& engine, const std::shared_ptr<Stream>& st) {
     engine.at(
         rec.until,
         [this, &engine, st, rec] {
-          surfaces_[st->surface].end(rec.unit);
+          surfaces_[st->surface].end(rec.unit, rec.magnitude);
           ++restored_;
           --active_;
           Record done = rec;

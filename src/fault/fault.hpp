@@ -105,13 +105,16 @@ class Injector {
 
   /// A fault target: `units` interchangeable instances (cores, cameras,
   /// links, ...) with begin/end actuators. `end` may be empty for
-  /// surfaces that only support permanent faults.
+  /// surfaces that only support permanent faults; it receives the same
+  /// unit and magnitude its matching begin got, so adapters can retire
+  /// exactly the contribution that is ending when overlapping faults of
+  /// different severities restore out of order.
   struct Surface {
     FaultKind kind = FaultKind::LinkLoss;
     std::string name;       ///< "multicore.core", "cpn.link", ...
     std::size_t units = 1;
     std::function<void(std::size_t unit, double magnitude)> begin;
-    std::function<void(std::size_t unit)> end;
+    std::function<void(std::size_t unit, double magnitude)> end;
   };
 
   /// One log entry: a fault onset (begin = true) or restore.

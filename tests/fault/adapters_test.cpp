@@ -33,13 +33,13 @@ TEST(PlatformAdapter, CoreFailIsRefCountedCrashRestart) {
   core_fail.begin(0, 1.0);
   EXPECT_TRUE(platform.core_failed(0));
   core_fail.begin(0, 1.0);  // overlapping second fault on the same core
-  core_fail.end(0);
+  core_fail.end(0, 1.0);
   EXPECT_TRUE(platform.core_failed(0));  // first restore must not revive it
-  core_fail.end(0);
+  core_fail.end(0, 1.0);
   EXPECT_FALSE(platform.core_failed(0));
 }
 
-TEST(PlatformAdapter, FreqCapKeepsTheTightestOverlappingCap) {
+TEST(PlatformAdapter, FreqCapTracksTheTightestActiveCap) {
   multicore::Platform platform(multicore::PlatformConfig::big_little(2, 2), 1);
   Injector inj;
   bind_platform(inj, platform);
@@ -50,9 +50,11 @@ TEST(PlatformAdapter, FreqCapKeepsTheTightestOverlappingCap) {
   EXPECT_EQ(platform.freq_cap(), 3u);
   cap.begin(0, 1.0);  // tighter cap arrives while the first is active
   EXPECT_EQ(platform.freq_cap(), 1u);
-  cap.end(0);
-  EXPECT_EQ(platform.freq_cap(), 1u);  // tightest holds until the last ends
-  cap.end(0);
+  // The tightest cap restores first: relax to the loosest still-active
+  // cap, not all the way and not stuck at the old tightest level.
+  cap.end(0, 1.0);
+  EXPECT_EQ(platform.freq_cap(), 3u);
+  cap.end(0, 3.0);
   EXPECT_EQ(platform.freq_cap(), static_cast<std::size_t>(-1));
 }
 
@@ -70,7 +72,7 @@ TEST(CameraAdapter, CrashDropoutAndBlurCompose) {
 
   crash.begin(0, 1.0);
   EXPECT_TRUE(net.camera_failed(0));
-  crash.end(0);
+  crash.end(0, 1.0);
   EXPECT_FALSE(net.camera_failed(0));
 
   // Blur scales visibility by 1 - magnitude...
@@ -79,10 +81,10 @@ TEST(CameraAdapter, CrashDropoutAndBlurCompose) {
   // ...dropout overrides any blur while it is active...
   dropout.begin(1, 1.0);
   EXPECT_DOUBLE_EQ(net.sensor_blur(1), 0.0);
-  dropout.end(1);
+  dropout.end(1, 1.0);
   // ...and the surviving blur resumes when the dropout ends.
   EXPECT_DOUBLE_EQ(net.sensor_blur(1), 0.25);
-  blur.end(1);
+  blur.end(1, 0.75);
   EXPECT_DOUBLE_EQ(net.sensor_blur(1), 1.0);
 }
 
@@ -97,14 +99,23 @@ TEST(ClusterAdapter, PreemptionAndLatencySpikes) {
   preempt.begin(3, 1.0);
   EXPECT_TRUE(cluster.preempted(3));
   preempt.begin(3, 1.0);
-  preempt.end(3);
+  preempt.end(3, 1.0);
   EXPECT_TRUE(cluster.preempted(3));  // refcounted like every transient
-  preempt.end(3);
+  preempt.end(3, 1.0);
   EXPECT_FALSE(cluster.preempted(3));
 
   spike.begin(0, 4.0);  // capacity divided by the magnitude
   EXPECT_DOUBLE_EQ(cluster.capacity_factor(), 0.25);
-  spike.end(0);
+  spike.begin(0, 2.0);  // milder overlapping spike must not relax the cut
+  EXPECT_DOUBLE_EQ(cluster.capacity_factor(), 0.25);
+  spike.end(0, 4.0);  // strongest ends first: relax to the remaining spike
+  EXPECT_DOUBLE_EQ(cluster.capacity_factor(), 0.5);
+  spike.end(0, 2.0);
+  EXPECT_DOUBLE_EQ(cluster.capacity_factor(), 1.0);
+
+  spike.begin(0, 0.5);  // magnitude <= 1 is held but cannot boost capacity
+  EXPECT_DOUBLE_EQ(cluster.capacity_factor(), 1.0);
+  spike.end(0, 0.5);
   EXPECT_DOUBLE_EQ(cluster.capacity_factor(), 1.0);
 }
 
@@ -138,9 +149,9 @@ TEST(PacketNetworkAdapter, PartitionAndLinkLossShareRefCounts) {
     }
   }
   // The partition ends, but the direct link-loss still holds its link.
-  partition.end(0);
+  partition.end(0, 1.0);
   EXPECT_TRUE(net.link_dead(incident_link));
-  loss.end(incident_link);
+  loss.end(incident_link, 1.0);
   EXPECT_FALSE(net.link_dead(incident_link));
 }
 
@@ -155,9 +166,9 @@ TEST(PacketNetworkAdapter, ReorderScalesLatencyAndRestores) {
   reorder.begin(2, 5.0);
   EXPECT_DOUBLE_EQ(net.link_slowdown(2), 5.0);
   reorder.begin(2, 3.0);
-  reorder.end(2);
+  reorder.end(2, 5.0);
   EXPECT_DOUBLE_EQ(net.link_slowdown(2), 3.0);  // latest factor, still held
-  reorder.end(2);
+  reorder.end(2, 3.0);
   EXPECT_DOUBLE_EQ(net.link_slowdown(2), 1.0);
 }
 
@@ -174,9 +185,9 @@ TEST(ExchangeAdapter, GatesTheRuntime) {
   gate.begin(0, 1.0);
   EXPECT_TRUE(rt.exchange_blocked());
   gate.begin(0, 1.0);
-  gate.end(0);
+  gate.end(0, 1.0);
   EXPECT_TRUE(rt.exchange_blocked());  // second drop still in force
-  gate.end(0);
+  gate.end(0, 1.0);
   EXPECT_FALSE(rt.exchange_blocked());
 }
 
@@ -186,7 +197,7 @@ TEST(FeedAgent, MirrorsInjectorStateIntoTheKnowledgeBase) {
   // A one-unit surface with no substrate behind it: feed_agent only needs
   // the injector's events.
   inj.add_surface({FaultKind::LinkLoss, "test.link", 1,
-                   [](std::size_t, double) {}, [](std::size_t) {}});
+                   [](std::size_t, double) {}, [](std::size_t, double) {}});
   core::SelfAwareAgent agent("watcher");
   feed_agent(inj, agent);
   inj.bind(engine, FaultPlan::parse("link-loss:rate=0.2,dur=5,end=50;seed=1"));

@@ -94,6 +94,27 @@ TEST(ExchangeRetry, CustomRetryBudgetAndBackoffAreHonoured) {
   EXPECT_EQ(rt.exchange_timeouts(), 1u);
 }
 
+TEST(ExchangeRetry, RetryLadderOutlivingItsRoundIsSafe) {
+  // Regression: a retry event must own its copy of the agents vector.
+  // With a large budget the ladder from the round at t=1 stretches past
+  // the rounds at t=2..5 (retries at 1.3, 1.9, 3.1, 5.5); each of those
+  // firings destroys the engine's copy of the periodic closure, so a
+  // retry that still referenced the round's vector would read freed
+  // memory (caught under ASan).
+  ExchangeRig rig;
+  rig.rt.set_exchange_retry(4, 0.3);
+  // Re-register with the larger budget; the rig's original stream keeps
+  // its defaults and just adds unblocked rounds.
+  rig.rt.schedule_exchange({&rig.a, &rig.b}, 1.0);
+  rig.rt.set_exchange_blocked(true);
+  rig.engine.at(6.0, [&] { rig.rt.set_exchange_blocked(false); });
+  rig.engine.run_until(8.5);
+  EXPECT_GT(rig.rt.exchange_retries(), 0u);
+  EXPECT_GT(rig.rt.exchange_timeouts(), 0u);
+  EXPECT_GT(rig.rt.items_exchanged(), 0u);  // resumed once unblocked
+  EXPECT_TRUE(rig.a.knowledge().contains("shared.bob.temp"));
+}
+
 TEST(ExchangeRetry, InjectorDrivesTheGateThroughTheFaultWindow) {
   // End-to-end: an ExchangeDrop fault window blocks rounds mid-run; when
   // it lifts, exchange resumes — degradation of the collective layer is
@@ -110,7 +131,7 @@ TEST(ExchangeRetry, InjectorDrivesTheGateThroughTheFaultWindow) {
   // Fault window [0.5, 6.5): the rounds inside it defer and time out;
   // rounds after the window exchange normally.
   engine.at(0.5, [&] { inj.surface(0).begin(0, 1.0); });
-  engine.at(6.5, [&] { inj.surface(0).end(0); });
+  engine.at(6.5, [&] { inj.surface(0).end(0, 1.0); });
   engine.run_until(10.5);
   EXPECT_GT(rt.exchange_drops(), 0u);
   EXPECT_GT(rt.exchange_timeouts(), 0u);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -76,6 +77,17 @@ TEST(FaultPlan, ToStringRoundTrips) {
             plan.to_string());
 }
 
+TEST(FaultPlan, SeedKeepsFull64BitPrecision) {
+  // Seeds above 2^53 must not be routed through a double: every bit of
+  // the seed feeds the splitmix64 stream derivation.
+  const auto max64 = std::numeric_limits<std::uint64_t>::max();
+  const auto plan = FaultPlan::parse("seed=" + std::to_string(max64));
+  EXPECT_EQ(plan.seed, max64);
+  const auto odd = FaultPlan::parse("seed=9007199254740993");  // 2^53 + 1
+  EXPECT_EQ(odd.seed, 9007199254740993ull);
+  EXPECT_EQ(FaultPlan::parse(odd.to_string()).seed, odd.seed);
+}
+
 TEST(FaultPlan, RejectsUnknownKindsAndKeysAndGarbage) {
   EXPECT_THROW((void)FaultPlan::parse("warp-core-breach"),
                std::invalid_argument);
@@ -85,6 +97,7 @@ TEST(FaultPlan, RejectsUnknownKindsAndKeysAndGarbage) {
                std::invalid_argument);
   EXPECT_THROW((void)FaultPlan::parse("seed=notanumber"),
                std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("seed=1.5"), std::invalid_argument);
 }
 
 TEST(FaultKindNames, RoundTripThroughAllKinds) {

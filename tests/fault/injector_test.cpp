@@ -33,7 +33,7 @@ struct CountingSurface {
       ++depth[unit];
       last_magnitude[unit] = magnitude;
     };
-    s.end = [this](std::size_t unit) { --depth[unit]; };
+    s.end = [this](std::size_t unit, double) { --depth[unit]; };
     return s;
   }
 };
