@@ -87,6 +87,14 @@ exp::TaskOutput run_cpn(cpn::PacketNetwork::Router router,
   inj.bind(engine, plan);
   gen.bind(engine, net);
   net.bind(engine);
+  // Served cell: expose the engine and injector live (POST /control can
+  // fire one-shot faults into this run at step boundaries).
+  if (ctx.serve_bind) {
+    exp::ServeHooks hooks;
+    hooks.engine = &engine;
+    hooks.injector = &inj;
+    ctx.serve_bind(hooks);
+  }
 
   // Windowed delivery: the goal signal the recovery detection runs over.
   std::vector<double> window_delivery;
@@ -191,6 +199,17 @@ exp::TaskOutput run_multicore(multicore::Manager::Variant variant,
     dp.recover_updates = 4;
     policy = std::make_unique<core::DegradationPolicy>(mgr.agent(), dp);
     rt.schedule_degradation(*policy, kMcEpoch);
+  }
+
+  // Served cell: /status reports this agent's active levels and ladder
+  // position, /control can inject extra faults mid-run.
+  if (ctx.serve_bind) {
+    exp::ServeHooks hooks;
+    hooks.engine = &engine;
+    hooks.agents = {&mgr.agent()};
+    if (policy) hooks.ladders = {policy.get()};
+    hooks.injector = &inj;
+    ctx.serve_bind(hooks);
   }
 
   engine.run_until(kMcHorizon);

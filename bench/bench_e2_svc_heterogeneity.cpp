@@ -69,6 +69,13 @@ exp::TaskOutput run(CameraFleet::Mode mode, Strategy fixed,
   // epoch work rides on the 25th step. Trajectory is identical to the old
   // synchronous run_epoch() loop.
   sim::Engine engine;
+  // The served cell (--serve) additionally exposes this engine live: the
+  // bridge schedules its publish events before anything else runs.
+  if (ctx.serve_bind) {
+    exp::ServeHooks hooks;
+    hooks.engine = &engine;
+    ctx.serve_bind(hooks);
+  }
   sim::RunningStats tail_cov, tail_msg, tail_u;
   int e = 0;
   fleet.bind(engine, 1.0, [&](const NetworkEpoch& ne) {

@@ -71,6 +71,12 @@ exp::TaskOutput run(PacketNetwork::Router router, bool defence,
   sim::Engine engine;
   gen.bind(engine, net);
   net.bind(engine);
+  // Served cell (--serve): expose this engine live over HTTP.
+  if (ctx.serve_bind) {
+    exp::ServeHooks hooks;
+    hooks.engine = &engine;
+    ctx.serve_bind(hooks);
+  }
 
   exp::Metrics m;
   const double ticks[] = {kBefore, kAttack, kAfter};

@@ -14,25 +14,59 @@
 // Each domain also records decision provenance through its OWN tracer,
 // with a distinct TraceId namespace (edge = 1, cloud = 2, the high 16
 // bits of every id). Stitching the two recorded streams into one is then
-// safe: ids stay globally unique even though both counters start at 1.
+// safe: ids stay globally unique even though both counters start at 1 —
+// and exp::merge_perfetto() turns the two records into ONE Perfetto file
+// with flow arrows drawn across the agent boundary at every knowledge
+// exchange.
 //
 // Run: ./build/examples/cross_domain
+//      ./build/examples/cross_domain --merged-trace merged.json
+//      ./build/examples/cross_domain --serve 8080   # then curl /metrics
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "cloud/autoscaler.hpp"
 #include "core/runtime.hpp"
+#include "exp/trace_json.hpp"
 #include "multicore/manager.hpp"
 #include "multicore/workload.hpp"
+#include "sim/metrics.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 
-int main() {
+#ifdef SA_SERVE_ENABLED
+#include "serve/bridge.hpp"
+#include "serve/server.hpp"
+#endif
+
+int main(int argc, char** argv) {
   using namespace sa;
+
+  // Optional flags: --merged-trace PATH, --serve PORT.
+  std::string merged_path;
+  int serve_port = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--merged-trace") == 0 && i + 1 < argc) {
+      merged_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--merged-trace PATH] [--serve PORT]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   sim::Engine engine;
   core::AgentRuntime runtime(engine);
+  sim::MetricsRegistry metrics;
+  runtime.set_metrics(&metrics);
 
   // One bus for both domains; keep the last few thousand events around.
   sim::TelemetryBus bus;
@@ -79,6 +113,51 @@ int main() {
 
   // --- Cross-domain knowledge exchange every 30 s ------------------------
   runtime.schedule_exchange({&manager.agent(), &autoscaler.agent()}, 30.0);
+
+  // Mark each exchange round in BOTH provenance streams: a zero-length
+  // "exchange" span per tracer (merge_perfetto's default stitch point).
+  // Registered after the real exchange at the same engine order, so the
+  // marker lands once the knowledge swap at that instant is done.
+  const sim::SubjectId x_subject = bus.intern_subject("exchange");
+  const sim::NameId edge_xn = edge_tracer.intern_name("exchange");
+  const sim::NameId cloud_xn = cloud_tracer.intern_name("exchange");
+  engine.every(
+      30.0,
+      [&] {
+        const double t = engine.now();
+        edge_tracer.span(t, x_subject, edge_xn).end();
+        cloud_tracer.span(t, x_subject, cloud_xn).end();
+        return true;
+      },
+      core::AgentRuntime::kOrderExchange);
+
+#ifdef SA_SERVE_ENABLED
+  // Optional live observability: GET /metrics, /status, /events while the
+  // run is in flight; POST /control pauses/resumes it.
+  serve::SimBridge bridge;
+  serve::Server::Options sopts;
+  sopts.port = static_cast<std::uint16_t>(serve_port < 0 ? 0 : serve_port);
+  serve::Server server(sopts);
+  if (serve_port >= 0) {
+    bridge.set_metrics(&metrics);
+    bridge.set_telemetry(&bus);
+    bridge.add_agent(&manager.agent());
+    bridge.add_agent(&autoscaler.agent());
+    bridge.attach(engine);
+    bridge.install(server);
+    if (!server.start()) {
+      std::fprintf(stderr, "serve: %s\n", server.error().c_str());
+      return 2;
+    }
+    std::printf("serving on 127.0.0.1:%u (try /metrics, /status, /events)\n",
+                server.port());
+  }
+#else
+  if (serve_port >= 0) {
+    std::fprintf(stderr, "--serve requires a build with -DSA_SERVE=ON\n");
+    return 2;
+  }
+#endif
 
   engine.run_until(600.0);  // ten simulated minutes
 
@@ -133,5 +212,27 @@ int main() {
       "%zu, all unique (%zu edge ns, %zu cloud ns)\n",
       edge_tracer.spans(), cloud_tracer.spans(), stitched.size(), from_edge,
       from_cloud);
+
+  // One Perfetto file for both agents: each tracer becomes its own
+  // process track, and flow arrows are synthesized between consecutive
+  // "exchange" spans of different tracers — the knowledge hand-overs.
+  exp::MergeStats ms;
+  const exp::Json merged =
+      exp::merge_perfetto({&edge_tracer, &cloud_tracer}, {}, &ms);
+  std::printf(
+      "merged : %zu tracers, %zu events, %zu exchange points, "
+      "%zu cross-agent flow links\n",
+      ms.tracers, ms.events, ms.stitch_points, ms.stitches);
+  if (!merged_path.empty()) {
+    std::ofstream os(merged_path);
+    merged.dump(os, /*indent=*/-1);
+    os << "\n";
+    std::printf("merged trace written to %s (open in ui.perfetto.dev)\n",
+                merged_path.c_str());
+  }
+
+#ifdef SA_SERVE_ENABLED
+  server.stop();
+#endif
   return 0;
 }

@@ -70,10 +70,13 @@ Explainer::ActionSummary Explainer::summarise(
   return out;
 }
 
-std::vector<Explanation> Explainer::all() const {
+std::vector<Explanation> Explainer::snapshot(std::size_t last_n) const {
+  const std::size_t n = std::min(last_n, log_.size());
   std::vector<Explanation> out;
-  out.reserve(log_.size());
-  for (std::size_t i = 0; i < log_.size(); ++i) out.push_back(at(i));
+  out.reserve(n);
+  for (std::size_t i = log_.size() - n; i < log_.size(); ++i) {
+    out.push_back(at(i));
+  }
   return out;
 }
 

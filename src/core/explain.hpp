@@ -77,16 +77,27 @@ class Explainer {
   [[nodiscard]] const Explanation& at(std::size_t i) const {
     return log_[(head_ + i) % log_.size()];
   }
-  /// Retained explanations in chronological order (materialised copy —
-  /// the backing store is a ring).
-  [[nodiscard]] std::vector<Explanation> all() const;
+  /// Deep copy of the newest min(last_n, size()) explanations in
+  /// chronological order. This is the ring's one read path that hands out
+  /// owned values rather than references into the ring — the discipline
+  /// every cross-thread consumer must follow: the serve layer's /status
+  /// publisher calls it on the sim thread at a step boundary and publishes
+  /// the copy for server threads, so no reader ever aliases a slot that
+  /// record() may overwrite.
+  [[nodiscard]] std::vector<Explanation> snapshot(std::size_t last_n) const;
+  /// Retained explanations in chronological order (snapshot of the whole
+  /// ring).
+  [[nodiscard]] std::vector<Explanation> all() const {
+    return snapshot(log_.size());
+  }
   [[nodiscard]] std::optional<Explanation> last() const {
     if (log_.empty()) return std::nullopt;
     return at(log_.size() - 1);
   }
   /// Rendered explanation of the most recent decision ("" if none).
   [[nodiscard]] std::string why_last() const {
-    return log_.empty() ? std::string{} : at(log_.size() - 1).render();
+    const auto newest = snapshot(1);
+    return newest.empty() ? std::string{} : newest.back().render();
   }
   /// Aggregate view over the retained log: how often was `action` chosen,
   /// at what mean goal utility, and what did the most recent choice of it

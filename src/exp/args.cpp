@@ -14,9 +14,126 @@ bool parse_uint(std::string_view text, std::uint64_t& out) {
   return ec == std::errc{} && ptr == end;
 }
 
+bool parse_nonneg(std::string_view text, double& out) {
+  if (text.empty()) return false;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc{} && ptr == end && out >= 0.0;
+}
+
+StandardArgs::Flag path_flag(std::string name, std::string help,
+                             std::string Options::* field) {
+  return {std::move(name),
+          "",
+          "PATH",
+          std::move(help),
+          [field](std::string_view value, Options& out) -> std::string {
+            if (value.empty()) return "expects an output path";
+            out.*field = std::string(value);
+            return {};
+          }};
+}
+
 }  // namespace
 
-std::string parse_args(int argc, const char* const* argv, Options& out) {
+StandardArgs::StandardArgs() {
+  add({"--help",
+       "-h",
+       "",
+       "this text",
+       [](std::string_view, Options& out) -> std::string {
+         out.help = true;
+         return {};
+       }});
+  add({"--jobs",
+       "-j",
+       "N",
+       "worker threads for the seed x variant grid\n"
+       "(default: all hardware threads; results are\n"
+       "bitwise-identical for every N)",
+       [](std::string_view value, Options& out) -> std::string {
+         std::uint64_t n = 0;
+         if (!parse_uint(value, n) || n == 0 || n > 4096) {
+           return "expects an integer in [1, 4096]";
+         }
+         out.jobs = static_cast<unsigned>(n);
+         return {};
+       }});
+  add({"--seeds",
+       "",
+       "K",
+       "run K seeds instead of the experiment default\n"
+       "(first K of the canonical list, then derived)",
+       [](std::string_view value, Options& out) -> std::string {
+         std::uint64_t n = 0;
+         if (!parse_uint(value, n) || n == 0 || n > 100000) {
+           return "expects an integer in [1, 100000]";
+         }
+         out.seeds = static_cast<std::size_t>(n);
+         return {};
+       }});
+  add(path_flag("--json",
+                "also write a BENCH_<exp>.json document with\n"
+                "per-seed raws, aggregates, wall-clock and git rev",
+                &Options::json));
+  add(path_flag("--trace",
+                "write a Chrome trace-event JSON (open it at\n"
+                "ui.perfetto.dev) of one designated cell: last\n"
+                "variant, first seed. Sim-time timestamps, so the\n"
+                "file is bitwise-identical for every --jobs N",
+                &Options::trace));
+  add(path_flag("--metrics",
+                "write the traced cell's self-profiling metrics\n"
+                "snapshots as JSONL (wall-clock timers: values\n"
+                "vary run to run)",
+                &Options::metrics));
+  add({"--fault-plan",
+       "",
+       "SPEC",
+       "overlay a fault plan on fault-aware experiments\n"
+       "(\"kind:rate=R,dur=D,...;seed=N\"; see\n"
+       "sa::fault::FaultPlan::parse)",
+       [](std::string_view value, Options& out) -> std::string {
+         if (value.empty()) {
+           return "expects a plan spec (\"kind:key=value,...;...\")";
+         }
+         out.fault_plan = std::string(value);
+         return {};
+       }});
+  add({"--serve",
+       "",
+       "PORT",
+       "expose the designated cell live over HTTP on\n"
+       "127.0.0.1:PORT (0 = ephemeral, printed at start):\n"
+       "/metrics (Prometheus), /status (JSON), /events\n"
+       "(SSE telemetry), /control (pause/resume/inject).\n"
+       "Needs a build with -DSA_SERVE=ON",
+       [](std::string_view value, Options& out) -> std::string {
+         std::uint64_t n = 0;
+         if (!parse_uint(value, n) || n > 65535) {
+           return "expects a port in [0, 65535]";
+         }
+         out.serve_port = static_cast<int>(n);
+         return {};
+       }});
+  add({"--serve-linger",
+       "",
+       "SEC",
+       "keep the --serve endpoint up SEC seconds after the\n"
+       "run finishes (POST /control cmd=shutdown ends it\n"
+       "early)",
+       [](std::string_view value, Options& out) -> std::string {
+         double s = 0.0;
+         if (!parse_nonneg(value, s) || s > 86400.0) {
+           return "expects seconds in [0, 86400]";
+         }
+         out.serve_linger = s;
+         return {};
+       }});
+}
+
+std::string StandardArgs::parse(int argc, const char* const* argv,
+                                Options& out) const {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     std::string_view value;
@@ -26,81 +143,96 @@ std::string parse_args(int argc, const char* const* argv, Options& out) {
       arg = arg.substr(0, eq);
       has_value = true;
     }
-    auto next_value = [&]() -> bool {
-      if (has_value) return true;
-      if (i + 1 >= argc) return false;
-      value = argv[++i];
-      return true;
-    };
 
-    if (arg == "--help" || arg == "-h") {
-      out.help = true;
-    } else if (arg == "--jobs" || arg == "-j") {
-      std::uint64_t n = 0;
-      if (!next_value() || !parse_uint(value, n) || n == 0 || n > 4096) {
-        return std::string(arg) + " expects an integer in [1, 4096]";
+    const Flag* match = nullptr;
+    for (const Flag& f : flags_) {
+      if (arg == f.name || (!f.alias.empty() && arg == f.alias)) {
+        match = &f;
+        break;
       }
-      out.jobs = static_cast<unsigned>(n);
-    } else if (arg == "--seeds") {
-      std::uint64_t n = 0;
-      if (!next_value() || !parse_uint(value, n) || n == 0 || n > 100000) {
-        return "--seeds expects an integer in [1, 100000]";
+    }
+    if (match == nullptr) return "unknown argument: " + std::string(argv[i]);
+
+    if (match->metavar.empty()) {
+      if (has_value) {
+        return std::string(arg) + " takes no value";
       }
-      out.seeds = static_cast<std::size_t>(n);
-    } else if (arg == "--json") {
-      if (!next_value() || value.empty()) {
-        return "--json expects an output path";
+    } else if (!has_value) {
+      if (i + 1 >= argc) {
+        return std::string(arg) + " expects " +
+               (match->metavar == "PATH" ? "an output path"
+                                         : "a value (" + match->metavar + ")");
       }
-      out.json = std::string(value);
-    } else if (arg == "--trace") {
-      if (!next_value() || value.empty()) {
-        return "--trace expects an output path";
-      }
-      out.trace = std::string(value);
-    } else if (arg == "--metrics") {
-      if (!next_value() || value.empty()) {
-        return "--metrics expects an output path";
-      }
-      out.metrics = std::string(value);
-    } else if (arg == "--fault-plan") {
-      if (!next_value() || value.empty()) {
-        return "--fault-plan expects a plan spec"
-               " (\"kind:key=value,...;...\")";
-      }
-      out.fault_plan = std::string(value);
-    } else {
-      return "unknown argument: " + std::string(argv[i]);
+      value = argv[++i];
+    }
+    if (const std::string err = match->apply(value, out); !err.empty()) {
+      return std::string(arg) + " " + err;
     }
   }
   return {};
 }
 
-std::string usage(std::string_view program) {
+std::string StandardArgs::usage(std::string_view program) const {
   std::string u;
   u += "usage: ";
   u += program;
-  u += " [--jobs N] [--seeds K] [--json PATH] [--trace PATH]"
-       " [--metrics PATH] [--fault-plan SPEC]\n";
-  u +=
-      "  --jobs N, -j N  worker threads for the seed x variant grid\n"
-      "                  (default: all hardware threads; results are\n"
-      "                  bitwise-identical for every N)\n"
-      "  --seeds K       run K seeds instead of the experiment default\n"
-      "                  (first K of the canonical list, then derived)\n"
-      "  --json PATH     also write a BENCH_<exp>.json document with\n"
-      "                  per-seed raws, aggregates, wall-clock and git rev\n"
-      "  --trace PATH    write a Chrome trace-event JSON (open it at\n"
-      "                  ui.perfetto.dev) of one designated cell: last\n"
-      "                  variant, first seed. Sim-time timestamps, so the\n"
-      "                  file is bitwise-identical for every --jobs N\n"
-      "  --metrics PATH  write the traced cell's self-profiling metrics\n"
-      "                  snapshots as JSONL (wall-clock timers: values\n"
-      "                  vary run to run)\n"
-      "  --fault-plan S  overlay a fault plan on fault-aware experiments\n"
-      "                  (\"kind:rate=R,dur=D,...;seed=N\"; see\n"
-      "                  sa::fault::FaultPlan::parse)\n"
-      "  --help, -h      this text\n";
+  for (const Flag& f : flags_) {
+    if (f.name == "--help") continue;
+    u += " [";
+    u += f.name;
+    if (!f.metavar.empty()) {
+      u += ' ';
+      u += f.metavar;
+    }
+    u += ']';
+  }
+  u += '\n';
+  for (const Flag& f : flags_) {
+    // Left column: "  --flag M, -a M" padded to a fixed width.
+    std::string left = "  " + f.name;
+    if (!f.metavar.empty()) left += " " + f.metavar;
+    if (!f.alias.empty()) {
+      left += ", " + f.alias;
+      if (!f.metavar.empty()) left += " " + f.metavar;
+    }
+    constexpr std::size_t kCol = 20;
+    if (left.size() + 2 <= kCol) {
+      left.append(kCol - left.size(), ' ');
+    } else {
+      left += "\n" + std::string(kCol, ' ');
+    }
+    u += left;
+    // Body: first line after the column, continuations indented to it.
+    std::string_view help = f.help;
+    bool first = true;
+    while (!help.empty()) {
+      std::size_t nl = help.find('\n');
+      const std::string_view line =
+          nl == std::string_view::npos ? help : help.substr(0, nl);
+      if (!first) u += std::string(kCol, ' ');
+      first = false;
+      u += line;
+      u += '\n';
+      if (nl == std::string_view::npos) break;
+      help.remove_prefix(nl + 1);
+    }
+  }
   return u;
+}
+
+namespace {
+const StandardArgs& standard_args() {
+  static const StandardArgs table;
+  return table;
+}
+}  // namespace
+
+std::string parse_args(int argc, const char* const* argv, Options& out) {
+  return standard_args().parse(argc, argv, out);
+}
+
+std::string usage(std::string_view program) {
+  return standard_args().usage(program);
 }
 
 }  // namespace sa::exp

@@ -1,22 +1,32 @@
 // Shared command-line options for the experiment binaries.
 //
-// Every bench_e* binary accepts the same three flags so that the whole
-// suite can be driven uniformly (and in parallel) by scripts and CI:
+// Every bench_e* binary accepts the same flag set so that the whole suite
+// can be driven uniformly (and in parallel) by scripts and CI:
 //
-//   --jobs N       worker threads for the seed×variant grid (default: all
-//                  hardware threads; results are identical for any N)
-//   --seeds K      override the experiment's default seed count
-//   --json PATH    write a machine-readable BENCH_<exp>.json document
-//   --trace PATH   write a Chrome/Perfetto trace-event JSON of one
-//                  designated cell (bitwise-stable across --jobs N)
-//   --metrics PATH write that cell's metrics snapshots as JSONL
-//   --fault-plan S overlay a fault::FaultPlan spec on experiments that
-//                  support fault injection (others reject it)
+//   --jobs N         worker threads for the seed×variant grid (default:
+//                    all hardware threads; results are identical for any N)
+//   --seeds K        override the experiment's default seed count
+//   --json PATH      write a machine-readable BENCH_<exp>.json document
+//   --trace PATH     write a Chrome/Perfetto trace-event JSON of one
+//                    designated cell (bitwise-stable across --jobs N)
+//   --metrics PATH   write that cell's metrics snapshots as JSONL
+//   --fault-plan S   overlay a fault::FaultPlan spec on experiments that
+//                    support fault injection (others reject it)
+//   --serve PORT     expose the designated cell live over HTTP (sa::serve;
+//                    builds with -DSA_SERVE=OFF reject the flag)
+//   --serve-linger S keep the endpoint up S seconds after the run
+//
+// The flag table itself lives in StandardArgs: one row per flag carrying
+// the spelling, value validation and help text, so a new flag lands in all
+// bench binaries (parser *and* usage text) by adding one row — not by
+// editing an if/else chain and a separate usage string in lockstep.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace sa::exp {
 
@@ -29,16 +39,56 @@ struct Options {
   /// Fault-plan spec (fault::FaultPlan::parse syntax); empty = the
   /// experiment's built-in plan. Only fault-aware benches consume it.
   std::string fault_plan;
+  /// HTTP port for the sa::serve endpoint; -1 = not serving, 0 = pick an
+  /// ephemeral port (printed at startup).
+  int serve_port = -1;
+  /// Seconds to keep the endpoint up after the run finishes (so scrapers
+  /// can read final state); POST /control cmd=shutdown ends it early.
+  double serve_linger = 0.0;
   bool help = false;      ///< --help was given
 };
 
-/// Parses argv into `out`. Returns an empty string on success, otherwise
-/// a one-line error message (the caller should print usage and exit).
-/// Accepts `--flag value` and `--flag=value` spellings plus `-j N`.
+/// The shared flag table: spelling + validation + help per flag, and the
+/// generic "--flag value" / "--flag=value" / alias walk over it.
+class StandardArgs {
+ public:
+  struct Flag {
+    std::string name;     ///< "--jobs"
+    std::string alias;    ///< "-j" ("" = none)
+    std::string metavar;  ///< "N" ("" = boolean flag, takes no value)
+    std::string help;     ///< usage body (indented, newline-separated)
+    /// Applies a (validated) value to the options; returns "" on success,
+    /// else the error message. Boolean flags receive an empty value.
+    std::function<std::string(std::string_view value, Options& out)> apply;
+  };
+
+  /// The standard table every bench binary shares.
+  StandardArgs();
+
+  /// Extends the table (for binaries with extra flags, e.g. examples).
+  void add(Flag flag) { flags_.push_back(std::move(flag)); }
+  [[nodiscard]] const std::vector<Flag>& flags() const noexcept {
+    return flags_;
+  }
+
+  /// Parses argv into `out`. Returns an empty string on success, otherwise
+  /// a one-line error message (the caller should print usage and exit).
+  /// Accepts `--flag value` and `--flag=value` spellings plus aliases.
+  [[nodiscard]] std::string parse(int argc, const char* const* argv,
+                                  Options& out) const;
+
+  /// Usage text generated from the table.
+  [[nodiscard]] std::string usage(std::string_view program) const;
+
+ private:
+  std::vector<Flag> flags_;
+};
+
+/// Parses with the standard table (what every bench binary calls).
 [[nodiscard]] std::string parse_args(int argc, const char* const* argv,
                                      Options& out);
 
-/// Usage text for --help and parse errors.
+/// Usage text of the standard table, for --help and parse errors.
 [[nodiscard]] std::string usage(std::string_view program);
 
 }  // namespace sa::exp

@@ -19,12 +19,34 @@
 #include "sim/rng.hpp"
 
 namespace sa::sim {
+class Engine;
 class TelemetryBus;
 class Tracer;
 class MetricsRegistry;
 }  // namespace sa::sim
 
+namespace sa::core {
+class SelfAwareAgent;
+class DegradationPolicy;
+}  // namespace sa::core
+
+namespace sa::fault {
+class Injector;
+}  // namespace sa::fault
+
 namespace sa::exp {
+
+/// What a task hands the harness when it is the *served cell* (--serve):
+/// non-owning pointers to the live objects the sa::serve control plane
+/// exposes. Everything is optional except the engine; all of it must stay
+/// alive until the task returns (the serve bridge publishes snapshots at
+/// engine-step boundaries for the duration of the run).
+struct ServeHooks {
+  sim::Engine* engine = nullptr;
+  std::vector<core::SelfAwareAgent*> agents;
+  std::vector<core::DegradationPolicy*> ladders;
+  fault::Injector* injector = nullptr;
+};
 
 /// Named metric values produced by one task, in a fixed (reported) order.
 using Metrics = std::vector<std::pair<std::string, double>>;
@@ -78,6 +100,16 @@ struct TaskContext {
   sim::TelemetryBus* telemetry = nullptr;
   sim::Tracer* tracer = nullptr;
   sim::MetricsRegistry* metrics = nullptr;
+
+  /// Set only for the harness's *served cell* when --serve was given (the
+  /// same designated cell as tracing). Tasks that support live serving
+  /// call it once, after wiring and before running the engine:
+  ///   exp::ServeHooks hooks;
+  ///   hooks.engine = &engine;          // plus agents/ladders/injector
+  ///   if (ctx.serve_bind) ctx.serve_bind(hooks);
+  /// The callee schedules snapshot-publish events on the engine; like the
+  /// tracer it draws no randomness, so binding never perturbs metrics.
+  std::function<void(const ServeHooks&)> serve_bind;
 
   /// A fresh generator on this cell's private stream.
   [[nodiscard]] sim::Rng rng() const noexcept { return sim::Rng{stream}; }

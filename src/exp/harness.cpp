@@ -1,14 +1,38 @@
 #include "exp/harness.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "exp/metrics_jsonl.hpp"
 #include "exp/trace_json.hpp"
 
+#ifdef SA_SERVE_ENABLED
+#include "serve/bridge.hpp"
+#include "serve/server.hpp"
+#endif
+
 namespace sa::exp {
+
+/// Owns the HTTP endpoint for one served run. Defined even in SA_SERVE=OFF
+/// builds (empty) so the Harness destructor stays a single definition; the
+/// constructor path that would create one exits first on such builds.
+struct Harness::ServeState {
+#ifdef SA_SERVE_ENABLED
+  serve::SimBridge bridge;
+  serve::Server server;
+
+  ServeState(std::uint16_t port, serve::SimBridge::Options bridge_opts)
+      : bridge(bridge_opts), server([port] {
+          serve::Server::Options o;
+          o.port = port;
+          return o;
+        }()) {}
+#endif
+};
 
 Json to_json(const GridResult& result, bool include_timing) {
   Json g = Json::object();
@@ -83,7 +107,55 @@ Harness::Harness(std::string experiment, int argc, const char* const* argv)
         }
         return o;
       }()),
-      runner_(opts_.jobs) {}
+      runner_(opts_.jobs) {
+#ifndef SA_SERVE_ENABLED
+  if (opts_.serve_port >= 0) {
+    std::cerr << (argc > 0 ? argv[0] : "bench")
+              << ": --serve requires a build with -DSA_SERVE=ON\n";
+    std::exit(2);
+  }
+#endif
+}
+
+Harness::~Harness() = default;
+
+void Harness::start_serving() {
+#ifdef SA_SERVE_ENABLED
+  if (serve_ != nullptr || opts_.serve_port < 0) return;
+  serve_ = std::make_unique<ServeState>(
+      static_cast<std::uint16_t>(opts_.serve_port),
+      serve::SimBridge::Options{});
+  serve_->bridge.set_metrics(metrics_.get());
+  serve_->bridge.set_telemetry(trace_bus_.get());
+  serve_->bridge.install(serve_->server);
+  if (!serve_->server.start()) {
+    std::cerr << "error: --serve: " << serve_->server.error() << "\n";
+    std::exit(2);
+  }
+  std::cout << "[" << experiment_ << "] serving on 127.0.0.1:"
+            << serve_->server.port() << " (cell " << traced_cell_ << ")\n";
+#endif
+}
+
+void Harness::linger_and_stop(std::ostream& os) {
+#ifdef SA_SERVE_ENABLED
+  if (serve_ == nullptr) return;
+  if (opts_.serve_linger > 0.0 && !serve_->bridge.shutdown_requested()) {
+    os << "[" << experiment_ << "] lingering " << opts_.serve_linger
+       << " s on 127.0.0.1:" << serve_->server.port()
+       << " (POST /control cmd=shutdown to end early)\n";
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(opts_.serve_linger);
+    while (std::chrono::steady_clock::now() < deadline &&
+           !serve_->bridge.shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  serve_->server.stop();
+#else
+  (void)os;
+#endif
+}
 
 std::vector<std::uint64_t> Harness::seeds_for(
     std::vector<std::uint64_t> defaults) const {
@@ -102,8 +174,9 @@ std::vector<std::uint64_t> Harness::seeds_for(
 
 GridResult Harness::run(Grid grid) {
   grid.seeds = seeds_for(std::move(grid.seeds));
+  const bool serving = opts_.serve_port >= 0;
   const bool want_observability =
-      !opts_.trace.empty() || !opts_.metrics.empty();
+      !opts_.trace.empty() || !opts_.metrics.empty() || serving;
   if (want_observability && !trace_cell_assigned_ && !grid.variants.empty() &&
       !grid.seeds.empty()) {
     trace_cell_assigned_ = true;
@@ -114,6 +187,7 @@ GridResult Harness::run(Grid grid) {
     const std::uint64_t traced_seed = grid.seeds.front();
     traced_cell_ = grid.name + "/" + grid.variants[traced_variant] +
                    "/seed " + std::to_string(traced_seed);
+    if (serving) start_serving();
     auto inner = std::move(grid.task);
     grid.task = [this, inner = std::move(inner), traced_variant,
                  traced_seed](const TaskContext& ctx) {
@@ -122,6 +196,23 @@ GridResult Harness::run(Grid grid) {
         traced.telemetry = trace_bus_.get();
         traced.tracer = tracer_.get();
         traced.metrics = metrics_.get();
+#ifdef SA_SERVE_ENABLED
+        if (serve_ != nullptr) {
+          traced.serve_bind = [this](const ServeHooks& hooks) {
+            if (hooks.engine == nullptr) return;
+            for (core::SelfAwareAgent* a : hooks.agents) {
+              serve_->bridge.add_agent(a);
+            }
+            for (core::DegradationPolicy* l : hooks.ladders) {
+              serve_->bridge.add_degradation(l);
+            }
+            if (hooks.injector != nullptr) {
+              serve_->bridge.set_injector(hooks.injector);
+            }
+            serve_->bridge.attach(*hooks.engine);
+          };
+        }
+#endif
         return inner(traced);
       }
       return inner(ctx);
@@ -234,6 +325,7 @@ int Harness::finish(std::ostream& os) {
       os << "\n";
     }
   }
+  linger_and_stop(os);
   return rc;
 }
 

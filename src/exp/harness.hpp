@@ -37,8 +37,10 @@ namespace sa::exp {
 class Harness {
  public:
   /// Parses argv; on --help prints usage and exits 0, on a bad flag
-  /// prints the error and usage and exits 2.
+  /// prints the error and usage and exits 2. --serve on a build without
+  /// SA_SERVE also exits 2 (with a pointer at the CMake option).
   Harness(std::string experiment, int argc, const char* const* argv);
+  ~Harness();
 
   [[nodiscard]] const Options& options() const noexcept { return opts_; }
   [[nodiscard]] unsigned jobs() const noexcept { return runner_.jobs(); }
@@ -61,6 +63,12 @@ class Harness {
   /// is by convention the full self-aware configuration). The same cell
   /// is picked regardless of --jobs, and trace timestamps are sim-time,
   /// so the exported file is bitwise-identical for every thread count.
+  ///
+  /// --serve designates the same cell as the *served cell*: it receives
+  /// the telemetry/metrics hooks plus a TaskContext::serve_bind callback
+  /// that attaches the HTTP bridge to the cell's engine. The endpoint
+  /// starts before the grid runs (so scrapers can connect mid-run) and
+  /// stays up through finish()'s --serve-linger window.
   GridResult run(Grid grid);
 
   /// The tracer/metrics captured from the traced cell (null before a
@@ -100,6 +108,13 @@ class Harness {
   std::unique_ptr<sim::MetricsRegistry> metrics_;
   bool trace_cell_assigned_ = false;
   std::string traced_cell_;  ///< "grid/variant/seed" label for the footer
+
+  // sa::serve state (server + bridge), pimpl'd so this header stays free
+  // of serve includes and builds identically with SA_SERVE=OFF.
+  struct ServeState;
+  std::unique_ptr<ServeState> serve_;
+  void start_serving();      ///< creates + starts ServeState (run() calls it)
+  void linger_and_stop(std::ostream& os);  ///< finish() tail
 };
 
 }  // namespace sa::exp

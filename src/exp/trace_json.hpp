@@ -24,7 +24,10 @@
 // bitwise-identical file.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "exp/json.hpp"
 #include "sim/trace.hpp"
@@ -37,5 +40,45 @@ namespace sa::exp {
 
 /// Serialises chrome_trace() compactly, newline-terminated.
 void write_chrome_trace(std::ostream& os, const sim::Tracer& tracer);
+
+// -- Cross-agent trace merging ----------------------------------------------
+//
+// Multi-agent scenarios run one Tracer per agent/domain (each with its own
+// TraceId namespace — see sim::kTraceNamespaceShift), so no single file
+// shows a knowledge item's journey across agents. merge_perfetto() emits
+// ONE trace-event document with each tracer as its own process (pid = its
+// index + 1, so per-agent tracks stay separate) and *stitch flows*
+// synthesized at knowledge-exchange events: spans named
+// `MergeOptions::stitch_span` are collected from every tracer, sorted by
+// sim time, and consecutive spans from *different* tracers are linked with
+// a flow arrow — the rendered trace then draws exchange causality across
+// agent boundaries. Stitch flow ids live in the reserved namespace 0xffff
+// so they can never collide with any tracer's own ids.
+
+struct MergeOptions {
+  /// Span name marking exchange points (core::AgentRuntime emits
+  /// "exchange" spans around every knowledge-exchange round).
+  std::string stitch_span = "exchange";
+};
+
+struct MergeStats {
+  std::size_t tracers = 0;        ///< inputs merged
+  std::size_t events = 0;         ///< span/flow events carried over
+  std::size_t stitch_points = 0;  ///< stitch-span instances found
+  std::size_t stitches = 0;       ///< cross-tracer flow links synthesized
+};
+
+/// Merges the tracers' records into one trace-event document.
+/// Deterministic: output depends only on the tracers' recorded events and
+/// their order in `tracers` (ties in sim time break by tracer index, then
+/// emission order).
+[[nodiscard]] Json merge_perfetto(const std::vector<const sim::Tracer*>& tracers,
+                                  const MergeOptions& opts = {},
+                                  MergeStats* stats = nullptr);
+
+/// Serialises merge_perfetto() compactly, newline-terminated.
+void write_merged_trace(std::ostream& os,
+                        const std::vector<const sim::Tracer*>& tracers,
+                        const MergeOptions& opts = {});
 
 }  // namespace sa::exp

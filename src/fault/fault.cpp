@@ -265,6 +265,54 @@ void Injector::fire(sim::Engine& engine, const std::shared_ptr<Stream>& st) {
   arm(engine, st);
 }
 
+bool Injector::inject_now(sim::Engine& engine, FaultKind kind,
+                          std::size_t unit, double magnitude,
+                          double duration) {
+  for (std::size_t si = 0; si < surfaces_.size(); ++si) {
+    Surface& s = surfaces_[si];
+    if (s.kind != kind) continue;
+    const double t = engine.now();
+    Record rec;
+    rec.t = t;
+    rec.kind = kind;
+    rec.surface = s.name;
+    rec.unit = s.units > 0 ? unit % s.units : 0;
+    rec.magnitude = magnitude;
+    const bool transient = duration > 0.0 && s.end != nullptr;
+    if (transient) rec.until = t + duration;
+
+    s.begin(rec.unit, rec.magnitude);
+    ++injected_;
+    ++active_;
+    last_onset_ = t;
+    push_log(rec);
+    notify(rec);
+    if (telemetry_ != nullptr && telemetry_->enabled()) {
+      telemetry_->record(t, sim::TelemetryBus::kFailure, subject_,
+                         rec.magnitude,
+                         std::string(kind_name(rec.kind)) + " " + rec.surface +
+                             "#" + std::to_string(rec.unit));
+    }
+    if (transient) {
+      engine.at(
+          rec.until,
+          [this, &engine, si, rec] {
+            surfaces_[si].end(rec.unit, rec.magnitude);
+            ++restored_;
+            --active_;
+            Record done = rec;
+            done.t = engine.now();
+            done.begin = false;
+            push_log(done);
+            notify(done);
+          },
+          kOrderFaults);
+    }
+    return true;
+  }
+  return false;
+}
+
 void Injector::push_log(const Record& rec) {
   if (log_capacity_ == 0) return;
   if (log_.size() < log_capacity_) {

@@ -155,6 +155,17 @@ class Injector {
   /// and this injector must outlive the run.
   std::size_t bind(sim::Engine& engine, const FaultPlan& plan);
 
+  /// Fires one fault right now (at engine.now()) on the first surface
+  /// matching `kind`, bypassing any plan: the operator's one-shot
+  /// injection, used by the sa::serve control plane (POST /control) and
+  /// applied only at engine-step boundaries via the control mailbox so the
+  /// trajectory downstream of the injection stays deterministic. A
+  /// `duration` > 0 schedules the matching restore (surfaces without an
+  /// `end` actuator take permanent faults only, like planned ones).
+  /// Returns false when no surface matches `kind`. Draws no randomness.
+  bool inject_now(sim::Engine& engine, FaultKind kind, std::size_t unit,
+                  double magnitude, double duration);
+
   // -- Introspection --------------------------------------------------------
   [[nodiscard]] std::size_t injected() const noexcept { return injected_; }
   [[nodiscard]] std::size_t restored() const noexcept { return restored_; }

@@ -1,0 +1,419 @@
+#include "serve/bridge.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace sa::serve {
+
+namespace {
+
+/// Value of `key` in a "k=v&k=v" form body ("" if absent). Values here are
+/// plain tokens and numbers, so no percent-decoding is attempted.
+std::string form_get(std::string_view body, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t amp = body.find('&', pos);
+    if (amp == std::string_view::npos) amp = body.size();
+    const std::string_view pair = body.substr(pos, amp - pos);
+    pos = amp + 1;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (pair.substr(0, eq) == key) return std::string(pair.substr(eq + 1));
+  }
+  return {};
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_size(const std::string& s, std::size_t& out) {
+  double d = 0.0;
+  if (!parse_double(s, d) || d < 0) return false;
+  out = static_cast<std::size_t>(d);
+  return true;
+}
+
+HttpResponse json_response(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.content_type = "application/json";
+  resp.body = std::move(body);
+  return resp;
+}
+
+}  // namespace
+
+SimBridge::SimBridge(Options opts) : opts_(std::move(opts)) {
+  if (opts_.publish_period <= 0.0) opts_.publish_period = 0.1;
+}
+
+void SimBridge::set_telemetry(sim::TelemetryBus* bus) {
+  bus_ = bus;
+  if (bus_ != nullptr && fanout_ == nullptr) {
+    fanout_ = std::make_unique<sim::FanoutSink>(opts_.sse_queue);
+    bus_->add_sink(fanout_.get());
+  }
+}
+
+void SimBridge::add_agent(core::SelfAwareAgent* agent) {
+  if (agent != nullptr) agents_.push_back(agent);
+}
+
+void SimBridge::add_degradation(core::DegradationPolicy* policy) {
+  if (policy != nullptr) ladders_.push_back(policy);
+}
+
+void SimBridge::attach(sim::Engine& engine) {
+  engine_ = &engine;
+  engine.every(
+      opts_.publish_period,
+      [this, &engine] {
+        drain_mailbox(&engine);
+        publish_now(engine.now());
+        return !shutdown_requested();
+      },
+      opts_.event_order);
+  drain_mailbox(&engine);
+  publish_now(engine.now());
+}
+
+void SimBridge::install(Server& server) {
+  server_ = &server;
+  server.route("GET", "/metrics",
+               [this](const HttpRequest&) { return handle_metrics(); });
+  server.route("GET", "/status",
+               [this](const HttpRequest&) { return handle_status(); });
+  server.route("GET", "/healthz", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "ok\n";
+    return resp;
+  });
+  server.route("POST", "/control",
+               [this](const HttpRequest& req) { return handle_control(req); });
+  server.route_stream(
+      "/events",
+      [this](const HttpRequest&, StreamWriter& w) { handle_events(w); });
+}
+
+void SimBridge::publish_now(double t) {
+  ++publishes_;
+  if (metrics_ != nullptr) metrics_->publish(t);
+  if (bus_ != nullptr) {
+    auto snap = std::make_shared<BusSnapshot>();
+    snap->t = t;
+    snap->total = bus_->total();
+    snap->categories.reserve(bus_->categories());
+    for (sim::CategoryId c = 0; c < bus_->categories(); ++c) {
+      snap->categories.push_back({bus_->category_name(c), bus_->count(c)});
+    }
+    bus_snap_.publish(std::move(snap));
+
+    auto names = std::make_shared<NameTable>();
+    names->categories.reserve(bus_->categories());
+    for (sim::CategoryId c = 0; c < bus_->categories(); ++c) {
+      names->categories.push_back(bus_->category_name(c));
+    }
+    names->subjects.reserve(bus_->subjects());
+    for (sim::SubjectId s = 0; s < bus_->subjects(); ++s) {
+      names->subjects.push_back(bus_->subject_name(s));
+    }
+    names_.publish(std::move(names));
+  }
+  status_doc_.emplace(build_status(t, engine_));
+}
+
+void SimBridge::drain_mailbox(sim::Engine* engine) {
+  std::vector<Command> cmds;
+  {
+    std::unique_lock lk(mailbox_mu_, std::try_to_lock);
+    if (lk.owns_lock()) cmds.swap(mailbox_);
+    // A contended mailbox just waits for the next drain period.
+  }
+  for (const Command& cmd : cmds) {
+    switch (cmd.kind) {
+      case Command::Kind::Inject:
+        if (injector_ != nullptr && engine != nullptr) {
+          injector_->inject_now(*engine, cmd.fault_kind, cmd.unit,
+                                cmd.magnitude, cmd.duration);
+        }
+        break;
+      case Command::Kind::Histogram:
+        if (bus_ != nullptr) {
+          bus_->enable_histogram(bus_->intern_category(cmd.category), cmd.lo,
+                                 cmd.hi, cmd.bins);
+        }
+        break;
+    }
+    commands_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (paused_.load(std::memory_order_relaxed)) {
+    // Let /status show the pause before the sim thread blocks on it.
+    status_doc_.emplace(
+        build_status(engine != nullptr ? engine->now() : 0.0, engine));
+    std::unique_lock lk(pause_mu_);
+    pause_cv_.wait(lk, [this] {
+      return !paused_.load(std::memory_order_relaxed) ||
+             shutdown_.load(std::memory_order_relaxed);
+    });
+  }
+}
+
+void SimBridge::post(Command cmd) {
+  {
+    const std::scoped_lock lk(mailbox_mu_);
+    mailbox_.push_back(std::move(cmd));
+  }
+}
+
+ServeStats SimBridge::serve_stats() const {
+  ServeStats st;
+  if (server_ != nullptr) {
+    st.connections = server_->connections();
+    st.requests = server_->requests();
+    st.parse_errors = server_->parse_errors();
+  }
+  if (fanout_ != nullptr) {
+    st.sse_subscribers = fanout_->subscribers();
+    st.sse_dropped = fanout_->dropped_contended() +
+                     sse_dropped_total_.load(std::memory_order_relaxed);
+  }
+  return st;
+}
+
+HttpResponse SimBridge::handle_metrics() const {
+  const auto live =
+      metrics_ != nullptr ? metrics_->live()
+                          : std::shared_ptr<
+                                const sim::MetricsRegistry::LiveSnapshot>{};
+  const auto bus = bus_snap_.read();
+  const ServeStats st = serve_stats();
+  HttpResponse resp;
+  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  resp.body = render_prometheus(live.get(), bus.get(), &st);
+  return resp;
+}
+
+HttpResponse SimBridge::handle_status() const {
+  const auto doc = status_doc_.read();
+  return json_response(200, doc != nullptr
+                                ? *doc
+                                : std::string("{\"published\":false}\n"));
+}
+
+HttpResponse SimBridge::handle_control(const HttpRequest& req) {
+  const std::string cmd = form_get(req.body, "cmd");
+  if (cmd == "pause") {
+    paused_.store(true, std::memory_order_relaxed);
+    return json_response(202, "{\"queued\":\"pause\"}\n");
+  }
+  if (cmd == "resume") {
+    paused_.store(false, std::memory_order_relaxed);
+    pause_cv_.notify_all();
+    return json_response(202, "{\"queued\":\"resume\"}\n");
+  }
+  if (cmd == "shutdown") {
+    shutdown_.store(true, std::memory_order_relaxed);
+    pause_cv_.notify_all();
+    return json_response(200, "{\"shutdown\":true}\n");
+  }
+  if (cmd == "inject") {
+    if (injector_ == nullptr) {
+      return json_response(503, "{\"error\":\"no injector wired\"}\n");
+    }
+    Command c;
+    c.kind = Command::Kind::Inject;
+    try {
+      c.fault_kind = fault::kind_from(form_get(req.body, "kind"));
+    } catch (const std::invalid_argument& e) {
+      return json_response(
+          400, "{\"error\":\"" + json_escape(e.what()) + "\"}\n");
+    }
+    parse_size(form_get(req.body, "unit"), c.unit);
+    parse_double(form_get(req.body, "mag"), c.magnitude);
+    parse_double(form_get(req.body, "dur"), c.duration);
+    post(std::move(c));
+    return json_response(202, "{\"queued\":\"inject\"}\n");
+  }
+  if (cmd == "histogram") {
+    if (bus_ == nullptr) {
+      return json_response(503, "{\"error\":\"no telemetry bus wired\"}\n");
+    }
+    Command c;
+    c.kind = Command::Kind::Histogram;
+    c.category = form_get(req.body, "category");
+    if (c.category.empty()) {
+      return json_response(400, "{\"error\":\"missing category\"}\n");
+    }
+    if (!parse_double(form_get(req.body, "lo"), c.lo) ||
+        !parse_double(form_get(req.body, "hi"), c.hi) ||
+        !parse_size(form_get(req.body, "bins"), c.bins) || c.bins == 0 ||
+        !(c.lo < c.hi)) {
+      return json_response(400, "{\"error\":\"need lo < hi and bins > 0\"}\n");
+    }
+    post(std::move(c));
+    return json_response(202, "{\"queued\":\"histogram\"}\n");
+  }
+  return json_response(
+      400,
+      "{\"error\":\"unknown cmd; expected pause|resume|shutdown|inject|"
+      "histogram\"}\n");
+}
+
+void SimBridge::handle_events(StreamWriter& writer) {
+  if (fanout_ == nullptr) {
+    writer.write("event: error\ndata: no telemetry bus wired\n\n");
+    return;
+  }
+  const auto sub = fanout_->subscribe();
+  while (writer.open() && !shutdown_requested()) {
+    const auto recs = sub->drain(/*wait_ms=*/250);
+    if (recs.empty()) {
+      // Comment frame: keeps intermediaries from timing the stream out and
+      // detects a dead client between events.
+      if (!writer.write(": keep-alive\n\n")) break;
+      continue;
+    }
+    const auto names = names_.read();
+    std::string payload;
+    payload.reserve(recs.size() * 96);
+    for (const auto& r : recs) {
+      const std::string& cat =
+          names != nullptr && r.category < names->categories.size()
+              ? names->categories[r.category]
+              : std::to_string(r.category);
+      const std::string& subj =
+          names != nullptr && r.subject < names->subjects.size()
+              ? names->subjects[r.subject]
+              : std::to_string(r.subject);
+      payload += "data: {\"t\":";
+      payload += format_value(r.t);
+      payload += ",\"category\":\"";
+      payload += json_escape(cat);
+      payload += "\",\"subject\":\"";
+      payload += json_escape(subj);
+      payload += "\",\"value\":";
+      payload += format_value(r.value);
+      payload += ",\"detail\":\"";
+      payload += json_escape(r.detail);
+      payload += "\"}\n\n";
+    }
+    if (!writer.write(payload)) break;
+  }
+  sse_dropped_total_.fetch_add(sub->dropped(), std::memory_order_relaxed);
+  fanout_->unsubscribe(sub);
+}
+
+std::string SimBridge::build_status(double t, sim::Engine* engine) const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"t\":";
+  out += format_value(t);
+  out += ",\"publishes\":";
+  out += std::to_string(publishes_);
+  out += ",\"paused\":";
+  out += paused_.load(std::memory_order_relaxed) ? "true" : "false";
+  out += ",\"commands_applied\":";
+  out += std::to_string(commands_applied_.load(std::memory_order_relaxed));
+  if (engine != nullptr) {
+    out += ",\"engine\":{\"executed\":";
+    out += std::to_string(engine->executed());
+    out += ",\"pending\":";
+    out += std::to_string(engine->pending());
+    out += '}';
+  }
+
+  out += ",\"agents\":[";
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    const core::SelfAwareAgent& a = *agents_[i];
+    if (i) out += ',';
+    out += "{\"id\":\"";
+    out += json_escape(a.id());
+    out += "\",\"steps\":";
+    out += std::to_string(a.steps());
+    out += ",\"active_levels\":\"";
+    out += json_escape(a.active_levels().to_string());
+    out += "\",\"utility\":";
+    out += format_value(a.current_utility());
+    out += ",\"sensor_gaps\":";
+    out += std::to_string(a.sensor_gaps());
+    out += '}';
+  }
+  out += ']';
+
+  out += ",\"degradation\":[";
+  for (std::size_t i = 0; i < ladders_.size(); ++i) {
+    core::DegradationPolicy& d = *ladders_[i];
+    if (i) out += ',';
+    out += "{\"agent\":\"";
+    out += json_escape(d.agent().id());
+    out += "\",\"mode\":\"";
+    out += core::DegradationPolicy::mode_name(d.mode());
+    out += "\",\"rung\":";
+    out += std::to_string(d.rung());
+    out += ",\"degradations\":";
+    out += std::to_string(d.degradations());
+    out += ",\"recoveries\":";
+    out += std::to_string(d.recoveries());
+    out += ",\"last_trigger\":\"";
+    out += json_escape(d.last_trigger());
+    out += "\"}";
+  }
+  out += ']';
+
+  if (injector_ != nullptr) {
+    out += ",\"faults\":{\"injected\":";
+    out += std::to_string(injector_->injected());
+    out += ",\"restored\":";
+    out += std::to_string(injector_->restored());
+    out += ",\"active\":";
+    out += std::to_string(injector_->active());
+    out += ",\"recent\":[";
+    const auto records = injector_->records();
+    const std::size_t n = std::min(opts_.status_faults, records.size());
+    for (std::size_t i = records.size() - n; i < records.size(); ++i) {
+      const auto& r = records[i];
+      if (i != records.size() - n) out += ',';
+      out += "{\"t\":";
+      out += format_value(r.t);
+      out += ",\"kind\":\"";
+      out += fault::kind_name(r.kind);
+      out += "\",\"surface\":\"";
+      out += json_escape(r.surface);
+      out += "\",\"unit\":";
+      out += std::to_string(r.unit);
+      out += ",\"magnitude\":";
+      out += format_value(r.magnitude);
+      out += ",\"begin\":";
+      out += r.begin ? "true" : "false";
+      out += '}';
+    }
+    out += "]}";
+  }
+
+  out += ",\"explanations\":[";
+  bool first = true;
+  for (core::SelfAwareAgent* a : agents_) {
+    const auto recent = a->explainer().snapshot(opts_.status_explanations);
+    for (const core::Explanation& e : recent) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"agent\":\"";
+      out += json_escape(e.agent);
+      out += "\",\"t\":";
+      out += format_value(e.t);
+      out += ",\"text\":\"";
+      out += json_escape(e.render());
+      out += "\"}";
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace sa::serve

@@ -1,0 +1,258 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace sa::serve {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+           std::string_view("!#$%&'*+-.^_`|~").find(c) !=
+               std::string_view::npos;
+  });
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpParser::fail(int status, std::string message) {
+  error_status_ = status;
+  error_ = std::move(message);
+  return false;
+}
+
+bool HttpParser::feed(std::string_view bytes) {
+  if (failed()) return false;
+  buffer_.append(bytes);
+  while (parse_some()) {
+  }
+  return !failed();
+}
+
+bool HttpParser::next_request(HttpRequest& out) {
+  if (ready_.empty()) return false;
+  out = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return true;
+}
+
+// Attempts to parse one complete request from buffer_[consumed_..]; returns
+// true iff a request was completed (so the caller loops for pipelining).
+bool HttpParser::parse_some() {
+  if (failed()) return false;
+  const std::string_view data = std::string_view(buffer_).substr(consumed_);
+  if (data.empty()) return false;
+
+  // Locate the end of the header block. Accept CRLF and bare LF line
+  // endings (curl and browsers send CRLF; tests and humans often do not).
+  std::size_t header_end = data.find("\r\n\r\n");
+  std::size_t header_sep = 4;
+  {
+    const std::size_t lf = data.find("\n\n");
+    if (lf != std::string_view::npos &&
+        (header_end == std::string_view::npos || lf < header_end)) {
+      header_end = lf;
+      header_sep = 2;
+    }
+  }
+  if (header_end == std::string_view::npos) {
+    // Incomplete — but enforce limits against unbounded buffering.
+    const std::size_t line_end = data.find('\n');
+    if (line_end == std::string_view::npos &&
+        data.size() > limits_.max_request_line) {
+      return fail(400, "request line too long");
+    }
+    if (data.size() > limits_.max_request_line + limits_.max_header_bytes) {
+      return fail(431, "header block too large");
+    }
+    return false;
+  }
+  const std::string_view head = data.substr(0, header_end);
+
+  // --- Request line ------------------------------------------------------
+  std::size_t line_end = head.find('\n');
+  if (line_end == std::string_view::npos) line_end = head.size();
+  std::string_view line = head.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.size() > limits_.max_request_line) {
+    return fail(400, "request line too long");
+  }
+  if (head.size() - line.size() > limits_.max_header_bytes) {
+    return fail(431, "header block too large");
+  }
+
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return fail(400, "malformed request line");
+  }
+  HttpRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!is_token(req.method) || req.target.empty()) {
+    return fail(400, "malformed request line");
+  }
+  if (version == "HTTP/1.1") {
+    req.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    req.version_minor = 0;
+  } else {
+    return fail(505, "unsupported HTTP version");
+  }
+  const std::size_t qmark = req.target.find('?');
+  req.path = req.target.substr(0, qmark);
+  if (qmark != std::string::npos) req.query = req.target.substr(qmark + 1);
+
+  // --- Header fields ------------------------------------------------------
+  std::size_t pos = line_end == head.size() ? head.size() : line_end + 1;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view field = head.substr(pos, eol - pos);
+    if (!field.empty() && field.back() == '\r') field.remove_suffix(1);
+    pos = eol + 1;
+    if (field.empty()) continue;
+    const std::size_t colon = field.find(':');
+    if (colon == std::string_view::npos ||
+        !is_token(trim(field.substr(0, colon)))) {
+      return fail(400, "malformed header field");
+    }
+    if (req.headers.size() >= limits_.max_headers) {
+      return fail(431, "too many header fields");
+    }
+    req.headers.emplace_back(std::string(trim(field.substr(0, colon))),
+                             std::string(trim(field.substr(colon + 1))));
+  }
+
+  // --- Body ----------------------------------------------------------------
+  if (const std::string* te = req.header("Transfer-Encoding");
+      te != nullptr && !iequals(*te, "identity")) {
+    return fail(501, "transfer encodings not implemented");
+  }
+  std::size_t content_length = 0;
+  if (const std::string* cl = req.header("Content-Length")) {
+    const auto* end = cl->data() + cl->size();
+    const auto [ptr, ec] =
+        std::from_chars(cl->data(), end, content_length);
+    if (ec != std::errc{} || ptr != end) {
+      return fail(400, "malformed Content-Length");
+    }
+    if (content_length > limits_.max_body) {
+      return fail(413, "request body too large");
+    }
+  }
+  const std::size_t body_start = header_end + header_sep;
+  if (data.size() < body_start + content_length) return false;  // partial
+  req.body = std::string(data.substr(body_start, content_length));
+
+  consumed_ += body_start + content_length;
+  // Compact once the parsed prefix dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  ready_.push_back(std::move(req));
+  return true;
+}
+
+const char* status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string HttpResponse::serialise(bool head_only) const {
+  std::string out;
+  out.reserve(128 + (head_only ? 0 : body.size()));
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  for (const auto& [key, value] : extra_headers) {
+    out += "\r\n";
+    out += key;
+    out += ": ";
+    out += value;
+  }
+  out += close ? "\r\nConnection: close" : "\r\nConnection: keep-alive";
+  out += "\r\n\r\n";
+  if (!head_only) out += body;
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace sa::serve

@@ -1,0 +1,107 @@
+// Dependency-free HTTP/1.1 message layer for the embedded control plane.
+//
+// The parser is an incremental byte consumer deliberately separated from
+// any socket: feed() it whatever arrived (possibly a partial request,
+// possibly several pipelined requests) and poll ready requests out. This
+// keeps the whole grammar unit-testable without a listener — malformed
+// request lines, oversized headers, partial reads and pipelining are all
+// exercised in tests/serve/http_parser_test.cpp.
+//
+// Scope: exactly what /metrics, /status, /events and /control need.
+// GET/POST/HEAD with Content-Length bodies; no chunked transfer encoding,
+// no multipart, no TLS. Unsupported constructs are rejected with the
+// matching 4xx/5xx status rather than guessed at.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sa::serve {
+
+/// One parsed request. `target` is split into `path` and the raw (still
+/// URL-encoded) `query` at the first '?'.
+struct HttpRequest {
+  std::string method;   ///< upper-case by grammar ("GET", "POST", ...)
+  std::string target;   ///< request-target as received
+  std::string path;     ///< target up to the first '?'
+  std::string query;    ///< after the first '?' ("" if none)
+  int version_minor = 1;  ///< HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with the given name, case-insensitively; nullptr if
+  /// absent.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+/// Incremental HTTP/1.1 request parser with hard limits. One parser per
+/// connection; pipelined requests come out one next_request() at a time.
+class HttpParser {
+ public:
+  struct Limits {
+    std::size_t max_request_line = 4096;
+    std::size_t max_header_bytes = 16384;  ///< all header lines together
+    std::size_t max_headers = 64;
+    std::size_t max_body = 1 << 20;
+  };
+
+  HttpParser() = default;
+  explicit HttpParser(Limits limits) : limits_(limits) {}
+
+  /// Appends received bytes to the internal buffer and parses as far as
+  /// possible. Returns false once the parser has entered the error state
+  /// (the connection should send error_status() and close).
+  bool feed(std::string_view bytes);
+
+  /// Moves out the next complete request, if one is ready. Pipelined
+  /// requests queue up; call repeatedly until it returns false.
+  [[nodiscard]] bool next_request(HttpRequest& out);
+
+  [[nodiscard]] bool failed() const noexcept { return error_status_ != 0; }
+  /// HTTP status to answer with when failed(): 400 (malformed), 413 (body
+  /// too large), 431 (header too large), 501 (unimplemented transfer
+  /// encoding), 505 (unsupported version).
+  [[nodiscard]] int error_status() const noexcept { return error_status_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet parsed into a request.
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  bool parse_some();  ///< one attempt; returns whether progress was made
+  bool fail(int status, std::string message);
+
+  Limits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already parsed
+  std::vector<HttpRequest> ready_;
+  int error_status_ = 0;
+  std::string error_;
+};
+
+/// One response; serialise() emits the status line, standard headers, a
+/// Content-Length and the body. For HEAD requests the body is measured
+/// but not sent.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  bool close = false;  ///< ask the connection to close after this response
+
+  [[nodiscard]] std::string serialise(bool head_only = false) const;
+};
+
+/// Reason phrase for the handful of statuses the server emits.
+[[nodiscard]] const char* status_reason(int status) noexcept;
+
+/// Minimal JSON string escaping for the hand-built /status and SSE
+/// payloads (sa::serve deliberately does not depend on sa::exp's Json).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace sa::serve

@@ -1,0 +1,184 @@
+#include "serve/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace sa::serve {
+
+namespace {
+
+using Kind = sim::MetricsRegistry::Kind;
+using LiveMetric = sim::MetricsRegistry::LiveMetric;
+
+void append_sample(std::string& out, std::string_view name,
+                   std::string_view labels, double value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += format_value(value);
+  out += '\n';
+}
+
+void append_meta(std::string& out, std::string_view name,
+                 std::string_view type, std::string_view help) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void render_metric(std::string& out, const LiveMetric& m) {
+  const std::string name = "sa_" + sanitize_metric_name(m.name);
+  switch (m.kind) {
+    case Kind::Counter:
+      append_meta(out, name, "counter", "registry counter " + m.name);
+      append_sample(out, name, {}, m.value);
+      break;
+    case Kind::Gauge:
+      append_meta(out, name, "gauge", "registry gauge " + m.name);
+      append_sample(out, name, {}, m.value);
+      break;
+    case Kind::Timer: {
+      append_meta(out, name, "summary", "registry timer " + m.name);
+      append_sample(out, name + "_sum", {}, m.sum);
+      append_sample(out, name + "_count", {},
+                    static_cast<double>(m.count));
+      // Prometheus cannot recover extrema from a summary; expose them.
+      append_meta(out, name + "_min", "gauge", "minimum observed");
+      append_sample(out, name + "_min", {}, m.count ? m.min : 0.0);
+      append_meta(out, name + "_max", "gauge", "maximum observed");
+      append_sample(out, name + "_max", {}, m.count ? m.max : 0.0);
+      break;
+    }
+    case Kind::Histogram: {
+      append_meta(out, name, "histogram", "registry histogram " + m.name);
+      const std::size_t nbins = m.bins.size();
+      const double width =
+          nbins ? (m.hi - m.lo) / static_cast<double>(nbins) : 0.0;
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < nbins; ++b) {
+        cumulative += m.bins[b];
+        const double le = m.lo + width * static_cast<double>(b + 1);
+        append_sample(out, name + "_bucket",
+                      "le=\"" + format_value(le) + "\"",
+                      static_cast<double>(cumulative));
+      }
+      // The +Inf bucket must equal the observation count even when some
+      // observations fell outside [lo, hi).
+      append_sample(out, name + "_bucket", "le=\"+Inf\"",
+                    static_cast<double>(m.count));
+      append_sample(out, name + "_sum", {}, m.sum);
+      append_sample(out, name + "_count", {},
+                    static_cast<double>(m.count));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // %.17g round-trips but is noisy for the common integral case.
+  double integral = 0.0;
+  if (std::modf(v, &integral) == 0.0 && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+std::string render_prometheus(
+    const sim::MetricsRegistry::LiveSnapshot* live, const BusSnapshot* bus,
+    const ServeStats* serve) {
+  std::string out;
+  out.reserve(4096);
+  if (live != nullptr) {
+    append_meta(out, "sa_sim_time_seconds", "gauge",
+                "sim time of the last published snapshot");
+    append_sample(out, "sa_sim_time_seconds", {}, live->t);
+    append_meta(out, "sa_metrics_generation", "counter",
+                "number of registry publishes so far");
+    append_sample(out, "sa_metrics_generation", {},
+                  static_cast<double>(live->generation));
+    for (const LiveMetric& m : live->metrics) render_metric(out, m);
+  }
+  if (bus != nullptr) {
+    append_meta(out, "sa_bus_events_total", "counter",
+                "telemetry-bus events by category");
+    for (const BusSnapshot::Category& c : bus->categories) {
+      append_sample(out, "sa_bus_events_total",
+                    "category=\"" + escape_label_value(c.name) + "\"",
+                    static_cast<double>(c.count));
+    }
+    append_meta(out, "sa_bus_events_all_total", "counter",
+                "telemetry-bus events across all categories");
+    append_sample(out, "sa_bus_events_all_total", {},
+                  static_cast<double>(bus->total));
+  }
+  if (serve != nullptr) {
+    append_meta(out, "sa_serve_connections_total", "counter",
+                "TCP connections accepted");
+    append_sample(out, "sa_serve_connections_total", {},
+                  static_cast<double>(serve->connections));
+    append_meta(out, "sa_serve_requests_total", "counter",
+                "HTTP requests dispatched");
+    append_sample(out, "sa_serve_requests_total", {},
+                  static_cast<double>(serve->requests));
+    append_meta(out, "sa_serve_parse_errors_total", "counter",
+                "HTTP requests rejected by the parser");
+    append_sample(out, "sa_serve_parse_errors_total", {},
+                  static_cast<double>(serve->parse_errors));
+    append_meta(out, "sa_serve_sse_subscribers", "gauge",
+                "live SSE subscriber queues");
+    append_sample(out, "sa_serve_sse_subscribers", {},
+                  static_cast<double>(serve->sse_subscribers));
+    append_meta(out, "sa_serve_sse_dropped_total", "counter",
+                "SSE events dropped (bounded queues, never block the sim)");
+    append_sample(out, "sa_serve_sse_dropped_total", {},
+                  static_cast<double>(serve->sse_dropped));
+  }
+  return out;
+}
+
+}  // namespace sa::serve

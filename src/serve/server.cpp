@@ -1,0 +1,258 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sa::serve {
+
+namespace {
+
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool StreamWriter::write(std::string_view bytes) {
+  if (!open()) return false;
+  if (!send_all(fd_, bytes)) failed_ = true;
+  return open();
+}
+
+Server::Server(Options opts) : opts_(std::move(opts)) {
+  if (opts_.workers == 0) opts_.workers = 1;
+}
+
+Server::~Server() { stop(); }
+
+void Server::route(std::string method, std::string path, Handler handler) {
+  routes_.push_back({std::move(method), std::move(path), std::move(handler)});
+}
+
+void Server::route_stream(std::string path, StreamHandler handler) {
+  stream_routes_.push_back({std::move(path), std::move(handler)});
+}
+
+bool Server::start() {
+  if (running_.load()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad bind address: " + opts_.bind_address;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    error_ = "bind " + opts_.bind_address + ":" +
+             std::to_string(opts_.port) + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(opts_.workers);
+  for (unsigned i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listener unblocks accept(); shutdown() covers platforms
+  // where close() alone does not.
+  const int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  std::vector<int> leftovers;
+  {
+    const std::scoped_lock lk(queue_mu_);
+    leftovers.swap(pending_);
+  }
+  for (const int fd : leftovers) ::close(fd);
+}
+
+void Server::accept_loop() {
+  while (running_.load()) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) break;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (!running_.load()) break;
+      continue;  // transient accept failure; keep listening
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    timeval tv{};
+    tv.tv_sec = opts_.read_timeout_ms / 1000;
+    tv.tv_usec = (opts_.read_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    {
+      const std::scoped_lock lk(queue_mu_);
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void Server::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock lk(queue_mu_);
+      queue_cv_.wait(lk,
+                     [this] { return !pending_.empty() || !running_.load(); });
+      if (!pending_.empty()) {
+        fd = pending_.back();
+        pending_.pop_back();
+      } else if (!running_.load()) {
+        return;
+      }
+    }
+    if (fd >= 0) {
+      serve_connection(fd);
+      ::close(fd);
+    }
+  }
+}
+
+HttpResponse Server::dispatch(const HttpRequest& req, bool& was_head) const {
+  was_head = req.method == "HEAD";
+  const std::string method = was_head ? "GET" : req.method;
+  bool path_seen = false;
+  for (const Route& r : routes_) {
+    if (r.path != req.path) continue;
+    path_seen = true;
+    if (r.method == method) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      return r.handler(req);
+    }
+  }
+  for (const StreamRoute& r : stream_routes_) {
+    if (r.path == req.path) path_seen = true;
+  }
+  HttpResponse resp;
+  if (path_seen) {
+    resp.status = 405;
+    resp.body = "method not allowed\n";
+  } else {
+    resp.status = 404;
+    resp.body = "not found\n";
+  }
+  return resp;
+}
+
+void Server::serve_connection(int fd) {
+  HttpParser parser;
+  char buf[4096];
+  bool keep_alive = true;
+  while (keep_alive && running_.load()) {
+    // Serve everything already parsed (pipelining) before reading more.
+    HttpRequest req;
+    bool had_request = false;
+    while (parser.next_request(req)) {
+      had_request = true;
+      // Streaming routes take over the connection.
+      if (req.method == "GET") {
+        const StreamRoute* stream = nullptr;
+        for (const StreamRoute& r : stream_routes_) {
+          if (r.path == req.path) stream = &r;
+        }
+        if (stream != nullptr) {
+          requests_.fetch_add(1, std::memory_order_relaxed);
+          StreamWriter writer(fd, running_);
+          writer.write(
+              "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
+              "Cache-Control: no-cache\r\nConnection: close\r\n\r\n");
+          stream->handler(req, writer);
+          return;
+        }
+      }
+      bool was_head = false;
+      HttpResponse resp = dispatch(req, was_head);
+      const std::string* connection = req.header("Connection");
+      const bool client_close =
+          (connection != nullptr && *connection == "close") ||
+          (req.version_minor == 0 &&
+           (connection == nullptr || *connection != "keep-alive"));
+      if (client_close) resp.close = true;
+      if (!send_all(fd, resp.serialise(was_head))) return;
+      if (resp.close) return;
+    }
+    if (parser.failed()) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse resp;
+      resp.status = parser.error_status();
+      resp.body = parser.error() + "\n";
+      resp.close = true;
+      send_all(fd, resp.serialise());
+      return;
+    }
+    if (had_request) continue;  // drained the pipeline; try reading again
+
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) return;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // timeout or error: drop the idle connection
+    }
+    if (!parser.feed(std::string_view(buf, static_cast<std::size_t>(n)))) {
+      // Error reported on the next loop iteration via parser.failed().
+      continue;
+    }
+  }
+}
+
+}  // namespace sa::serve

@@ -1,0 +1,140 @@
+// Embedded HTTP/1.1 listener: one acceptor thread + a small worker pool.
+//
+// The server owns only sockets and threads; everything it serves comes
+// from handlers registered at wiring time. Handlers run on worker threads
+// and must therefore only touch thread-safe state — in this codebase that
+// means published snapshots (sim::SnapshotCell reads), FanoutSink
+// subscriptions, and the control mailbox. The simulation thread is never
+// entered and never waited on.
+//
+// Connections are keep-alive with pipelining (the parser hands out queued
+// requests one by one); a worker serves one connection at a time, so the
+// worker count bounds concurrent clients. Streaming routes (SSE) hold
+// their worker for the lifetime of the stream and are served with
+// Connection: close.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http.hpp"
+
+namespace sa::serve {
+
+/// Write side of a streaming (SSE) response. write() returns false once
+/// the client has gone away or the server is stopping — the handler should
+/// then return.
+class StreamWriter {
+ public:
+  StreamWriter(int fd, const std::atomic<bool>& running)
+      : fd_(fd), running_(&running) {}
+
+  /// Sends raw bytes (MSG_NOSIGNAL; a dead peer fails the write instead of
+  /// raising SIGPIPE). Returns false on any failure or server shutdown.
+  bool write(std::string_view bytes);
+  [[nodiscard]] bool open() const noexcept {
+    return !failed_ && running_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  int fd_;
+  const std::atomic<bool>* running_;
+  bool failed_ = false;
+};
+
+class Server {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";  ///< loopback by default
+    std::uint16_t port = 0;                  ///< 0 = ephemeral, see port()
+    unsigned workers = 4;
+    /// Per-read socket timeout; keep-alive connections idle longer than
+    /// this are closed (also bounds worker occupancy by dead clients).
+    long read_timeout_ms = 5000;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  /// Streaming handler: runs until it returns; the connection closes after.
+  using StreamHandler = std::function<void(const HttpRequest&, StreamWriter&)>;
+
+  Server() : Server(Options{}) {}
+  explicit Server(Options opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a handler for exact (method, path). Register before
+  /// start(). GET routes answer HEAD automatically.
+  void route(std::string method, std::string path, Handler handler);
+  /// Registers a streaming GET route (e.g. /events).
+  void route_stream(std::string path, StreamHandler handler);
+
+  /// Binds, listens and spins up the acceptor + workers. Returns false
+  /// (with error() set) if the socket could not be bound.
+  [[nodiscard]] bool start();
+  /// Stops accepting, closes the listener, wakes and joins all threads.
+  /// Streaming handlers observe open() == false and return. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+  /// The actually-bound port (resolves ephemeral port 0 after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  // -- Introspection (exposed by /metrics as sa_serve_* gauges) ------------
+  [[nodiscard]] std::uint64_t connections() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t parse_errors() const noexcept {
+    return parse_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Route {
+    std::string method, path;
+    Handler handler;
+  };
+  struct StreamRoute {
+    std::string path;
+    StreamHandler handler;
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& req,
+                                      bool& was_head) const;
+
+  Options opts_;
+  std::vector<Route> routes_;
+  std::vector<StreamRoute> stream_routes_;
+
+  // Atomic: stop() (any thread) retires the fd while accept_loop() reads it.
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::string error_;
+  std::atomic<bool> running_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::vector<int> pending_;  ///< accepted fds awaiting a worker
+
+  std::atomic<std::uint64_t> connections_{0};
+  mutable std::atomic<std::uint64_t> requests_{0};  ///< bumped in dispatch
+  std::atomic<std::uint64_t> parse_errors_{0};
+};
+
+}  // namespace sa::serve

@@ -1,5 +1,7 @@
 #include "sim/telemetry.hpp"
 
+#include <chrono>
+
 namespace sa::sim {
 
 namespace {
@@ -92,6 +94,58 @@ std::vector<const RingBufferSink::Rec*> RingBufferSink::by_subject(
 void RingBufferSink::clear() {
   ring_.clear();
   head_ = 0;
+}
+
+std::vector<RingBufferSink::Rec> FanoutSink::Subscription::drain(
+    long wait_ms) {
+  std::unique_lock lk(mu_);
+  if (queue_.empty() && wait_ms > 0) {
+    cv_.wait_for(lk, std::chrono::milliseconds(wait_ms),
+                 [this] { return !queue_.empty(); });
+  }
+  std::vector<RingBufferSink::Rec> out;
+  out.swap(queue_);
+  return out;
+}
+
+void FanoutSink::Subscription::offer(const TelemetryEvent& ev) {
+  std::unique_lock lk(mu_, std::try_to_lock);
+  if (!lk.owns_lock() || queue_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  queue_.push_back(
+      {ev.t, ev.category, ev.subject, ev.value, std::string(ev.detail)});
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
+}
+
+std::shared_ptr<FanoutSink::Subscription> FanoutSink::subscribe() {
+  auto sub = std::make_shared<Subscription>(queue_capacity_);
+  const std::scoped_lock lk(mu_);
+  subs_.push_back(sub);
+  return sub;
+}
+
+void FanoutSink::unsubscribe(const std::shared_ptr<Subscription>& sub) {
+  const std::scoped_lock lk(mu_);
+  std::erase(subs_, sub);
+}
+
+std::size_t FanoutSink::subscribers() const {
+  const std::scoped_lock lk(mu_);
+  return subs_.size();
+}
+
+void FanoutSink::on_event(const TelemetryEvent& ev) {
+  const std::unique_lock lk(mu_, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    dropped_contended_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (subs_.empty()) return;
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& sub : subs_) sub->offer(ev);
 }
 
 }  // namespace sa::sim

@@ -16,9 +16,12 @@
 // JSON writer.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -179,6 +182,88 @@ class RingBufferSink : public TelemetrySink {
   std::vector<Rec> ring_;   ///< circular once full
   std::size_t head_ = 0;    ///< index of the oldest retained event
   std::uint64_t seen_ = 0;
+};
+
+/// Thread-safe subscriber hook: fans bus events out to concurrently
+/// consumed bounded queues (the sa::serve SSE seam).
+///
+/// The bus itself is single-threaded — sinks run on the sim thread, and
+/// add_sink() is wiring-time only. A FanoutSink registered like any other
+/// sink extends that contract across threads: server threads subscribe()
+/// and drain their own Subscription, while the sim thread's on_event()
+/// *never blocks* — every lock on the hot path is a try_lock, and an event
+/// that cannot be delivered (queue full, or a consumer momentarily holding
+/// a lock) is counted as dropped rather than waited for. Trajectories are
+/// therefore identical whether or not anyone is subscribed; only the
+/// drop counters differ.
+class FanoutSink : public TelemetrySink {
+ public:
+  /// One consumer's bounded queue. Obtain via subscribe(); drain from any
+  /// single consumer thread.
+  class Subscription {
+   public:
+    explicit Subscription(std::size_t capacity)
+        : capacity_(capacity ? capacity : 1) {}
+
+    /// Moves out everything queued so far (possibly empty), waiting up to
+    /// `wait_ms` milliseconds for the first event. wait_ms == 0 polls.
+    [[nodiscard]] std::vector<RingBufferSink::Rec> drain(long wait_ms = 0);
+
+    /// Events dropped because this queue was full or momentarily locked
+    /// by its consumer. Monotone; exposed to scrapers.
+    [[nodiscard]] std::uint64_t dropped() const noexcept {
+      return dropped_.load(std::memory_order_relaxed);
+    }
+    /// Events successfully enqueued so far.
+    [[nodiscard]] std::uint64_t delivered() const noexcept {
+      return delivered_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+   private:
+    friend class FanoutSink;
+    /// Sim-thread side: try_lock push; drops (with counter) on contention
+    /// or overflow. Never blocks.
+    void offer(const TelemetryEvent& ev);
+
+    std::size_t capacity_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<RingBufferSink::Rec> queue_;  ///< guarded by mu_
+    std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::uint64_t> delivered_{0};
+  };
+
+  explicit FanoutSink(std::size_t queue_capacity = 1024)
+      : queue_capacity_(queue_capacity) {}
+
+  /// Registers a new consumer queue. Thread-safe.
+  [[nodiscard]] std::shared_ptr<Subscription> subscribe();
+  /// Detaches a consumer queue; the sim thread stops delivering to it.
+  void unsubscribe(const std::shared_ptr<Subscription>& sub);
+  [[nodiscard]] std::size_t subscribers() const;
+
+  /// Sim-thread dispatch. Never blocks: if the subscriber list is being
+  /// mutated right now, the event is dropped for all subscribers and
+  /// counted in dropped_contended().
+  void on_event(const TelemetryEvent& ev) override;
+
+  /// Events dropped because the subscriber list was locked mid-dispatch.
+  [[nodiscard]] std::uint64_t dropped_contended() const noexcept {
+    return dropped_contended_.load(std::memory_order_relaxed);
+  }
+  /// Events offered to at least one subscriber (0 while nobody listens:
+  /// an unobserved bus pays one try_lock and no allocation).
+  [[nodiscard]] std::uint64_t offered() const noexcept {
+    return offered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t queue_capacity_;
+  mutable std::mutex mu_;  ///< guards subs_
+  std::vector<std::shared_ptr<Subscription>> subs_;
+  std::atomic<std::uint64_t> dropped_contended_{0};
+  std::atomic<std::uint64_t> offered_{0};
 };
 
 }  // namespace sa::sim

@@ -200,5 +200,50 @@ TEST(Explainer, ZeroCapacityRetainsNothingButCounts) {
   EXPECT_FALSE(ex.last().has_value());
 }
 
+TEST(Explainer, SnapshotReturnsNewestInChronologicalOrder) {
+  Explainer ex;
+  ex.set_capacity(8);
+  for (int i = 0; i < 6; ++i) ex.record(stamped(i));
+  const auto newest = ex.snapshot(3);
+  ASSERT_EQ(newest.size(), 3u);
+  EXPECT_DOUBLE_EQ(newest[0].t, 3.0);
+  EXPECT_DOUBLE_EQ(newest[1].t, 4.0);
+  EXPECT_DOUBLE_EQ(newest[2].t, 5.0);
+}
+
+TEST(Explainer, SnapshotClampsToRetainedSize) {
+  Explainer ex;
+  ex.set_capacity(4);
+  ex.record(stamped(0.0));
+  ex.record(stamped(1.0));
+  EXPECT_EQ(ex.snapshot(100).size(), 2u);
+  EXPECT_TRUE(ex.snapshot(0).empty());
+  EXPECT_TRUE(Explainer().snapshot(5).empty());
+}
+
+TEST(Explainer, SnapshotIsCorrectAcrossRingWraparound) {
+  Explainer ex;
+  ex.set_capacity(4);
+  for (int i = 0; i < 11; ++i) ex.record(stamped(i));  // head mid-ring
+  const auto newest = ex.snapshot(2);
+  ASSERT_EQ(newest.size(), 2u);
+  EXPECT_DOUBLE_EQ(newest[0].t, 9.0);
+  EXPECT_DOUBLE_EQ(newest[1].t, 10.0);
+}
+
+TEST(Explainer, SnapshotCopiesAreIndependentOfLaterRecords) {
+  // The cross-thread discipline: a snapshot must stay valid while the ring
+  // keeps rotating underneath it.
+  Explainer ex;
+  ex.set_capacity(2);
+  ex.record(stamped(0.0));
+  ex.record(stamped(1.0));
+  const auto copy = ex.snapshot(2);
+  for (int i = 2; i < 10; ++i) ex.record(stamped(i));  // overwrite every slot
+  ASSERT_EQ(copy.size(), 2u);
+  EXPECT_DOUBLE_EQ(copy[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(copy[1].t, 1.0);
+}
+
 }  // namespace
 }  // namespace sa::core

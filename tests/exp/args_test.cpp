@@ -87,12 +87,41 @@ TEST(ArgsTest, LaterFlagWins) {
   EXPECT_EQ(o.jobs, 6u);
 }
 
+TEST(ArgsTest, ParsesServeFlags) {
+  Options o;
+  EXPECT_EQ(parse({"--serve", "9464", "--serve-linger", "2.5"}, o), "");
+  EXPECT_EQ(o.serve_port, 9464);
+  EXPECT_EQ(o.serve_linger, 2.5);
+
+  Options eph;
+  EXPECT_EQ(parse({"--serve=0"}, eph), "");
+  EXPECT_EQ(eph.serve_port, 0);  // 0 = ephemeral port, distinct from...
+
+  Options off;
+  EXPECT_EQ(parse({}, off), "");
+  EXPECT_EQ(off.serve_port, -1);  // ...the not-serving default
+  EXPECT_EQ(off.serve_linger, 0.0);
+}
+
+TEST(ArgsTest, RejectsBadServeValues) {
+  Options o;
+  EXPECT_NE(parse({"--serve"}, o), "");           // missing value
+  EXPECT_NE(parse({"--serve", "port"}, o), "");   // not a number
+  EXPECT_NE(parse({"--serve", "65536"}, o), "");  // above the port range
+  EXPECT_NE(parse({"--serve", "-1"}, o), "");
+  EXPECT_NE(parse({"--serve-linger", "-2"}, o), "");
+  EXPECT_NE(parse({"--serve-linger", "90000"}, o), "");  // > one day
+  EXPECT_NE(parse({"--serve-linger", "soon"}, o), "");
+}
+
 TEST(ArgsTest, UsageMentionsEveryFlag) {
   const std::string u = usage("bench_x");
   EXPECT_NE(u.find("bench_x"), std::string::npos);
   EXPECT_NE(u.find("--jobs"), std::string::npos);
   EXPECT_NE(u.find("--seeds"), std::string::npos);
   EXPECT_NE(u.find("--json"), std::string::npos);
+  EXPECT_NE(u.find("--serve"), std::string::npos);
+  EXPECT_NE(u.find("--serve-linger"), std::string::npos);
   EXPECT_NE(u.find("--help"), std::string::npos);
 }
 

@@ -1,0 +1,193 @@
+// Prometheus text-exposition conformance (format version 0.0.4): every
+// line render_prometheus() emits must match the exposition grammar, and
+// the registry-kind mapping (counter/gauge/summary/histogram) must follow
+// the format's invariants — cumulative le buckets, +Inf bucket == count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/prometheus.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+using namespace sa;
+using namespace sa::serve;
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+/// One exposition page built from a registry exercising every metric kind.
+std::string sample_page() {
+  sim::MetricsRegistry reg;
+  const auto c = reg.counter("loop.count");
+  const auto g = reg.gauge("svc.coverage");
+  const auto t = reg.timer("loop.ms");
+  const auto h = reg.histogram("decide.ms", 0.0, 10.0, 5);
+  reg.add(c, 41.0);
+  reg.set(g, 0.875);
+  reg.observe(t, 1.5);
+  reg.observe(t, 2.5);
+  reg.observe(h, 1.0);   // bucket 0
+  reg.observe(h, 9.5);   // bucket 4
+  reg.observe(h, 42.0);  // outside [lo, hi) — must still count in +Inf
+  reg.publish(12.5);
+
+  BusSnapshot bus;
+  bus.t = 12.5;
+  bus.total = 7;
+  bus.categories.push_back({"observation", 4});
+  bus.categories.push_back({"decision", 3});
+
+  ServeStats stats;
+  stats.connections = 3;
+  stats.requests = 9;
+
+  const auto live = reg.live();
+  return render_prometheus(live.get(), &bus, &stats);
+}
+
+// Exposition grammar per line: comments/metadata, samples, or blank.
+// metric_name [a-zA-Z_:][a-zA-Z0-9_:]*, optional {labels}, a value, no
+// timestamp (we never emit one).
+const std::regex kHelpRe(R"(# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*)");
+const std::regex kTypeRe(
+    R"(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary|histogram|untyped))");
+const std::regex kSampleRe(
+    R"([a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9].*|[+-]Inf|NaN))");
+
+TEST(PrometheusFormat, EveryLineMatchesTheExpositionGrammar) {
+  const std::string page = sample_page();
+  ASSERT_FALSE(page.empty());
+  EXPECT_EQ(page.back(), '\n');
+  for (const std::string& line : lines_of(page)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, kHelpRe)) << line;
+    } else if (line.rfind("# TYPE", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, kTypeRe)) << line;
+    } else {
+      ASSERT_NE(line.front(), '#') << "unknown comment form: " << line;
+      EXPECT_TRUE(std::regex_match(line, kSampleRe)) << line;
+    }
+  }
+}
+
+TEST(PrometheusFormat, TypeLinePrecedesItsSamples) {
+  // The format requires metadata before any sample of that family.
+  const auto lines = lines_of(sample_page());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty() || line.front() == '#') continue;
+    const std::string family = line.substr(0, line.find_first_of("{ "));
+    bool typed = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (lines[j].rfind("# TYPE ", 0) != 0) continue;
+      const std::string typed_name =
+          lines[j].substr(7, lines[j].find(' ', 7) - 7);
+      // A sample belongs to a family if its name is the family name or an
+      // allowed suffix of it (_sum/_count/_bucket/_min/_max/_stddev).
+      if (family == typed_name ||
+          family.rfind(typed_name + "_", 0) == 0) {
+        typed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(typed) << "sample with no preceding TYPE: " << line;
+  }
+}
+
+TEST(PrometheusFormat, MapsRegistryKinds) {
+  const std::string page = sample_page();
+  EXPECT_NE(page.find("# TYPE sa_loop_count counter"), std::string::npos);
+  EXPECT_NE(page.find("sa_loop_count 41"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE sa_svc_coverage gauge"), std::string::npos);
+  EXPECT_NE(page.find("sa_svc_coverage 0.875"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE sa_loop_ms summary"), std::string::npos);
+  EXPECT_NE(page.find("sa_loop_ms_sum 4"), std::string::npos);
+  EXPECT_NE(page.find("sa_loop_ms_count 2"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE sa_decide_ms histogram"), std::string::npos);
+  EXPECT_NE(page.find("sa_sim_time_seconds 12.5"), std::string::npos);
+}
+
+TEST(PrometheusFormat, HistogramBucketsAreCumulativeWithInfEqualCount) {
+  const auto lines = lines_of(sample_page());
+  std::vector<double> bucket_counts;
+  double inf_count = -1.0, count = -1.0;
+  for (const std::string& line : lines) {
+    if (line.rfind("sa_decide_ms_bucket", 0) == 0) {
+      const double v = std::stod(line.substr(line.rfind(' ') + 1));
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        inf_count = v;
+      } else {
+        bucket_counts.push_back(v);
+      }
+    } else if (line.rfind("sa_decide_ms_count ", 0) == 0) {
+      count = std::stod(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  ASSERT_EQ(bucket_counts.size(), 5u);
+  for (std::size_t i = 1; i < bucket_counts.size(); ++i) {
+    EXPECT_GE(bucket_counts[i], bucket_counts[i - 1]) << "not cumulative";
+  }
+  // Three observations total. sim::Histogram clamps out-of-range samples
+  // to the edge bins, so 42.0 lands in the last finite bucket — and the
+  // format invariant +Inf == observation count must still hold.
+  EXPECT_EQ(inf_count, 3.0);
+  EXPECT_EQ(count, 3.0);
+  EXPECT_EQ(bucket_counts.back(), 3.0);  // two in-range + one clamped
+  EXPECT_EQ(bucket_counts.front(), 1.0);
+}
+
+TEST(PrometheusFormat, BusCategoriesBecomeLabelledCounters) {
+  const std::string page = sample_page();
+  EXPECT_NE(page.find("sa_bus_events_total{category=\"observation\"} 4"),
+            std::string::npos);
+  EXPECT_NE(page.find("sa_bus_events_total{category=\"decision\"} 3"),
+            std::string::npos);
+  EXPECT_NE(page.find("sa_bus_events_all_total 7"), std::string::npos);
+}
+
+TEST(PrometheusFormat, NullSectionsAreOmitted) {
+  const std::string page = render_prometheus(nullptr, nullptr, nullptr);
+  EXPECT_EQ(page.find("sa_sim_time_seconds"), std::string::npos);
+  EXPECT_EQ(page.find("sa_bus_events"), std::string::npos);
+  EXPECT_EQ(page.find("sa_serve_"), std::string::npos);
+
+  ServeStats stats;
+  const std::string only_serve = render_prometheus(nullptr, nullptr, &stats);
+  EXPECT_NE(only_serve.find("sa_serve_requests_total"), std::string::npos);
+}
+
+TEST(PrometheusFormat, SanitizesMetricNames) {
+  EXPECT_EQ(sanitize_metric_name("loop.count"), "loop_count");
+  EXPECT_EQ(sanitize_metric_name("svc coverage%"), "svc_coverage_");
+  EXPECT_EQ(sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(sanitize_metric_name("a:b_c9"), "a:b_c9");
+}
+
+TEST(PrometheusFormat, EscapesLabelValues) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+}
+
+TEST(PrometheusFormat, FormatsSpecialValues) {
+  EXPECT_EQ(format_value(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(format_value(-std::numeric_limits<double>::infinity()), "-Inf");
+  EXPECT_EQ(format_value(std::nan("")), "NaN");
+  EXPECT_EQ(format_value(42.0), "42");
+  EXPECT_EQ(format_value(0.875), "0.875");
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Loopback tests of the embedded HTTP listener: routing, HEAD handling,
+// keep-alive + pipelining, parser-error responses and streaming routes.
+// Every server binds port 0 (ephemeral) so suites can run in parallel.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "test_client.hpp"
+
+namespace {
+
+using namespace sa::serve;
+namespace client = sa::serve::testing;
+
+Server::Options quick_opts() {
+  Server::Options opts;
+  opts.workers = 2;
+  opts.read_timeout_ms = 500;  // keep idle-connection tests fast
+  return opts;
+}
+
+TEST(Server, ServesRegisteredRoute) {
+  Server server(quick_opts());
+  server.route("GET", "/ping", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "pong";
+    return resp;
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+  ASSERT_GT(server.port(), 0);
+
+  const std::string resp = client::http_get(server.port(), "/ping");
+  EXPECT_EQ(client::status_of(resp), 200);
+  EXPECT_EQ(client::body_of(resp), "pong");
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_GE(server.connections(), 1u);
+  EXPECT_GE(server.requests(), 1u);
+}
+
+TEST(Server, UnknownPathIs404AndWrongMethodIs405) {
+  Server server(quick_opts());
+  server.route("GET", "/only-get", [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  EXPECT_EQ(client::status_of(client::http_get(server.port(), "/nope")), 404);
+  EXPECT_EQ(client::status_of(
+                client::http_post(server.port(), "/only-get", "x=1")),
+            405);
+  server.stop();
+}
+
+TEST(Server, HeadGetsHeadersButNoBody) {
+  Server server(quick_opts());
+  server.route("GET", "/doc", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "0123456789";
+    return resp;
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const std::string resp = client::raw_request(
+      server.port(), "HEAD /doc HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(client::status_of(resp), 200);
+  EXPECT_NE(resp.find("Content-Length: 10"), std::string::npos);
+  EXPECT_EQ(client::body_of(resp), "");
+  server.stop();
+}
+
+TEST(Server, ParserErrorsAnswerWithMatchingStatus) {
+  Server server(quick_opts());
+  ASSERT_TRUE(server.start()) << server.error();
+
+  EXPECT_EQ(client::status_of(
+                client::raw_request(server.port(), "GET / HTTP/2.0\r\n\r\n")),
+            505);
+  EXPECT_EQ(client::status_of(client::raw_request(
+                server.port(), "not a request line\r\n\r\n")),
+            400);
+  server.stop();
+  EXPECT_GE(server.parse_errors(), 2u);
+}
+
+TEST(Server, KeepAliveServesPipelinedRequests) {
+  Server server(quick_opts());
+  std::atomic<int> hits{0};
+  server.route("GET", "/n", [&hits](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = std::to_string(hits.fetch_add(1) + 1);
+    return resp;
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const int fd = client::connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string burst =
+      "GET /n HTTP/1.1\r\n\r\n"
+      "GET /n HTTP/1.1\r\n\r\n"
+      "GET /n HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+            static_cast<ssize_t>(burst.size()));
+  std::string all;
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    all.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(hits.load(), 3);
+  // Three complete responses came back on one connection, in order.
+  std::size_t count = 0;
+  for (std::size_t at = all.find("HTTP/1.1 200");
+       at != std::string::npos; at = all.find("HTTP/1.1 200", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(server.connections(), 1u);
+  EXPECT_EQ(server.requests(), 3u);
+}
+
+TEST(Server, ConcurrentClientsAreAllServed) {
+  Server server(quick_opts());
+  server.route("GET", "/w", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "ok";
+    return resp;
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&] {
+      const std::string resp = client::http_get(server.port(), "/w");
+      if (client::status_of(resp) == 200 && client::body_of(resp) == "ok") {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 8);
+  server.stop();
+}
+
+TEST(Server, StreamRouteRunsHandlerAndClosesAfter) {
+  Server server(quick_opts());
+  server.route_stream("/stream", [](const HttpRequest&, StreamWriter& w) {
+    w.write("data: one\n\n");
+    w.write("data: two\n\n");
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const std::string resp = client::raw_request(
+      server.port(), "GET /stream HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(client::status_of(resp), 200);
+  EXPECT_NE(resp.find("Content-Type: text/event-stream"), std::string::npos);
+  EXPECT_NE(resp.find("data: one\n\n"), std::string::npos);
+  EXPECT_NE(resp.find("data: two\n\n"), std::string::npos);
+  server.stop();
+}
+
+TEST(Server, StopUnblocksLiveStreamHandlers) {
+  Server server(quick_opts());
+  std::atomic<bool> handler_done{false};
+  server.route_stream("/forever", [&](const HttpRequest&, StreamWriter& w) {
+    // Emits until the server shuts down; must not wedge stop().
+    while (w.open()) {
+      if (!w.write(": tick\n\n")) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    handler_done = true;
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const int fd = client::connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string req = "GET /forever HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(fd, req.data(), req.size(), 0), 0);
+  char buf[256];
+  ASSERT_GT(::recv(fd, buf, sizeof(buf), 0), 0);  // stream is live
+
+  server.stop();  // must return promptly despite the open stream
+  EXPECT_TRUE(handler_done.load());
+  ::close(fd);
+}
+
+TEST(Server, StopIsIdempotent) {
+  Server server(quick_opts());
+  server.route("GET", "/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.start()) << server.error();
+  server.stop();
+  server.stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+}
+
+TEST(Server, RejectsUnbindablePort) {
+  Server a(quick_opts());
+  ASSERT_TRUE(a.start()) << a.error();
+  Server::Options taken = quick_opts();
+  taken.port = a.port();
+  Server b(taken);
+  EXPECT_FALSE(b.start());
+  EXPECT_FALSE(b.error().empty());
+  a.stop();
+}
+
+}  // namespace

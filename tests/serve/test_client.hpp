@@ -1,0 +1,82 @@
+// Minimal blocking loopback HTTP client for the serve test suites. Talks
+// to 127.0.0.1:<port> only; one request per connection unless the caller
+// reuses the fd. Deliberately independent of serve::HttpParser so the
+// tests do not validate the server with the very code under test.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+namespace sa::serve::testing {
+
+/// Connects to 127.0.0.1:port; returns the fd or -1.
+inline int connect_loopback(unsigned short port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+/// Sends `raw` and reads until the peer closes (or the 5 s read timeout
+/// fires). Returns everything received — status line, headers and body.
+inline std::string raw_request(unsigned short port, const std::string& raw) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return {};
+  ::send(fd, raw.data(), raw.size(), 0);
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+/// One-shot GET with Connection: close; returns the full response.
+inline std::string http_get(unsigned short port, const std::string& target) {
+  return raw_request(port, "GET " + target +
+                               " HTTP/1.1\r\nHost: t\r\n"
+                               "Connection: close\r\n\r\n");
+}
+
+/// One-shot POST (form body) with Connection: close.
+inline std::string http_post(unsigned short port, const std::string& target,
+                             const std::string& body) {
+  return raw_request(port, "POST " + target +
+                               " HTTP/1.1\r\nHost: t\r\n"
+                               "Content-Type: application/"
+                               "x-www-form-urlencoded\r\nContent-Length: " +
+                               std::to_string(body.size()) +
+                               "\r\nConnection: close\r\n\r\n" + body);
+}
+
+/// The body part of a response (after the first blank line).
+inline std::string body_of(const std::string& response) {
+  const std::size_t sep = response.find("\r\n\r\n");
+  return sep == std::string::npos ? std::string() : response.substr(sep + 4);
+}
+
+/// The integer status code of a response ("HTTP/1.1 200 OK" -> 200).
+inline int status_of(const std::string& response) {
+  if (response.size() < 12) return -1;
+  return std::atoi(response.c_str() + 9);
+}
+
+}  // namespace sa::serve::testing
