@@ -9,10 +9,41 @@ namespace sa::serve {
 
 namespace {
 
-/// Value of `key` in a "k=v&k=v" form body ("" if absent). Values here are
-/// plain tokens and numbers, so no percent-decoding is attempted.
+/// application/x-www-form-urlencoded decoding: '+' -> space, %XX -> byte.
+/// Returns false on a truncated or non-hex escape.
+bool form_decode(std::string_view in, std::string& out) {
+  const auto hex = [](char h) -> int {
+    if (h >= '0' && h <= '9') return h - '0';
+    if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+    if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+    return -1;
+  };
+  out.clear();
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%') {
+      if (i + 2 >= in.size()) return false;
+      const int hi = hex(in[i + 1]);
+      const int lo = hex(in[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out += static_cast<char>(hi * 16 + lo);
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return true;
+}
+
+/// Decoded value of `key` in a "k=v&k=v" form body. "" if the key is absent
+/// or carries a malformed escape — the caller's required-field validation
+/// then turns that into a 400.
 std::string form_get(std::string_view body, std::string_view key) {
   std::size_t pos = 0;
+  std::string k, v;
   while (pos < body.size()) {
     std::size_t amp = body.find('&', pos);
     if (amp == std::string_view::npos) amp = body.size();
@@ -20,7 +51,9 @@ std::string form_get(std::string_view body, std::string_view key) {
     pos = amp + 1;
     const std::size_t eq = pair.find('=');
     if (eq == std::string_view::npos) continue;
-    if (pair.substr(0, eq) == key) return std::string(pair.substr(eq + 1));
+    if (!form_decode(pair.substr(0, eq), k) || k != key) continue;
+    if (!form_decode(pair.substr(eq + 1), v)) return {};
+    return v;
   }
   return {};
 }
@@ -213,12 +246,21 @@ HttpResponse SimBridge::handle_control(const HttpRequest& req) {
     return json_response(202, "{\"queued\":\"pause\"}\n");
   }
   if (cmd == "resume") {
-    paused_.store(false, std::memory_order_relaxed);
+    {
+      // The store must be ordered with the sim thread's predicate check in
+      // drain_mailbox(): unlocked, the notify could land between that check
+      // and the wait and be lost, leaving the sim paused indefinitely.
+      const std::scoped_lock lk(pause_mu_);
+      paused_.store(false, std::memory_order_relaxed);
+    }
     pause_cv_.notify_all();
     return json_response(202, "{\"queued\":\"resume\"}\n");
   }
   if (cmd == "shutdown") {
-    shutdown_.store(true, std::memory_order_relaxed);
+    {
+      const std::scoped_lock lk(pause_mu_);  // same ordering as resume
+      shutdown_.store(true, std::memory_order_relaxed);
+    }
     pause_cv_.notify_all();
     return json_response(200, "{\"shutdown\":true}\n");
   }

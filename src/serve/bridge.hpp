@@ -116,7 +116,8 @@ class SimBridge {
   // resume and shutdown are atomics flipped directly by the handler: pause
   // takes effect at the next drain (a step boundary), and resume/shutdown
   // must be able to release a sim thread that is *blocked* in the drain —
-  // a mailboxed resume would never be read.
+  // a mailboxed resume would never be read. The releasing stores happen
+  // under pause_mu_ so the notify cannot race the waiter's predicate check.
   struct Command {
     enum class Kind : std::uint8_t { Inject, Histogram };
     Kind kind = Kind::Inject;

@@ -67,6 +67,9 @@ class HttpParser {
   [[nodiscard]] int error_status() const noexcept { return error_status_; }
   [[nodiscard]] const std::string& error() const noexcept { return error_; }
 
+  /// Complete requests parsed but not yet handed out by next_request().
+  [[nodiscard]] std::size_t pending() const noexcept { return ready_.size(); }
+
   /// Bytes buffered but not yet parsed into a request.
   [[nodiscard]] std::size_t buffered() const noexcept {
     return buffer_.size() - consumed_;

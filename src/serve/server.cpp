@@ -7,6 +7,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -108,7 +109,21 @@ void Server::stop() {
     ::shutdown(lfd, SHUT_RDWR);
     ::close(lfd);
   }
-  queue_cv_.notify_all();
+  {
+    // running_ is already false; notifying under the queue lock means a
+    // worker cannot evaluate its wait predicate (seeing running_) and then
+    // block after this notification — the wakeup would be lost and the
+    // join below would hang.
+    const std::scoped_lock lk(queue_mu_);
+    queue_cv_.notify_all();
+  }
+  {
+    // Unblock workers stuck in send()/recv() on a live connection (e.g. an
+    // SSE subscriber that stopped reading). Any fd still in active_ has not
+    // been closed yet (workers erase before closing, under conn_mu_).
+    const std::scoped_lock lk(conn_mu_);
+    for (const int fd : active_) ::shutdown(fd, SHUT_RDWR);
+  }
   if (acceptor_.joinable()) acceptor_.join();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -137,6 +152,10 @@ void Server::accept_loop() {
     tv.tv_sec = opts_.read_timeout_ms / 1000;
     tv.tv_usec = (opts_.read_timeout_ms % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    timeval wtv{};
+    wtv.tv_sec = opts_.write_timeout_ms / 1000;
+    wtv.tv_usec = (opts_.write_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &wtv, sizeof wtv);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     {
@@ -162,7 +181,15 @@ void Server::worker_loop() {
       }
     }
     if (fd >= 0) {
+      {
+        const std::scoped_lock lk(conn_mu_);
+        active_.push_back(fd);
+      }
       serve_connection(fd);
+      {
+        const std::scoped_lock lk(conn_mu_);
+        active_.erase(std::find(active_.begin(), active_.end(), fd));
+      }
       ::close(fd);
     }
   }
@@ -211,6 +238,18 @@ void Server::serve_connection(int fd) {
           if (r.path == req.path) stream = &r;
         }
         if (stream != nullptr) {
+          // The stream holds the connection until it closes and never
+          // returns to this loop, so anything pipelined behind it could
+          // only be dropped silently — reject the batch instead.
+          if (parser.pending() > 0 || parser.buffered() > 0) {
+            parse_errors_.fetch_add(1, std::memory_order_relaxed);
+            HttpResponse resp;
+            resp.status = 400;
+            resp.body = "pipelined request behind a streaming route\n";
+            resp.close = true;
+            send_all(fd, resp.serialise());
+            return;
+          }
           requests_.fetch_add(1, std::memory_order_relaxed);
           StreamWriter writer(fd, running_);
           writer.write(

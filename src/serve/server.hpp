@@ -57,6 +57,9 @@ class Server {
     /// Per-read socket timeout; keep-alive connections idle longer than
     /// this are closed (also bounds worker occupancy by dead clients).
     long read_timeout_ms = 5000;
+    /// Per-send socket timeout; a client that stops reading (full TCP
+    /// window) fails the connection instead of blocking a worker forever.
+    long write_timeout_ms = 5000;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -131,6 +134,12 @@ class Server {
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::vector<int> pending_;  ///< accepted fds awaiting a worker
+
+  // Connections currently inside serve_connection(). Workers erase their fd
+  // under conn_mu_ *before* closing it, so stop() can safely ::shutdown()
+  // every listed fd (unblocking send/recv) while holding the lock.
+  std::mutex conn_mu_;
+  std::vector<int> active_;
 
   std::atomic<std::uint64_t> connections_{0};
   mutable std::atomic<std::uint64_t> requests_{0};  ///< bumped in dispatch

@@ -179,6 +179,32 @@ TEST(SimBridge, HistogramOptInReachesTheBus) {
   server.stop();
 }
 
+TEST(SimBridge, ControlFormValuesArePercentDecoded) {
+  sim::Engine engine;
+  sim::TelemetryBus bus;
+  SimBridge bridge;
+  bridge.set_telemetry(&bus);
+  bridge.attach(engine);
+  Server server(quick_opts());
+  bridge.install(server);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // "a%26b+c" decodes to "a&b c" — reserved characters survive encoding.
+  EXPECT_EQ(client::status_of(client::http_post(
+                server.port(), "/control",
+                "cmd=histogram&category=a%26b+c&lo=0&hi=1&bins=4")),
+            202);
+  engine.run_until(0.2);
+  ASSERT_NE(bus.histogram(bus.intern_category("a&b c")), nullptr);
+
+  // A malformed escape never reaches the bus as a mangled name.
+  EXPECT_EQ(client::status_of(client::http_post(
+                server.port(), "/control",
+                "cmd=histogram&category=%zz&lo=0&hi=1&bins=4")),
+            400);
+  server.stop();
+}
+
 TEST(SimBridge, PauseBlocksTheSimThreadAndResumeReleasesIt) {
   sim::Engine engine;
   SimBridge bridge;

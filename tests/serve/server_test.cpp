@@ -193,6 +193,55 @@ TEST(Server, StopUnblocksLiveStreamHandlers) {
   ::close(fd);
 }
 
+TEST(Server, StopUnblocksWorkerBlockedOnANonReadingClient) {
+  Server::Options opts = quick_opts();
+  opts.write_timeout_ms = 30'000;  // only stop()'s shutdown() can unblock
+  Server server(opts);
+  std::atomic<bool> handler_done{false};
+  const std::string chunk(64 * 1024, 'x');
+  server.route_stream("/firehose", [&](const HttpRequest&, StreamWriter& w) {
+    while (w.write(chunk)) {
+    }
+    handler_done = true;
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const int fd = client::connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string req = "GET /firehose HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(fd, req.data(), req.size(), 0), 0);
+  // Never read: the worker fills both socket buffers and blocks in send().
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();  // must shut the connection down rather than wait for send
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(handler_done.load());
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  ::close(fd);
+}
+
+TEST(Server, PipelinedRequestBehindStreamTakeoverIsRejected) {
+  Server server(quick_opts());
+  std::atomic<int> stream_hits{0};
+  server.route_stream("/stream", [&](const HttpRequest&, StreamWriter& w) {
+    stream_hits.fetch_add(1);
+    w.write("data: one\n\n");
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // Both requests land in the parser together; the one behind the stream
+  // takeover can never be served, so the batch is refused up front.
+  const std::string resp = client::raw_request(
+      server.port(),
+      "GET /stream HTTP/1.1\r\n\r\nGET /stream HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(client::status_of(resp), 400);
+  EXPECT_NE(resp.find("pipelined"), std::string::npos) << resp;
+  EXPECT_EQ(stream_hits.load(), 0);
+  server.stop();
+  EXPECT_GE(server.parse_errors(), 1u);
+}
+
 TEST(Server, StopIsIdempotent) {
   Server server(quick_opts());
   server.route("GET", "/x", [](const HttpRequest&) { return HttpResponse{}; });
