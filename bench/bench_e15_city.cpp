@@ -1,0 +1,106 @@
+// E15 — the smart-city composite stress scenario
+// (paper Sections III and VII: self-awareness is argued to matter most in
+// large, heterogeneous, interacting systems — not in any single substrate
+// benchmarked alone).
+//
+// One generated ScenarioSpec wires all four substrates into ONE engine:
+// smart cameras track street objects; their epoch reports travel a
+// cognitive packet network to a volunteer-cloud backend; the backend's
+// saturation offloads analytics onto multicore edge nodes; a standing
+// fault environment presses on everything at once. Two variants face the
+// byte-identical generated world (same topologies, workloads and fault
+// schedules per seed):
+//
+//   baseline   — design-time choices everywhere: static manager(s),
+//                homogeneous broadcast cameras, static autoscaler,
+//                shortest-path routing, no exchange, no degradation;
+//   self-aware — the paper's stack: learning cameras, Q-routing,
+//                model-based autoscaling, self-aware managers with
+//                degradation ladders, plus cross-domain knowledge
+//                exchange.
+//
+// Every random draw comes from the spec's own per-section streams
+// (sa::gen), so each metric — and the whole BENCH_e15.json — is
+// bitwise-identical across --jobs N. --scenario SPEC replaces the city
+// with any other generated world.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/harness.hpp"
+#include "gen/scenario.hpp"
+#include "gen/spec.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+using namespace sa;
+
+const std::vector<std::uint64_t> kSeeds{61, 62, 63};
+
+exp::TaskOutput run_city(const gen::ScenarioSpec& spec, bool self_aware,
+                         const exp::TaskContext& ctx) {
+  gen::Scenario::Options opts;
+  opts.self_aware = self_aware;
+  opts.telemetry = ctx.telemetry;
+  opts.tracer = ctx.tracer;
+  opts.metrics = ctx.metrics;
+  gen::Scenario city(spec, ctx.seed, opts);
+
+  if (ctx.serve_bind) {
+    exp::ServeHooks hooks;
+    hooks.engine = &city.engine();
+    hooks.injector = &city.injector();
+    hooks.agents = city.agents();
+    ctx.serve_bind(hooks);
+  }
+
+  city.run();
+  return {city.summary()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Harness h("e15_city", argc, argv);
+
+  gen::ScenarioSpec spec;
+  try {
+    spec = gen::ScenarioSpec::parse(h.options().scenario.empty()
+                                        ? gen::ScenarioSpec::city_spec()
+                                        : h.options().scenario);
+    if (!spec.any_substrate()) {
+      throw std::invalid_argument(
+          "scenario: spec enables no substrate section");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_e15_city: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "E15: generated smart-city composite — cameras -> packet "
+               "network -> cloud\nbackend -> multicore edge, one engine, "
+               "one standing fault environment.\nScenario: "
+            << spec.to_string() << "\n"
+            << h.seeds_for(kSeeds).size() << " seeds.\n\n";
+
+  exp::Grid g;
+  g.name = "e15.city";
+  g.variants = {"baseline", "self-aware"};
+  g.seeds = kSeeds;
+  g.task = [&spec](const exp::TaskContext& ctx) {
+    return run_city(spec, ctx.variant == 1, ctx);
+  };
+  const auto r = h.run(std::move(g));
+
+  sim::Table t("E15  smart city: composite goal attainment under faults",
+               {"stack", "goal", "coverage", "delivery", "sla",
+                "edge_util", "faults"});
+  for (std::size_t v = 0; v < r.variants.size(); ++v) {
+    t.add_row({r.variants[v], r.mean(v, "goal"), r.mean(v, "coverage"),
+               r.mean(v, "cpn_delivery"), r.mean(v, "cloud_sla"),
+               r.mean(v, "edge_utility"), r.mean(v, "faults_injected")});
+  }
+  t.print(std::cout);
+  return h.finish();
+}

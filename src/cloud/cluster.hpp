@@ -74,6 +74,11 @@ class DemandModel {
   /// Arrival rate at time `t` (advances burst state; call once per epoch).
   double rate(double t, double epoch_s, sim::Rng& rng);
   [[nodiscard]] bool bursting() const noexcept { return burst_until_ > 0.0; }
+  /// Live base-rate override: composite scenarios couple upstream
+  /// deliveries into backend demand (see gen::Scenario). Deterministic —
+  /// demand still draws only from the caller-provided epoch Rng.
+  void set_base(double base) noexcept { p_.base = base; }
+  [[nodiscard]] double base() const noexcept { return p_.base; }
 
  private:
   Params p_;

@@ -100,6 +100,19 @@ StandardArgs::StandardArgs() {
          out.fault_plan = std::string(value);
          return {};
        }});
+  add({"--scenario",
+       "",
+       "SPEC",
+       "overlay a scenario spec on scenario-driven\n"
+       "experiments (\"section:key=value,...;...\"; see\n"
+       "sa::gen::ScenarioSpec::parse)",
+       [](std::string_view value, Options& out) -> std::string {
+         if (value.empty()) {
+           return "expects a scenario spec (\"section:key=value,...\")";
+         }
+         out.scenario = std::string(value);
+         return {};
+       }});
   add({"--serve",
        "",
        "PORT",

@@ -12,6 +12,8 @@
 //   --metrics PATH   write that cell's metrics snapshots as JSONL
 //   --fault-plan S   overlay a fault::FaultPlan spec on experiments that
 //                    support fault injection (others reject it)
+//   --scenario S     overlay a gen::ScenarioSpec on scenario-driven
+//                    experiments (others ignore it)
 //   --serve PORT     expose the designated cell live over HTTP (sa::serve;
 //                    builds with -DSA_SERVE=OFF reject the flag)
 //   --serve-linger S keep the endpoint up S seconds after the run
@@ -39,6 +41,10 @@ struct Options {
   /// Fault-plan spec (fault::FaultPlan::parse syntax); empty = the
   /// experiment's built-in plan. Only fault-aware benches consume it.
   std::string fault_plan;
+  /// Scenario spec (gen::ScenarioSpec::parse syntax); empty = the
+  /// experiment's built-in scenario. Only scenario-aware benches consume
+  /// it (bench_e15_city, examples/smart_city).
+  std::string scenario;
   /// HTTP port for the sa::serve endpoint; -1 = not serving, 0 = pick an
   /// ephemeral port (printed at startup).
   int serve_port = -1;

@@ -231,6 +231,7 @@ Json Harness::document() const {
   meta["jobs"] = static_cast<std::int64_t>(jobs());
   // Only emitted when set: pre-existing documents stay byte-identical.
   if (!opts_.fault_plan.empty()) meta["fault_plan"] = opts_.fault_plan;
+  if (!opts_.scenario.empty()) meta["scenario"] = opts_.scenario;
   double wall = 0.0;
   for (const auto& g : results_) wall += g.wall_s;
   meta["wall_clock_s"] = wall;

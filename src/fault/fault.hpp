@@ -75,6 +75,8 @@ struct FaultProcess {
   double magnitude = 1.0;   ///< kind-specific severity knob
   double start = 0.0;       ///< process active from here...
   double end = std::numeric_limits<double>::infinity();  ///< ...to here
+
+  [[nodiscard]] bool operator==(const FaultProcess&) const = default;
 };
 
 /// A seeded list of fault processes — the whole scenario as data.
@@ -91,6 +93,8 @@ struct FaultPlan {
   [[nodiscard]] static FaultPlan parse(std::string_view spec);
   /// Canonical spec string (parse(to_string()) round-trips).
   [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const FaultPlan&) const = default;
 };
 
 /// Schedules a FaultPlan's processes onto an engine and dispatches each

@@ -1,0 +1,330 @@
+#include "gen/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fault/adapters.hpp"
+
+namespace sa::gen {
+
+namespace {
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+Scenario::Scenario(const ScenarioSpec& spec, std::uint64_t run_seed,
+                   Options opts)
+    : spec_(spec),
+      seed_(spec.scenario_seed(run_seed)),
+      opts_(opts),
+      runtime_(engine_),
+      couple_rng_(ScenarioSpec::section_stream(seed_, "couplings")) {
+  if (!spec_.any_substrate()) {
+    throw std::invalid_argument("scenario: no substrate section enabled");
+  }
+  runtime_.set_metrics(opts_.metrics);
+  runtime_.set_tracer(opts_.tracer);
+  injector_.set_telemetry(opts_.telemetry);
+
+  // Registration order is part of the determinism contract: at coincident
+  // instants the engine breaks order ties by registration sequence, so
+  // build steps always run in this fixed order — cameras (world steps,
+  // injections into the CPN happen inside these), then CPN (traffic
+  // before transit), then the coupling windows, then the control loops.
+  build_cameras();
+  build_cpn();
+  build_cloud();
+  build_edge();
+  wire_couplings();
+
+  if (opts_.self_aware && spec_.world.exchange_s > 0.0) {
+    std::vector<core::SelfAwareAgent*> peers;
+    for (auto& m : managers_) peers.push_back(&m->agent());
+    if (autoscaler_) peers.push_back(&autoscaler_->agent());
+    if (peers.size() >= 2) {
+      runtime_.schedule_exchange(peers, spec_.world.exchange_s);
+    }
+  }
+
+  wire_faults();
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build_cameras() {
+  if (!spec_.cameras.enabled) return;
+  svc::NetworkParams np;
+  np.objects = spec_.cameras.objects;
+  np.speed = spec_.cameras.speed;
+  np.seed = sim::mix64(seed_ ^ 0x5CA3'0001ULL);
+  camnet_ = std::make_unique<svc::Network>(spec_.expand_cameras(seed_), np);
+  camnet_->set_telemetry(opts_.telemetry);
+
+  svc::CameraFleet::Params fp;
+  fp.mode = opts_.self_aware ? svc::CameraFleet::Mode::Learning
+                             : svc::CameraFleet::Mode::Homogeneous;
+  fp.fixed = svc::Strategy::Broadcast;
+  fp.epoch_steps = spec_.cameras.epoch_steps;
+  fp.seed = sim::mix64(seed_ ^ 0x5CA3'0002ULL);
+  fp.telemetry = opts_.telemetry;
+  fp.tracer = opts_.tracer;
+  fleet_ = std::make_unique<svc::CameraFleet>(*camnet_, fp);
+  fleet_->bind(engine_, spec_.world.step_s,
+               [this](const svc::NetworkEpoch& ep) {
+                 // cameras -> cpn: tracked objects this epoch become
+                 // backend-bound report packets (injected at the next
+                 // coupling window; see wire_couplings).
+                 pending_reports_ += ep.coverage *
+                                     static_cast<double>(camnet_->objects());
+               });
+}
+
+void Scenario::build_cpn() {
+  if (!spec_.cpn.enabled) return;
+  cpn::Topology topo =
+      cpn::Topology::grid(spec_.cpn.rows, spec_.cpn.cols,
+                          spec_.cpn.shortcuts,
+                          sim::mix64(seed_ ^ 0xC9A0'0001ULL));
+  cpn::PacketNetwork::Params np;
+  np.router = opts_.self_aware ? cpn::PacketNetwork::Router::QRouting
+                               : cpn::PacketNetwork::Router::Static;
+  np.seed = sim::mix64(seed_ ^ 0xC9A0'0002ULL);
+  cpn::TrafficParams tp;
+  tp.flows = spec_.cpn.flows;
+  tp.legit_rate = spec_.cpn.rate;
+  tp.seed = sim::mix64(seed_ ^ 0xC9A0'0003ULL);
+
+  cpnnet_ = std::make_unique<cpn::PacketNetwork>(topo, np);
+  cpnnet_->set_telemetry(opts_.telemetry);
+  traffic_ = std::make_unique<cpn::TrafficGenerator>(cpnnet_->topology(), tp);
+  // Injections before transit at every tick, as in the synchronous loop.
+  traffic_->bind(engine_, *cpnnet_, spec_.world.step_s);
+  cpnnet_->bind(engine_, spec_.world.step_s);
+
+  // Gateways (where camera reports enter) and the backend node (where
+  // they must arrive) come from the coupling stream, not the topology
+  // seed, so re-routing knobs never reshuffle the coupling itself.
+  sim::Rng gw = couple_rng_.fork("gateways");
+  const std::size_t n = cpnnet_->topology().nodes();
+  backend_node_ = static_cast<std::size_t>(gw.below(n));
+  const std::size_t want = std::min<std::size_t>(3, n - 1);
+  while (gateways_.size() < want) {
+    const auto node = static_cast<std::size_t>(gw.below(n));
+    if (node == backend_node_) continue;
+    if (std::find(gateways_.begin(), gateways_.end(), node) !=
+        gateways_.end()) {
+      continue;
+    }
+    gateways_.push_back(node);
+  }
+}
+
+void Scenario::build_cloud() {
+  if (!spec_.cloud.enabled) return;
+  cloud::Cluster::Params cp;
+  cp.nodes = spec_.cloud.nodes;
+  cp.epoch_s = spec_.cloud.epoch_s;
+  cp.seed = sim::mix64(seed_ ^ 0xC10D'0001ULL);
+  cluster_ = std::make_unique<cloud::Cluster>(cp);
+  cluster_->set_telemetry(opts_.telemetry);
+
+  cloud::DemandModel::Params dp;
+  dp.base = spec_.cloud.demand;
+  dp.diurnal_amp = spec_.cloud.amp;
+  demand_ = std::make_unique<cloud::DemandModel>(dp);
+
+  cloud::Autoscaler::Params ap;
+  ap.variant = opts_.self_aware ? cloud::Autoscaler::Variant::SelfAware
+                                : cloud::Autoscaler::Variant::Static;
+  ap.initial_nodes = std::max<std::size_t>(1, spec_.cloud.nodes / 3);
+  ap.seed = sim::mix64(seed_ ^ 0xC10D'0002ULL);
+  ap.telemetry = opts_.telemetry;
+  ap.tracer = opts_.tracer;
+  autoscaler_ = std::make_unique<cloud::Autoscaler>(*cluster_, *demand_, ap);
+  autoscaler_->bind(engine_, 0.0, [this](const cloud::CloudEpoch& ep) {
+    cloud_sla_.add(ep.sla);
+    cloud_cost_.add(ep.cost);
+    // cloud -> edge: when the backend saturates, overflow analytics are
+    // offloaded to the edge nodes — their arrival rates scale with the
+    // backend's utilisation (piecewise linear, bounded, epoch-granular).
+    const double offload = 0.7 + 0.4 * clamp01(ep.utilisation);
+    for (std::size_t i = 0; i < platforms_.size(); ++i) {
+      const EdgeWorkload& w = workloads_[i];
+      platforms_[i]->set_workload(w.rate * offload, w.work, w.deadline);
+    }
+  });
+}
+
+void Scenario::build_edge() {
+  if (!spec_.multicore.enabled) return;
+  workloads_ = spec_.expand_workloads(seed_);
+  for (std::size_t i = 0; i < spec_.multicore.nodes; ++i) {
+    auto platform = std::make_unique<multicore::Platform>(
+        multicore::PlatformConfig::big_little(spec_.multicore.big,
+                                              spec_.multicore.little),
+        sim::mix64(seed_ ^ 0xED6E'0001ULL ^ (i << 8)));
+    const EdgeWorkload& w = workloads_[i];
+    platform->set_workload(w.rate, w.work, w.deadline);
+
+    multicore::Manager::Params mp;
+    mp.variant = opts_.self_aware ? multicore::Manager::Variant::SelfAware
+                                  : multicore::Manager::Variant::Static;
+    mp.epoch_s = spec_.multicore.epoch_s;
+    mp.seed = sim::mix64(seed_ ^ 0xED6E'0002ULL ^ (i << 8));
+    mp.telemetry = opts_.telemetry;
+    mp.tracer = opts_.tracer;
+    auto manager = std::make_unique<multicore::Manager>(*platform, mp);
+    manager->bind(engine_, spec_.multicore.epoch_s);
+
+    platforms_.push_back(std::move(platform));
+    managers_.push_back(std::move(manager));
+  }
+}
+
+void Scenario::wire_couplings() {
+  // One window event per coupling epoch, at dynamics order so control
+  // loops firing at the same instant (order 1) see this window's effects.
+  // Registered after the substrate binds, so at coincident ticks the
+  // window reads post-step state.
+  const double window =
+      spec_.cloud.enabled ? spec_.cloud.epoch_s : 10.0 * spec_.world.step_s;
+  const bool inject = spec_.cameras.enabled && spec_.cpn.enabled;
+  if (!cpnnet_ && !inject) return;
+  engine_.every(
+      window,
+      [this, inject] {
+        if (inject && !gateways_.empty()) {
+          // cameras -> cpn: drain the pending report count into packets,
+          // round-robin over the gateways (stream-chosen start point).
+          auto n = static_cast<std::size_t>(pending_reports_);
+          pending_reports_ -= static_cast<double>(n);
+          auto at = static_cast<std::size_t>(
+              couple_rng_.below(gateways_.size()));
+          for (std::size_t i = 0; i < n; ++i) {
+            cpnnet_->inject(gateways_[at], backend_node_, /*legit=*/true);
+            at = (at + 1) % gateways_.size();
+            ++reports_injected_;
+          }
+        }
+        if (cpnnet_) {
+          const cpn::CpnStats stats = cpnnet_->harvest();
+          cpn_delivered_ += stats.delivered;
+          cpn_dropped_ += stats.dropped;
+          cpn_delivery_.add(stats.delivery_rate());
+          if (stats.delivered > 0) cpn_latency_.add(stats.p95_latency);
+          // cpn -> cloud: reports that never reach the backend are never
+          // analysed — delivery scales the demand the cluster must serve.
+          if (demand_) {
+            demand_->set_base(spec_.cloud.demand *
+                              (0.3 + 0.7 * stats.delivery_rate()));
+          }
+        }
+        return true;
+      },
+      core::AgentRuntime::kOrderDynamics);
+}
+
+void Scenario::wire_faults() {
+  plan_ = spec_.expand_faults(seed_);
+  for (auto& p : platforms_) fault::bind_platform(injector_, *p);
+  if (camnet_) fault::bind_cameras(injector_, *camnet_);
+  if (cluster_) fault::bind_cluster(injector_, *cluster_);
+  if (cpnnet_) fault::bind_packet_network(injector_, *cpnnet_);
+  if (spec_.world.exchange_s > 0.0) {
+    fault::bind_exchange(injector_, runtime_);
+  }
+  if (opts_.self_aware) {
+    // The degraded-modes ladder (E13 idiom): each edge manager watches
+    // the injector's fault pressure and sheds awareness levels under it.
+    for (auto& m : managers_) {
+      fault::feed_agent(injector_, m->agent());
+      core::DegradationPolicy::Params dp;
+      dp.fault_active_breach = 2.0;
+      degradations_.push_back(
+          std::make_unique<core::DegradationPolicy>(m->agent(), dp));
+      runtime_.schedule_degradation(*degradations_.back(),
+                                    spec_.multicore.epoch_s);
+    }
+  }
+  injector_.bind(engine_, plan_);
+}
+
+void Scenario::run() { run_until(spec_.world.horizon); }
+
+void Scenario::run_until(double t) { engine_.run_until(t); }
+
+std::vector<core::SelfAwareAgent*> Scenario::agents() {
+  std::vector<core::SelfAwareAgent*> out;
+  for (auto& m : managers_) out.push_back(&m->agent());
+  if (fleet_ && opts_.self_aware) {
+    for (std::size_t c = 0; c < fleet_->cameras(); ++c) {
+      out.push_back(&fleet_->agent(c));
+    }
+  }
+  if (autoscaler_) out.push_back(&autoscaler_->agent());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Scenario::summary() const {
+  std::vector<std::pair<std::string, double>> out;
+  // Headline: mean normalised health across the enabled substrates —
+  // exactly the quantity degradation monotonicity is asserted against.
+  double goal = 0.0;
+  std::size_t parts = 0;
+  if (fleet_) {
+    goal += clamp01(fleet_->coverage().mean());
+    ++parts;
+  }
+  if (cpnnet_) {
+    goal += clamp01(cpn_delivery_.mean());
+    ++parts;
+  }
+  if (autoscaler_) {
+    goal += clamp01(cloud_sla_.mean());
+    ++parts;
+  }
+  if (!managers_.empty()) {
+    double u = 0.0;
+    for (const auto& m : managers_) u += m->utility().mean();
+    goal += clamp01(u / static_cast<double>(managers_.size()));
+    ++parts;
+  }
+  out.emplace_back("goal", parts ? goal / static_cast<double>(parts) : 0.0);
+
+  if (!managers_.empty()) {
+    double u = 0.0, p = 0.0;
+    for (const auto& m : managers_) {
+      u += m->utility().mean();
+      p += m->power().mean();
+    }
+    const auto n = static_cast<double>(managers_.size());
+    out.emplace_back("edge_utility", u / n);
+    out.emplace_back("edge_power_w", p / n);
+  }
+  if (fleet_) {
+    out.emplace_back("coverage", fleet_->coverage().mean());
+    out.emplace_back("camera_messages", fleet_->messages().mean());
+  }
+  if (autoscaler_) {
+    out.emplace_back("cloud_sla", cloud_sla_.mean());
+    out.emplace_back("cloud_cost", cloud_cost_.mean());
+  }
+  if (cpnnet_) {
+    out.emplace_back("cpn_delivery", cpn_delivery_.mean());
+    out.emplace_back("cpn_p95_ticks", cpn_latency_.mean());
+    out.emplace_back("cpn_delivered", static_cast<double>(cpn_delivered_));
+    out.emplace_back("reports_injected",
+                     static_cast<double>(reports_injected_));
+  }
+  out.emplace_back("faults_injected",
+                   static_cast<double>(injector_.injected()));
+  out.emplace_back("faults_restored",
+                   static_cast<double>(injector_.restored()));
+  out.emplace_back("exchange_items",
+                   static_cast<double>(runtime_.items_exchanged()));
+  return out;
+}
+
+}  // namespace sa::gen

@@ -1,0 +1,160 @@
+// Scenario: a ScenarioSpec expanded into a running world.
+//
+// One sim::Engine hosts every substrate the spec enables, wired the way
+// the hand-written benches wire them (manager/fleet/autoscaler bind()
+// adapters, fault::Injector surfaces, AgentRuntime knowledge exchange) —
+// plus the cross-substrate couplings that make the composite a *city*
+// rather than four co-resident silos:
+//
+//   cameras -> cpn    each camera epoch, tracked-object reports become
+//                     packets injected at stream-chosen gateway nodes;
+//   cpn -> cloud      each cloud epoch, the delivery rate upstream
+//                     modulates the backend demand base (reports that
+//                     never arrive are not analysed);
+//   cloud -> edge     each cloud epoch, backend utilisation re-targets
+//                     the edge platforms' workload rates (overflow
+//                     analytics are offloaded to the edge nodes).
+//
+// Every coupling reads only harvested epoch aggregates at epoch
+// boundaries and draws only from the scenario's own forked streams, so
+// the whole composite stays byte-deterministic in (spec, seed) — the
+// property the metamorphic suites in tests/gen assert.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cloud/autoscaler.hpp"
+#include "cloud/cluster.hpp"
+#include "core/degrade.hpp"
+#include "core/runtime.hpp"
+#include "cpn/network.hpp"
+#include "cpn/traffic.hpp"
+#include "fault/fault.hpp"
+#include "gen/spec.hpp"
+#include "multicore/manager.hpp"
+#include "multicore/platform.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/telemetry.hpp"
+#include "svc/fleet.hpp"
+#include "svc/network.hpp"
+
+namespace sa::gen {
+
+class Scenario {
+ public:
+  struct Options {
+    /// false = design-time baselines everywhere (static manager,
+    /// homogeneous fleet, static autoscaler/router, no exchange, no
+    /// degradation ladder); true = the paper's self-aware stack.
+    bool self_aware = true;
+    /// Optional observability; all non-owning, null disables. Attaching
+    /// any of these never perturbs the trajectory (asserted by
+    /// tests/gen).
+    sim::TelemetryBus* telemetry = nullptr;
+    sim::Tracer* tracer = nullptr;
+    sim::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Expands `spec` under `run_seed` and wires the world. Throws
+  /// std::invalid_argument if the spec enables no substrate.
+  Scenario(const ScenarioSpec& spec, std::uint64_t run_seed, Options opts);
+  Scenario(const ScenarioSpec& spec, std::uint64_t run_seed)
+      : Scenario(spec, run_seed, Options{}) {}
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Runs to the spec's world horizon (resumable: run_until beyond).
+  void run();
+  void run_until(double t);
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] core::AgentRuntime& runtime() noexcept { return runtime_; }
+  [[nodiscard]] fault::Injector& injector() noexcept { return injector_; }
+  [[nodiscard]] const fault::FaultPlan& fault_plan() const noexcept {
+    return plan_;
+  }
+  [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
+  /// Every agent alive in the world (edge managers, camera agents when
+  /// learning, the autoscaler) — e.g. for serve::SimBridge.
+  [[nodiscard]] std::vector<core::SelfAwareAgent*> agents();
+
+  // Substrate access (null when the section is disabled).
+  [[nodiscard]] std::size_t edge_nodes() const noexcept {
+    return managers_.size();
+  }
+  [[nodiscard]] multicore::Manager* edge_manager(std::size_t i) {
+    return managers_[i].get();
+  }
+  [[nodiscard]] svc::CameraFleet* fleet() noexcept { return fleet_.get(); }
+  [[nodiscard]] cloud::Autoscaler* autoscaler() noexcept {
+    return autoscaler_.get();
+  }
+  [[nodiscard]] cpn::PacketNetwork* packet_network() noexcept {
+    return cpnnet_.get();
+  }
+
+  /// Deterministic whole-run metrics in a fixed order (rows depend only
+  /// on which sections are enabled, so same-spec runs byte-compare).
+  /// Includes the headline "goal" — the mean of each enabled substrate's
+  /// normalised health — plus per-substrate aggregates and fault/exchange
+  /// counters.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> summary() const;
+
+ private:
+  void build_edge();
+  void build_cameras();
+  void build_cloud();
+  void build_cpn();
+  void wire_couplings();
+  void wire_faults();
+
+  ScenarioSpec spec_;
+  std::uint64_t seed_;
+  Options opts_;
+
+  sim::Engine engine_;
+  core::AgentRuntime runtime_;
+  fault::Injector injector_;
+  fault::FaultPlan plan_;
+
+  // Edge: one platform + manager per node.
+  std::vector<std::unique_ptr<multicore::Platform>> platforms_;
+  std::vector<std::unique_ptr<multicore::Manager>> managers_;
+  std::vector<std::unique_ptr<core::DegradationPolicy>> degradations_;
+  std::vector<EdgeWorkload> workloads_;
+
+  // Cameras.
+  std::unique_ptr<svc::Network> camnet_;
+  std::unique_ptr<svc::CameraFleet> fleet_;
+
+  // Cloud.
+  std::unique_ptr<cloud::Cluster> cluster_;
+  std::unique_ptr<cloud::DemandModel> demand_;
+  std::unique_ptr<cloud::Autoscaler> autoscaler_;
+
+  // CPN.
+  std::unique_ptr<cpn::PacketNetwork> cpnnet_;
+  std::unique_ptr<cpn::TrafficGenerator> traffic_;
+  std::vector<std::size_t> gateways_;  ///< camera-report entry nodes
+  std::size_t backend_node_ = 0;       ///< cloud-gateway node
+
+  // Coupling state (scenario-owned streams; substrates never see them).
+  sim::Rng couple_rng_;
+  double pending_reports_ = 0.0;  ///< camera reports awaiting injection
+
+  // Whole-run aggregates the summary reports (substrates keep their own;
+  // these cover the couplings and the CPN harvest windows).
+  sim::RunningStats cpn_delivery_, cpn_latency_;
+  sim::RunningStats cloud_sla_, cloud_cost_;
+  std::size_t reports_injected_ = 0;
+  std::size_t cpn_delivered_ = 0, cpn_dropped_ = 0;
+};
+
+}  // namespace sa::gen

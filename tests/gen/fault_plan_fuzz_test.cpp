@@ -1,0 +1,79 @@
+// FaultPlan round-trip fuzz (ctest -L gen): parse(to_string()) must
+// reproduce ~1000 randomized plans exactly — every fault kind, bursty and
+// permanent processes, activity windows, and full-range 64-bit seeds.
+// Values are drawn on decimal grids within 6 significant digits so the
+// canonical formatter reproduces them bit for bit (the same contract the
+// ScenarioSpec fuzz relies on).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iterator>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "sim/rng.hpp"
+
+namespace sa::fault {
+namespace {
+
+constexpr FaultKind kAllKinds[] = {
+    FaultKind::SensorDropout, FaultKind::SensorBlur, FaultKind::NodeCrash,
+    FaultKind::CoreFail,      FaultKind::FreqCap,    FaultKind::VmPreempt,
+    FaultKind::LatencySpike,  FaultKind::LinkLoss,   FaultKind::Partition,
+    FaultKind::LinkReorder,   FaultKind::ExchangeDrop,
+};
+
+FaultProcess random_process(sim::Rng& rng) {
+  FaultProcess p;
+  p.kind = kAllKinds[rng.below(std::size(kAllKinds))];
+  // 0.001 .. 99.999 — never 0 (parse rejects rate <= 0).
+  p.rate = static_cast<double>(1 + rng.below(99999)) / 1000.0;
+  // parse clamps burst to >= 1; stay on integers so the clamp is a no-op.
+  p.burstiness = static_cast<double>(1 + rng.below(6));
+  // <= 0 means permanent — exercised as exactly -1.
+  p.duration_mean = rng.chance(0.15)
+                        ? -1.0
+                        : static_cast<double>(1 + rng.below(99999)) / 100.0;
+  p.magnitude = static_cast<double>(1 + rng.below(9999)) / 100.0;
+  // start/end share one integer-cent grid so `end` is a clean decimal
+  // rather than a float sum that could reparse an ulp off.
+  const std::uint64_t start_c = rng.below(100000);
+  p.start = static_cast<double>(start_c) / 100.0;
+  if (rng.chance(0.7)) {
+    p.end = static_cast<double>(start_c + 1 + rng.below(100000)) / 100.0;
+  }  // else: default infinite end (omitted by to_string)
+  return p;
+}
+
+TEST(FaultPlanFuzz, RoundTripsAThousandRandomPlans) {
+  sim::Rng rng(0xFA17'F022ULL);
+  for (int i = 0; i < 1000; ++i) {
+    FaultPlan plan;
+    if (rng.chance(0.6)) plan.seed = rng();  // full-range, often > 2^53
+    const std::size_t n = rng.below(6);
+    for (std::size_t k = 0; k < n; ++k) {
+      plan.processes.push_back(random_process(rng));
+    }
+    const std::string text = plan.to_string();
+    FaultPlan back;
+    ASSERT_NO_THROW(back = FaultPlan::parse(text)) << "plan: " << text;
+    EXPECT_EQ(back, plan) << "plan: " << text;
+    // Canonical form is a fixed point of the round-trip.
+    EXPECT_EQ(back.to_string(), text);
+  }
+}
+
+TEST(FaultPlanFuzz, EveryKindSurvivesTheRoundTripByName) {
+  for (const FaultKind kind : kAllKinds) {
+    FaultPlan plan;
+    FaultProcess p;
+    p.kind = kind;
+    p.rate = 0.25;
+    plan.processes.push_back(p);
+    EXPECT_EQ(FaultPlan::parse(plan.to_string()), plan)
+        << "kind " << static_cast<int>(kind);
+  }
+}
+
+}  // namespace
+}  // namespace sa::fault

@@ -6,9 +6,7 @@
 // compared as strings.
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/runtime.hpp"
@@ -22,19 +20,15 @@
 #include "multicore/workload.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
+#include "support/metamorphic.hpp"
 
 namespace {
 
 using namespace sa;
-
-/// A pool that genuinely interleaves even on small CI machines.
-unsigned parallel_jobs() {
-  return std::max(4u, std::thread::hardware_concurrency());
-}
-
-std::string timing_free_json(const exp::GridResult& result) {
-  return exp::to_json(result, /*include_timing=*/false).dump();
-}
+using test::support::byte_identical;
+using test::support::parallel_jobs;
+using test::support::thread_count_invariant;
+using test::support::timing_free_json;
 
 /// Reduced E1: two manager variants on the phased big.LITTLE workload.
 exp::Grid multicore_grid() {
@@ -262,21 +256,11 @@ exp::Grid cpn_faulted_grid(const std::string& plan_spec) {
 class ParallelDeterminism : public ::testing::Test {};
 
 TEST(ParallelDeterminism, MulticoreGridIsThreadCountInvariant) {
-  const auto grid = multicore_grid();
-  const auto serial = exp::Runner(1).run("determinism", grid);
-  const auto parallel = exp::Runner(parallel_jobs()).run("determinism", grid);
-  ASSERT_EQ(serial.errors(), 0u);
-  ASSERT_EQ(parallel.errors(), 0u);
-  EXPECT_EQ(timing_free_json(serial), timing_free_json(parallel));
+  EXPECT_TRUE(thread_count_invariant(multicore_grid()));
 }
 
 TEST(ParallelDeterminism, CpnGridIsThreadCountInvariant) {
-  const auto grid = cpn_grid();
-  const auto serial = exp::Runner(1).run("determinism", grid);
-  const auto parallel = exp::Runner(parallel_jobs()).run("determinism", grid);
-  ASSERT_EQ(serial.errors(), 0u);
-  ASSERT_EQ(parallel.errors(), 0u);
-  EXPECT_EQ(timing_free_json(serial), timing_free_json(parallel));
+  EXPECT_TRUE(thread_count_invariant(cpn_grid()));
 }
 
 TEST(ParallelDeterminism, MulticoreEngineDrivenMatchesLockStep) {
@@ -287,7 +271,9 @@ TEST(ParallelDeterminism, MulticoreEngineDrivenMatchesLockStep) {
       exp::Runner(1).run("determinism", multicore_engine_grid());
   ASSERT_EQ(legacy.errors(), 0u);
   ASSERT_EQ(engine.errors(), 0u);
-  EXPECT_EQ(timing_free_json(legacy), timing_free_json(engine));
+  EXPECT_TRUE(byte_identical(timing_free_json(legacy),
+                             timing_free_json(engine),
+                             "legacy vs engine-driven E1"));
 }
 
 TEST(ParallelDeterminism, CpnEngineDrivenMatchesLockStep) {
@@ -297,16 +283,15 @@ TEST(ParallelDeterminism, CpnEngineDrivenMatchesLockStep) {
   const auto engine = exp::Runner(1).run("determinism", cpn_engine_grid());
   ASSERT_EQ(legacy.errors(), 0u);
   ASSERT_EQ(engine.errors(), 0u);
-  EXPECT_EQ(timing_free_json(legacy), timing_free_json(engine));
+  EXPECT_TRUE(byte_identical(timing_free_json(legacy),
+                             timing_free_json(engine),
+                             "legacy vs engine-driven E4"));
 }
 
 TEST(ParallelDeterminism, EngineDrivenGridIsThreadCountInvariant) {
   // The event-driven path must stay deterministic under the parallel
   // runner too (each task owns its engine; nothing is shared).
-  const auto grid = cpn_engine_grid();
-  const auto serial = exp::Runner(1).run("determinism", grid);
-  const auto parallel = exp::Runner(parallel_jobs()).run("determinism", grid);
-  EXPECT_EQ(timing_free_json(serial), timing_free_json(parallel));
+  EXPECT_TRUE(thread_count_invariant(cpn_engine_grid()));
 }
 
 TEST(ParallelDeterminism, FaultedGridIsThreadCountInvariant) {
@@ -317,12 +302,10 @@ TEST(ParallelDeterminism, FaultedGridIsThreadCountInvariant) {
       "link-loss:rate=0.02,dur=60,start=300,end=600;"
       "link-reorder:rate=0.01,dur=30,mag=4,start=300,end=600");
   const auto serial = exp::Runner(1).run("determinism", grid);
-  const auto parallel = exp::Runner(parallel_jobs()).run("determinism", grid);
   ASSERT_EQ(serial.errors(), 0u);
-  ASSERT_EQ(parallel.errors(), 0u);
   // The plan must actually have fired, or this test proves nothing.
   ASSERT_GT(serial.sum(0, "faults") + serial.sum(1, "faults"), 0.0);
-  EXPECT_EQ(timing_free_json(serial), timing_free_json(parallel));
+  EXPECT_TRUE(thread_count_invariant(grid));
 }
 
 TEST(ParallelDeterminism, EmptyFaultPlanDoesNotPerturbTheTrajectory) {
@@ -355,7 +338,8 @@ TEST(ParallelDeterminism, RepeatedParallelRunsAgree) {
   const auto grid = multicore_grid();
   const auto a = exp::Runner(2).run("determinism", grid);
   const auto b = exp::Runner(parallel_jobs() + 1).run("determinism", grid);
-  EXPECT_EQ(timing_free_json(a), timing_free_json(b));
+  EXPECT_TRUE(byte_identical(timing_free_json(a), timing_free_json(b),
+                             "2-worker vs wide-pool grid results"));
 }
 
 }  // namespace

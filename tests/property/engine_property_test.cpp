@@ -70,6 +70,54 @@ TEST_P(EnginePropertyTest, PiecewiseRunUntilEqualsOneShot) {
   EXPECT_EQ(oneshot, piecewise);
 }
 
+TEST_P(EnginePropertyTest, EveryIsDriftFree) {
+  // The engine contract: every(period) fires at base + n*period computed
+  // by multiplication, never by repeated addition — so the nth firing is
+  // the bitwise-exact double `base + n*period` for arbitrary (base,
+  // period) pairs, with no accumulated rounding drift.
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const double base = rng.uniform(0.0, 50.0);
+    const double period = rng.uniform(1e-3, 3.0);
+    Engine e;
+    std::vector<double> fired;
+    e.at(base, [&] {
+      e.every(period, [&] {
+        fired.push_back(e.now());
+        return true;
+      });
+    });
+    const int n = 200;
+    e.run_until(base + static_cast<double>(n) * period);
+    ASSERT_GE(fired.size(), static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < fired.size(); ++i) {
+      const double expect = base + static_cast<double>(i + 1) * period;
+      ASSERT_EQ(fired[i], expect)
+          << "firing " << i << " drifted: base=" << base
+          << " period=" << period;
+    }
+  }
+}
+
+TEST_P(EnginePropertyTest, EveryNeverSuffersRepeatedAdditionDrift) {
+  // The classic failure mode every() is designed against: now += period
+  // accumulates rounding error, so the 100th firing of every(0.005) would
+  // miss t = 0.5. Assert the coincidence lands exactly.
+  Engine e;
+  sim::Rng rng(GetParam());
+  const double period = 0.005;
+  bool coincided = false;
+  double at_100 = -1.0;
+  e.every(period, [&] {
+    if (e.now() == 0.5) coincided = true;
+    return true;
+  });
+  e.at(0.5, [&] { at_100 = e.now(); });
+  e.run_until(1.0);
+  EXPECT_TRUE(coincided);
+  EXPECT_EQ(at_100, 0.5);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
                          ::testing::Values(21, 22, 23, 24));
 

@@ -1,0 +1,126 @@
+// Reusable metamorphic-testing helpers shared by the property, gen and
+// integration suites.
+//
+// A metamorphic test does not know the "right" answer; it knows a relation
+// that must hold between two runs of the system. The two relations this
+// header packages are the ones the repo's determinism contract is built
+// on:
+//
+//   * run-twice-and-byte-compare — two executions that are supposed to be
+//     equivalent (serial vs parallel pools, with vs without telemetry,
+//     repeated identical runs) must serialise to identical bytes;
+//   * run-under-transform-and-assert-relation — a controlled change to the
+//     input (e.g. scaling fault pressure) must move an output metric in a
+//     known direction (monotone()).
+//
+// Everything returns ::testing::AssertionResult so call sites read as
+// EXPECT_TRUE(test::support::byte_identical(a, b)) with a useful message
+// on failure (first differing byte plus surrounding context).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "exp/harness.hpp"
+#include "exp/runner.hpp"
+
+namespace sa::test::support {
+
+/// A worker-pool size that genuinely interleaves even on small CI
+/// machines (promoted from the integration determinism suite).
+inline unsigned parallel_jobs() {
+  return std::max(4u, std::thread::hardware_concurrency());
+}
+
+/// Grid result serialised without wall-clock fields, so byte comparison
+/// sees only simulated behaviour.
+inline std::string timing_free_json(const exp::GridResult& result) {
+  return exp::to_json(result, /*include_timing=*/false).dump();
+}
+
+/// Byte-exact comparison with a first-difference diagnostic. `what` names
+/// the two artefacts in the failure message.
+inline ::testing::AssertionResult byte_identical(
+    std::string_view a, std::string_view b,
+    std::string_view what = "serialisations") {
+  if (a == b) return ::testing::AssertionSuccess();
+  std::size_t i = 0;
+  while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+  const auto snippet = [i](std::string_view s) {
+    const std::size_t from = i < 40 ? 0 : i - 40;
+    return std::string(s.substr(from, std::min<std::size_t>(80, s.size() - from)));
+  };
+  return ::testing::AssertionFailure()
+         << what << " differ (sizes " << a.size() << " vs " << b.size()
+         << ", first difference at byte " << i << "):\n  a: ..."
+         << snippet(a) << "...\n  b: ..." << snippet(b) << "...";
+}
+
+/// Run-twice-and-byte-compare over a string producer: calls `run` twice
+/// and requires identical bytes (e.g. a Scenario summary serialiser).
+template <typename Producer>
+::testing::AssertionResult reproduces(Producer&& run,
+                                      std::string_view what = "repeated runs") {
+  const std::string first = run();
+  const std::string second = run();
+  return byte_identical(first, second, what);
+}
+
+/// The thread-count-invariance relation: a grid executed by a 1-worker
+/// pool and by a many-worker pool must produce byte-identical timing-free
+/// JSON. `jobs == 0` picks parallel_jobs().
+inline ::testing::AssertionResult thread_count_invariant(
+    const exp::Grid& grid, unsigned jobs = 0) {
+  if (jobs == 0) jobs = parallel_jobs();
+  const auto serial = exp::Runner(1).run("metamorphic", grid);
+  const auto parallel = exp::Runner(jobs).run("metamorphic", grid);
+  if (serial.errors() != 0 || parallel.errors() != 0) {
+    return ::testing::AssertionFailure()
+           << "grid '" << grid.name << "' raised task errors (serial "
+           << serial.errors() << ", parallel " << parallel.errors() << ")";
+  }
+  return byte_identical(timing_free_json(serial), timing_free_json(parallel),
+                        "serial vs " + std::to_string(jobs) +
+                            "-worker grid results");
+}
+
+/// Directions for monotone(). "Strictly" forbids ties.
+enum class Relation {
+  kNonDecreasing,
+  kNonIncreasing,
+  kStrictlyIncreasing,
+  kStrictlyDecreasing,
+};
+
+/// Run-under-transform relation: `values[k]` was measured under the k-th
+/// step of a transform (e.g. fault pressure 0, 2, 8) and must move in
+/// `rel`'s direction. `what` names the metric in the failure message.
+inline ::testing::AssertionResult monotone(const std::vector<double>& values,
+                                           Relation rel,
+                                           std::string_view what = "metric") {
+  for (std::size_t k = 1; k < values.size(); ++k) {
+    const double prev = values[k - 1], cur = values[k];
+    const bool ok = rel == Relation::kNonDecreasing     ? cur >= prev
+                    : rel == Relation::kNonIncreasing   ? cur <= prev
+                    : rel == Relation::kStrictlyIncreasing ? cur > prev
+                                                           : cur < prev;
+    if (!ok) {
+      std::ostringstream os;
+      os << what << " not monotone at step " << k << ": ";
+      for (std::size_t j = 0; j < values.size(); ++j) {
+        os << (j ? ", " : "") << values[j];
+      }
+      return ::testing::AssertionFailure() << os.str();
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace sa::test::support
