@@ -1,0 +1,272 @@
+// Hot-path micro-benchmark (data-oriented kernel refactor).
+//
+// Pins the cost of the simulator's three hot paths after the
+// data-oriented rewrite: event dispatch through the slot-arena engine,
+// KnowledgeBase reads/writes through the interned-id store, and the
+// per-step cost of each substrate at populations well beyond what the
+// experiment benches use (64 cameras, 16x16 packet grid, 32 cores, 512
+// volunteer nodes). Every kernel also reports allocations per operation
+// via this binary's counting operator new — the engine step and
+// knowledge read/write rows are expected to be exactly zero in steady
+// state (the allocation-regression tests assert it; this bench records
+// it in BENCH_hotpath.json so CI archives the trend).
+//
+// Grid "seeds" are repeat indices (best-of over repeats damps scheduler
+// noise); ns/op and allocs/op are wall-clock/thread-local derived and
+// not bitwise deterministic. `--json BENCH_hotpath.json` publishes the
+// numbers; steps/sec for a substrate row is 1e9 / ns_per_op.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "cloud/cluster.hpp"
+#include "core/knowledge.hpp"
+#include "cpn/network.hpp"
+#include "exp/harness.hpp"
+#include "multicore/platform.hpp"
+#include "sim/engine.hpp"
+#include "sim/report.hpp"
+#include "svc/network.hpp"
+
+// -- Thread-local allocation counter ----------------------------------------
+// Each harness worker thread counts only its own allocations, so kernels
+// stay independent even under --jobs > 1. Deletes are not counted: the
+// metric is "new allocations per op", the regression-relevant quantity.
+namespace {
+thread_local std::uint64_t t_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++t_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace sa;
+
+/// Keeps `v` observable so the optimiser cannot delete the benchmark body.
+template <class T>
+inline void keep(T&& v) {
+  asm volatile("" : : "g"(v) : "memory");
+}
+
+struct Measurement {
+  double ns_per_op = 0.0;
+  double allocs_per_op = 0.0;
+};
+
+/// Times `op()` over `iters` iterations after a 1/16 warm-up; returns
+/// ns/op and this thread's heap allocations per op over the timed loop.
+template <class F>
+Measurement time_ns(std::size_t iters, F&& op) {
+  for (std::size_t i = 0; i < iters / 16 + 1; ++i) op();
+  const std::uint64_t allocs_before = t_allocs;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) op();
+  const auto stop = std::chrono::steady_clock::now();
+  const std::uint64_t allocs = t_allocs - allocs_before;
+  return {std::chrono::duration<double, std::nano>(stop - start).count() /
+              static_cast<double>(iters),
+          static_cast<double>(allocs) / static_cast<double>(iters)};
+}
+
+/// 64 cameras on an 8x8 lattice over the unit square, dense enough that
+/// fields of view overlap and auctions actually fire.
+svc::Network big_fleet() {
+  std::vector<svc::CameraSpec> specs;
+  specs.reserve(64);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      svc::CameraSpec s;
+      s.pos = {0.0625 + static_cast<double>(c) * 0.125,
+               0.0625 + static_cast<double>(r) * 0.125};
+      s.radius = 0.16;
+      s.capacity = 8;
+      specs.push_back(s);
+    }
+  }
+  svc::NetworkParams p;
+  p.objects = 256;
+  p.seed = 17;
+  return svc::Network(std::move(specs), p);
+}
+
+struct Kernel {
+  std::string name;
+  std::size_t iters;
+  Measurement (*run)(std::size_t iters);
+};
+
+const std::vector<Kernel> kKernels = {
+    // -- Layer 1: event kernel ---------------------------------------------
+    {"engine_oneshot_dispatch", 1 << 18,
+     [](std::size_t n) {
+       sim::Engine eng;
+       double t = 0.0;
+       return time_ns(n, [&] {
+         t += 1.0;
+         eng.at(t, [] {});
+         keep(eng.step());
+       });
+     }},
+    {"engine_periodic_fire", 1 << 18,
+     [](std::size_t n) {
+       sim::Engine eng;
+       std::uint64_t fired = 0;
+       eng.every(1.0, [&fired] {
+         ++fired;
+         return true;
+       });
+       const auto m = time_ns(n, [&] { keep(eng.step()); });
+       keep(fired);
+       return m;
+     }},
+    {"engine_heap@1k", 1 << 17,
+     [](std::size_t n) {
+       // Steady heap of 1024 pending one-shots: every op pops the earliest
+       // and pushes a replacement at the back of the window, so the sift
+       // depth stays at log2(1024).
+       sim::Engine eng;
+       double t = 0.0;
+       for (std::size_t i = 0; i < 1024; ++i) {
+         eng.at(static_cast<double>(i + 1), [] {});
+       }
+       return time_ns(n, [&] {
+         t += 1.0;
+         eng.at(t + 1024.0, [] {});
+         keep(eng.step());
+       });
+     }},
+    // -- Layer 2: knowledge store ------------------------------------------
+    {"kb_put_number", 1 << 18,
+     [](std::size_t n) {
+       core::KnowledgeBase kb(16);
+       double t = 0.0;
+       return time_ns(n, [&] {
+         t += 1.0;
+         kb.put_number("sensor.load", t, t);
+       });
+     }},
+    {"kb_number_read", 1 << 18,
+     [](std::size_t n) {
+       core::KnowledgeBase kb(16);
+       for (int i = 0; i < 64; ++i) {
+         kb.put_number("m" + std::to_string(i), i, 0.0);
+       }
+       int i = 0;
+       return time_ns(n, [&] {
+         keep(kb.number(i & 1 ? "m17" : "m42"));
+         ++i;
+       });
+     }},
+    {"kb_fresh_check", 1 << 18,
+     [](std::size_t n) {
+       core::KnowledgeBase kb(16);
+       kb.put_number("heartbeat", 1.0, 0.0, 1.0);
+       double t = 0.0;
+       return time_ns(n, [&] {
+         keep(kb.fresh("heartbeat", t));
+         t += 1e-6;
+       });
+     }},
+    // -- Layer 3: substrate batch steps at large populations ----------------
+    {"fleet_step@64cam_256obj", 1 << 12,
+     [](std::size_t n) {
+       auto net = big_fleet();
+       return time_ns(n, [&] {
+         net.step();
+         keep(net.owner(0));
+       });
+     }},
+    {"cpn_step@16x16", 1 << 12,
+     [](std::size_t n) {
+       auto topo = cpn::Topology::grid(16, 16, /*shortcuts=*/12, /*seed=*/5);
+       cpn::PacketNetwork::Params p;
+       p.seed = 41;
+       cpn::PacketNetwork net(std::move(topo), p);
+       std::size_t i = 0;
+       return time_ns(n, [&] {
+         net.inject((i * 7) % 256, (i * 13 + 97) % 256, /*legit=*/true);
+         net.inject((i * 11 + 31) % 256, (i * 5 + 201) % 256, /*legit=*/true);
+         net.step();
+         ++i;
+       });
+     }},
+    {"platform_step@32core", 1 << 13,
+     [](std::size_t n) {
+       multicore::Platform plat(multicore::PlatformConfig::big_little(16, 16),
+                                /*seed=*/7);
+       // ~90% utilisation: queues actually form, so placement's backlog
+       // scans and the ring buffers are exercised, not just the arrivals.
+       plat.set_workload(/*rate=*/2000.0, /*mean_work=*/0.02,
+                         /*deadline=*/1.0);
+       return time_ns(n, [&] {
+         plat.step();
+         keep(plat.now());
+       });
+     }},
+    {"cloud_epoch@512node", 1 << 10,
+     [](std::size_t n) {
+       cloud::Cluster::Params p;
+       p.nodes = 512;
+       p.seed = 23;
+       cloud::Cluster cluster(p);
+       std::vector<std::size_t> order(p.nodes);
+       for (std::size_t i = 0; i < p.nodes; ++i) order[i] = i;
+       cluster.enrol(order, p.nodes);
+       return time_ns(n, [&] {
+         const auto e = cluster.run_epoch(4000.0);
+         keep(e.served);
+       });
+     }},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Harness h("hotpath", argc, argv);
+  std::cout << "Hot-path micro: ns/op and heap allocations/op of the event "
+               "kernel, knowledge store and large-population substrate "
+               "steps (best of 3 repeats).\n\n";
+
+  exp::Grid g;
+  g.name = "hotpath";
+  for (const auto& k : kKernels) g.variants.push_back(k.name);
+  g.seeds = {1, 2, 3};  // repeat indices, not simulation seeds
+  g.task = [](const exp::TaskContext& ctx) -> exp::TaskOutput {
+    const auto& k = kKernels[ctx.variant];
+    const Measurement m = k.run(k.iters);
+    return {{{"ns_per_op", m.ns_per_op},
+             {"allocs_per_op", m.allocs_per_op},
+             {"iters", static_cast<double>(k.iters)}}};
+  };
+  const auto res = h.run(std::move(g));
+
+  sim::Table t("T1  hot-path kernel cost",
+               {"kernel", "ns/op", "steps/sec", "allocs/op"});
+  t.precision(1, 1);
+  t.precision(2, 0);
+  t.precision(3, 3);
+  for (std::size_t v = 0; v < res.variants.size(); ++v) {
+    const double ns = res.stats(v, "ns_per_op").min();
+    // allocs/op is deterministic per run; take the max across repeats so a
+    // single allocating repeat cannot hide behind a clean one.
+    const double allocs = res.stats(v, "allocs_per_op").max();
+    t.add_row({res.variants[v], ns, ns > 0.0 ? 1e9 / ns : 0.0, allocs});
+  }
+  t.print(std::cout);
+  std::cout << "T2  engine_* and kb_* rows are steady-state zero-allocation "
+               "by contract (asserted by the alloc regression tests); "
+               "substrate rows bound steps/sec at large populations.\n";
+  return h.finish();
+}

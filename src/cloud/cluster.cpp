@@ -25,6 +25,8 @@ double DemandModel::rate(double t, double epoch_s, sim::Rng& rng) {
 
 Cluster::Cluster(Params p) : p_(p), rng_(p.seed) {
   nodes_.reserve(p_.nodes);
+  was_enrolled_.resize(p_.nodes, 0);
+  outcomes_.reserve(p_.nodes);
   for (std::size_t i = 0; i < p_.nodes; ++i) {
     VolunteerNode n;
     n.id = "vn" + std::to_string(i);
@@ -42,15 +44,19 @@ Cluster::Cluster(Params p) : p_(p), rng_(p.seed) {
 }
 
 void Cluster::enrol(const std::vector<std::size_t>& order, std::size_t k) {
-  std::vector<bool> was(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) was[i] = nodes_[i].enrolled;
-  for (auto& n : nodes_) n.enrolled = false;
+  // was_enrolled_ is member scratch: enrol() runs every control epoch, so
+  // the previous-membership snapshot reuses one buffer instead of
+  // allocating per call.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    was_enrolled_[i] = nodes_[i].enrolled ? 1 : 0;
+    nodes_[i].enrolled = false;
+  }
   const std::size_t take = std::min(k, order.size());
   for (std::size_t i = 0; i < take; ++i) {
     auto& n = nodes_[order[i]];
     n.enrolled = true;
     // Fresh enrolments pay the provisioning lag before delivering capacity.
-    if (!was[order[i]]) n.boot_until = now_ + p_.boot_s;
+    if (!was_enrolled_[order[i]]) n.boot_until = now_ + p_.boot_s;
   }
 }
 
@@ -65,9 +71,15 @@ CloudEpoch Cluster::run_epoch(double rate) {
   const double dt = p_.epoch_s;
   const double t_end = now_ + dt;
   outcomes_.clear();
+  CloudEpoch e;
 
-  // Advance availability; capacity uses a midpoint sample of up-ness
-  // (sub-epoch flips approximate as half capacity for nodes that flipped).
+  // One batch sweep over the population, in node-index order (the RNG
+  // draws in advance_availability depend on it): advance availability,
+  // sample capacity at the midpoint (sub-epoch flips approximate as half
+  // capacity for nodes that flipped), and fold the enrolment counters and
+  // cost into the same pass — each node's contribution depends only on its
+  // own post-advance state, so the fused sweep accumulates the identical
+  // float sequence the separate counting pass used to.
   double capacity = 0.0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     auto& n = nodes_[i];
@@ -76,8 +88,11 @@ CloudEpoch Cluster::run_epoch(double rate) {
     const bool was_up = n.up && !n.preempted;
     advance_availability(n, t_end);
     if (!n.enrolled) continue;
-    if (now_ < n.boot_until) continue;  // still provisioning: no capacity
     const bool now_up = n.up && !n.preempted;
+    ++e.enrolled;
+    if (now_up) ++e.up_enrolled;
+    e.cost += n.cost_per_s * dt;
+    if (now_ < n.boot_until) continue;  // still provisioning: no capacity
     double frac = 0.0;
     if (was_up && now_up) {
       frac = 1.0;
@@ -94,7 +109,6 @@ CloudEpoch Cluster::run_epoch(double rate) {
     }
   }
 
-  CloudEpoch e;
   e.duration = dt;
   e.arrival_rate = rate;
   const double arrived = rate * dt;
@@ -109,13 +123,6 @@ CloudEpoch Cluster::run_epoch(double rate) {
   e.backlog = backlog_;
   e.sla = offered > 0.0 ? e.served / offered : 1.0;
   e.utilisation = service > 0.0 ? std::min(1.0, offered / service) : 1.0;
-
-  for (const auto& n : nodes_) {
-    if (!n.enrolled) continue;
-    ++e.enrolled;
-    if (n.up && !n.preempted) ++e.up_enrolled;
-    e.cost += n.cost_per_s * dt;
-  }
   now_ = t_end;
   if (telemetry_) {
     telemetry_->record(now_, sim::TelemetryBus::kObservation, subject_,

@@ -159,6 +159,7 @@ class Cluster {
   double backlog_ = 0.0;
   double capacity_factor_ = 1.0;  ///< fault-injected service degradation
   std::vector<NodeOutcome> outcomes_;
+  std::vector<char> was_enrolled_;  ///< enrol() scratch (reused per epoch)
 
   sim::TelemetryBus* telemetry_ = nullptr;
   sim::SubjectId subject_ = 0;

@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 namespace sa::core {
-
-const std::deque<KnowledgeItem> KnowledgeBase::empty_{};
 
 std::string to_string(const Value& v) {
   std::ostringstream os;
@@ -27,89 +26,127 @@ std::string to_string(const Value& v) {
   return os.str();
 }
 
-void KnowledgeBase::put(const std::string& key, KnowledgeItem item) {
+KnowledgeBase::KeyId KnowledgeBase::intern(std::string_view key) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const KeyId id = static_cast<KeyId>(entries_.size());
+  key_names_.emplace_back(key);  // deque: stable address for the view below
+  index_.emplace(std::string_view(key_names_.back()), id);
+  entries_.emplace_back();
+  entries_.back().ring.reserve(std::min<std::size_t>(history_limit_, 8));
+  // Keep the id list sorted by key name so iteration stays deterministic
+  // (ascending key order, as the std::map store used to give for free).
+  const auto pos = std::lower_bound(
+      sorted_.begin(), sorted_.end(), key,
+      [this](KeyId a, std::string_view k) { return key_names_[a] < k; });
+  sorted_.insert(pos, id);
+  return id;
+}
+
+void KnowledgeBase::put(std::string_view key, KnowledgeItem item) {
   // Items that declared no shelf life inherit the base's default.
   if (std::isinf(item.ttl)) item.ttl = default_ttl_;
-  auto& hist = store_[key];
-  hist.push_back(std::move(item));
-  if (hist.size() > history_limit_) hist.pop_front();
+  const KeyId id = intern(key);
+  KeyEntry& e = entries_[id];
+  if (history_limit_ == 0) {
+    // Degenerate store: the key exists but retains nothing.
+    const std::string& bare = key_names_[id];
+    for (const auto& [handle, l] : listeners_) {
+      (void)handle;
+      l(bare, item);
+    }
+    return;
+  }
+  const KnowledgeItem* stored = nullptr;
+  if (e.ring.size() < history_limit_) {
+    e.ring.push_back(std::move(item));
+    stored = &e.ring.back();
+  } else {
+    // Ring is warm: overwrite the oldest slot in place, no allocation.
+    e.ring[e.head] = std::move(item);
+    stored = &e.ring[e.head];
+    e.head = (e.head + 1) % e.ring.size();
+  }
+  const std::string& name = key_names_[id];
   for (const auto& [handle, l] : listeners_) {
     (void)handle;
-    l(key, hist.back());
+    l(name, *stored);
   }
 }
 
-void KnowledgeBase::put_number(const std::string& key, double value,
-                               double time, double confidence, Scope scope,
+void KnowledgeBase::put_number(std::string_view key, double value, double time,
+                               double confidence, Scope scope,
                                std::string source) {
   put(key, KnowledgeItem{Value{value}, time, confidence, scope,
                          std::move(source)});
 }
 
-std::optional<KnowledgeItem> KnowledgeBase::latest(
-    const std::string& key) const {
-  const auto it = store_.find(key);
-  if (it == store_.end() || it->second.empty()) return std::nullopt;
-  return it->second.back();
+std::optional<KnowledgeItem> KnowledgeBase::latest(std::string_view key) const {
+  const KeyId id = find(key);
+  if (id == kNoKey) return std::nullopt;
+  const KnowledgeItem* item = latest_item(id);
+  if (!item) return std::nullopt;
+  return *item;
 }
 
-double KnowledgeBase::number(const std::string& key, double fallback) const {
-  const auto it = store_.find(key);
-  if (it == store_.end() || it->second.empty()) return fallback;
-  return as_number(it->second.back().value, fallback);
+double KnowledgeBase::number(std::string_view key, double fallback) const {
+  const KeyId id = find(key);
+  if (id == kNoKey) return fallback;
+  const KnowledgeItem* item = latest_item(id);
+  return item ? as_number(item->value, fallback) : fallback;
 }
 
-double KnowledgeBase::confidence(const std::string& key) const {
-  const auto it = store_.find(key);
-  if (it == store_.end() || it->second.empty()) return 0.0;
-  return it->second.back().confidence;
+double KnowledgeBase::confidence(std::string_view key) const {
+  const KeyId id = find(key);
+  if (id == kNoKey) return 0.0;
+  const KnowledgeItem* item = latest_item(id);
+  return item ? item->confidence : 0.0;
 }
 
-const std::deque<KnowledgeItem>& KnowledgeBase::history(
-    const std::string& key) const {
-  const auto it = store_.find(key);
-  return it == store_.end() ? empty_ : it->second;
+KnowledgeBase::HistoryView KnowledgeBase::history(std::string_view key) const {
+  const KeyId id = find(key);
+  if (id == kNoKey) return {};
+  const KeyEntry& e = entries_[id];
+  if (e.ring.empty()) return {};
+  return HistoryView(e.ring.data(), e.head, e.ring.size(), e.ring.size());
 }
 
-bool KnowledgeBase::contains(const std::string& key) const {
-  return store_.count(key) != 0;
+bool KnowledgeBase::contains(std::string_view key) const {
+  return find(key) != kNoKey;
 }
 
-bool KnowledgeBase::fresh(const std::string& key, double now) const {
-  const auto it = store_.find(key);
-  if (it == store_.end() || it->second.empty()) return false;
-  const KnowledgeItem& item = it->second.back();
-  return now - item.time <= item.ttl;
+bool KnowledgeBase::fresh(std::string_view key, double now) const {
+  const KeyId id = find(key);
+  if (id == kNoKey) return false;
+  const KnowledgeItem* item = latest_item(id);
+  return item != nullptr && now - item->time <= item->ttl;
 }
 
-std::vector<std::string> KnowledgeBase::stale_keys(const std::string& prefix,
+std::vector<std::string> KnowledgeBase::stale_keys(std::string_view prefix,
                                                    double now) const {
   std::vector<std::string> out;
-  for (auto it = store_.lower_bound(prefix); it != store_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    if (it->second.empty()) continue;
-    const KnowledgeItem& item = it->second.back();
-    if (now - item.time > item.ttl) out.push_back(it->first);
+  for (const KeyId id : sorted_) {
+    const std::string& name = key_names_[id];
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    const KnowledgeItem* item = latest_item(id);
+    if (item && now - item->time > item->ttl) out.push_back(name);
   }
   return out;
 }
 
 std::vector<std::string> KnowledgeBase::keys() const {
   std::vector<std::string> out;
-  out.reserve(store_.size());
-  for (const auto& [k, v] : store_) {
-    (void)v;
-    out.push_back(k);
-  }
+  out.reserve(sorted_.size());
+  for (const KeyId id : sorted_) out.push_back(key_names_[id]);
   return out;
 }
 
 std::vector<std::string> KnowledgeBase::keys_with_prefix(
-    const std::string& prefix) const {
+    std::string_view prefix) const {
   std::vector<std::string> out;
-  for (auto it = store_.lower_bound(prefix); it != store_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    out.push_back(it->first);
+  for (const KeyId id : sorted_) {
+    const std::string& name = key_names_[id];
+    if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(name);
   }
   return out;
 }
@@ -117,9 +154,10 @@ std::vector<std::string> KnowledgeBase::keys_with_prefix(
 std::vector<std::pair<std::string, KnowledgeItem>>
 KnowledgeBase::public_snapshot() const {
   std::vector<std::pair<std::string, KnowledgeItem>> out;
-  for (const auto& [k, hist] : store_) {
-    if (!hist.empty() && hist.back().scope == Scope::Public) {
-      out.emplace_back(k, hist.back());
+  for (const KeyId id : sorted_) {
+    const KnowledgeItem* item = latest_item(id);
+    if (item && item->scope == Scope::Public) {
+      out.emplace_back(key_names_[id], *item);
     }
   }
   return out;
@@ -137,6 +175,11 @@ void KnowledgeBase::unsubscribe(std::size_t handle) {
       listeners_.end());
 }
 
-void KnowledgeBase::clear() { store_.clear(); }
+void KnowledgeBase::clear() {
+  index_.clear();     // views point into key_names_: drop them first
+  key_names_.clear();
+  entries_.clear();
+  sorted_.clear();
+}
 
 }  // namespace sa::core

@@ -7,15 +7,27 @@
 // *public* self-awareness covers knowledge derived from / observable by the
 // outside world. Only Public items are shared with peers by the collective
 // layer.
+//
+// Data layout: keys are interned once into stable ids (the
+// sim::TelemetryBus interned-id idiom); per-key state lives in an
+// id-indexed arena of ring-buffered histories. The string-keyed API is a
+// thin resolving shim — every lookup is one hash probe on a
+// std::string_view (no temporary std::string, no tree walk), and reads on
+// the hot path (number(), confidence(), fresh(), contains()) perform zero
+// heap allocations. A sorted key index keeps keys()/stale_keys()/
+// public_snapshot() deterministic (ascending key order), matching the old
+// std::map iteration order byte for byte.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
-#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/value.hpp"
@@ -52,37 +64,80 @@ class KnowledgeBase {
   using Listener =
       std::function<void(const std::string& key, const KnowledgeItem&)>;
 
+  /// Read-only, oldest-first view over one key's ring-buffered history.
+  /// Indexable and iterable like the deque it replaced; valid until the
+  /// next put() to the same key (or clear()).
+  class HistoryView {
+   public:
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    /// i-th oldest retained item (0 = oldest, size()-1 = latest).
+    [[nodiscard]] const KnowledgeItem& operator[](std::size_t i) const {
+      return ring_[(head_ + i) % cap_];
+    }
+    [[nodiscard]] const KnowledgeItem& front() const { return (*this)[0]; }
+    [[nodiscard]] const KnowledgeItem& back() const {
+      return (*this)[count_ - 1];
+    }
+
+    class iterator {
+     public:
+      iterator(const HistoryView* v, std::size_t i) : view_(v), i_(i) {}
+      const KnowledgeItem& operator*() const { return (*view_)[i_]; }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+     private:
+      const HistoryView* view_;
+      std::size_t i_;
+    };
+    [[nodiscard]] iterator begin() const { return {this, 0}; }
+    [[nodiscard]] iterator end() const { return {this, count_}; }
+
+   private:
+    friend class KnowledgeBase;
+    HistoryView() = default;
+    HistoryView(const KnowledgeItem* ring, std::size_t head, std::size_t count,
+                std::size_t cap) noexcept
+        : ring_(ring), head_(head), count_(count), cap_(cap) {}
+    const KnowledgeItem* ring_ = nullptr;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::size_t cap_ = 1;
+  };
+
   /// `history_limit` — max items retained per key (oldest evicted first).
   explicit KnowledgeBase(std::size_t history_limit = 128)
       : history_limit_(history_limit) {}
 
   /// Stores a new item under `key`; notifies listeners.
-  void put(const std::string& key, KnowledgeItem item);
+  void put(std::string_view key, KnowledgeItem item);
   /// Convenience: store a numeric fact.
-  void put_number(const std::string& key, double value, double time,
+  void put_number(std::string_view key, double value, double time,
                   double confidence = 1.0, Scope scope = Scope::Private,
                   std::string source = {});
 
   /// Most recent item for `key`, if any.
-  [[nodiscard]] std::optional<KnowledgeItem> latest(
-      const std::string& key) const;
+  [[nodiscard]] std::optional<KnowledgeItem> latest(std::string_view key) const;
   /// Numeric view of the latest item (or `fallback` if absent/non-numeric).
-  [[nodiscard]] double number(const std::string& key,
+  [[nodiscard]] double number(std::string_view key,
                               double fallback = 0.0) const;
   /// Confidence of the latest item (0 if absent).
-  [[nodiscard]] double confidence(const std::string& key) const;
+  [[nodiscard]] double confidence(std::string_view key) const;
   /// Full retained history for `key` (empty if unknown), oldest first.
-  [[nodiscard]] const std::deque<KnowledgeItem>& history(
-      const std::string& key) const;
+  [[nodiscard]] HistoryView history(std::string_view key) const;
   /// True if `key` has ever been written.
-  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
   /// True when `key` has an item still within its TTL at sim time `now`.
   /// Unknown keys are not fresh. The stale-knowledge detector of the
   /// degradation machinery is built on this.
-  [[nodiscard]] bool fresh(const std::string& key, double now) const;
+  [[nodiscard]] bool fresh(std::string_view key, double now) const;
   /// Keys under `prefix` (all keys if empty) whose latest item has
   /// outlived its TTL at `now`, sorted.
-  [[nodiscard]] std::vector<std::string> stale_keys(const std::string& prefix,
+  [[nodiscard]] std::vector<std::string> stale_keys(std::string_view prefix,
                                                     double now) const;
   /// Default TTL stamped onto items put() without an explicit finite TTL
   /// (infinity = never expire). Existing items keep the TTL they carry.
@@ -92,9 +147,9 @@ class KnowledgeBase {
   [[nodiscard]] std::vector<std::string> keys() const;
   /// Keys beginning with `prefix`, sorted.
   [[nodiscard]] std::vector<std::string> keys_with_prefix(
-      const std::string& prefix) const;
+      std::string_view prefix) const;
   /// Number of distinct keys.
-  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
   /// Snapshot of the latest Public item per key — the shareable self.
   [[nodiscard]] std::vector<std::pair<std::string, KnowledgeItem>>
@@ -105,7 +160,7 @@ class KnowledgeBase {
   std::size_t subscribe(Listener l);
   void unsubscribe(std::size_t handle);
 
-  /// Drops all knowledge (scenario teardown).
+  /// Drops all knowledge (scenario teardown). Listeners stay subscribed.
   void clear();
 
   [[nodiscard]] std::size_t history_limit() const noexcept {
@@ -113,12 +168,40 @@ class KnowledgeBase {
   }
 
  private:
+  using KeyId = std::uint32_t;
+  static constexpr KeyId kNoKey = 0xffffffffu;
+
+  /// Per-key store: a ring buffer that grows to history_limit_ then
+  /// overwrites the oldest slot in place — no per-put node allocation once
+  /// warm.
+  struct KeyEntry {
+    std::vector<KnowledgeItem> ring;
+    std::size_t head = 0;  ///< index of the oldest item once the ring is full
+  };
+
+  [[nodiscard]] KeyId find(std::string_view key) const noexcept {
+    const auto it = index_.find(key);
+    return it == index_.end() ? kNoKey : it->second;
+  }
+  KeyId intern(std::string_view key);
+  [[nodiscard]] const KnowledgeItem* latest_item(KeyId id) const noexcept {
+    const KeyEntry& e = entries_[id];
+    if (e.ring.empty()) return nullptr;
+    const std::size_t newest =
+        (e.head + e.ring.size() - 1) % e.ring.size();
+    return &e.ring[newest];
+  }
+
   std::size_t history_limit_;
   double default_ttl_ = std::numeric_limits<double>::infinity();
-  std::map<std::string, std::deque<KnowledgeItem>> store_;
+  /// Interned key names. A deque gives stable addresses, so index_'s
+  /// string_view keys can point straight into it.
+  std::deque<std::string> key_names_;
+  std::unordered_map<std::string_view, KeyId> index_;
+  std::vector<KeyEntry> entries_;       ///< id-indexed histories
+  std::vector<KeyId> sorted_;           ///< ids in ascending key order
   std::vector<std::pair<std::size_t, Listener>> listeners_;
   std::size_t next_handle_ = 0;
-  static const std::deque<KnowledgeItem> empty_;
 };
 
 }  // namespace sa::core

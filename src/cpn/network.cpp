@@ -12,10 +12,13 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 Topology::Topology(std::size_t nodes, std::vector<LinkSpec> links)
-    : n_(nodes), links_(std::move(links)), adj_(nodes) {
-  for (const auto& l : links_) {
+    : n_(nodes), links_(std::move(links)), adj_(nodes), adj_link_(nodes) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const auto& l = links_[i];
     adj_[l.a].push_back(l.b);
+    adj_link_[l.a].push_back(i);
     adj_[l.b].push_back(l.a);
+    adj_link_[l.b].push_back(i);
   }
   build_tables();
 }
@@ -52,11 +55,9 @@ Topology Topology::grid(std::size_t rows, std::size_t cols,
 }
 
 std::size_t Topology::link_between(std::size_t a, std::size_t b) const {
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    if ((links_[i].a == a && links_[i].b == b) ||
-        (links_[i].a == b && links_[i].b == a)) {
-      return i;
-    }
+  const auto& nbrs = adj_[a];
+  for (std::size_t s = 0; s < nbrs.size(); ++s) {
+    if (nbrs[s] == b) return adj_link_[a][s];
   }
   return kNone;
 }
@@ -109,7 +110,7 @@ PacketNetwork::PacketNetwork(Topology topo, Params p)
     for (std::size_t d = 0; d < topo_.nodes(); ++d) {
       const auto& nbrs = topo_.neighbours(v);
       for (std::size_t s = 0; s < nbrs.size(); ++s) {
-        const std::size_t l = topo_.link_between(v, nbrs[s]);
+        const std::size_t l = topo_.link_at(v, s);
         q(v, d, s) = topo_.links()[l].base_latency + topo_.distance(nbrs[s], d);
       }
     }
@@ -301,20 +302,23 @@ void PacketNetwork::step() {
     }
   }
 
-  std::vector<Packet> arrivals;
+  // One SoA-style sweep over the in-flight array: decrement transit
+  // clocks, compact survivors in place, land arrivals into the reused
+  // member scratch (arrive() may push new sends onto flying_).
+  arrivals_.clear();
   std::size_t w = 0;
   for (std::size_t i = 0; i < flying_.size(); ++i) {
     Packet& pkt = flying_[i];
     pkt.remaining -= 1.0;
     if (pkt.remaining <= 0.0) {
       --in_flight_[pkt.link];
-      arrivals.push_back(pkt);
+      arrivals_.push_back(pkt);
     } else {
       flying_[w++] = pkt;
     }
   }
   flying_.resize(w);
-  for (auto& pkt : arrivals) arrive(pkt);
+  for (auto& pkt : arrivals_) arrive(pkt);
 }
 
 void PacketNetwork::run(std::size_t ticks) {

@@ -56,8 +56,14 @@ class Topology {
       std::size_t node) const {
     return adj_[node];
   }
-  /// Link index carrying (a,b); SIZE_MAX if absent.
+  /// Link index carrying (a,b); SIZE_MAX if absent. Resolved through the
+  /// per-node adjacency (O(degree)), not a scan over all links.
   [[nodiscard]] std::size_t link_between(std::size_t a, std::size_t b) const;
+  /// Link index to `neighbours(node)[slot]` — the zero-search variant for
+  /// callers that already hold a neighbour slot.
+  [[nodiscard]] std::size_t link_at(std::size_t node, std::size_t slot) const {
+    return adj_link_[node][slot];
+  }
   /// Base-latency shortest-path distance a→b.
   [[nodiscard]] double distance(std::size_t a, std::size_t b) const {
     return dist_[a * n_ + b];
@@ -72,6 +78,8 @@ class Topology {
   std::size_t n_;
   std::vector<LinkSpec> links_;
   std::vector<std::vector<std::size_t>> adj_;
+  /// adj_link_[v][s] is the link index joining v to adj_[v][s].
+  std::vector<std::vector<std::size_t>> adj_link_;
   std::vector<double> dist_;
   std::vector<std::size_t> next_;
 };
@@ -200,6 +208,7 @@ class PacketNetwork {
   double eps_floor_;
 
   std::vector<Packet> flying_;
+  std::vector<Packet> arrivals_;  ///< per-tick scratch, reused across steps
   std::vector<std::size_t> in_flight_;
   std::vector<bool> dead_;
   std::vector<double> slowdown_;  ///< fault-injected latency multipliers

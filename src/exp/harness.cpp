@@ -7,8 +7,13 @@
 #include <iostream>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "exp/metrics_jsonl.hpp"
 #include "exp/trace_json.hpp"
+#include "sim/engine.hpp"
 
 #ifdef SA_SERVE_ENABLED
 #include "serve/bridge.hpp"
@@ -77,6 +82,20 @@ Json to_json(const GridResult& result, bool include_timing) {
   return g;
 }
 
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;  // ru_maxrss is KiB
+#endif
+  }
+#endif
+  return 0.0;
+}
+
 std::string git_rev() {
   if (const char* env = std::getenv("SA_GIT_REV"); env && *env) return env;
   std::string rev;
@@ -108,6 +127,7 @@ Harness::Harness(std::string experiment, int argc, const char* const* argv)
         return o;
       }()),
       runner_(opts_.jobs) {
+  events_at_start_ = sim::Engine::global_executed();
 #ifndef SA_SERVE_ENABLED
   if (opts_.serve_port >= 0) {
     std::cerr << (argc > 0 ? argv[0] : "bench")
@@ -235,6 +255,14 @@ Json Harness::document() const {
   double wall = 0.0;
   for (const auto& g : results_) wall += g.wall_s;
   meta["wall_clock_s"] = wall;
+  // Throughput block: how hard the event kernel worked for this document.
+  // events_total is deterministic for a fixed workload; events_per_sec and
+  // peak_rss_mb are wall-clock-dependent, so CI byte-diffs exclude them
+  // alongside wall_clock_s.
+  const std::uint64_t events = sim::Engine::global_executed() - events_at_start_;
+  meta["events_total"] = static_cast<std::int64_t>(events);
+  meta["events_per_sec"] = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+  meta["peak_rss_mb"] = peak_rss_mb();
   Json& grids = doc["grids"] = Json::array();
   for (const auto& g : results_) grids.push_back(to_json(g));
   // Failed cells surfaced top-level so CI does not have to walk every

@@ -34,6 +34,9 @@ namespace sa::exp {
 /// --short HEAD`, else "unknown". Never throws.
 [[nodiscard]] std::string git_rev();
 
+/// Peak resident set size of this process in MiB (0 where unsupported).
+[[nodiscard]] double peak_rss_mb();
+
 class Harness {
  public:
   /// Parses argv; on --help prints usage and exits 0, on a bad flag
@@ -99,6 +102,9 @@ class Harness {
   Options opts_;
   Runner runner_;
   std::vector<GridResult> results_;
+  /// Engine::global_executed() at construction: document() reports the
+  /// delta as this run's event throughput (events_total / events_per_sec).
+  std::uint64_t events_at_start_ = 0;
 
   // Observability state for the traced cell (owned here so task lambdas
   // can reference it from worker threads; only the one traced cell ever

@@ -64,9 +64,9 @@ void Platform::fail_core(std::size_t core) {
   failed_[core] = true;
   // Re-home the dead core's queued tasks; place() now skips it. If every
   // core is down the orphans stall on core 0 until a restore.
-  std::deque<Task> orphans;
-  orphans.swap(queue_[core]);
-  for (auto& t : orphans) queue_[place(t)].push_back(t);
+  orphans_.clear();
+  queue_[core].drain_into(orphans_);
+  for (const auto& t : orphans_) queue_[place(t)].push_back(t);
 }
 
 std::size_t Platform::cores_failed() const {
@@ -94,9 +94,7 @@ std::size_t Platform::place(const Task& task) const {
     for (std::size_t c = 0; c < specs_.size(); ++c) {
       if (failed_[c]) continue;
       if (pass == 0 && !eligible(c)) continue;
-      double backlog = 0.0;
-      for (const auto& t : queue_[c]) backlog += t.remaining;
-      const double eta = backlog / speed(c);
+      const double eta = queue_[c].backlog() / speed(c);
       if (eta < best_eta) {
         best_eta = eta;
         best = c;

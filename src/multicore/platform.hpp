@@ -14,9 +14,9 @@
 // epoch statistics.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -79,6 +79,87 @@ struct Task {
   double total = 0.0;      ///< giga-ops at submission
   double arrived = 0.0;    ///< arrival time, s
   double deadline = 0.0;   ///< relative deadline, s (0 = none)
+};
+
+/// Contiguous FIFO ring of tasks — the per-core run queue. Replaces
+/// std::deque's chunked nodes with one flat buffer: push/pop are
+/// branch-plus-store, and the backlog sweeps in place() walk cache-line
+/// sequential Task structs in exact FIFO order (same front-to-back
+/// summation order as the deque it replaced, so accumulated floats are
+/// bit-identical).
+class TaskRing {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Mutable access dirties the backlog cache: step() shrinks
+  /// front().remaining through this reference.
+  [[nodiscard]] Task& front() {
+    dirty_ = true;
+    return buf_[head_];
+  }
+  [[nodiscard]] const Task& front() const { return buf_[head_]; }
+  /// i-th task in FIFO order (0 = front).
+  [[nodiscard]] const Task& operator[](std::size_t i) const {
+    return buf_[wrap(head_ + i)];
+  }
+  void push_back(const Task& t) {
+    if (count_ == buf_.size()) grow();
+    buf_[tail_] = t;
+    tail_ = wrap(tail_ + 1);
+    ++count_;
+    dirty_ = true;
+  }
+  void pop_front() {
+    head_ = wrap(head_ + 1);
+    --count_;
+    dirty_ = true;
+  }
+  /// Drains every task, FIFO order, into `out` (used by core fail-over).
+  void drain_into(std::vector<Task>& out) {
+    for (std::size_t i = 0; i < count_; ++i) out.push_back((*this)[i]);
+    head_ = tail_ = count_ = 0;
+    dirty_ = true;
+  }
+  /// Sum of remaining work, accumulated in FIFO order (the same float
+  /// sequence a front-to-back walk produces) but over the ring's two
+  /// contiguous spans, so the scan pays no per-element wrap. The result
+  /// is memoised until the next mutation: re-summing unchanged contents
+  /// runs the identical float-op sequence, so serving the cached double
+  /// is bit-exact — place() scans every core per admission, but between
+  /// admissions only one queue has changed.
+  [[nodiscard]] double backlog() const noexcept {
+    if (dirty_) {
+      double sum = 0.0;
+      const std::size_t first = std::min(count_, buf_.size() - head_);
+      for (std::size_t i = 0; i < first; ++i) {
+        sum += buf_[head_ + i].remaining;
+      }
+      for (std::size_t i = 0; i < count_ - first; ++i) {
+        sum += buf_[i].remaining;
+      }
+      backlog_ = sum;
+      dirty_ = false;
+    }
+    return backlog_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t wrap(std::size_t i) const noexcept {
+    return i >= buf_.size() ? i - buf_.size() : i;
+  }
+  void grow() {
+    std::vector<Task> bigger;
+    bigger.reserve(buf_.empty() ? 8 : buf_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) bigger.push_back((*this)[i]);
+    bigger.resize(bigger.capacity());
+    buf_ = std::move(bigger);
+    head_ = 0;
+    tail_ = count_;
+  }
+  std::vector<Task> buf_;
+  std::size_t head_ = 0, tail_ = 0, count_ = 0;
+  mutable double backlog_ = 0.0;  ///< memoised backlog() (see above)
+  mutable bool dirty_ = true;
 };
 
 /// Statistics harvested per control epoch.
@@ -191,7 +272,8 @@ class Platform {
   std::vector<std::size_t> level_;
   std::vector<bool> failed_;       ///< fault-injected dead cores
   std::size_t freq_cap_ = static_cast<std::size_t>(-1);
-  std::vector<std::deque<Task>> queue_;
+  std::vector<TaskRing> queue_;
+  std::vector<Task> orphans_;  ///< fail-over scratch (reused)
   Mapping mapping_ = Mapping::Balanced;
   sim::Rng rng_;
   double now_ = 0.0;

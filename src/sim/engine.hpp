@@ -1,34 +1,47 @@
 // Discrete-event simulation engine.
 //
-// A minimal, deterministic DES kernel: events are (time, order, sequence,
-// action) tuples in a binary heap. All substrates (svc, cloud, multicore,
-// cpn) can schedule their dynamics through one Engine instance via their
-// bind() adapters (see each substrate's simulator/controller), which is how
-// core::AgentRuntime co-schedules agents, reward delivery, knowledge
-// exchange and substrate ticks at independent periods.
+// A minimal, deterministic DES kernel: events are (time, order, sequence)
+// entries in a slot-indexed binary heap over a pooled slot arena. All
+// substrates (svc, cloud, multicore, cpn) can schedule their dynamics
+// through one Engine instance via their bind() adapters (see each
+// substrate's simulator/controller), which is how core::AgentRuntime
+// co-schedules agents, reward delivery, knowledge exchange and substrate
+// ticks at independent periods.
+//
+// Data layout (the hot path is allocation-free in steady state):
+//  * The heap orders plain (t, order, seq, slot) entries — 24-byte PODs
+//    that sift by copy, never by moving a std::function.
+//  * Callables live in a free-list slot arena. One-shot slots are recycled
+//    the moment they fire; periodic slots persist across firings, so
+//    every() re-arms by pushing a fresh heap entry onto its existing slot
+//    instead of re-capturing a closure per firing.
+//  * step() moves the callable out of its slot before running it, so an
+//    action may freely schedule (growing/reallocating the arena) or even
+//    clear() the engine while executing.
 //
 // Determinism contract:
 //  * Ties in time break by `order` (lower first), then by scheduling
 //    sequence (earlier at() call first). Periodic streams created by
-//    every() re-schedule on each firing, so at a coincidence of two
-//    equal-order streams the LONGER-period stream runs first (its event was
-//    scheduled further in the past). When the intent is "dynamics before
-//    control at the same instant", encode it with `order` — the convention
-//    used throughout is: fault injection at order -1 (sa::fault — faults
-//    landing at t are in force before anything else at t runs), substrate
-//    dynamics at order 0, agent/control steps at order 1, knowledge
-//    exchange at order 2 — rather than relying on scheduling age.
+//    every() re-arm on each firing with a fresh sequence number, so at a
+//    coincidence of two equal-order streams the LONGER-period stream runs
+//    first (its event was armed further in the past). When the intent is
+//    "dynamics before control at the same instant", encode it with
+//    `order` — the convention used throughout is: fault injection at
+//    order -1 (sa::fault — faults landing at t are in force before
+//    anything else at t runs), substrate dynamics at order 0,
+//    agent/control steps at order 1, knowledge exchange at order 2 —
+//    rather than relying on scheduling age.
 //  * every(period) fires at base + n*period computed by multiplication,
 //    not by accumulating now+period, so periodic events do not drift: the
 //    100th firing of every(0.005) lands exactly on t=0.5 and coincides
 //    with a control event scheduled there.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -37,21 +50,47 @@ namespace sa::sim {
 /// Simulated time in abstract seconds.
 using Time = double;
 
+namespace detail {
+/// Process-wide count of executed events across all Engine instances.
+/// Engines flush into it in batches (on destruction and clear()), so the
+/// per-event hot loop never touches the atomic. exp::Harness samples it
+/// around a run to report events/sec in bench meta blocks.
+inline std::atomic<std::uint64_t>& global_event_counter() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+}  // namespace detail
+
 class Engine {
  public:
   using Action = std::function<void()>;
 
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine() { flush_executed(); }
+
   /// Current simulated time.
   [[nodiscard]] Time now() const noexcept { return now_; }
-  /// Number of events executed so far.
+  /// Number of events executed this run (reset by clear()).
   [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
   /// Number of events currently pending.
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// Process-wide executed-event count across all engines that have
+  /// flushed (destroyed or clear()ed engines). Monotone; sample a delta
+  /// around a run to derive events/sec.
+  [[nodiscard]] static std::uint64_t global_executed() noexcept {
+    return detail::global_event_counter().load(std::memory_order_relaxed);
+  }
 
   /// Schedules `action` at absolute time `t` (must be >= now()). Events at
   /// equal time run in ascending `order`, then in scheduling order.
   void at(Time t, Action action, int order = 0) {
-    heap_.push(Ev{t, order, seq_++, std::move(action)});
+    const std::uint32_t slot = alloc_slot();
+    Slot& s = slots_[slot];
+    s.once = std::move(action);
+    s.is_periodic = false;
+    push_entry(Entry{t, order, slot, seq_++});
   }
   /// Schedules `action` after a delay (>= 0) from now.
   void in(Time delay, Action action, int order = 0) {
@@ -60,14 +99,25 @@ class Engine {
   /// Schedules `action` every `period` starting at now()+period, until it
   /// returns false or the run ends. The n-th firing is at now()+n*period
   /// (computed multiplicatively — no floating-point drift across firings).
+  /// The callable occupies one pooled slot for the stream's whole
+  /// lifetime; firings re-arm the slot instead of re-capturing it.
   void every(Time period, std::function<bool()> action, int order = 0) {
-    schedule_periodic(now_, period, 1, std::move(action), order);
+    const std::uint32_t slot = alloc_slot();
+    Slot& s = slots_[slot];
+    s.periodic = std::move(action);
+    s.is_periodic = true;
+    s.base = now_;
+    s.period = period;
+    s.n = 1;
+    s.order = order;
+    push_entry(Entry{s.base + static_cast<Time>(s.n) * s.period, order, slot,
+                     seq_++});
   }
 
   /// Runs until the event queue empties or simulated time reaches `horizon`.
   /// Events scheduled exactly at the horizon still execute.
   void run_until(Time horizon) {
-    while (!heap_.empty() && heap_.top().t <= horizon) {
+    while (!heap_.empty() && heap_.front().t <= horizon) {
       step();
     }
     now_ = std::max(now_, horizon);
@@ -79,20 +129,53 @@ class Engine {
   /// Executes exactly one event if present; returns whether one ran.
   bool step() {
     if (heap_.empty()) return false;
-    // std::priority_queue::top() is const&; moving requires const_cast, so we
-    // copy the small struct out instead (Action is a shared-state function).
-    Ev ev = heap_.top();
-    heap_.pop();
-    now_ = ev.t;
+    const Entry top = heap_.front();
+    pop_front();
+    now_ = top.t;
     ++executed_;
-    if (profile_) {
-      const auto wall0 = std::chrono::steady_clock::now();
-      ev.action();
-      const std::chrono::duration<double> wall =
-          std::chrono::steady_clock::now() - wall0;
-      profile_(ev.t, ev.order, wall.count());
+    Slot& s = slots_[top.slot];
+    if (!s.is_periodic) {
+      // Move the callable out and recycle the slot *before* running, so a
+      // nested at()/every() may reuse it immediately.
+      Action act = std::move(s.once);
+      free_slot(top.slot);
+      if (profile_) {
+        const auto wall0 = std::chrono::steady_clock::now();
+        act();
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - wall0;
+        profile_(top.t, top.order, wall.count());
+      } else {
+        act();
+      }
     } else {
-      ev.action();
+      // Move the callable out for reentrancy: the action may schedule
+      // (reallocating the arena) or clear() the engine while running.
+      std::function<bool()> fn = std::move(s.periodic);
+      const std::uint64_t epoch = clear_epoch_;
+      bool again;
+      if (profile_) {
+        const auto wall0 = std::chrono::steady_clock::now();
+        again = fn();
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - wall0;
+        profile_(top.t, top.order, wall.count());
+      } else {
+        again = fn();
+      }
+      if (clear_epoch_ != epoch) return true;  // clear() ran inside fn.
+      Slot& live = slots_[top.slot];  // Re-resolve: arena may have grown.
+      if (again) {
+        // Re-arm after the action ran, with a fresh sequence number — so
+        // events the action itself scheduled sort ahead of the next
+        // firing, exactly as the re-scheduling closure used to behave.
+        live.periodic = std::move(fn);
+        ++live.n;
+        push_entry(Entry{live.base + static_cast<Time>(live.n) * live.period,
+                         live.order, top.slot, seq_++});
+      } else {
+        free_slot(top.slot);
+      }
     }
     return true;
   }
@@ -103,38 +186,114 @@ class Engine {
   /// trace file — they are not reproducible.
   using ProfileHook = std::function<void(Time t, int order, double wall_s)>;
   void set_profile_hook(ProfileHook hook) { profile_ = std::move(hook); }
-  /// Discards all pending events (end of scenario teardown).
+  /// Discards all pending events and resets the per-run counters
+  /// (executed(), scheduling sequence) for the next scenario. Simulated
+  /// time is preserved. Safe to call from within an executing event: the
+  /// in-flight periodic stream is dropped rather than re-armed.
   void clear() {
-    heap_ = {};
+    flush_executed();
+    heap_.clear();
+    slots_.clear();
+    free_head_ = kNoSlot;
+    executed_ = 0;
+    flushed_ = 0;
+    seq_ = 0;
+    ++clear_epoch_;
   }
 
  private:
-  void schedule_periodic(Time base, Time period, std::uint64_t n,
-                         std::function<bool()> action, int order) {
-    at(base + static_cast<Time>(n) * period,
-       [this, base, period, n, order, action = std::move(action)]() mutable {
-         if (action()) {
-           schedule_periodic(base, period, n + 1, std::move(action), order);
-         }
-       },
-       order);
-  }
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
-  struct Ev {
+  /// Pooled callable storage. A slot is either one-shot (`once` armed,
+  /// recycled on firing) or periodic (`periodic` + re-arm state, recycled
+  /// when the action returns false). Free slots chain through `next_free`.
+  struct Slot {
+    Action once;
+    std::function<bool()> periodic;
+    Time base = 0.0;
+    Time period = 0.0;
+    std::uint64_t n = 0;
+    int order = 0;
+    bool is_periodic = false;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  /// Heap entries are POD: sifting copies 24 bytes instead of moving
+  /// std::function state.
+  struct Entry {
     Time t;
     int order;
+    std::uint32_t slot;
     std::uint64_t seq;
-    Action action;
-    bool operator>(const Ev& o) const noexcept {
-      if (t != o.t) return t > o.t;
-      if (order != o.order) return order > o.order;
-      return seq > o.seq;
-    }
   };
-  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> heap_;
+
+  static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.order != b.order) return a.order < b.order;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t alloc_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = slots_[idx].next_free;
+      slots_[idx].next_free = kNoSlot;
+      return idx;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void free_slot(std::uint32_t idx) {
+    Slot& s = slots_[idx];
+    s.once = nullptr;      // Release captured state now, not at reuse.
+    s.periodic = nullptr;
+    s.is_periodic = false;
+    s.next_free = free_head_;
+    free_head_ = idx;
+  }
+
+  void push_entry(const Entry& e) {
+    heap_.push_back(e);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void pop_front() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      std::size_t smallest = i;
+      if (l < n && before(heap_[l], heap_[smallest])) smallest = l;
+      if (l + 1 < n && before(heap_[l + 1], heap_[smallest])) smallest = l + 1;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  void flush_executed() noexcept {
+    detail::global_event_counter().fetch_add(executed_ - flushed_,
+                                             std::memory_order_relaxed);
+    flushed_ = executed_;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::size_t executed_ = 0;
+  std::size_t flushed_ = 0;
+  std::uint64_t clear_epoch_ = 0;
   ProfileHook profile_;
 };
 

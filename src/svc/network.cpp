@@ -24,6 +24,7 @@ Network::Network(std::vector<CameraSpec> cameras, NetworkParams params)
       blur_(specs_.size(), 1.0),
       neighbours_(specs_.size()),
       links_(specs_.size()),
+      owned_count_(specs_.size(), 0),
       cam_epoch_(specs_.size()) {
   // Precompute the Smooth audiences: FoV-overlapping cameras.
   for (std::size_t a = 0; a < specs_.size(); ++a) {
@@ -79,7 +80,7 @@ void Network::fail_camera(std::size_t cam) {
   // cameras has to re-home them (no auction — the seller is gone).
   for (std::size_t o = 0; o < owner_.size(); ++o) {
     if (owner_[o] == cam) {
-      owner_[o] = kUnowned;
+      transfer_owner(o, kUnowned);
       cam_epoch_[cam].lost += 1.0;
     }
   }
@@ -89,12 +90,12 @@ void Network::set_sensor_blur(std::size_t cam, double factor) {
   blur_[cam] = std::clamp(factor, 0.0, 1.0);
 }
 
-std::size_t Network::load(std::size_t cam) const {
-  std::size_t n = 0;
-  for (std::size_t owner : owner_) {
-    if (owner == cam) ++n;
-  }
-  return n;
+void Network::transfer_owner(std::size_t obj, std::size_t to) {
+  const std::size_t from = owner_[obj];
+  if (from == to) return;
+  if (from != kUnowned) --owned_count_[from];
+  if (to != kUnowned) ++owned_count_[to];
+  owner_[obj] = to;
 }
 
 Vec2 Network::current_hotspot() const {
@@ -134,7 +135,7 @@ void Network::auction(std::size_t obj, std::size_t seller) {
   const double t = static_cast<double>(steps_);
   const Strategy s = strategy_[seller];
   if (s == Strategy::Passive) {
-    owner_[obj] = kUnowned;
+    transfer_owner(obj, kUnowned);
     cam_epoch_[seller].lost += 1.0;
     if (telemetry_) {
       telemetry_->record(t, sim::TelemetryBus::kFailure, subject_,
@@ -142,21 +143,24 @@ void Network::auction(std::size_t obj, std::size_t seller) {
     }
     return;
   }
-  std::vector<std::size_t> audience;
+  // audience_ is member scratch: auctions run inside the per-step batch
+  // pass, so the buffer is reused instead of allocated per call.
+  audience_.clear();
   if (s == Strategy::Broadcast) {
-    audience.reserve(specs_.size() - 1);
     for (std::size_t c = 0; c < specs_.size(); ++c) {
-      if (c != seller) audience.push_back(c);
+      if (c != seller) audience_.push_back(c);
     }
   } else {
-    audience = learned_links(seller);
+    for (const Link& link : links_[seller]) {
+      if (link.strength >= 1.0) audience_.push_back(link.peer);
+    }
   }
-  cam_epoch_[seller].messages += static_cast<double>(audience.size());
-  net_epoch_.messages += static_cast<double>(audience.size());
+  cam_epoch_[seller].messages += static_cast<double>(audience_.size());
+  net_epoch_.messages += static_cast<double>(audience_.size());
 
   std::size_t best = kUnowned;
   double best_bid = 0.0;
-  for (std::size_t c : audience) {
+  for (std::size_t c : audience_) {
     const double vis = visibility(c, obj);
     if (vis < p_.vis_threshold) continue;
     if (load(c) >= specs_[c].capacity) continue;
@@ -170,17 +174,25 @@ void Network::auction(std::size_t obj, std::size_t seller) {
     }
   }
   if (best != kUnowned) {
-    owner_[obj] = best;
+    transfer_owner(obj, best);
     cam_epoch_[seller].handovers += 1.0;
     // The successful sale teaches the vision graph, whatever strategy
     // found the buyer.
-    links_[seller][best] += 1.0;
+    auto& edges = links_[seller];
+    const auto pos = std::lower_bound(
+        edges.begin(), edges.end(), best,
+        [](const Link& l, std::size_t peer) { return l.peer < peer; });
+    if (pos != edges.end() && pos->peer == best) {
+      pos->strength += 1.0;
+    } else {
+      edges.insert(pos, Link{best, 1.0});
+    }
     if (telemetry_) {
       telemetry_->record(t, sim::TelemetryBus::kObservation, subject_,
                          best_bid, "handover");
     }
   } else {
-    owner_[obj] = kUnowned;
+    transfer_owner(obj, kUnowned);
     cam_epoch_[seller].lost += 1.0;
     if (telemetry_) {
       telemetry_->record(t, sim::TelemetryBus::kFailure, subject_,
@@ -192,8 +204,8 @@ void Network::auction(std::size_t obj, std::size_t seller) {
 std::vector<std::size_t> Network::learned_links(std::size_t cam) const {
   std::vector<std::size_t> out;
   out.reserve(links_[cam].size());
-  for (const auto& [peer, strength] : links_[cam]) {
-    if (strength >= 1.0) out.push_back(peer);
+  for (const Link& link : links_[cam]) {
+    if (link.strength >= 1.0) out.push_back(link.peer);
   }
   return out;
 }
@@ -212,7 +224,7 @@ void Network::claim_unowned() {
         best = c;
       }
     }
-    if (best != kUnowned) owner_[o] = best;
+    if (best != kUnowned) transfer_owner(o, best);
   }
 }
 

@@ -25,7 +25,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -175,10 +174,23 @@ class Network {
   [[nodiscard]] const NetworkParams& params() const noexcept { return p_; }
 
  private:
+  /// One learned vision-graph edge. Each camera's edges are kept sorted by
+  /// peer id in a flat vector (same ascending order the old per-node
+  /// std::map iterated in, minus the node churn).
+  struct Link {
+    std::size_t peer;
+    double strength;
+  };
+
   void move_objects();
   void claim_unowned();
   void auction(std::size_t obj, std::size_t seller);
-  [[nodiscard]] std::size_t load(std::size_t cam) const;
+  /// Tracks owned per camera — maintained incrementally at every owner_
+  /// mutation (integer-exact), so bid loops never rescan all objects.
+  [[nodiscard]] std::size_t load(std::size_t cam) const {
+    return owned_count_[cam];
+  }
+  void transfer_owner(std::size_t obj, std::size_t to);
 
   std::vector<CameraSpec> specs_;
   NetworkParams p_;
@@ -187,11 +199,13 @@ class Network {
   std::vector<bool> failed_;     ///< fault-injected crashed cameras
   std::vector<double> blur_;     ///< fault-injected sensor quality, [0,1]
   std::vector<std::vector<std::size_t>> neighbours_;
-  std::vector<std::map<std::size_t, double>> links_;  ///< learned graph
+  std::vector<std::vector<Link>> links_;  ///< learned graph, sorted by peer
 
   std::vector<Vec2> object_pos_;
   std::vector<Vec2> object_waypoint_;
   std::vector<std::size_t> owner_;
+  std::vector<std::size_t> owned_count_;   ///< objects owned per camera
+  std::vector<std::size_t> audience_;      ///< auction scratch (reused)
   std::size_t steps_ = 0;
 
   std::vector<CameraEpoch> cam_epoch_;

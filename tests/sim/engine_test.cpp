@@ -190,5 +190,34 @@ TEST(Engine, ClearDropsPending) {
   EXPECT_EQ(count, 0);
 }
 
+TEST(Engine, ClearResetsExecutedCount) {
+  Engine e;
+  e.at(1.0, [] {});
+  e.at(2.0, [] {});
+  e.run();
+  EXPECT_EQ(e.executed(), 2u);
+  e.clear();
+  EXPECT_EQ(e.executed(), 0u);
+  // A fresh run after clear() counts from zero again.
+  e.at(e.now() + 1.0, [] {});
+  e.run();
+  EXPECT_EQ(e.executed(), 1u);
+}
+
+TEST(Engine, ClearInsideEventIsSafe) {
+  // An event (even a periodic one, whose slot would otherwise be re-armed
+  // after it returns) may clear() the engine out from under itself.
+  Engine e;
+  int after = 0;
+  e.every(1.0, [&] {
+    e.clear();
+    e.at(e.now() + 1.0, [&] { ++after; });
+    return true;
+  });
+  e.run();
+  EXPECT_EQ(after, 1);
+  EXPECT_EQ(e.executed(), 1u);  // only the post-clear schedule survived
+}
+
 }  // namespace
 }  // namespace sa::sim
