@@ -129,6 +129,28 @@ StandardArgs::StandardArgs() {
          out.serve_port = static_cast<int>(n);
          return {};
        }});
+  add({"--serve-bind",
+       "",
+       "ADDR",
+       "bind the --serve endpoint to ADDR instead of\n"
+       "127.0.0.1 (e.g. 0.0.0.0 so a load generator on\n"
+       "another host can reach it; pair with --serve-token)",
+       [](std::string_view value, Options& out) -> std::string {
+         if (value.empty()) return "expects an IPv4 address";
+         out.serve_bind = std::string(value);
+         return {};
+       }});
+  add({"--serve-token",
+       "",
+       "TOKEN",
+       "require TOKEN on POST /control (form field token=\n"
+       "or Authorization: Bearer; constant-time compare,\n"
+       "401 on mismatch)",
+       [](std::string_view value, Options& out) -> std::string {
+         if (value.empty()) return "expects a non-empty token";
+         out.serve_token = std::string(value);
+         return {};
+       }});
   add({"--serve-linger",
        "",
        "SEC",

@@ -16,6 +16,8 @@
 //                    experiments (others ignore it)
 //   --serve PORT     expose the designated cell live over HTTP (sa::serve;
 //                    builds with -DSA_SERVE=OFF reject the flag)
+//   --serve-bind A   bind address for --serve (default 127.0.0.1)
+//   --serve-token T  require T on POST /control (401 otherwise)
 //   --serve-linger S keep the endpoint up S seconds after the run
 //
 // The flag table itself lives in StandardArgs: one row per flag carrying
@@ -48,6 +50,12 @@ struct Options {
   /// HTTP port for the sa::serve endpoint; -1 = not serving, 0 = pick an
   /// ephemeral port (printed at startup).
   int serve_port = -1;
+  /// Bind address of the endpoint (default loopback; 0.0.0.0 lets a load
+  /// generator on another host connect — pair with serve_token).
+  std::string serve_bind = "127.0.0.1";
+  /// Shared token required on POST /control when non-empty (constant-time
+  /// compare, 401 on mismatch).
+  std::string serve_token;
   /// Seconds to keep the endpoint up after the run finishes (so scrapers
   /// can read final state); POST /control cmd=shutdown ends it early.
   double serve_linger = 0.0;

@@ -30,10 +30,12 @@ struct Harness::ServeState {
   serve::SimBridge bridge;
   serve::Server server;
 
-  ServeState(std::uint16_t port, serve::SimBridge::Options bridge_opts)
-      : bridge(bridge_opts), server([port] {
+  ServeState(std::uint16_t port, std::string bind,
+             serve::SimBridge::Options bridge_opts)
+      : bridge(bridge_opts), server([port, &bind] {
           serve::Server::Options o;
           o.port = port;
+          o.bind_address = std::move(bind);
           return o;
         }()) {}
 #endif
@@ -142,9 +144,11 @@ Harness::~Harness() = default;
 void Harness::start_serving() {
 #ifdef SA_SERVE_ENABLED
   if (serve_ != nullptr || opts_.serve_port < 0) return;
+  serve::SimBridge::Options bridge_opts;
+  bridge_opts.control_token = opts_.serve_token;
   serve_ = std::make_unique<ServeState>(
-      static_cast<std::uint16_t>(opts_.serve_port),
-      serve::SimBridge::Options{});
+      static_cast<std::uint16_t>(opts_.serve_port), opts_.serve_bind,
+      std::move(bridge_opts));
   serve_->bridge.set_metrics(metrics_.get());
   serve_->bridge.set_telemetry(trace_bus_.get());
   serve_->bridge.install(serve_->server);

@@ -80,6 +80,36 @@ HttpResponse json_response(int status, std::string body) {
   return resp;
 }
 
+/// Constant-time comparison: the time depends only on the longer length,
+/// never on where the first mismatching byte sits, so a remote caller
+/// cannot binary-search the control token byte by byte.
+bool token_equal(std::string_view a, std::string_view b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  unsigned diff = static_cast<unsigned>(a.size() ^ b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char ca = i < a.size() ? static_cast<unsigned char>(a[i])
+                                          : static_cast<unsigned char>(0);
+    const unsigned char cb = i < b.size() ? static_cast<unsigned char>(b[i])
+                                          : static_cast<unsigned char>(0);
+    diff |= static_cast<unsigned>(ca ^ cb);
+  }
+  return diff == 0;
+}
+
+/// The token a control request presented: the `token=` form field, or an
+/// `Authorization: Bearer …` header.
+std::string presented_token(const HttpRequest& req) {
+  std::string tok = form_get(req.body, "token");
+  if (!tok.empty()) return tok;
+  const std::string* auth = req.header("Authorization");
+  constexpr std::string_view kBearer = "Bearer ";
+  if (auth != nullptr && auth->size() > kBearer.size() &&
+      std::string_view(*auth).substr(0, kBearer.size()) == kBearer) {
+    return auth->substr(kBearer.size());
+  }
+  return {};
+}
+
 }  // namespace
 
 SimBridge::SimBridge(Options opts) : opts_(std::move(opts)) {
@@ -136,6 +166,9 @@ void SimBridge::install(Server& server) {
 
 void SimBridge::publish_now(double t) {
   ++publishes_;
+  // Stamp the server's self-model with the sim clock so slow-request ring
+  // entries can say *when in the simulation* a scrape was slow.
+  if (server_ != nullptr) server_->stats().set_sim_time(t);
   if (metrics_ != nullptr) metrics_->publish(t);
   if (bus_ != nullptr) {
     auto snap = std::make_shared<BusSnapshot>();
@@ -213,8 +246,8 @@ ServeStats SimBridge::serve_stats() const {
   }
   if (fanout_ != nullptr) {
     st.sse_subscribers = fanout_->subscribers();
-    st.sse_dropped = fanout_->dropped_contended() +
-                     sse_dropped_total_.load(std::memory_order_relaxed);
+    st.sse_dropped_contended = fanout_->dropped_contended();
+    st.sse_dropped_overflow = fanout_->dropped_overflow();
   }
   return st;
 }
@@ -228,7 +261,12 @@ HttpResponse SimBridge::handle_metrics() const {
   const ServeStats st = serve_stats();
   HttpResponse resp;
   resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
-  resp.body = render_prometheus(live.get(), bus.get(), &st);
+  if (server_ != nullptr) {
+    const ServerStats::Snapshot self = server_->stats().snapshot();
+    resp.body = render_prometheus(live.get(), bus.get(), &st, &self);
+  } else {
+    resp.body = render_prometheus(live.get(), bus.get(), &st);
+  }
   return resp;
 }
 
@@ -240,6 +278,10 @@ HttpResponse SimBridge::handle_status() const {
 }
 
 HttpResponse SimBridge::handle_control(const HttpRequest& req) {
+  if (!opts_.control_token.empty() &&
+      !token_equal(presented_token(req), opts_.control_token)) {
+    return json_response(401, "{\"error\":\"control token required\"}\n");
+  }
   const std::string cmd = form_get(req.body, "cmd");
   if (cmd == "pause") {
     paused_.store(true, std::memory_order_relaxed);
@@ -347,7 +389,8 @@ void SimBridge::handle_events(StreamWriter& writer) {
     }
     if (!writer.write(payload)) break;
   }
-  sse_dropped_total_.fetch_add(sub->dropped(), std::memory_order_relaxed);
+  // Per-subscriber drops were already aggregated into the sink's overflow
+  // counter at offer time, so nothing to fold in here.
   fanout_->unsubscribe(sub);
 }
 
@@ -368,6 +411,31 @@ std::string SimBridge::build_status(double t, sim::Engine* engine) const {
     out += ",\"pending\":";
     out += std::to_string(engine->pending());
     out += '}';
+  }
+
+  if (server_ != nullptr) {
+    const ServerStats::Snapshot self = server_->stats().snapshot();
+    out += ",\"serve\":{\"active_connections\":";
+    out += std::to_string(self.active);
+    out += ",\"keepalive_reuses\":";
+    out += std::to_string(self.keepalive_reuses);
+    out += ",\"slow_requests\":[";
+    const std::size_t n =
+        std::min(opts_.status_slow_requests, self.slow.size());
+    for (std::size_t i = self.slow.size() - n; i < self.slow.size(); ++i) {
+      const ServerStats::SlowRequest& s = self.slow[i];
+      if (i != self.slow.size() - n) out += ',';
+      out += "{\"route\":\"";
+      out += route_label(s.route);
+      out += "\",\"duration_s\":";
+      out += format_value(s.duration_s);
+      out += ",\"status\":";
+      out += std::to_string(s.status);
+      out += ",\"sim_t\":";
+      out += format_value(s.sim_t);
+      out += '}';
+    }
+    out += "]}";
   }
 
   out += ",\"agents\":[";

@@ -67,6 +67,13 @@ class SimBridge {
     std::size_t status_faults = 16;
     /// Per-SSE-subscriber queue capacity (drop-with-counter beyond).
     std::size_t sse_queue = 1024;
+    /// Newest slow-request ring entries included in /status.
+    std::size_t status_slow_requests = 16;
+    /// When non-empty, POST /control requires this shared token (form
+    /// field `token=` or `Authorization: Bearer …`), compared in constant
+    /// time; a mismatch answers 401. Lets a load test run from a second
+    /// host without leaving the control plane open alongside it.
+    std::string control_token;
   };
 
   SimBridge() : SimBridge(Options{}) {}
@@ -175,7 +182,6 @@ class SimBridge {
   std::atomic<bool> paused_{false};
   std::atomic<bool> shutdown_{false};
 
-  std::atomic<std::uint64_t> sse_dropped_total_{0};
   std::atomic<std::uint64_t> commands_applied_{0};
   std::uint64_t publishes_ = 0;  ///< sim thread only
 };

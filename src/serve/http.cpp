@@ -196,6 +196,7 @@ const char* status_reason(int status) noexcept {
     case 200: return "OK";
     case 202: return "Accepted";
     case 400: return "Bad Request";
+    case 401: return "Unauthorized";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 413: return "Payload Too Large";

@@ -85,6 +85,77 @@ void render_metric(std::string& out, const LiveMetric& m) {
   }
 }
 
+/// One labelled series of a fixed-boundary latency histogram: cumulative
+/// `le` buckets over the exact-decimal boundaries, +Inf == count, then the
+/// labelled _sum/_count pair. `label` is e.g. `route="/metrics"` or empty.
+void append_latency_series(std::string& out, const std::string& name,
+                           const std::string& label,
+                           const LatencyHistogram::Snapshot& h) {
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < LatencyHistogram::kFiniteBuckets; ++b) {
+    cumulative += h.buckets[static_cast<std::size_t>(b)];
+    std::string labels = label;
+    if (!labels.empty()) labels += ',';
+    labels += "le=\"" + LatencyHistogram::le_label(b) + "\"";
+    append_sample(out, name + "_bucket", labels,
+                  static_cast<double>(cumulative));
+  }
+  std::string inf_labels = label;
+  if (!inf_labels.empty()) inf_labels += ',';
+  inf_labels += "le=\"+Inf\"";
+  append_sample(out, name + "_bucket", inf_labels,
+                static_cast<double>(h.count));
+  append_sample(out, name + "_sum", label, h.sum_s());
+  append_sample(out, name + "_count", label, static_cast<double>(h.count));
+}
+
+void render_server_stats(std::string& out,
+                         const ServerStats::Snapshot& server) {
+  append_meta(out, "sa_serve_request_duration_seconds", "histogram",
+              "request latency by route class (log-linear buckets)");
+  for (std::size_t r = 0; r < kRouteClasses; ++r) {
+    const std::string label =
+        std::string("route=\"") +
+        escape_label_value(route_label(static_cast<RouteClass>(r))) + "\"";
+    append_latency_series(out, "sa_serve_request_duration_seconds", label,
+                          server.routes[r]);
+  }
+  append_meta(out, "sa_serve_queue_wait_seconds", "histogram",
+              "accepted-connection wait until a worker picked it up");
+  append_latency_series(out, "sa_serve_queue_wait_seconds", {},
+                        server.queue_wait);
+  append_meta(out, "sa_serve_connections_active", "gauge",
+              "connections accepted and not yet closed");
+  append_sample(out, "sa_serve_connections_active", {},
+                static_cast<double>(server.active));
+  append_meta(out, "sa_serve_keepalive_reuses_total", "counter",
+              "requests served on an already-used connection");
+  append_sample(out, "sa_serve_keepalive_reuses_total", {},
+                static_cast<double>(server.keepalive_reuses));
+  append_meta(out, "sa_serve_write_timeouts_total", "counter",
+              "sends that hit SO_SNDTIMEO (client stopped reading)");
+  append_sample(out, "sa_serve_write_timeouts_total", {},
+                static_cast<double>(server.write_timeouts));
+  append_meta(out, "sa_serve_request_bytes_total", "counter",
+              "bytes received from clients");
+  append_sample(out, "sa_serve_request_bytes_total", {},
+                static_cast<double>(server.request_bytes));
+  append_meta(out, "sa_serve_response_bytes_total", "counter",
+              "bytes sent to clients");
+  append_sample(out, "sa_serve_response_bytes_total", {},
+                static_cast<double>(server.response_bytes));
+  append_meta(out, "sa_serve_rejected_requests_total", "counter",
+              "parser rejections by response status");
+  for (std::size_t i = 0; i < kRejectKinds; ++i) {
+    const std::string status = i < kRejectStatuses.size()
+                                   ? std::to_string(kRejectStatuses[i])
+                                   : std::string("other");
+    append_sample(out, "sa_serve_rejected_requests_total",
+                  "status=\"" + status + "\"",
+                  static_cast<double>(server.rejects[i]));
+  }
+}
+
 }  // namespace
 
 std::string sanitize_metric_name(std::string_view name) {
@@ -130,7 +201,7 @@ std::string format_value(double v) {
 
 std::string render_prometheus(
     const sim::MetricsRegistry::LiveSnapshot* live, const BusSnapshot* bus,
-    const ServeStats* serve) {
+    const ServeStats* serve, const ServerStats::Snapshot* server) {
   std::string out;
   out.reserve(4096);
   if (live != nullptr) {
@@ -175,9 +246,13 @@ std::string render_prometheus(
                   static_cast<double>(serve->sse_subscribers));
     append_meta(out, "sa_serve_sse_dropped_total", "counter",
                 "SSE events dropped (bounded queues, never block the sim)");
-    append_sample(out, "sa_serve_sse_dropped_total", {},
-                  static_cast<double>(serve->sse_dropped));
+    append_sample(out, "sa_serve_sse_dropped_total",
+                  "reason=\"contended\"",
+                  static_cast<double>(serve->sse_dropped_contended));
+    append_sample(out, "sa_serve_sse_dropped_total", "reason=\"overflow\"",
+                  static_cast<double>(serve->sse_dropped_overflow));
   }
+  if (server != nullptr) render_server_stats(out, *server);
   return out;
 }
 

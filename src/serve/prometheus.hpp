@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "serve/stats.hpp"
 #include "sim/metrics.hpp"
 
 namespace sa::serve {
@@ -40,13 +41,17 @@ struct BusSnapshot {
   std::vector<Category> categories;
 };
 
-/// The server's own counters, sampled at scrape time (atomics).
+/// The server's own counters, sampled at scrape time (atomics). SSE drops
+/// are split by cause: "contended" means the sim thread found a subscriber
+/// lock held at event time (the never-block rule), "overflow" means a
+/// subscriber queue was full or its consumer held the lock.
 struct ServeStats {
   std::uint64_t connections = 0;
   std::uint64_t requests = 0;
   std::uint64_t parse_errors = 0;
   std::uint64_t sse_subscribers = 0;
-  std::uint64_t sse_dropped = 0;
+  std::uint64_t sse_dropped_contended = 0;
+  std::uint64_t sse_dropped_overflow = 0;
 };
 
 /// Rewrites a registry metric name into the exposition grammar
@@ -63,9 +68,13 @@ struct ServeStats {
 
 /// Renders the whole exposition page. Any argument may be null (that
 /// family is simply omitted) — a scrape before the first publish returns
-/// just the serve self-stats.
+/// just the serve self-stats. `server` adds the server's self-model: the
+/// per-route `sa_serve_request_duration_seconds{route=…}` histograms
+/// (cumulative `le`, +Inf == count, every route class rendered even when
+/// empty), the accept→worker `sa_serve_queue_wait_seconds` histogram, and
+/// the lifecycle counters/gauges.
 [[nodiscard]] std::string render_prometheus(
     const sim::MetricsRegistry::LiveSnapshot* live, const BusSnapshot* bus,
-    const ServeStats* serve);
+    const ServeStats* serve, const ServerStats::Snapshot* server = nullptr);
 
 }  // namespace sa::serve

@@ -29,16 +29,36 @@ bool send_all(int fd, std::string_view bytes) {
   return true;
 }
 
+/// Was the just-failed send() a SO_SNDTIMEO expiry (as opposed to a dead
+/// peer)? errno is still live from send_all's failing call.
+bool send_timed_out() noexcept {
+  return errno == EAGAIN || errno == EWOULDBLOCK;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 bool StreamWriter::write(std::string_view bytes) {
   if (!open()) return false;
-  if (!send_all(fd_, bytes)) failed_ = true;
+  if (!send_all(fd_, bytes)) {
+    failed_ = true;
+    if (stats_ != nullptr && send_timed_out()) {
+      stats_->on_write_timeout(worker_);
+    }
+  } else if (stats_ != nullptr) {
+    stats_->add_response_bytes(worker_, bytes.size());
+  }
   return open();
 }
 
 Server::Server(Options opts) : opts_(std::move(opts)) {
   if (opts_.workers == 0) opts_.workers = 1;
+  stats_ = std::make_unique<ServerStats>(opts_.workers,
+                                         opts_.slow_request_threshold_s);
 }
 
 Server::~Server() { stop(); }
@@ -78,7 +98,7 @@ bool Server::start() {
     listen_fd_ = -1;
     return false;
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_, opts_.listen_backlog) < 0) {
     error_ = std::string("listen: ") + std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -95,7 +115,7 @@ bool Server::start() {
   acceptor_ = std::thread([this] { accept_loop(); });
   workers_.reserve(opts_.workers);
   for (unsigned i = 0; i < opts_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
   return true;
 }
@@ -129,12 +149,15 @@ void Server::stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  std::vector<int> leftovers;
+  std::vector<PendingConn> leftovers;
   {
     const std::scoped_lock lk(queue_mu_);
     leftovers.swap(pending_);
   }
-  for (const int fd : leftovers) ::close(fd);
+  for (const PendingConn& conn : leftovers) {
+    ::close(conn.fd);
+    stats_->connection_closed();
+  }
 }
 
 void Server::accept_loop() {
@@ -148,6 +171,7 @@ void Server::accept_loop() {
       continue;  // transient accept failure; keep listening
     }
     connections_.fetch_add(1, std::memory_order_relaxed);
+    stats_->connection_opened();
     timeval tv{};
     tv.tv_sec = opts_.read_timeout_ms / 1000;
     tv.tv_usec = (opts_.read_timeout_ms % 1000) * 1000;
@@ -160,37 +184,39 @@ void Server::accept_loop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     {
       const std::scoped_lock lk(queue_mu_);
-      pending_.push_back(fd);
+      pending_.push_back({fd, std::chrono::steady_clock::now()});
     }
     queue_cv_.notify_one();
   }
 }
 
-void Server::worker_loop() {
+void Server::worker_loop(unsigned worker) {
   while (true) {
-    int fd = -1;
+    PendingConn conn{-1, {}};
     {
       std::unique_lock lk(queue_mu_);
       queue_cv_.wait(lk,
                      [this] { return !pending_.empty() || !running_.load(); });
       if (!pending_.empty()) {
-        fd = pending_.back();
+        conn = pending_.back();
         pending_.pop_back();
       } else if (!running_.load()) {
         return;
       }
     }
-    if (fd >= 0) {
+    if (conn.fd >= 0) {
+      stats_->record_queue_wait(worker, seconds_since(conn.accepted_at));
       {
         const std::scoped_lock lk(conn_mu_);
-        active_.push_back(fd);
+        active_.push_back(conn.fd);
       }
-      serve_connection(fd);
+      serve_connection(conn.fd, worker);
       {
         const std::scoped_lock lk(conn_mu_);
-        active_.erase(std::find(active_.begin(), active_.end(), fd));
+        active_.erase(std::find(active_.begin(), active_.end(), conn.fd));
       }
-      ::close(fd);
+      ::close(conn.fd);
+      stats_->connection_closed();
     }
   }
 }
@@ -221,16 +247,21 @@ HttpResponse Server::dispatch(const HttpRequest& req, bool& was_head) const {
   return resp;
 }
 
-void Server::serve_connection(int fd) {
+void Server::serve_connection(int fd, unsigned worker) {
   HttpParser parser;
   char buf[4096];
   bool keep_alive = true;
+  std::uint64_t served = 0;  ///< requests completed on this connection
   while (keep_alive && running_.load()) {
     // Serve everything already parsed (pipelining) before reading more.
     HttpRequest req;
     bool had_request = false;
     while (parser.next_request(req)) {
       had_request = true;
+      const auto t0 = std::chrono::steady_clock::now();
+      // Any request after the first rides the same connection, whether
+      // pipelined or a later keep-alive round trip.
+      if (served++ > 0) stats_->on_keepalive_reuse(worker);
       // Streaming routes take over the connection.
       if (req.method == "GET") {
         const StreamRoute* stream = nullptr;
@@ -243,6 +274,7 @@ void Server::serve_connection(int fd) {
           // only be dropped silently — reject the batch instead.
           if (parser.pending() > 0 || parser.buffered() > 0) {
             parse_errors_.fetch_add(1, std::memory_order_relaxed);
+            stats_->on_parse_reject(worker, 400);
             HttpResponse resp;
             resp.status = 400;
             resp.body = "pipelined request behind a streaming route\n";
@@ -251,10 +283,14 @@ void Server::serve_connection(int fd) {
             return;
           }
           requests_.fetch_add(1, std::memory_order_relaxed);
-          StreamWriter writer(fd, running_);
+          StreamWriter writer(fd, running_, stats_.get(), worker);
           writer.write(
               "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
               "Cache-Control: no-cache\r\nConnection: close\r\n\r\n");
+          // The stream's "latency" is time-to-header: the tail is open-ended
+          // by design, so the header write is the serving cost we can own.
+          stats_->record_request(worker, classify_route(req.path),
+                                 seconds_since(t0), 200, 0);
           stream->handler(req, writer);
           return;
         }
@@ -267,11 +303,18 @@ void Server::serve_connection(int fd) {
           (req.version_minor == 0 &&
            (connection == nullptr || *connection != "keep-alive"));
       if (client_close) resp.close = true;
-      if (!send_all(fd, resp.serialise(was_head))) return;
+      const std::string wire = resp.serialise(was_head);
+      const bool sent = send_all(fd, wire);
+      if (!sent && send_timed_out()) stats_->on_write_timeout(worker);
+      stats_->record_request(worker, classify_route(req.path),
+                            seconds_since(t0), resp.status,
+                            sent ? wire.size() : 0);
+      if (!sent) return;
       if (resp.close) return;
     }
     if (parser.failed()) {
       parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      stats_->on_parse_reject(worker, parser.error_status());
       HttpResponse resp;
       resp.status = parser.error_status();
       resp.body = parser.error() + "\n";
@@ -287,6 +330,7 @@ void Server::serve_connection(int fd) {
       if (errno == EINTR) continue;
       return;  // timeout or error: drop the idle connection
     }
+    stats_->add_request_bytes(worker, static_cast<std::uint64_t>(n));
     if (!parser.feed(std::string_view(buf, static_cast<std::size_t>(n)))) {
       // Error reported on the next loop iteration via parser.failed().
       continue;

@@ -15,15 +15,18 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/http.hpp"
+#include "serve/stats.hpp"
 
 namespace sa::serve {
 
@@ -32,8 +35,9 @@ namespace sa::serve {
 /// then return.
 class StreamWriter {
  public:
-  StreamWriter(int fd, const std::atomic<bool>& running)
-      : fd_(fd), running_(&running) {}
+  StreamWriter(int fd, const std::atomic<bool>& running,
+               ServerStats* stats = nullptr, unsigned worker = 0)
+      : fd_(fd), running_(&running), stats_(stats), worker_(worker) {}
 
   /// Sends raw bytes (MSG_NOSIGNAL; a dead peer fails the write instead of
   /// raising SIGPIPE). Returns false on any failure or server shutdown.
@@ -45,6 +49,8 @@ class StreamWriter {
  private:
   int fd_;
   const std::atomic<bool>* running_;
+  ServerStats* stats_;
+  unsigned worker_;
   bool failed_ = false;
 };
 
@@ -60,6 +66,13 @@ class Server {
     /// Per-send socket timeout; a client that stops reading (full TCP
     /// window) fails the connection instead of blocking a worker forever.
     long write_timeout_ms = 5000;
+    /// listen(2) backlog. Connect storms larger than the worker pool park
+    /// here instead of being refused; loadgen drives thousands of clients
+    /// through a handful of workers this way.
+    int listen_backlog = 128;
+    /// Requests slower than this enter the bounded slow-request ring that
+    /// /status surfaces (see ServerStats).
+    double slow_request_threshold_s = 0.05;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -103,6 +116,12 @@ class Server {
     return parse_errors_.load(std::memory_order_relaxed);
   }
 
+  /// The server's self-model: per-route latency histograms, queue-wait,
+  /// lifecycle counters, slow-request ring. Always present; safe to read
+  /// concurrently with serving.
+  [[nodiscard]] ServerStats& stats() noexcept { return *stats_; }
+  [[nodiscard]] const ServerStats& stats() const noexcept { return *stats_; }
+
  private:
   struct Route {
     std::string method, path;
@@ -114,8 +133,8 @@ class Server {
   };
 
   void accept_loop();
-  void worker_loop();
-  void serve_connection(int fd);
+  void worker_loop(unsigned worker);
+  void serve_connection(int fd, unsigned worker);
   [[nodiscard]] HttpResponse dispatch(const HttpRequest& req,
                                       bool& was_head) const;
 
@@ -133,7 +152,13 @@ class Server {
   std::vector<std::thread> workers_;
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::vector<int> pending_;  ///< accepted fds awaiting a worker
+  /// Accepted fds awaiting a worker, stamped at accept so the dequeuing
+  /// worker can record the accept→worker queue-wait.
+  struct PendingConn {
+    int fd;
+    std::chrono::steady_clock::time_point accepted_at;
+  };
+  std::vector<PendingConn> pending_;
 
   // Connections currently inside serve_connection(). Workers erase their fd
   // under conn_mu_ *before* closing it, so stop() can safely ::shutdown()
@@ -144,6 +169,7 @@ class Server {
   std::atomic<std::uint64_t> connections_{0};
   mutable std::atomic<std::uint64_t> requests_{0};  ///< bumped in dispatch
   std::atomic<std::uint64_t> parse_errors_{0};
+  std::unique_ptr<ServerStats> stats_;  ///< created in the constructor
 };
 
 }  // namespace sa::serve

@@ -108,16 +108,17 @@ std::vector<RingBufferSink::Rec> FanoutSink::Subscription::drain(
   return out;
 }
 
-void FanoutSink::Subscription::offer(const TelemetryEvent& ev) {
+bool FanoutSink::Subscription::offer(const TelemetryEvent& ev) {
   std::unique_lock lk(mu_, std::try_to_lock);
   if (!lk.owns_lock() || queue_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
+    return false;
   }
   queue_.push_back(
       {ev.t, ev.category, ev.subject, ev.value, std::string(ev.detail)});
   delivered_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
+  return true;
 }
 
 std::shared_ptr<FanoutSink::Subscription> FanoutSink::subscribe() {
@@ -145,7 +146,11 @@ void FanoutSink::on_event(const TelemetryEvent& ev) {
   }
   if (subs_.empty()) return;
   offered_.fetch_add(1, std::memory_order_relaxed);
-  for (const auto& sub : subs_) sub->offer(ev);
+  for (const auto& sub : subs_) {
+    if (!sub->offer(ev)) {
+      dropped_overflow_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 }  // namespace sa::sim

@@ -223,8 +223,9 @@ class FanoutSink : public TelemetrySink {
    private:
     friend class FanoutSink;
     /// Sim-thread side: try_lock push; drops (with counter) on contention
-    /// or overflow. Never blocks.
-    void offer(const TelemetryEvent& ev);
+    /// or overflow. Never blocks. Returns whether the event was enqueued
+    /// so the sink can aggregate overflow drops across subscribers.
+    bool offer(const TelemetryEvent& ev);
 
     std::size_t capacity_;
     std::mutex mu_;
@@ -252,6 +253,13 @@ class FanoutSink : public TelemetrySink {
   [[nodiscard]] std::uint64_t dropped_contended() const noexcept {
     return dropped_contended_.load(std::memory_order_relaxed);
   }
+  /// Per-subscriber delivery failures (queue full, or the consumer held
+  /// its queue lock at event time), summed across all subscribers
+  /// including already-departed ones — unlike Subscription::dropped(),
+  /// this survives unsubscribe, so scrapers get a monotone counter.
+  [[nodiscard]] std::uint64_t dropped_overflow() const noexcept {
+    return dropped_overflow_.load(std::memory_order_relaxed);
+  }
   /// Events offered to at least one subscriber (0 while nobody listens:
   /// an unobserved bus pays one try_lock and no allocation).
   [[nodiscard]] std::uint64_t offered() const noexcept {
@@ -263,6 +271,7 @@ class FanoutSink : public TelemetrySink {
   mutable std::mutex mu_;  ///< guards subs_
   std::vector<std::shared_ptr<Subscription>> subs_;
   std::atomic<std::uint64_t> dropped_contended_{0};
+  std::atomic<std::uint64_t> dropped_overflow_{0};
   std::atomic<std::uint64_t> offered_{0};
 };
 

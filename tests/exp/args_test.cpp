@@ -89,9 +89,14 @@ TEST(ArgsTest, LaterFlagWins) {
 
 TEST(ArgsTest, ParsesServeFlags) {
   Options o;
-  EXPECT_EQ(parse({"--serve", "9464", "--serve-linger", "2.5"}, o), "");
+  EXPECT_EQ(parse({"--serve", "9464", "--serve-linger", "2.5",
+                   "--serve-bind", "0.0.0.0", "--serve-token", "s3cret"},
+                  o),
+            "");
   EXPECT_EQ(o.serve_port, 9464);
   EXPECT_EQ(o.serve_linger, 2.5);
+  EXPECT_EQ(o.serve_bind, "0.0.0.0");
+  EXPECT_EQ(o.serve_token, "s3cret");
 
   Options eph;
   EXPECT_EQ(parse({"--serve=0"}, eph), "");
@@ -101,6 +106,8 @@ TEST(ArgsTest, ParsesServeFlags) {
   EXPECT_EQ(parse({}, off), "");
   EXPECT_EQ(off.serve_port, -1);  // ...the not-serving default
   EXPECT_EQ(off.serve_linger, 0.0);
+  EXPECT_EQ(off.serve_bind, "127.0.0.1");
+  EXPECT_TRUE(off.serve_token.empty());
 }
 
 TEST(ArgsTest, RejectsBadServeValues) {
@@ -109,6 +116,8 @@ TEST(ArgsTest, RejectsBadServeValues) {
   EXPECT_NE(parse({"--serve", "port"}, o), "");   // not a number
   EXPECT_NE(parse({"--serve", "65536"}, o), "");  // above the port range
   EXPECT_NE(parse({"--serve", "-1"}, o), "");
+  EXPECT_NE(parse({"--serve-bind", ""}, o), "");   // empty address
+  EXPECT_NE(parse({"--serve-token", ""}, o), "");  // empty token
   EXPECT_NE(parse({"--serve-linger", "-2"}, o), "");
   EXPECT_NE(parse({"--serve-linger", "90000"}, o), "");  // > one day
   EXPECT_NE(parse({"--serve-linger", "soon"}, o), "");
@@ -121,6 +130,8 @@ TEST(ArgsTest, UsageMentionsEveryFlag) {
   EXPECT_NE(u.find("--seeds"), std::string::npos);
   EXPECT_NE(u.find("--json"), std::string::npos);
   EXPECT_NE(u.find("--serve"), std::string::npos);
+  EXPECT_NE(u.find("--serve-bind"), std::string::npos);
+  EXPECT_NE(u.find("--serve-token"), std::string::npos);
   EXPECT_NE(u.find("--serve-linger"), std::string::npos);
   EXPECT_NE(u.find("--help"), std::string::npos);
 }

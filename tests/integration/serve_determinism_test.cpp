@@ -15,6 +15,7 @@
 #include "cpn/traffic.hpp"
 #include "exp/harness.hpp"
 #include "exp/runner.hpp"
+#include "loadgen/loadgen.hpp"
 #include "multicore/manager.hpp"
 #include "multicore/workload.hpp"
 #include "serve/bridge.hpp"
@@ -219,6 +220,65 @@ TEST(ServeDeterminism, CpnTrajectoryIsByteIdenticalUnderScrapeLoad) {
 
 TEST(ServeDeterminism, MulticoreTrajectoryIsByteIdenticalUnderScrapeLoad) {
   expect_served_run_identical(&multicore_grid);
+}
+
+TEST(ServeDeterminism, TrajectorySurvivesAThousandLoadgenClientMix) {
+  // The loadgen-driven variant of the acceptance contract: the reduced E1
+  // grid under a large mixed client population (scrapers + SSE streams +
+  // control POSTs, >= 256 concurrent) stays byte-identical to the quiet
+  // run. Generous think time keeps a 1-core host from starving the sim
+  // while still cycling every client through the small worker pool.
+  const auto baseline =
+      exp::Runner(1).run("serve-loadgen", multicore_grid(nullptr, nullptr));
+  ASSERT_EQ(baseline.errors(), 0u);
+
+  sim::TelemetryBus bus;
+  serve::SimBridge bridge(churn_options());
+  bridge.set_telemetry(&bus);
+  serve::Server::Options sopts;
+  sopts.workers = 8;
+  sopts.listen_backlog = 512;
+  sopts.read_timeout_ms = 500;
+  serve::Server server(sopts);
+  bridge.install(server);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  loadgen::Options lopts;
+  lopts.port = server.port();
+  lopts.scrapers = 250;
+  lopts.sse = 4;
+  lopts.controllers = 2;
+  lopts.control_period_s = 0.2;
+  lopts.think_s = 0.25;      // mostly-idle clients: concurrency, not rps
+  lopts.keep_alive = false;  // every request re-runs accept + queue-wait
+  lopts.seed = 7;
+  loadgen::Pool pool(lopts);
+  ASSERT_GE(pool.clients(), 256u);
+  pool.start();
+  const auto served =
+      exp::Runner(1).run("serve-loadgen", multicore_grid(&bridge, &bus));
+  pool.stop();
+  ASSERT_EQ(served.errors(), 0u);
+
+  EXPECT_EQ(timing_free_json(baseline), timing_free_json(served));
+
+  // The load was real, and both sides of the observability seam agree
+  // that it happened: the clients completed requests and the server's
+  // self-model saw at least as many per scraped route.
+  const loadgen::Report report = pool.report();
+  std::uint64_t client_total = 0;
+  for (const auto& r : report.routes) client_total += r.requests;
+  EXPECT_GT(client_total, 0u);
+  const serve::ServerStats::Snapshot self = server.stats().snapshot();
+  for (const auto route : {serve::RouteClass::Metrics,
+                           serve::RouteClass::Status,
+                           serve::RouteClass::Healthz}) {
+    const auto r = static_cast<std::size_t>(route);
+    EXPECT_GE(self.routes[r].count, report.routes[r].requests)
+        << serve::route_label(route);
+  }
+  EXPECT_GT(self.queue_wait.count, 0u);
+  server.stop();
 }
 
 TEST(ServeDeterminism, ServedCellRepeatsByteIdenticallyAcrossServedRuns) {

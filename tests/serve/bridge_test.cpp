@@ -275,6 +275,80 @@ TEST(SimBridge, ShutdownReleasesAPausedRunAndStopsThePublishEvent) {
   server.stop();
 }
 
+TEST(SimBridge, ControlTokenGatesTheControlEndpoint) {
+  sim::Engine engine;
+  SimBridge::Options opts;
+  opts.control_token = "s3cret";
+  SimBridge bridge(opts);
+  bridge.attach(engine);
+  Server server(quick_opts());
+  bridge.install(server);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // Missing or wrong token -> 401 and the command never reaches the
+  // mailbox; read endpoints stay open (the token gates control only).
+  EXPECT_EQ(client::status_of(
+                client::http_post(server.port(), "/control", "cmd=pause")),
+            401);
+  EXPECT_EQ(client::status_of(client::http_post(
+                server.port(), "/control", "cmd=pause&token=wrong")),
+            401);
+  EXPECT_FALSE(bridge.paused());
+  EXPECT_EQ(client::status_of(client::http_get(server.port(), "/status")),
+            200);
+
+  // The right token lands, via form field...
+  EXPECT_EQ(client::status_of(client::http_post(
+                server.port(), "/control", "cmd=pause&token=s3cret")),
+            202);
+  EXPECT_TRUE(bridge.paused());
+
+  // ...and via Authorization: Bearer.
+  const std::string body = "cmd=resume";
+  EXPECT_EQ(client::status_of(client::raw_request(
+                server.port(),
+                "POST /control HTTP/1.1\r\nHost: t\r\n"
+                "Authorization: Bearer s3cret\r\n"
+                "Content-Type: application/x-www-form-urlencoded\r\n"
+                "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + body)),
+            202);
+  EXPECT_FALSE(bridge.paused());
+  server.stop();
+}
+
+TEST(SimBridge, EmptyTokenOptionLeavesControlOpen) {
+  sim::Engine engine;
+  SimBridge bridge;  // default options: no token required
+  bridge.attach(engine);
+  Server server(quick_opts());
+  bridge.install(server);
+  ASSERT_TRUE(server.start()) << server.error();
+  EXPECT_EQ(client::status_of(
+                client::http_post(server.port(), "/control", "cmd=pause")),
+            202);
+  EXPECT_EQ(client::status_of(
+                client::http_post(server.port(), "/control", "cmd=resume")),
+            202);
+  server.stop();
+}
+
+TEST(SimBridge, StatusCarriesTheServeSection) {
+  sim::Engine engine;
+  SimBridge bridge;
+  bridge.attach(engine);
+  Server server(quick_opts());
+  bridge.install(server);
+  ASSERT_TRUE(server.start()) << server.error();
+  engine.run_until(0.2);
+  const std::string status = await_status(server.port(), "\"serve\"");
+  EXPECT_NE(status.find("\"serve\":{"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"active_connections\":"), std::string::npos);
+  EXPECT_NE(status.find("\"slow_requests\":["), std::string::npos);
+  server.stop();
+}
+
 TEST(SimBridge, EventsStreamDeliversBusRecordsAsSse) {
   sim::Engine engine;
   sim::TelemetryBus bus;

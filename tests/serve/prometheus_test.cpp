@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "serve/prometheus.hpp"
+#include "serve/stats.hpp"
 #include "sim/metrics.hpp"
 
 namespace {
@@ -65,8 +66,7 @@ const std::regex kTypeRe(
 const std::regex kSampleRe(
     R"([a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9].*|[+-]Inf|NaN))");
 
-TEST(PrometheusFormat, EveryLineMatchesTheExpositionGrammar) {
-  const std::string page = sample_page();
+void expect_exposition_grammar(const std::string& page) {
   ASSERT_FALSE(page.empty());
   EXPECT_EQ(page.back(), '\n');
   for (const std::string& line : lines_of(page)) {
@@ -80,6 +80,10 @@ TEST(PrometheusFormat, EveryLineMatchesTheExpositionGrammar) {
       EXPECT_TRUE(std::regex_match(line, kSampleRe)) << line;
     }
   }
+}
+
+TEST(PrometheusFormat, EveryLineMatchesTheExpositionGrammar) {
+  expect_exposition_grammar(sample_page());
 }
 
 TEST(PrometheusFormat, TypeLinePrecedesItsSamples) {
@@ -180,6 +184,118 @@ TEST(PrometheusFormat, EscapesLabelValues) {
   EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
   EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
   EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+}
+
+/// A page carrying only the server's self-stats section, from a stats
+/// object exercised across workers, routes and reject kinds.
+std::string server_stats_page() {
+  ServerStats stats(3, /*slow_threshold_s=*/1.0);
+  stats.record_request(0, RouteClass::Metrics, 1.2e-3, 200, 512);
+  stats.record_request(1, RouteClass::Metrics, 3.4e-3, 200, 512);
+  stats.record_request(2, RouteClass::Metrics, 45.0, 200, 512);  // overflow
+  stats.record_request(0, RouteClass::Status, 8e-4, 200, 256);
+  stats.record_request(1, RouteClass::Events, 2e-5, 200, 0);
+  stats.record_request(2, RouteClass::Control, 6e-4, 202, 32);
+  stats.record_request(0, RouteClass::Healthz, 9e-6, 200, 3);
+  stats.record_request(1, RouteClass::Other, 1e-4, 404, 64);
+  stats.record_queue_wait(0, 5e-6);
+  stats.add_request_bytes(0, 4096);
+  stats.on_keepalive_reuse(1);
+  stats.on_write_timeout(2);
+  stats.on_parse_reject(0, 400);
+  stats.on_parse_reject(1, 418);  // catch-all slot
+  stats.connection_opened();
+  const ServerStats::Snapshot snap = stats.snapshot();
+  return render_prometheus(nullptr, nullptr, nullptr, &snap);
+}
+
+TEST(PrometheusFormat, ServerStatsPageMatchesTheExpositionGrammar) {
+  const std::string page = server_stats_page();
+  expect_exposition_grammar(page);
+  EXPECT_NE(page.find("# TYPE sa_serve_request_duration_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(page.find("# TYPE sa_serve_queue_wait_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(page.find("# TYPE sa_serve_connections_active gauge"),
+            std::string::npos);
+  EXPECT_NE(page.find("sa_serve_keepalive_reuses_total 1"),
+            std::string::npos);
+  EXPECT_NE(page.find("sa_serve_write_timeouts_total 1"), std::string::npos);
+  EXPECT_NE(page.find("sa_serve_request_bytes_total 4096"),
+            std::string::npos);
+  EXPECT_NE(page.find("sa_serve_rejected_requests_total{status=\"400\"} 1"),
+            std::string::npos);
+  EXPECT_NE(page.find("sa_serve_rejected_requests_total{status=\"other\"} 1"),
+            std::string::npos);
+}
+
+TEST(PrometheusFormat, RouteHistogramsAreCumulativeWithInfEqualCount) {
+  const auto lines = lines_of(server_stats_page());
+  // Per route: cumulative finite buckets, +Inf == _count, even when some
+  // observations overflowed the last finite bound (the /metrics 45 s one).
+  for (const std::string route :
+       {"/metrics", "/status", "/events", "/control", "/healthz", "other"}) {
+    const std::string prefix =
+        "sa_serve_request_duration_seconds_bucket{route=\"" + route + "\",";
+    double prev = 0.0, inf = -1.0, count = -1.0;
+    std::size_t finite_buckets = 0;
+    for (const std::string& line : lines) {
+      if (line.rfind(prefix, 0) == 0) {
+        const double v = std::stod(line.substr(line.rfind(' ') + 1));
+        if (line.find("le=\"+Inf\"") != std::string::npos) {
+          inf = v;
+        } else {
+          EXPECT_GE(v, prev) << route << ": not cumulative: " << line;
+          prev = v;
+          ++finite_buckets;
+        }
+      } else if (line.rfind("sa_serve_request_duration_seconds_count{route=\"" +
+                                route + "\"} ",
+                            0) == 0) {
+        count = std::stod(line.substr(line.rfind(' ') + 1));
+      }
+    }
+    EXPECT_EQ(finite_buckets,
+              static_cast<std::size_t>(LatencyHistogram::kFiniteBuckets))
+        << route;
+    EXPECT_GE(count, 0.0) << route << ": missing _count";
+    EXPECT_EQ(inf, count) << route;
+  }
+}
+
+TEST(PrometheusFormat, EmptyServerStatsStillRenderEveryRouteSeries) {
+  // A scrape before any traffic must already show all six route series
+  // (count 0) so dashboards never see families appear mid-flight.
+  const ServerStats::Snapshot empty = ServerStats(2).snapshot();
+  const std::string page = render_prometheus(nullptr, nullptr, nullptr,
+                                             &empty);
+  expect_exposition_grammar(page);
+  for (const std::string route :
+       {"/metrics", "/status", "/events", "/control", "/healthz", "other"}) {
+    EXPECT_NE(
+        page.find("sa_serve_request_duration_seconds_bucket{route=\"" +
+                  route + "\",le=\"+Inf\"} 0"),
+        std::string::npos)
+        << route;
+    EXPECT_NE(page.find("sa_serve_request_duration_seconds_count{route=\"" +
+                        route + "\"} 0"),
+              std::string::npos)
+        << route;
+  }
+  EXPECT_NE(page.find("sa_serve_queue_wait_seconds_count 0"),
+            std::string::npos);
+}
+
+TEST(PrometheusFormat, SseDropCounterIsSplitByReason) {
+  ServeStats stats;
+  stats.sse_dropped_contended = 2;
+  stats.sse_dropped_overflow = 5;
+  const std::string page = render_prometheus(nullptr, nullptr, &stats);
+  expect_exposition_grammar(page);
+  EXPECT_NE(page.find("sa_serve_sse_dropped_total{reason=\"contended\"} 2"),
+            std::string::npos);
+  EXPECT_NE(page.find("sa_serve_sse_dropped_total{reason=\"overflow\"} 5"),
+            std::string::npos);
 }
 
 TEST(PrometheusFormat, FormatsSpecialValues) {

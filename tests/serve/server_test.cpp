@@ -242,6 +242,67 @@ TEST(Server, PipelinedRequestBehindStreamTakeoverIsRejected) {
   EXPECT_GE(server.parse_errors(), 1u);
 }
 
+TEST(Server, StatsObserveRequestsRejectsAndLifecycle) {
+  Server::Options opts = quick_opts();
+  opts.slow_request_threshold_s = 0.0;  // every request enters the ring
+  Server server(opts);
+  server.route("GET", "/metrics", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "# nothing\n";
+    return resp;
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  EXPECT_EQ(client::status_of(client::http_get(server.port(), "/metrics")),
+            200);
+  EXPECT_EQ(client::status_of(client::http_get(server.port(), "/nope")), 404);
+  EXPECT_EQ(client::status_of(
+                client::raw_request(server.port(), "GET / HTTP/2.0\r\n\r\n")),
+            505);
+  server.stop();
+
+  const ServerStats::Snapshot s = server.stats().snapshot();
+  EXPECT_EQ(s.routes[static_cast<std::size_t>(RouteClass::Metrics)].count,
+            1u);
+  EXPECT_EQ(s.routes[static_cast<std::size_t>(RouteClass::Other)].count, 1u);
+  EXPECT_EQ(s.rejects[4], 1u);  // 505 slot of kRejectStatuses
+  EXPECT_EQ(s.active, 0u);      // all connections closed by stop()
+  EXPECT_EQ(s.queue_wait.count, 3u);  // every accept passed through a worker
+  EXPECT_GT(s.request_bytes, 0u);
+  EXPECT_GT(s.response_bytes, 0u);
+  // Threshold 0 put both routed requests in the slow ring (rejects bypass
+  // route accounting), newest last.
+  ASSERT_EQ(s.slow.size(), 2u);
+  EXPECT_EQ(s.slow[0].route, RouteClass::Metrics);
+  EXPECT_EQ(s.slow[1].route, RouteClass::Other);
+  EXPECT_EQ(s.slow[1].status, 404);
+}
+
+TEST(Server, StatsCountKeepAliveReuses) {
+  Server server(quick_opts());
+  server.route("GET", "/n", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const int fd = client::connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string burst =
+      "GET /n HTTP/1.1\r\n\r\n"
+      "GET /n HTTP/1.1\r\n\r\n"
+      "GET /n HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+            static_cast<ssize_t>(burst.size()));
+  char buf[2048];
+  while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+  }
+  ::close(fd);
+  server.stop();
+
+  const ServerStats::Snapshot s = server.stats().snapshot();
+  // Three requests on one connection: the second and third are reuses.
+  EXPECT_EQ(s.keepalive_reuses, 2u);
+  EXPECT_EQ(s.routes[static_cast<std::size_t>(RouteClass::Other)].count, 3u);
+}
+
 TEST(Server, StopIsIdempotent) {
   Server server(quick_opts());
   server.route("GET", "/x", [](const HttpRequest&) { return HttpResponse{}; });

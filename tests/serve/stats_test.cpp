@@ -1,0 +1,258 @@
+// ServerStats / LatencyHistogram unit contracts: the fixed log-linear
+// bucket layout (boundaries, labels, overflow), merge algebra (associative
+// and order-independent, so per-worker slabs merged at scrape time equal a
+// single-histogram recording), deterministic quantiles, the reject-status
+// keying, and the bounded slow-request ring.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serve/stats.hpp"
+
+namespace {
+
+using namespace sa::serve;
+using Hist = LatencyHistogram;
+using Snap = LatencyHistogram::Snapshot;
+
+TEST(RouteClassify, WiredEndpointsAndCatchAll) {
+  EXPECT_EQ(classify_route("/metrics"), RouteClass::Metrics);
+  EXPECT_EQ(classify_route("/status"), RouteClass::Status);
+  EXPECT_EQ(classify_route("/events"), RouteClass::Events);
+  EXPECT_EQ(classify_route("/control"), RouteClass::Control);
+  EXPECT_EQ(classify_route("/healthz"), RouteClass::Healthz);
+  EXPECT_EQ(classify_route("/"), RouteClass::Other);
+  EXPECT_EQ(classify_route("/metrics/extra"), RouteClass::Other);
+  EXPECT_EQ(classify_route(""), RouteClass::Other);
+}
+
+TEST(RouteClassify, LabelsRoundTrip) {
+  EXPECT_STREQ(route_label(RouteClass::Metrics), "/metrics");
+  EXPECT_STREQ(route_label(RouteClass::Healthz), "/healthz");
+  EXPECT_STREQ(route_label(RouteClass::Other), "other");
+  // Every wired label classifies back to its own class.
+  for (std::size_t r = 0; r + 1 < kRouteClasses; ++r) {
+    const auto route = static_cast<RouteClass>(r);
+    EXPECT_EQ(classify_route(route_label(route)), route);
+  }
+}
+
+TEST(LatencyBuckets, BoundaryAssignments) {
+  // Non-positive and sub-boundary durations land in the first bucket.
+  EXPECT_EQ(Hist::bucket_of(0.0), 0);
+  EXPECT_EQ(Hist::bucket_of(-1.0), 0);
+  EXPECT_EQ(Hist::bucket_of(1.5e-6), 0);   // 1.5 us, le 2 us
+  EXPECT_EQ(Hist::bucket_of(2.5e-6), 1);   // le 3 us
+  EXPECT_EQ(Hist::bucket_of(9.5e-6), 8);   // le 10 us: last sub of decade 0
+  EXPECT_EQ(Hist::bucket_of(10.5e-6), 9);  // le 20 us: first of decade 1
+  EXPECT_EQ(Hist::bucket_of(0.5), 49);     // 500 ms -> le 0.6 s
+  EXPECT_EQ(Hist::bucket_of(9.99), Hist::kFiniteBuckets - 1);  // le 10 s
+  EXPECT_EQ(Hist::bucket_of(10.0), Hist::kFiniteBuckets);      // overflow
+  EXPECT_EQ(Hist::bucket_of(3600.0), Hist::kFiniteBuckets);
+}
+
+TEST(LatencyBuckets, UpperBoundsAreStrictlyIncreasingShortDecimals) {
+  double prev = 0.0;
+  std::set<std::string> labels;
+  for (int b = 0; b < Hist::kFiniteBuckets; ++b) {
+    const double ub = Hist::upper_bound_s(b);
+    EXPECT_GT(ub, prev) << "bucket " << b;
+    prev = ub;
+    const std::string label = Hist::le_label(b);
+    labels.insert(label);
+    // The label is the exact decimal of the bound: parsing it back gives
+    // the same double (boundaries are integer microseconds).
+    EXPECT_DOUBLE_EQ(std::stod(label), ub) << label;
+  }
+  EXPECT_EQ(labels.size(), static_cast<std::size_t>(Hist::kFiniteBuckets));
+  EXPECT_DOUBLE_EQ(Hist::upper_bound_s(0), 2e-6);
+  EXPECT_DOUBLE_EQ(Hist::upper_bound_s(Hist::kFiniteBuckets - 1), 10.0);
+  EXPECT_EQ(Hist::le_label(0), "0.000002");
+  EXPECT_EQ(Hist::le_label(8), "0.00001");
+  EXPECT_EQ(Hist::le_label(Hist::kFiniteBuckets - 1), "10");
+}
+
+TEST(LatencyBuckets, EveryBucketContainsItsOwnRange) {
+  // A sample strictly inside (lower, upper] must land in that bucket.
+  for (int b = 0; b < Hist::kFiniteBuckets; ++b) {
+    const double lower = b == 0 ? 0.0 : Hist::upper_bound_s(b - 1);
+    const double upper = Hist::upper_bound_s(b);
+    const double mid = lower + (upper - lower) * 0.5;
+    EXPECT_EQ(Hist::bucket_of(mid), b) << "mid of bucket " << b;
+  }
+}
+
+TEST(LatencyHistogramTest, RecordCountsAndOverflow) {
+  Hist h;
+  h.record(1e-3);
+  h.record(1.5e-3);  // same bucket as 1e-3's successor range
+  h.record(25.0);    // overflow
+  const Snap s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.overflow, 1u);
+  std::uint64_t finite = 0;
+  for (const auto c : s.buckets) finite += c;
+  EXPECT_EQ(finite, 2u);
+  EXPECT_NEAR(s.sum_s(), 1e-3 + 1.5e-3 + 25.0, 1e-6);
+}
+
+Snap snap_of(const std::vector<double>& samples) {
+  Hist h;
+  for (const double s : samples) h.record(s);
+  return h.snapshot();
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociativeAndOrderIndependent) {
+  const Snap a = snap_of({1e-5, 2e-4, 0.3});
+  const Snap b = snap_of({5e-6, 5e-6, 12.0});
+  const Snap c = snap_of({1e-3, 0.07});
+
+  Snap left_first = a;   // (a + b) + c
+  left_first.merge(b);
+  left_first.merge(c);
+  Snap right_first = b;  // a + (b + c), built as (b + c) + a
+  right_first.merge(c);
+  right_first.merge(a);
+
+  EXPECT_EQ(left_first.buckets, right_first.buckets);
+  EXPECT_EQ(left_first.overflow, right_first.overflow);
+  EXPECT_EQ(left_first.count, right_first.count);
+  EXPECT_EQ(left_first.sum_ns, right_first.sum_ns);
+}
+
+TEST(LatencyHistogramTest, MergedSlabsEqualOneWriter) {
+  // The per-worker design invariant: spreading samples over any number of
+  // slabs and merging at scrape time is byte-identical to one histogram
+  // that saw every sample.
+  const std::vector<double> samples = {1e-6, 3e-6,  9e-5, 4e-4, 4e-4,
+                                       2e-3, 0.011, 0.38, 2.5,  60.0};
+  const Snap all = snap_of(samples);
+  for (const std::size_t slabs : {2u, 3u, 7u}) {
+    std::vector<Hist> workers(slabs);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      workers[i % slabs].record(samples[i]);
+    }
+    Snap merged;
+    for (const Hist& w : workers) merged.merge(w.snapshot());
+    EXPECT_EQ(merged.buckets, all.buckets) << slabs << " slabs";
+    EXPECT_EQ(merged.count, all.count);
+    EXPECT_EQ(merged.overflow, all.overflow);
+    EXPECT_EQ(merged.sum_ns, all.sum_ns);
+    // Identical integer state -> bit-identical quantiles, however the
+    // samples were spread over workers.
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(merged.quantile(q), all.quantile(q)) << q;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesInterpolateWithinTheBucket) {
+  const Snap s = snap_of(std::vector<double>(100, 1.5e-3));
+  // All mass sits in one bucket (1 ms, 2 ms]; every quantile answers a
+  // point inside it.
+  for (const double q : {0.01, 0.5, 0.99}) {
+    const double v = s.quantile(q);
+    EXPECT_GT(v, 1e-3) << q;
+    EXPECT_LE(v, 2e-3) << q;
+  }
+  EXPECT_LT(s.quantile(0.1), s.quantile(0.9));
+  EXPECT_EQ(Snap{}.quantile(0.5), 0.0);  // empty histogram
+}
+
+TEST(LatencyHistogramTest, OverflowQuantileAnswersTheLastFiniteBound) {
+  const Snap s = snap_of({20.0, 30.0, 40.0});
+  EXPECT_EQ(s.quantile(0.5), 10.0);
+  EXPECT_EQ(s.quantile(1.0), 10.0);
+}
+
+TEST(ServerStatsTest, MergesAcrossWorkerSlabs) {
+  ServerStats stats(3);
+  stats.record_request(0, RouteClass::Metrics, 1e-3, 200, 100);
+  stats.record_request(1, RouteClass::Metrics, 2e-3, 200, 150);
+  stats.record_request(2, RouteClass::Status, 5e-4, 200, 50);
+  stats.record_queue_wait(0, 1e-5);
+  stats.record_queue_wait(2, 2e-5);
+  stats.add_request_bytes(1, 300);
+  stats.on_keepalive_reuse(0);
+  stats.on_keepalive_reuse(1);
+  stats.on_write_timeout(2);
+
+  const ServerStats::Snapshot s = stats.snapshot();
+  EXPECT_EQ(s.routes[static_cast<std::size_t>(RouteClass::Metrics)].count, 2u);
+  EXPECT_EQ(s.routes[static_cast<std::size_t>(RouteClass::Status)].count, 1u);
+  EXPECT_EQ(s.routes[static_cast<std::size_t>(RouteClass::Other)].count, 0u);
+  EXPECT_EQ(s.queue_wait.count, 2u);
+  EXPECT_EQ(s.request_bytes, 300u);
+  EXPECT_EQ(s.response_bytes, 300u);  // 100 + 150 + 50
+  EXPECT_EQ(s.keepalive_reuses, 2u);
+  EXPECT_EQ(s.write_timeouts, 1u);
+}
+
+TEST(ServerStatsTest, OutOfRangeWorkerIndexFoldsIntoSlabZero) {
+  ServerStats stats(2);
+  stats.record_request(99, RouteClass::Healthz, 1e-4, 200, 1);
+  const ServerStats::Snapshot s = stats.snapshot();
+  EXPECT_EQ(s.routes[static_cast<std::size_t>(RouteClass::Healthz)].count,
+            1u);
+}
+
+TEST(ServerStatsTest, ParseRejectsKeyByStatusWithCatchAll) {
+  ServerStats stats(1);
+  stats.on_parse_reject(0, 400);
+  stats.on_parse_reject(0, 400);
+  stats.on_parse_reject(0, 431);
+  stats.on_parse_reject(0, 505);
+  stats.on_parse_reject(0, 418);  // not a parser status -> "other"
+  const ServerStats::Snapshot s = stats.snapshot();
+  EXPECT_EQ(s.rejects[0], 2u);  // 400
+  EXPECT_EQ(s.rejects[1], 0u);  // 413
+  EXPECT_EQ(s.rejects[2], 1u);  // 431
+  EXPECT_EQ(s.rejects[3], 0u);  // 501
+  EXPECT_EQ(s.rejects[4], 1u);  // 505
+  EXPECT_EQ(s.rejects[kRejectKinds - 1], 1u);
+}
+
+TEST(ServerStatsTest, ActiveConnectionGaugeTracksOpenMinusClosed) {
+  ServerStats stats(1);
+  stats.connection_opened();
+  stats.connection_opened();
+  stats.connection_closed();
+  EXPECT_EQ(stats.active_connections(), 1u);
+  EXPECT_EQ(stats.snapshot().active, 1u);
+  stats.connection_closed();
+  EXPECT_EQ(stats.active_connections(), 0u);
+}
+
+TEST(ServerStatsTest, SlowRingKeepsNewestEntriesOldestFirst) {
+  // Threshold 0 records everything; capacity 4 keeps only the newest four
+  // in arrival order.
+  ServerStats stats(1, /*slow_threshold_s=*/0.0, /*slow_ring=*/4);
+  stats.set_sim_time(7.5);
+  for (int i = 1; i <= 6; ++i) {
+    stats.record_request(0, RouteClass::Metrics, 0.001 * i, 200, 0);
+  }
+  const ServerStats::Snapshot s = stats.snapshot();
+  ASSERT_EQ(s.slow.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(s.slow[i].duration_s, 0.001 * (3.0 + static_cast<double>(i)),
+                1e-12);
+    EXPECT_EQ(s.slow[i].route, RouteClass::Metrics);
+    EXPECT_EQ(s.slow[i].status, 200);
+    EXPECT_EQ(s.slow[i].sim_t, 7.5);
+  }
+}
+
+TEST(ServerStatsTest, FastRequestsNeverEnterTheSlowRing) {
+  ServerStats stats(1, /*slow_threshold_s=*/0.05);
+  stats.record_request(0, RouteClass::Status, 0.001, 200, 0);
+  stats.record_request(0, RouteClass::Status, 0.049, 200, 0);
+  EXPECT_TRUE(stats.snapshot().slow.empty());
+  stats.record_request(0, RouteClass::Status, 0.05, 200, 0);  // at threshold
+  ASSERT_EQ(stats.snapshot().slow.size(), 1u);
+  EXPECT_EQ(stats.snapshot().slow[0].status, 200);
+}
+
+}  // namespace
