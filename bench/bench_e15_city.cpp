@@ -24,9 +24,13 @@
 // bitwise-identical across --jobs N. --scenario SPEC replaces the city
 // with any other generated world.
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "ckpt/journal.hpp"
+#include "ckpt/state.hpp"
 #include "exp/harness.hpp"
 #include "gen/scenario.hpp"
 #include "gen/spec.hpp"
@@ -47,11 +51,39 @@ exp::TaskOutput run_city(const gen::ScenarioSpec& spec, bool self_aware,
   opts.metrics = ctx.metrics;
   gen::Scenario city(spec, ctx.seed, opts);
 
+  // Replay a recorded control stream (--control-journal, or a resumed
+  // run's live journal) at its original sim times and at the bridge's
+  // event order, so the replayed trajectory byte-matches the served one.
+  if (!ctx.control_journal.empty()) {
+    std::vector<ckpt::JournalEntry> entries;
+    if (const ckpt::Status st =
+            ckpt::parse_journal_spec(ctx.control_journal, entries);
+        !st.ok()) {
+      throw std::invalid_argument("control journal: " + st.to_string());
+    }
+    ckpt::schedule_replay(city.engine(), std::move(entries), /*order=*/1000,
+                          &city.injector(), ctx.telemetry);
+  }
+
+  // Must outlive city.run(): the serve bridge's cmd=checkpoint hook calls
+  // into it from engine-step boundaries for the duration of the run.
+  ckpt::WorldCheckpoint wc;
   if (ctx.serve_bind) {
     exp::ServeHooks hooks;
     hooks.engine = &city.engine();
     hooks.injector = &city.injector();
     hooks.agents = city.agents();
+    if (!ctx.checkpoint_path.empty()) {
+      city.register_checkpoint(wc);
+      hooks.checkpoint = [&wc, &spec, path = std::string(ctx.checkpoint_path),
+                          seed = ctx.seed](double t) {
+        ckpt::WorldCheckpoint::Meta meta;
+        meta.t = t;
+        meta.seed = seed;
+        meta.recipe = spec.to_string();
+        return wc.save_file(meta, path).ok();
+      };
+    }
     ctx.serve_bind(hooks);
   }
 

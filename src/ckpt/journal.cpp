@@ -1,0 +1,256 @@
+#include "ckpt/journal.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace sa::ckpt {
+namespace {
+
+/// Round-trip double rendering (shortest would be nicer; %.17g is exact).
+std::string render_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Minimal x-www-form-urlencoded escaping for the category field (the
+/// only free-form string a journaled command carries).
+std::string form_escape(std::string_view in) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    const bool plain = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                       c == '.' || c == '~';
+    if (plain) {
+      out += c;
+    } else {
+      out += '%';
+      out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+      out += kHex[static_cast<unsigned char>(c) & 0xf];
+    }
+  }
+  return out;
+}
+
+bool form_unescape(std::string_view in, std::string& out) {
+  const auto hex = [](char h) -> int {
+    if (h >= '0' && h <= '9') return h - '0';
+    if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+    if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+    return -1;
+  };
+  out.clear();
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%') {
+      if (i + 2 >= in.size()) return false;
+      const int hi = hex(in[i + 1]);
+      const int lo = hex(in[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out += static_cast<char>(hi * 16 + lo);
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return true;
+}
+
+std::string form_get(std::string_view body, std::string_view key) {
+  std::size_t pos = 0;
+  std::string k, v;
+  while (pos < body.size()) {
+    std::size_t amp = body.find('&', pos);
+    if (amp == std::string_view::npos) amp = body.size();
+    const std::string_view pair = body.substr(pos, amp - pos);
+    pos = amp + 1;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (!form_unescape(pair.substr(0, eq), k) || k != key) continue;
+    if (!form_unescape(pair.substr(eq + 1), v)) return {};
+    return v;
+  }
+  return {};
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_size(const std::string& s, std::size_t& out) {
+  double d = 0.0;
+  if (!parse_double(s, d) || d < 0) return false;
+  out = static_cast<std::size_t>(d);
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\n' || s.front() == '\r'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\n' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::string ControlCommand::to_form() const {
+  std::string out;
+  if (kind == Kind::kInject) {
+    out = "cmd=inject&kind=";
+    out += fault::kind_name(fault_kind);
+    out += "&unit=" + std::to_string(unit);
+    out += "&mag=" + render_double(magnitude);
+    out += "&dur=" + render_double(duration);
+  } else {
+    out = "cmd=histogram&category=" + form_escape(category);
+    out += "&lo=" + render_double(lo);
+    out += "&hi=" + render_double(hi);
+    out += "&bins=" + std::to_string(bins);
+  }
+  return out;
+}
+
+Status ControlCommand::parse_form(std::string_view body, ControlCommand& out) {
+  out = ControlCommand{};
+  const std::string cmd = form_get(body, "cmd");
+  if (cmd == "inject") {
+    out.kind = Kind::kInject;
+    try {
+      out.fault_kind = fault::kind_from(form_get(body, "kind"));
+    } catch (const std::invalid_argument& e) {
+      return Status::error(Errc::kMalformed, e.what());
+    }
+    parse_size(form_get(body, "unit"), out.unit);
+    parse_double(form_get(body, "mag"), out.magnitude);
+    parse_double(form_get(body, "dur"), out.duration);
+    return {};
+  }
+  if (cmd == "histogram") {
+    out.kind = Kind::kHistogram;
+    out.category = form_get(body, "category");
+    if (out.category.empty())
+      return Status::error(Errc::kMalformed, "histogram without category");
+    if (!parse_double(form_get(body, "lo"), out.lo) ||
+        !parse_double(form_get(body, "hi"), out.hi) ||
+        !parse_size(form_get(body, "bins"), out.bins) || out.bins == 0 ||
+        !(out.lo < out.hi))
+      return Status::error(Errc::kMalformed,
+                           "histogram needs lo < hi and bins > 0");
+    return {};
+  }
+  return Status::error(Errc::kMalformed,
+                       "journal supports cmd=inject|histogram, got '" + cmd +
+                           "'");
+}
+
+Status parse_journal_spec(std::string_view spec,
+                          std::vector<JournalEntry>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string_view::npos) semi = spec.size();
+    const std::string_view item = trim(spec.substr(pos, semi - pos));
+    pos = semi + 1;
+    if (item.empty()) continue;
+    const std::size_t sp = item.find(' ');
+    if (sp == std::string_view::npos)
+      return Status::error(Errc::kMalformed,
+                           "journal entry needs 'T body': '" +
+                               std::string(item) + "'");
+    JournalEntry e;
+    if (!parse_double(std::string(item.substr(0, sp)), e.t) || e.t < 0.0)
+      return Status::error(Errc::kMalformed,
+                           "bad journal timestamp in '" + std::string(item) +
+                               "'");
+    if (Status st =
+            ControlCommand::parse_form(trim(item.substr(sp + 1)), e.cmd);
+        !st.ok())
+      return st;
+    out.push_back(std::move(e));
+  }
+  return {};
+}
+
+std::string journal_spec(const std::vector<JournalEntry>& in) {
+  std::string out;
+  for (const JournalEntry& e : in) {
+    if (!out.empty()) out += "; ";
+    out += render_double(e.t);
+    out += ' ';
+    out += e.cmd.to_form();
+  }
+  return out;
+}
+
+void save_journal(const std::vector<JournalEntry>& in, Buffer& out) {
+  out.u64(in.size());
+  for (const JournalEntry& e : in) {
+    out.f64(e.t);
+    out.str(e.cmd.to_form());
+  }
+}
+
+Status load_journal(Cursor& in, std::vector<JournalEntry>& out) {
+  out.clear();
+  std::uint64_t n = 0;
+  if (!in.u64(n)) return Status::error(Errc::kMalformed, "journal count");
+  out.reserve(static_cast<std::size_t>(n));
+  std::string body;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    JournalEntry e;
+    if (!in.f64(e.t) || !in.str(body))
+      return Status::error(Errc::kMalformed, "journal entry");
+    if (Status st = ControlCommand::parse_form(body, e.cmd); !st.ok())
+      return st;
+    out.push_back(std::move(e));
+  }
+  return {};
+}
+
+void schedule_replay(sim::Engine& engine, std::vector<JournalEntry> entries,
+                     int order, fault::Injector* injector,
+                     sim::TelemetryBus* bus) {
+  // Replay events are themselves tagged (by journal position), so a
+  // restored-and-replaying world can be checkpointed again.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const JournalEntry& e = entries[i];
+    const sim::EventTag tag = sim::event_tag("sa.ckpt.replay", i);
+    if (e.cmd.kind == ControlCommand::Kind::kInject) {
+      if (injector == nullptr) continue;
+      const ControlCommand cmd = e.cmd;
+      engine.at_tagged(
+          tag, e.t,
+          [&engine, injector, cmd] {
+            injector->inject_now(engine, cmd.fault_kind, cmd.unit,
+                                 cmd.magnitude, cmd.duration);
+          },
+          order);
+    } else {
+      if (bus == nullptr) continue;
+      const ControlCommand cmd = e.cmd;
+      engine.at_tagged(
+          tag, e.t,
+          [bus, cmd] {
+            bus->enable_histogram(bus->intern_category(cmd.category), cmd.lo,
+                                  cmd.hi, cmd.bins);
+          },
+          order);
+    }
+  }
+}
+
+}  // namespace sa::ckpt

@@ -1,0 +1,110 @@
+// Control-stream record/replay (sa::ckpt).
+//
+// Every state-mutating POST /control command the serve bridge *applies*
+// (inject, histogram — pause/resume/shutdown mutate nothing the sim
+// reads) is appended here with the sim-time stamp at which it landed.
+// Replaying the journal against a rebuilt world schedules each command at
+// its original (t, order) through the engine, so a served run — whose
+// perturbations arrived from live HTTP clients — becomes reproducible
+// offline: rebuild, replay, byte-identical trajectory.
+//
+// Entries have three interchangeable representations:
+//   * structured (ControlCommand) — what record/replay operate on,
+//   * a canonical form body ("cmd=inject&kind=…") — the same syntax the
+//     HTTP handler accepts, used in the human-editable --control-journal
+//     spec ("T body; T body"),
+//   * a checkpoint section (save/load via Buffer/Cursor) with exact f64
+//     bit patterns.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "fault/fault.hpp"
+#include "sim/engine.hpp"
+#include "sim/telemetry.hpp"
+
+namespace sa::ckpt {
+
+/// One mailbox command, structurally. Mirrors the serve bridge's mailbox:
+/// only commands that mutate sim-thread state are journaled.
+struct ControlCommand {
+  enum class Kind : std::uint8_t { kInject = 0, kHistogram = 1 };
+  Kind kind = Kind::kInject;
+  // kInject:
+  fault::FaultKind fault_kind = fault::FaultKind::LinkLoss;
+  std::size_t unit = 0;
+  double magnitude = 1.0;
+  double duration = 0.0;
+  // kHistogram:
+  std::string category;
+  double lo = 0.0, hi = 1.0;
+  std::size_t bins = 20;
+
+  /// Canonical x-www-form-urlencoded body (doubles printed round-trip).
+  [[nodiscard]] std::string to_form() const;
+  /// Parses a canonical/handler-style form body. kMalformed with a
+  /// human-readable reason on unknown cmd, bad kind, or bad numbers.
+  [[nodiscard]] static Status parse_form(std::string_view body,
+                                         ControlCommand& out);
+};
+
+struct JournalEntry {
+  double t = 0.0;
+  ControlCommand cmd;
+};
+
+/// Thread-safe append log of applied control commands. The sim thread
+/// records at drain time; the harness's checkpoint supervisor snapshots
+/// concurrently.
+class ControlJournal {
+ public:
+  void record(double t, ControlCommand cmd) {
+    const std::scoped_lock lk(mu_);
+    entries_.push_back(JournalEntry{t, std::move(cmd)});
+  }
+  [[nodiscard]] std::vector<JournalEntry> snapshot() const {
+    const std::scoped_lock lk(mu_);
+    return entries_;
+  }
+  void set_entries(std::vector<JournalEntry> entries) {
+    const std::scoped_lock lk(mu_);
+    entries_ = std::move(entries);
+  }
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lk(mu_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<JournalEntry> entries_;
+};
+
+/// Parses a journal spec: entries separated by ';', each "T form-body",
+/// e.g. "0.7 cmd=inject&kind=link-loss&unit=1&mag=1&dur=3". Whitespace
+/// around entries is ignored; empty items are skipped.
+[[nodiscard]] Status parse_journal_spec(std::string_view spec,
+                                        std::vector<JournalEntry>& out);
+/// Renders entries back to the spec syntax (round-trips via %.17g).
+[[nodiscard]] std::string journal_spec(const std::vector<JournalEntry>& in);
+
+/// Checkpoint-section (de)serialization.
+void save_journal(const std::vector<JournalEntry>& in, Buffer& out);
+[[nodiscard]] Status load_journal(Cursor& in, std::vector<JournalEntry>& out);
+
+/// Schedules every entry on `engine` at its recorded sim time and `order`
+/// (use the bridge's event order, 1000, so replayed commands land after
+/// everything else at the same instant — exactly where a drained mailbox
+/// command landed originally). Inject commands need `injector`; histogram
+/// commands need `bus`; entries whose target is absent are skipped, same
+/// as the bridge's drain.
+void schedule_replay(sim::Engine& engine, std::vector<JournalEntry> entries,
+                     int order, fault::Injector* injector,
+                     sim::TelemetryBus* bus);
+
+}  // namespace sa::ckpt

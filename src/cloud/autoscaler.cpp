@@ -30,8 +30,8 @@ Autoscaler::Autoscaler(Cluster& cluster, DemandModel& demand, Params p)
 void Autoscaler::bind(sim::Engine& engine, double period,
                       std::function<void(const CloudEpoch&)> on_epoch) {
   if (period <= 0.0) period = cluster_.epoch_seconds();
-  engine.every(
-      period,
+  engine.every_tagged(
+      sim::event_tag("sa.cloud.autoscaler"), period,
       [this, on_epoch = std::move(on_epoch)] {
         const CloudEpoch e = run_epoch();
         if (on_epoch) on_epoch(e);

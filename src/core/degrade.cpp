@@ -103,6 +103,33 @@ void DegradationPolicy::update(double t, sim::TraceId trace) {
   }
 }
 
+DegradationPolicy::State DegradationPolicy::export_state() const {
+  State s;
+  s.mode = mode_;
+  s.breach_streak = breach_streak_;
+  s.clean_streak = clean_streak_;
+  s.degradations = degradations_;
+  s.recoveries = recoveries_;
+  s.dwell = dwell_;
+  s.last_t = last_t_;
+  s.seen_update = seen_update_;
+  s.last_trigger = last_trigger_;
+  return s;
+}
+
+void DegradationPolicy::import_state(const State& s) {
+  mode_ = s.mode;
+  breach_streak_ = static_cast<std::size_t>(s.breach_streak);
+  clean_streak_ = static_cast<std::size_t>(s.clean_streak);
+  degradations_ = static_cast<std::size_t>(s.degradations);
+  recoveries_ = static_cast<std::size_t>(s.recoveries);
+  dwell_ = s.dwell;
+  last_t_ = s.last_t;
+  seen_update_ = s.seen_update;
+  last_trigger_ = s.last_trigger;
+  agent_.set_active_levels(level_set_for(mode_));
+}
+
 void DegradationPolicy::transition(double t, Mode to, const std::string& why,
                                    sim::TraceId trace) {
   const Mode from = mode_;

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -98,6 +99,24 @@ class DegradationPolicy {
     return last_trigger_;
   }
   [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+  /// Checkpoint seam (sa::ckpt): ladder position, streaks, and counters.
+  /// Params are not part of the state — they come from the rebuilt world.
+  struct State {
+    Mode mode = Mode::Meta;
+    std::uint64_t breach_streak = 0;
+    std::uint64_t clean_streak = 0;
+    std::uint64_t degradations = 0;
+    std::uint64_t recoveries = 0;
+    double dwell = 0.0;
+    double last_t = 0.0;
+    bool seen_update = false;
+    std::string last_trigger;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Restores the ladder and re-applies the rung's level set to the agent
+  /// (silently — no Explanation is recorded for the re-application).
+  void import_state(const State& s);
 
  private:
   [[nodiscard]] LevelSet level_set_for(Mode m) const;

@@ -37,8 +37,8 @@ void AgentRuntime::schedule(SelfAwareAgent& agent, double period,
                             std::function<double()> reward_after) {
   ++scheduled_;
   const StreamInstruments si = instrument(agent.id(), "oda");
-  engine_.every(
-      period,
+  engine_.every_tagged(
+      sim::event_tag("sa.rt.oda." + agent.id(), scheduled_), period,
       [this, &agent, reward_after = std::move(reward_after), si] {
         const double t = engine_.now();
         auto span = tracer_ != nullptr ? tracer_->span(t, si.subject, si.name)
@@ -68,9 +68,10 @@ void AgentRuntime::schedule_substrate(std::string name, double period,
                                       std::function<void()> tick) {
   ++scheduled_;
   const StreamInstruments si = instrument(name, "tick");
+  const sim::EventTag tag = sim::event_tag("sa.rt.sub." + name, scheduled_);
   substrates_.push_back(std::move(name));
-  engine_.every(
-      period,
+  engine_.every_tagged(
+      tag, period,
       [this, tick = std::move(tick), si] {
         auto span = tracer_ != nullptr
                         ? tracer_->span(engine_.now(), si.subject, si.name)
@@ -88,55 +89,85 @@ void AgentRuntime::schedule_substrate(std::string name, double period,
       kOrderDynamics);
 }
 
+namespace {
+/// Exchange-retry checkpoint payload: the attempt number, 8 bytes LE.
+std::string encode_attempt(std::size_t attempt) {
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i)
+    out[static_cast<std::size_t>(i)] =
+        static_cast<char>((static_cast<std::uint64_t>(attempt) >> (8 * i)) &
+                          0xff);
+  return out;
+}
+
+std::size_t decode_attempt(std::string_view payload) {
+  if (payload.size() != 8) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | static_cast<std::uint8_t>(payload[static_cast<std::size_t>(i)]);
+  return static_cast<std::size_t>(v);
+}
+}  // namespace
+
 void AgentRuntime::schedule_exchange(std::vector<SelfAwareAgent*> agents,
                                      double period,
                                      KnowledgeExchange exchange) {
   ++scheduled_;
-  const StreamInstruments si = instrument("exchange", "exchange");
+  const std::size_t round = exchange_rounds_.size();
+  ExchangeRound r;
+  r.agents = std::move(agents);
+  r.exchange = std::move(exchange);
+  r.si = instrument("exchange", "exchange");
+  r.period = period;
   // Retry parameters are captured per registration so later calls to
   // set_exchange_retry don't rewrite in-flight rounds.
-  const std::size_t retries = exchange_retries_;
-  const double backoff0 =
-      exchange_backoff0_ > 0.0 ? exchange_backoff0_ : period / 8.0;
-  engine_.every(
-      period,
-      [this, agents = std::move(agents), exchange, si, period, retries,
-       backoff0] {
-        run_exchange(agents, exchange, si, 0, period, retries, backoff0);
+  r.retries = exchange_retries_;
+  r.backoff0 = exchange_backoff0_ > 0.0 ? exchange_backoff0_ : period / 8.0;
+  exchange_rounds_.push_back(std::move(r));
+  engine_.every_tagged(
+      sim::event_tag("sa.rt.exchange", round), period,
+      [this, round] {
+        run_exchange(round, 0);
         return true;
       },
       kOrderExchange);
+  // A pending retry in a checkpoint is reconstructed from (round, attempt)
+  // alone — the round's parameters live right here in the runtime.
+  engine_.register_rebinder(
+      sim::event_tag("sa.rt.exchange.retry", round),
+      [this, round](std::string_view payload) -> sim::Engine::Action {
+        const std::size_t attempt = decode_attempt(payload);
+        return [this, round, attempt] { run_exchange(round, attempt); };
+      });
 }
 
-void AgentRuntime::run_exchange(const std::vector<SelfAwareAgent*>& agents,
-                                const KnowledgeExchange& exchange,
-                                const StreamInstruments& si,
-                                std::size_t attempt, double period,
-                                std::size_t retries, double backoff0) {
+void AgentRuntime::schedule_exchange_retry(std::size_t round,
+                                           std::size_t attempt) {
+  const ExchangeRound& r = exchange_rounds_[round];
+  const double delay =
+      r.backoff0 * static_cast<double>(1ull << (attempt - 1));
+  engine_.in_tagged(
+      sim::event_tag("sa.rt.exchange.retry", round), delay,
+      [this, round, attempt] { run_exchange(round, attempt); },
+      kOrderExchange, encode_attempt(attempt));
+}
+
+void AgentRuntime::run_exchange(std::size_t round, std::size_t attempt) {
+  const ExchangeRound& r = exchange_rounds_[round];
   if (exchange_blocked_) {
     // Dropped exchange: a fault surface, not an abort. Defer and retry
     // with exponential backoff; give up only after the budget is spent.
     ++exchange_drops_;
-    if (attempt < retries) {
+    if (attempt < r.retries) {
       ++exchange_retry_count_;
-      const double delay = backoff0 * static_cast<double>(1ull << attempt);
-      // `agents` lives inside the periodic round's closure, which the
-      // engine copies out and destroys on every firing — a retry event
-      // outliving the round it came from must own its copy of the vector.
-      engine_.in(
-          delay,
-          [this, agents, exchange, si, attempt, period, retries, backoff0] {
-            run_exchange(agents, exchange, si, attempt + 1, period, retries,
-                         backoff0);
-          },
-          kOrderExchange);
+      schedule_exchange_retry(round, attempt + 1);
       return;
     }
     ++exchange_timeouts_;
     // The failed round is knowledge too: every pair learns its peer was
     // unreachable, feeding interaction awareness's reliability models.
-    for (SelfAwareAgent* from : agents) {
-      for (SelfAwareAgent* into : agents) {
+    for (SelfAwareAgent* from : r.agents) {
+      for (SelfAwareAgent* into : r.agents) {
         if (from == into) continue;
         into->record_interaction(from->id(), false);
       }
@@ -144,21 +175,21 @@ void AgentRuntime::run_exchange(const std::vector<SelfAwareAgent*>& agents,
     return;
   }
   auto span = tracer_ != nullptr
-                  ? tracer_->span(engine_.now(), si.subject, si.name)
+                  ? tracer_->span(engine_.now(), r.si.subject, r.si.name)
                   : sim::Tracer::Span{};
   auto body = [&] {
-    for (SelfAwareAgent* from : agents) {
-      for (SelfAwareAgent* into : agents) {
+    for (SelfAwareAgent* from : r.agents) {
+      for (SelfAwareAgent* into : r.agents) {
         if (from == into) continue;
-        exchanged_ += exchange.import(from->knowledge(), from->id(),
-                                      into->knowledge());
+        exchanged_ += r.exchange.import(from->knowledge(), from->id(),
+                                        into->knowledge());
       }
     }
   };
   if (metrics_ != nullptr) {
     const double ms = timed_ms(body);
-    metrics_->add(si.count);
-    metrics_->observe(si.ms, ms);
+    metrics_->add(r.si.count);
+    metrics_->observe(r.si.ms, ms);
   } else {
     body();
   }
@@ -169,7 +200,8 @@ void AgentRuntime::schedule_degradation(DegradationPolicy& policy,
   ++scheduled_;
   const StreamInstruments si =
       instrument("degrade." + policy.agent().id(), "degrade");
-  engine_.every(
+  engine_.every_tagged(
+      sim::event_tag("sa.rt.degrade." + policy.agent().id(), scheduled_),
       period,
       [this, &policy, si] {
         const double t = engine_.now();

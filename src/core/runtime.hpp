@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -135,6 +136,45 @@ class AgentRuntime {
     return substrates_;
   }
 
+  // -- Checkpoint seam (sa::ckpt) -------------------------------------------
+  //
+  // Every stream the runtime schedules is tagged (sa.rt.* x registration
+  // ordinal), so a rebuilt world that repeats the same schedule*() calls
+  // under engine restore mode re-registers identical tags; exchange-retry
+  // one-shots carry their attempt number as the rebinder payload. The
+  // counters below are the only direct state to carry across.
+
+  /// Runtime counters that feed bench metrics and /status.
+  struct State {
+    std::uint64_t steps = 0;
+    std::uint64_t substrate_ticks = 0;
+    std::uint64_t exchanged = 0;
+    std::uint64_t exchange_drops = 0;
+    std::uint64_t exchange_retries = 0;
+    std::uint64_t exchange_timeouts = 0;
+    bool exchange_blocked = false;
+  };
+  [[nodiscard]] State export_state() const noexcept {
+    State st;
+    st.steps = steps_;
+    st.substrate_ticks = substrate_ticks_;
+    st.exchanged = exchanged_;
+    st.exchange_drops = exchange_drops_;
+    st.exchange_retries = exchange_retry_count_;
+    st.exchange_timeouts = exchange_timeouts_;
+    st.exchange_blocked = exchange_blocked_;
+    return st;
+  }
+  void import_state(const State& st) noexcept {
+    steps_ = static_cast<std::size_t>(st.steps);
+    substrate_ticks_ = static_cast<std::size_t>(st.substrate_ticks);
+    exchanged_ = static_cast<std::size_t>(st.exchanged);
+    exchange_drops_ = static_cast<std::size_t>(st.exchange_drops);
+    exchange_retry_count_ = static_cast<std::size_t>(st.exchange_retries);
+    exchange_timeouts_ = static_cast<std::size_t>(st.exchange_timeouts);
+    exchange_blocked_ = st.exchange_blocked;
+  }
+
  private:
   /// Per-stream profiling/tracing handles resolved at schedule time.
   struct StreamInstruments {
@@ -145,13 +185,25 @@ class AgentRuntime {
   };
   StreamInstruments instrument(const std::string& name,
                                const char* span_name);
+
+  /// One scheduled exchange mesh. Rounds live in the runtime (not in the
+  /// periodic closure) so retry one-shots — which can outlive any single
+  /// firing — reference stable storage by index, and so a checkpoint
+  /// rebinder can reconstruct a pending retry from (round, attempt) alone.
+  struct ExchangeRound {
+    std::vector<SelfAwareAgent*> agents;
+    KnowledgeExchange exchange;
+    StreamInstruments si;
+    double period = 0.0;
+    std::size_t retries = 0;
+    double backoff0 = 0.0;
+  };
+
   /// One exchange round (attempt 0) or retry (attempt > 0): imports when
   /// the gate is open, otherwise defers with exponential backoff until the
   /// retry budget is spent.
-  void run_exchange(const std::vector<SelfAwareAgent*>& agents,
-                    const KnowledgeExchange& exchange,
-                    const StreamInstruments& si, std::size_t attempt,
-                    double period, std::size_t retries, double backoff0);
+  void run_exchange(std::size_t round, std::size_t attempt);
+  void schedule_exchange_retry(std::size_t round, std::size_t attempt);
 
   sim::Engine& engine_;
   sim::MetricsRegistry* metrics_ = nullptr;
@@ -162,6 +214,7 @@ class AgentRuntime {
   std::size_t exchanged_ = 0;
   std::vector<std::string> substrates_;
 
+  std::vector<ExchangeRound> exchange_rounds_;
   bool exchange_blocked_ = false;
   std::size_t exchange_retries_ = 3;
   double exchange_backoff0_ = 0.0;  ///< <= 0: period / 8

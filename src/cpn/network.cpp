@@ -326,8 +326,9 @@ void PacketNetwork::run(std::size_t ticks) {
 }
 
 void PacketNetwork::bind(sim::Engine& engine, double period) {
-  engine.every(
-      period, [this] { step(); return true; }, /*order=*/0);
+  engine.every_tagged(
+      sim::event_tag("sa.cpn.network"), period,
+      [this] { step(); return true; }, /*order=*/0);
 }
 
 void PacketNetwork::set_telemetry(sim::TelemetryBus* bus) {

@@ -42,8 +42,9 @@ Supervisor::Supervisor(PacketNetwork& net, Params p) : net_(net), p_(p) {
 
 void Supervisor::bind(sim::Engine& engine, double period) {
   if (period <= 0.0) period = p_.epoch_ticks;
-  engine.every(
-      period, [this] { observe_epoch(); return true; }, /*order=*/1);
+  engine.every_tagged(
+      sim::event_tag("sa.cpn.supervisor"), period,
+      [this] { observe_epoch(); return true; }, /*order=*/1);
 }
 
 double Supervisor::observe_epoch() {

@@ -34,8 +34,9 @@ TrafficGenerator::TrafficGenerator(const Topology& topo, TrafficParams p)
 
 void TrafficGenerator::bind(sim::Engine& engine, PacketNetwork& net,
                             double period) {
-  engine.every(
-      period, [this, &net] { tick(net); return true; }, /*order=*/0);
+  engine.every_tagged(
+      sim::event_tag("sa.cpn.traffic"), period,
+      [this, &net] { tick(net); return true; }, /*order=*/0);
 }
 
 void TrafficGenerator::tick(PacketNetwork& net) {

@@ -165,6 +165,50 @@ StandardArgs::StandardArgs() {
          out.serve_linger = s;
          return {};
        }});
+  add(path_flag("--checkpoint",
+                "periodically checkpoint completed grid cells to\n"
+                "PATH (CRC-framed, atomically written; previous\n"
+                "file rotates to PATH.prev). SIGTERM/SIGINT save a\n"
+                "final checkpoint before exiting; --resume PATH\n"
+                "picks the run back up",
+                &Options::checkpoint));
+  add({"--checkpoint-every",
+       "",
+       "SEC",
+       "wall-clock seconds between periodic checkpoint\n"
+       "saves (default 30; a final save always happens at\n"
+       "exit)",
+       [](std::string_view value, Options& out) -> std::string {
+         double s = 0.0;
+         if (!parse_nonneg(value, s) || s <= 0.0 || s > 86400.0) {
+           return "expects seconds in (0, 86400]";
+         }
+         out.checkpoint_every = s;
+         return {};
+       }});
+  add(path_flag("--resume",
+                "resume from a checkpoint written by --checkpoint:\n"
+                "completed cells load instead of re-running (the\n"
+                "final document byte-matches an uninterrupted run,\n"
+                "wall-clock fields aside). Falls back to PATH.prev\n"
+                "when PATH is corrupt; a grid-shape mismatch or an\n"
+                "unreadable checkpoint exits 2",
+                &Options::resume));
+  add({"--control-journal",
+       "",
+       "SPEC",
+       "replay a recorded control stream into cells that\n"
+       "support it (\"T cmd=inject&kind=...; T\n"
+       "cmd=histogram&...\"; sim-time-stamped, applied at\n"
+       "the recorded instants). A resumed run appends the\n"
+       "journal recorded live before the interruption",
+       [](std::string_view value, Options& out) -> std::string {
+         if (value.empty()) {
+           return "expects a journal spec (\"T cmd=...&key=value; ...\")";
+         }
+         out.control_journal = std::string(value);
+         return {};
+       }});
 }
 
 std::string StandardArgs::parse(int argc, const char* const* argv,

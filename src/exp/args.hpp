@@ -19,6 +19,12 @@
 //   --serve-bind A   bind address for --serve (default 127.0.0.1)
 //   --serve-token T  require T on POST /control (401 otherwise)
 //   --serve-linger S keep the endpoint up S seconds after the run
+//   --checkpoint P   periodically checkpoint completed cells to P; SIGTERM
+//                    and SIGINT save a final checkpoint before exiting
+//   --checkpoint-every S   seconds between periodic checkpoint saves
+//   --resume P       load completed cells from a checkpoint instead of
+//                    re-running them (byte-identical final document)
+//   --control-journal S    replay a recorded control stream into cells
 //
 // The flag table itself lives in StandardArgs: one row per flag carrying
 // the spelling, value validation and help text, so a new flag lands in all
@@ -59,6 +65,23 @@ struct Options {
   /// Seconds to keep the endpoint up after the run finishes (so scrapers
   /// can read final state); POST /control cmd=shutdown ends it early.
   double serve_linger = 0.0;
+  /// Checkpoint file path (sa::ckpt store of completed grid cells,
+  /// CRC-framed, written atomically); empty = no checkpointing. The
+  /// designated cell's world snapshot (cmd=checkpoint) goes to
+  /// "<path>.world".
+  std::string checkpoint;
+  /// Wall-clock seconds between periodic checkpoint saves (a final save
+  /// always happens at finish / on SIGTERM).
+  double checkpoint_every = 30.0;
+  /// Resume from this checkpoint: completed cells are loaded instead of
+  /// re-run (falling back to "<path>.prev" when the primary is corrupt);
+  /// a shape mismatch against the running grids exits 2.
+  std::string resume;
+  /// Control-journal spec ("T cmd=...&k=v; T ...") replayed into every
+  /// cell that supports it (sa::ckpt::parse_journal_spec syntax). A
+  /// resumed run automatically appends the journal recorded live before
+  /// the interruption.
+  std::string control_journal;
   bool help = false;      ///< --help was given
 };
 

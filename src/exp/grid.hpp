@@ -46,6 +46,11 @@ struct ServeHooks {
   std::vector<core::SelfAwareAgent*> agents;
   std::vector<core::DegradationPolicy*> ladders;
   fault::Injector* injector = nullptr;
+  /// When set, POST /control cmd=checkpoint saves a world snapshot at the
+  /// next step boundary: the callable (built by the task, typically over a
+  /// ckpt::WorldCheckpoint targeting TaskContext::checkpoint_path) runs on
+  /// the sim thread with the current sim time and returns success.
+  std::function<bool(double t)> checkpoint;
 };
 
 /// Named metric values produced by one task, in a fixed (reported) order.
@@ -110,6 +115,18 @@ struct TaskContext {
   /// The callee schedules snapshot-publish events on the engine; like the
   /// tracer it draws no randomness, so binding never perturbs metrics.
   std::function<void(const ServeHooks&)> serve_bind;
+
+  /// Control-journal spec (sa::ckpt::parse_journal_spec syntax) to replay
+  /// into this cell, or empty. Set for every cell from --control-journal
+  /// (plus, on --resume, the journal recorded live before the
+  /// interruption); tasks that support it schedule the entries on their
+  /// engine at the recorded sim times (ckpt::schedule_replay).
+  std::string_view control_journal;
+
+  /// Destination for this cell's on-demand world snapshot (the /control
+  /// cmd=checkpoint path) — non-empty only for the harness's designated
+  /// cell when --checkpoint was given.
+  std::string_view checkpoint_path;
 
   /// A fresh generator on this cell's private stream.
   [[nodiscard]] sim::Rng rng() const noexcept { return sim::Rng{stream}; }

@@ -1,6 +1,7 @@
 #include "exp/harness.hpp"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -21,6 +22,33 @@
 #endif
 
 namespace sa::exp {
+namespace {
+
+/// Set by the SIGTERM/SIGINT handler; polled by the supervisor thread.
+/// The handler itself does nothing else — saving a checkpoint from signal
+/// context would call non-async-signal-safe functions.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void harness_signal_handler(int sig) { g_signal = sig; }
+
+void install_signal_handlers() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction sa {};
+  sa.sa_handler = harness_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESTART keeps the serve/loadgen socket loops from spuriously
+  // failing while the supervisor finishes the shutdown checkpoint (they
+  // handle EINTR regardless — see tests/serve/eintr_test.cpp).
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+#else
+  std::signal(SIGTERM, harness_signal_handler);
+  std::signal(SIGINT, harness_signal_handler);
+#endif
+}
+
+}  // namespace
 
 /// Owns the HTTP endpoint for one served run. Defined even in SA_SERVE=OFF
 /// builds (empty) so the Harness destructor stays a single definition; the
@@ -137,9 +165,153 @@ Harness::Harness(std::string experiment, int argc, const char* const* argv)
     std::exit(2);
   }
 #endif
+
+  if (!opts_.resume.empty()) {
+    auto loaded = std::make_unique<CheckpointStore>();
+    std::string used_path;
+    std::string fallback_error;
+    const ckpt::Status st =
+        loaded->load(opts_.resume, &used_path, &fallback_error);
+    if (st.code == ckpt::Errc::kIo) {
+      // No checkpoint yet (neither the file nor its .prev rotation): a
+      // fresh start — so crash-supervised scripts can always pass
+      // --resume alongside --checkpoint.
+      std::cout << "[" << experiment_ << "] no checkpoint at " << opts_.resume
+                << ", starting fresh\n";
+    } else if (!st.ok()) {
+      std::cerr << "error: --resume " << opts_.resume << ": "
+                << st.to_string() << "\n";
+      std::exit(2);
+    } else {
+      if (loaded->experiment() != experiment_) {
+        std::cerr << "error: --resume " << opts_.resume
+                  << ": checkpoint belongs to experiment '"
+                  << loaded->experiment() << "', not '" << experiment_
+                  << "'\n";
+        std::exit(2);
+      }
+      if (!fallback_error.empty()) {
+        std::cout << "[" << experiment_ << "] primary checkpoint rejected ("
+                  << fallback_error << "), using " << used_path << "\n";
+      }
+      std::cout << "[" << experiment_ << "] resuming from " << used_path
+                << " (" << loaded->completed() << " completed cells)\n";
+      resume_store_ = std::move(loaded);
+    }
+  }
+
+  journal_spec_ = opts_.control_journal;
+  if (!journal_spec_.empty()) {
+    // Fail fast on a malformed spec instead of erroring every cell.
+    std::vector<ckpt::JournalEntry> parsed;
+    if (const ckpt::Status st = ckpt::parse_journal_spec(journal_spec_, parsed);
+        !st.ok()) {
+      std::cerr << "error: --control-journal: " << st.to_string() << "\n";
+      std::exit(2);
+    }
+  }
+  if (resume_store_ != nullptr) {
+    // Re-arm the control stream recorded live before the interruption:
+    // incomplete cells replay it at the original sim times, and the new
+    // store keeps carrying it (pre-seeding journal_ makes every later
+    // save, and any further resume, cumulative).
+    std::vector<ckpt::JournalEntry> recorded = resume_store_->journal();
+    if (!recorded.empty()) {
+      const std::string spec = ckpt::journal_spec(recorded);
+      journal_spec_ =
+          journal_spec_.empty() ? spec : journal_spec_ + "; " + spec;
+      journal_.set_entries(std::move(recorded));
+    }
+  }
+
+  if (!opts_.checkpoint.empty() || !opts_.json.empty()) {
+    store_ = std::make_unique<CheckpointStore>(experiment_);
+    if (!opts_.checkpoint.empty()) {
+      world_ckpt_path_ = opts_.checkpoint + ".world";
+    }
+    start_supervisor();
+  }
 }
 
-Harness::~Harness() = default;
+Harness::~Harness() { stop_supervisor(); }
+
+void Harness::start_supervisor() {
+  if (supervisor_.joinable()) return;
+  install_signal_handlers();
+  supervisor_ = std::thread([this] {
+    auto last_save = std::chrono::steady_clock::now();
+    while (!supervisor_stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (g_signal != 0) interrupted_exit(static_cast<int>(g_signal));
+      if (opts_.checkpoint.empty()) continue;
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_save).count() >=
+          opts_.checkpoint_every) {
+        save_store();
+        last_save = now;
+      }
+    }
+  });
+}
+
+void Harness::stop_supervisor() {
+  supervisor_stop_.store(true, std::memory_order_relaxed);
+  if (supervisor_.joinable()) supervisor_.join();
+}
+
+void Harness::save_store() {
+  if (store_ == nullptr || opts_.checkpoint.empty()) return;
+  store_->set_journal(journal_.snapshot());
+  if (const ckpt::Status st = store_->save(opts_.checkpoint); !st.ok()) {
+    std::cerr << "warning: checkpoint save to " << opts_.checkpoint
+              << " failed: " << st.to_string() << "\n";
+  }
+}
+
+void Harness::interrupted_exit(int sig) {
+  // Supervisor-thread context, workers still mid-cell: only the
+  // mutex-guarded store, the journal, and immutable options are touched.
+  if (store_ != nullptr) {
+    store_->set_interrupted(true);
+    save_store();
+  }
+  std::cerr << "[" << experiment_ << "] interrupted by signal " << sig;
+  if (!opts_.checkpoint.empty()) {
+    std::cerr << "; checkpoint saved to " << opts_.checkpoint << " ("
+              << (store_ != nullptr ? store_->completed() : 0)
+              << " completed cells, resume with --resume " << opts_.checkpoint
+              << ")";
+  }
+  std::cerr << "\n";
+  if (!opts_.json.empty() && store_ != nullptr) {
+    std::ofstream out(opts_.json);
+    if (out) {
+      interrupted_document().dump(out);
+      out << "\n";
+      out.flush();
+    }
+  }
+  std::_Exit(128 + sig);
+}
+
+Json Harness::interrupted_document() const {
+  Json doc = Json::object();
+  doc["schema"] = 1;
+  doc["experiment"] = experiment_;
+  Json& meta = doc["meta"] = Json::object();
+  meta["interrupted"] = true;
+  meta["git_rev"] = git_rev();
+  meta["jobs"] = static_cast<std::int64_t>(jobs());
+  if (!opts_.fault_plan.empty()) meta["fault_plan"] = opts_.fault_plan;
+  if (!opts_.scenario.empty()) meta["scenario"] = opts_.scenario;
+  Json& grids = doc["grids"] = Json::array();
+  // Timing-free cells (wall-clock is meaningless for a partial document);
+  // never-completed cells carry "interrupted before completion" errors.
+  for (const GridResult& g : store_->grid_results()) {
+    grids.push_back(to_json(g, /*include_timing=*/false));
+  }
+  return doc;
+}
 
 void Harness::start_serving() {
 #ifdef SA_SERVE_ENABLED
@@ -151,6 +323,7 @@ void Harness::start_serving() {
       std::move(bridge_opts));
   serve_->bridge.set_metrics(metrics_.get());
   serve_->bridge.set_telemetry(trace_bus_.get());
+  serve_->bridge.set_journal(&journal_);
   serve_->bridge.install(serve_->server);
   if (!serve_->server.start()) {
     std::cerr << "error: --serve: " << serve_->server.error() << "\n";
@@ -233,6 +406,9 @@ GridResult Harness::run(Grid grid) {
             if (hooks.injector != nullptr) {
               serve_->bridge.set_injector(hooks.injector);
             }
+            if (hooks.checkpoint) {
+              serve_->bridge.set_checkpoint_hook(hooks.checkpoint);
+            }
             serve_->bridge.attach(*hooks.engine);
           };
         }
@@ -240,6 +416,55 @@ GridResult Harness::run(Grid grid) {
         return inner(traced);
       }
       return inner(ctx);
+    };
+  }
+
+  // Checkpoint / resume / journal wrap — outermost, applied to every cell.
+  const std::size_t grid_id = grid_index_++;
+  if (store_ != nullptr) {
+    store_->add_grid(grid.name, grid.variants, grid.seeds);
+  }
+  if (resume_store_ != nullptr) {
+    if (const std::string err = resume_store_->match(grid_id, grid);
+        !err.empty()) {
+      std::cerr << "error: --resume " << opts_.resume << ": " << err << "\n";
+      std::exit(2);
+    }
+  }
+  if (store_ != nullptr || resume_store_ != nullptr ||
+      !journal_spec_.empty() || !world_ckpt_path_.empty()) {
+    // The world-snapshot path goes to the same designated cell the tracer
+    // uses (last variant, first seed, first grid) so cmd=checkpoint and
+    // --serve compose on one cell.
+    const bool first_grid = grid_id == 0;
+    const std::size_t last_variant =
+        grid.variants.empty() ? 0 : grid.variants.size() - 1;
+    const std::uint64_t first_seed = grid.seeds.empty() ? 0 : grid.seeds[0];
+    auto inner = std::move(grid.task);
+    grid.task = [this, inner = std::move(inner), grid_id, first_grid,
+                 last_variant, first_seed](const TaskContext& ctx) {
+      if (resume_store_ != nullptr) {
+        if (const TaskResult* done =
+                resume_store_->find(grid_id, ctx.variant, ctx.seed);
+            done != nullptr && done->error.empty()) {
+          // Completed before the interruption: return the stored output
+          // bit-for-bit (and carry it into the new store) instead of
+          // re-running the cell.
+          if (store_ != nullptr) store_->record(grid_id, *done);
+          return TaskOutput{done->metrics, done->note};
+        }
+      }
+      TaskContext cell = ctx;
+      cell.control_journal = journal_spec_;
+      if (first_grid && ctx.variant == last_variant && ctx.seed == first_seed) {
+        cell.checkpoint_path = world_ckpt_path_;
+      }
+      TaskOutput out = inner(cell);
+      if (store_ != nullptr) {
+        store_->record(grid_id, TaskResult{ctx.variant, ctx.seed, out.metrics,
+                                           out.note, std::string{}, 0.0});
+      }
+      return out;
     };
   }
   results_.push_back(runner_.run(experiment_, grid));
@@ -292,6 +517,12 @@ Json Harness::document() const {
 }
 
 int Harness::finish(std::ostream& os) {
+  stop_supervisor();
+  if (!opts_.checkpoint.empty() && store_ != nullptr) {
+    save_store();
+    os << "wrote " << opts_.checkpoint << " (" << store_->completed()
+       << " completed cells)\n";
+  }
   std::size_t failed = 0;
   for (const auto& g : results_) {
     for (const auto& t : g.tasks) {

@@ -8,13 +8,17 @@
 // raws, wall-clock, git rev) and the error/timing footer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "ckpt/journal.hpp"
 #include "exp/args.hpp"
+#include "exp/ckpt_store.hpp"
 #include "exp/json.hpp"
 #include "exp/runner.hpp"
 #include "sim/metrics.hpp"
@@ -91,6 +95,13 @@ class Harness {
   /// The full BENCH_<exp>.json document.
   [[nodiscard]] Json document() const;
 
+  /// The harness checkpoint store (non-null when --checkpoint or --json
+  /// was given — the latter so an interrupted run can still write a
+  /// partial document). Exposed for tests.
+  [[nodiscard]] const CheckpointStore* store() const noexcept {
+    return store_.get();
+  }
+
   /// Prints the timing/error footer, writes the JSON file when --json was
   /// given, and returns the process exit code (non-zero if any task
   /// failed or the JSON file could not be written).
@@ -121,6 +132,29 @@ class Harness {
   std::unique_ptr<ServeState> serve_;
   void start_serving();      ///< creates + starts ServeState (run() calls it)
   void linger_and_stop(std::ostream& os);  ///< finish() tail
+
+  // Checkpoint / resume / control-journal state (sa::ckpt).
+  //
+  // `store_` records completed cells while the run is live (created when
+  // --checkpoint or --json was given); `resume_store_` is the loaded
+  // --resume checkpoint that completed cells are read back from. The
+  // supervisor thread saves the store every --checkpoint-every seconds
+  // and watches for SIGTERM/SIGINT: on a signal it saves a final
+  // checkpoint, writes the partial JSON document (`"interrupted": true`),
+  // and exits 128+sig without waiting for in-flight cells.
+  std::unique_ptr<CheckpointStore> store_;
+  std::unique_ptr<CheckpointStore> resume_store_;
+  ckpt::ControlJournal journal_;   ///< live /control recording (serve)
+  std::string journal_spec_;       ///< effective spec passed to every cell
+  std::string world_ckpt_path_;    ///< opts_.checkpoint + ".world"
+  std::size_t grid_index_ = 0;     ///< positional grid id for the stores
+  std::thread supervisor_;
+  std::atomic<bool> supervisor_stop_{false};
+  void start_supervisor();
+  void stop_supervisor();
+  void save_store();               ///< journal snapshot + atomic store save
+  [[noreturn]] void interrupted_exit(int sig);
+  [[nodiscard]] Json interrupted_document() const;
 };
 
 }  // namespace sa::exp

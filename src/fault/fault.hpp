@@ -190,11 +190,47 @@ class Injector {
     return log_capacity_;
   }
 
+  // -- Checkpoint seam (sa::ckpt) -------------------------------------------
+  //
+  // The injector's serializable state: counters, the log ring (flattened
+  // oldest-first), and each chain's RNG + burst position. The pending
+  // onset/restore *events* are not here — they live in the engine's
+  // timeline, tagged per chain, and bind() run in engine restore mode
+  // registers the callables (and end-event rebinders) those tags map back
+  // to. Restore order: bind() under engine.begin_restore(), then
+  // import_state(), then engine.import_timeline().
+
+  /// One chain's resumable randomness (identified by its (process,
+  /// surface) coordinates for shape validation on import).
+  struct StreamState {
+    std::size_t process = 0;
+    std::size_t surface = 0;
+    sim::Rng::State rng;
+    std::size_t burst_left = 0;
+  };
+  struct State {
+    std::uint64_t injected = 0;
+    std::uint64_t restored = 0;
+    std::uint64_t active = 0;
+    std::uint64_t unmatched = 0;
+    double last_onset = 0.0;
+    std::vector<Record> log;  ///< oldest first
+    std::vector<StreamState> streams;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Overwrites counters, log, and per-chain RNG state. bind() must
+  /// already have rebuilt the same chains (same plan + surfaces): a shape
+  /// mismatch fails with `err` set.
+  [[nodiscard]] bool import_state(const State& st, std::string* err);
+
  private:
   struct Stream;  // per-(process, surface) RNG + burst state
 
   void arm(sim::Engine& engine, const std::shared_ptr<Stream>& st);
   void fire(sim::Engine& engine, const std::shared_ptr<Stream>& st);
+  [[nodiscard]] sim::Engine::Action rebind_end(sim::Engine& engine,
+                                               std::size_t si, FaultKind kind,
+                                               std::string_view payload);
   void push_log(const Record& rec);
   void notify(const Record& rec);
 
@@ -213,6 +249,11 @@ class Injector {
   std::size_t log_capacity_ = 4096;
   std::vector<Record> log_;  ///< ring: head_ marks the oldest entry
   std::size_t log_head_ = 0;
+
+  /// Chains armed by bind(), in (process, surface) order — owned here so
+  /// checkpointing can reach their RNG/burst state after the engine has
+  /// consumed the arm closures.
+  std::vector<std::shared_ptr<Stream>> streams_;
 };
 
 }  // namespace sa::fault

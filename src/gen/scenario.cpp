@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ckpt/state.hpp"
 #include "fault/adapters.hpp"
 
 namespace sa::gen {
@@ -192,8 +193,8 @@ void Scenario::wire_couplings() {
       spec_.cloud.enabled ? spec_.cloud.epoch_s : 10.0 * spec_.world.step_s;
   const bool inject = spec_.cameras.enabled && spec_.cpn.enabled;
   if (!cpnnet_ && !inject) return;
-  engine_.every(
-      window,
+  engine_.every_tagged(
+      sim::event_tag("sa.gen.couple"), window,
       [this, inject] {
         if (inject && !gateways_.empty()) {
           // cameras -> cpn: drain the pending report count into packets,
@@ -265,6 +266,57 @@ std::vector<core::SelfAwareAgent*> Scenario::agents() {
   }
   if (autoscaler_) out.push_back(&autoscaler_->agent());
   return out;
+}
+
+void Scenario::register_checkpoint(ckpt::WorldCheckpoint& wc) {
+  wc.add(
+      "runtime",
+      [this](ckpt::Buffer& b) {
+        ckpt::save_runtime(runtime_, b);
+        return ckpt::Status{};
+      },
+      [this](ckpt::Cursor& c) { return ckpt::restore_runtime(c, runtime_); });
+  wc.add(
+      "injector",
+      [this](ckpt::Buffer& b) {
+        ckpt::save_injector(injector_, b);
+        return ckpt::Status{};
+      },
+      [this](ckpt::Cursor& c) {
+        return ckpt::restore_injector(c, injector_);
+      });
+  // Section names are indexed by registration position, not agent id
+  // alone: homogeneous substrates reuse ids (every multicore node's
+  // manager is "multicore-mgr"), and section names must be unique.
+  std::size_t li = 0;
+  for (auto& d : degradations_) {
+    core::DegradationPolicy* p = d.get();
+    wc.add(
+        "ladder." + std::to_string(li++) + "." + p->agent().id(),
+        [p](ckpt::Buffer& b) {
+          ckpt::save_ladder(*p, b);
+          return ckpt::Status{};
+        },
+        [p](ckpt::Cursor& c) { return ckpt::restore_ladder(c, *p); });
+  }
+  std::size_t ki = 0;
+  for (core::SelfAwareAgent* a : agents()) {
+    wc.add(
+        "kb." + std::to_string(ki++) + "." + a->id(),
+        [a](ckpt::Buffer& b) {
+          ckpt::save_knowledge(a->knowledge(), b);
+          return ckpt::Status{};
+        },
+        [a](ckpt::Cursor& c) {
+          return ckpt::load_knowledge(c, a->knowledge());
+        });
+  }
+  // The engine goes last: on a direct restore its import_timeline() arms
+  // the heap against everything registered above and exits restore mode.
+  wc.add(
+      "engine",
+      [this](ckpt::Buffer& b) { return ckpt::save_engine(engine_, b); },
+      [this](ckpt::Cursor& c) { return ckpt::restore_engine(c, engine_); });
 }
 
 std::vector<std::pair<std::string, double>> Scenario::summary() const {

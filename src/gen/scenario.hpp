@@ -43,6 +43,10 @@
 #include "svc/fleet.hpp"
 #include "svc/network.hpp"
 
+namespace sa::ckpt {
+class WorldCheckpoint;
+}  // namespace sa::ckpt
+
 namespace sa::gen {
 
 class Scenario {
@@ -99,6 +103,17 @@ class Scenario {
   [[nodiscard]] cpn::PacketNetwork* packet_network() noexcept {
     return cpnnet_.get();
   }
+
+  /// Registers this world's checkpointable components on `wc`: per-agent
+  /// knowledge bases, runtime counters, the fault injector, every
+  /// degradation ladder, and — last, per the restore protocol — the
+  /// engine timeline. A scenario is restored by *replay* (rebuild from
+  /// the same (spec, seed), re-apply the control journal, run_until the
+  /// checkpoint's t — agent/learner internals are reproduced by
+  /// re-execution, not serialized), then attested byte-for-byte with
+  /// WorldCheckpoint::verify(); the registered restore lambdas serve the
+  /// direct-import layer tests.
+  void register_checkpoint(ckpt::WorldCheckpoint& wc);
 
   /// Deterministic whole-run metrics in a fixed order (rows depend only
   /// on which sections are enabled, so same-spec runs byte-compare).

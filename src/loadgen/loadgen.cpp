@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -79,10 +80,37 @@ int connect_to(const std::string& host, std::uint16_t port, long timeout_ms) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
     return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    // A signal does not abort a TCP connect: on EINTR the handshake keeps
+    // going in the background (connect() is never auto-restarted, even
+    // under SA_RESTART), so wait for writability and read the final
+    // status instead of tearing the socket down.
+    if (errno != EINTR) {
+      ::close(fd);
+      return -1;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    for (;;) {
+      const int pr = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+      if (pr < 0 && errno == EINTR) continue;
+      if (pr <= 0) {  // poll error or connect timeout
+        ::close(fd);
+        return -1;
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
   }
   return fd;
 }

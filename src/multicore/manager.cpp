@@ -45,8 +45,8 @@ Manager::Manager(Platform& platform, Params params)
 void Manager::bind(sim::Engine& engine, double period,
                    std::function<void(double)> on_epoch) {
   if (period <= 0.0) period = p_.epoch_s;
-  engine.every(
-      period,
+  engine.every_tagged(
+      sim::event_tag("sa.multicore.manager"), period,
       [this, period, on_epoch = std::move(on_epoch)] {
         const double u = run_epoch_for(period);
         if (on_epoch) on_epoch(u);

@@ -185,8 +185,9 @@ void Platform::run_for(double secs) {
 
 void Platform::bind(sim::Engine& engine, double period) {
   if (period <= 0.0) period = cfg_.tick;
-  engine.every(
-      period, [this] { step(); return true; }, /*order=*/0);
+  engine.every_tagged(
+      sim::event_tag("sa.multicore.platform"), period,
+      [this] { step(); return true; }, /*order=*/0);
 }
 
 void Platform::set_telemetry(sim::TelemetryBus* bus) {

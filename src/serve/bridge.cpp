@@ -134,8 +134,8 @@ void SimBridge::add_degradation(core::DegradationPolicy* policy) {
 
 void SimBridge::attach(sim::Engine& engine) {
   engine_ = &engine;
-  engine.every(
-      opts_.publish_period,
+  engine.every_tagged(
+      sim::event_tag("sa.serve.publish"), opts_.publish_period,
       [this, &engine] {
         drain_mailbox(&engine);
         publish_now(engine.now());
@@ -207,12 +207,38 @@ void SimBridge::drain_mailbox(sim::Engine* engine) {
         if (injector_ != nullptr && engine != nullptr) {
           injector_->inject_now(*engine, cmd.fault_kind, cmd.unit,
                                 cmd.magnitude, cmd.duration);
+          if (journal_ != nullptr) {
+            ckpt::ControlCommand jc;
+            jc.kind = ckpt::ControlCommand::Kind::kInject;
+            jc.fault_kind = cmd.fault_kind;
+            jc.unit = cmd.unit;
+            jc.magnitude = cmd.magnitude;
+            jc.duration = cmd.duration;
+            journal_->record(engine->now(), jc);
+          }
         }
         break;
       case Command::Kind::Histogram:
         if (bus_ != nullptr) {
           bus_->enable_histogram(bus_->intern_category(cmd.category), cmd.lo,
                                  cmd.hi, cmd.bins);
+          if (journal_ != nullptr) {
+            ckpt::ControlCommand jc;
+            jc.kind = ckpt::ControlCommand::Kind::kHistogram;
+            jc.category = cmd.category;
+            jc.lo = cmd.lo;
+            jc.hi = cmd.hi;
+            jc.bins = cmd.bins;
+            journal_->record(engine != nullptr ? engine->now() : 0.0, jc);
+          }
+        }
+        break;
+      case Command::Kind::Checkpoint:
+        // Not journaled: a checkpoint reads state but never mutates the
+        // trajectory, so replaying one would be meaningless.
+        if (checkpoint_hook_) {
+          const double t = engine != nullptr ? engine->now() : 0.0;
+          if (checkpoint_hook_(t)) note_checkpoint(t);
         }
         break;
     }
@@ -343,10 +369,21 @@ HttpResponse SimBridge::handle_control(const HttpRequest& req) {
     post(std::move(c));
     return json_response(202, "{\"queued\":\"histogram\"}\n");
   }
+  if (cmd == "checkpoint") {
+    if (!checkpoint_hook_) {
+      return json_response(
+          503, "{\"error\":\"checkpointing not enabled (run with "
+               "--checkpoint)\"}\n");
+    }
+    Command c;
+    c.kind = Command::Kind::Checkpoint;
+    post(std::move(c));
+    return json_response(202, "{\"queued\":\"checkpoint\"}\n");
+  }
   return json_response(
       400,
       "{\"error\":\"unknown cmd; expected pause|resume|shutdown|inject|"
-      "histogram\"}\n");
+      "histogram|checkpoint\"}\n");
 }
 
 void SimBridge::handle_events(StreamWriter& writer) {
@@ -405,6 +442,13 @@ std::string SimBridge::build_status(double t, sim::Engine* engine) const {
   out += paused_.load(std::memory_order_relaxed) ? "true" : "false";
   out += ",\"commands_applied\":";
   out += std::to_string(commands_applied_.load(std::memory_order_relaxed));
+  out += ",\"checkpoint\":{\"count\":";
+  out += std::to_string(ckpt_count_.load(std::memory_order_relaxed));
+  out += ",\"last_t\":";
+  out += format_value(ckpt_last_t_.load(std::memory_order_relaxed));
+  out += ",\"enabled\":";
+  out += checkpoint_hook_ ? "true" : "false";
+  out += '}';
   if (engine != nullptr) {
     out += ",\"engine\":{\"executed\":";
     out += std::to_string(engine->executed());

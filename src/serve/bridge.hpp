@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/journal.hpp"
 #include "core/agent.hpp"
 #include "core/degrade.hpp"
 #include "fault/fault.hpp"
@@ -90,6 +91,27 @@ class SimBridge {
   void add_degradation(core::DegradationPolicy* policy);
   /// Enables POST /control fault injection and the /status fault section.
   void set_injector(fault::Injector* injector) { injector_ = injector; }
+  /// Records every applied state-mutating control command (inject,
+  /// histogram) into `journal` with its sim-time stamp at drain time — the
+  /// control stream a restored checkpoint replays. Non-owning; null
+  /// disables.
+  void set_journal(ckpt::ControlJournal* journal) { journal_ = journal; }
+
+  /// Enables the token-gated `cmd=checkpoint` control command: the hook
+  /// runs on the sim thread at the next mailbox drain (a step boundary,
+  /// so the snapshot is consistent) and returns whether the save
+  /// succeeded. The bridge then stamps /status's checkpoint block.
+  using CheckpointHook = std::function<bool(double t)>;
+  void set_checkpoint_hook(CheckpointHook hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+  /// Stamps /status's `checkpoint.last_t` / `checkpoint.count` — called by
+  /// the drain-time hook path and by the harness's periodic supervisor
+  /// (any thread; atomics).
+  void note_checkpoint(double t) noexcept {
+    ckpt_last_t_.store(t, std::memory_order_relaxed);
+    ckpt_count_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Schedules the periodic publish + mailbox-drain event on `engine` and
   /// publishes once immediately. Call after all wiring, before the run.
@@ -126,7 +148,7 @@ class SimBridge {
   // a mailboxed resume would never be read. The releasing stores happen
   // under pause_mu_ so the notify cannot race the waiter's predicate check.
   struct Command {
-    enum class Kind : std::uint8_t { Inject, Histogram };
+    enum class Kind : std::uint8_t { Inject, Histogram, Checkpoint };
     Kind kind = Kind::Inject;
     // Inject:
     fault::FaultKind fault_kind = fault::FaultKind::LinkLoss;
@@ -160,6 +182,8 @@ class SimBridge {
   sim::MetricsRegistry* metrics_ = nullptr;
   sim::TelemetryBus* bus_ = nullptr;
   fault::Injector* injector_ = nullptr;
+  ckpt::ControlJournal* journal_ = nullptr;
+  CheckpointHook checkpoint_hook_;
   std::vector<core::SelfAwareAgent*> agents_;
   std::vector<core::DegradationPolicy*> ladders_;
   Server* server_ = nullptr;       ///< set by install(); for self-stats
@@ -183,6 +207,8 @@ class SimBridge {
   std::atomic<bool> shutdown_{false};
 
   std::atomic<std::uint64_t> commands_applied_{0};
+  std::atomic<double> ckpt_last_t_{-1.0};  ///< -1 before the first save
+  std::atomic<std::uint64_t> ckpt_count_{0};
   std::uint64_t publishes_ = 0;  ///< sim thread only
 };
 

@@ -57,6 +57,27 @@ class Rng {
     return result;
   }
 
+  /// Full generator state for checkpointing: the four xoshiro words plus
+  /// the Marsaglia normal() spare — omitting the spare would shift every
+  /// draw after an odd number of normal() calls.
+  struct State {
+    std::uint64_t s[4]{};
+    double spare = 0.0;
+    bool has_spare = false;
+  };
+  [[nodiscard]] State state() const noexcept {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.spare = spare_;
+    st.has_spare = has_spare_;
+    return st;
+  }
+  void set_state(const State& st) noexcept {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    spare_ = st.spare;
+    has_spare_ = st.has_spare;
+  }
+
   /// Derives an independent generator; `tag` distinguishes sibling streams.
   [[nodiscard]] Rng fork(std::uint64_t tag) noexcept {
     return Rng{mix64(s_[0] ^ mix64(tag ^ 0xc0113c7153a7eULL))};

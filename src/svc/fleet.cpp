@@ -70,8 +70,8 @@ NetworkEpoch CameraFleet::run_epoch() {
 
 void CameraFleet::bind(sim::Engine& engine, double step_period,
                        std::function<void(const NetworkEpoch&)> on_epoch) {
-  engine.every(
-      step_period,
+  engine.every_tagged(
+      sim::event_tag("sa.svc.fleet"), step_period,
       [this, on_epoch = std::move(on_epoch)] {
         net_.step();
         ++bound_steps_;

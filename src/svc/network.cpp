@@ -274,8 +274,9 @@ void Network::run(std::size_t steps) {
 }
 
 void Network::bind(sim::Engine& engine, double period) {
-  engine.every(
-      period, [this] { step(); return true; }, /*order=*/0);
+  engine.every_tagged(
+      sim::event_tag("sa.svc.network"), period,
+      [this] { step(); return true; }, /*order=*/0);
 }
 
 void Network::set_telemetry(sim::TelemetryBus* bus) {

@@ -1,0 +1,231 @@
+// Engine timeline export/import (the tentpole seam, ctest -L ckpt).
+//
+// A run checkpointed at time T and restored into a freshly wired engine
+// must produce the byte-identical remaining trajectory: periodic streams
+// re-arm at their exact (base, n) phase, mid-run one-shots are rebuilt by
+// tag rebinders from their opaque payloads, and (t, order, seq) survive
+// verbatim so same-instant tie-breaks replay identically. Every error
+// path is typed: untagged events refuse to export, unknown tags refuse to
+// import, and a drifted period or flipped kind is a shape mismatch — not
+// a silently different world.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "ckpt/state.hpp"
+#include "sim/engine.hpp"
+
+namespace sa::ckpt {
+namespace {
+
+constexpr sim::EventTag kTick = sim::event_tag("test.tick");
+constexpr sim::EventTag kRetry = sim::event_tag("test.retry");
+constexpr sim::EventTag kLate = sim::event_tag("test.late");
+
+std::string stamp(const char* what, double t) {
+  return std::string(what) + "@" + std::to_string(t);
+}
+
+/// Wires the test world: a periodic tick that (once, at t == 3) schedules
+/// a payload-carrying one-shot, plus a static far-future one-shot. The
+/// same function runs for the original build and, under begin_restore(),
+/// for the rebuilt one.
+void wire(sim::Engine& e, std::vector<std::string>& log) {
+  e.every_tagged(kTick, 1.0, [&e, &log] {
+    log.push_back(stamp("tick", e.now()));
+    if (e.now() == 3.0) {
+      std::string payload = "attempt-1";
+      e.in_tagged(
+          kRetry, 2.5, [&log, &e, payload] { log.push_back(stamp(("retry:" + payload).c_str(), e.now())); },
+          0, payload);
+    }
+    return true;
+  });
+  e.at_tagged(kLate, 7.5, [&log, &e] { log.push_back(stamp("late", e.now())); });
+}
+
+/// The restore-side extra: how to rebuild the mid-run one-shot from its
+/// checkpointed payload (wire() cannot — its scheduling site is inside a
+/// tick that already fired before the checkpoint).
+void register_rebinders(sim::Engine& e, std::vector<std::string>& log) {
+  e.register_rebinder(kRetry, [&log, &e](std::string_view payload) {
+    std::string p(payload);
+    return [&log, &e, p] { log.push_back(stamp(("retry:" + p).c_str(), e.now())); };
+  });
+}
+
+TEST(EngineCkpt, RestoredTimelineReplaysByteIdentically) {
+  // Reference: run to T=4.2, snapshot, continue to 10.
+  sim::Engine a;
+  std::vector<std::string> log_a;
+  wire(a, log_a);
+  a.run_until(4.2);
+  const std::size_t prefix = log_a.size();
+  Buffer snap;
+  ASSERT_TRUE(save_engine(a, snap).ok());
+  a.run_until(10.0);
+  const std::vector<std::string> expected(log_a.begin() + prefix, log_a.end());
+  ASSERT_FALSE(expected.empty());
+
+  // Restore: rebuild under begin_restore(), import, continue to 10.
+  sim::Engine b;
+  std::vector<std::string> log_b;
+  b.begin_restore();
+  wire(b, log_b);
+  register_rebinders(b, log_b);
+  Cursor c(snap.data());
+  ASSERT_TRUE(restore_engine(c, b).ok());
+  EXPECT_FALSE(b.restoring());
+  EXPECT_EQ(b.now(), 4.2);
+
+  // Attestation before running: the restored engine re-exports to the
+  // same bytes the checkpoint holds.
+  Buffer reexport;
+  ASSERT_TRUE(save_engine(b, reexport).ok());
+  EXPECT_EQ(reexport.data(), snap.data());
+
+  b.run_until(10.0);
+  EXPECT_EQ(log_b, expected);
+}
+
+TEST(EngineCkpt, UntaggedPendingEventRefusesExport) {
+  sim::Engine e;
+  e.at(1.0, [] {});
+  Buffer out;
+  const Status st = save_engine(e, out);
+  EXPECT_EQ(st.code, Errc::kUntaggedEvent);
+  EXPECT_NE(st.detail.find("untagged"), std::string::npos);
+}
+
+TEST(EngineCkpt, UnknownTagRefusesImport) {
+  sim::Engine a;
+  std::vector<std::string> log;
+  wire(a, log);
+  a.run_until(0.5);
+  Buffer snap;
+  ASSERT_TRUE(save_engine(a, snap).ok());
+
+  sim::Engine b;
+  b.begin_restore();  // nothing re-registered
+  Cursor c(snap.data());
+  const Status st = restore_engine(c, b);
+  EXPECT_EQ(st.code, Errc::kUnboundTag);
+}
+
+TEST(EngineCkpt, DriftedPeriodIsShapeMismatch) {
+  sim::Engine a;
+  std::vector<std::string> log;
+  wire(a, log);
+  a.run_until(0.5);
+  Buffer snap;
+  ASSERT_TRUE(save_engine(a, snap).ok());
+
+  sim::Engine b;
+  std::vector<std::string> log_b;
+  b.begin_restore();
+  b.every_tagged(kTick, 2.0, [] { return true; });  // was 1.0
+  b.at_tagged(kLate, 7.5, [] {});
+  Cursor c(snap.data());
+  const Status st = restore_engine(c, b);
+  EXPECT_EQ(st.code, Errc::kShapeMismatch);
+  EXPECT_NE(st.detail.find("period"), std::string::npos);
+}
+
+TEST(EngineCkpt, PeriodicOneShotKindFlipIsShapeMismatch) {
+  sim::Engine a;
+  std::vector<std::string> log;
+  wire(a, log);
+  a.run_until(0.5);
+  Buffer snap;
+  ASSERT_TRUE(save_engine(a, snap).ok());
+
+  sim::Engine b;
+  b.begin_restore();
+  b.at_tagged(kTick, 1.0, [] {});  // periodic in the checkpoint
+  b.at_tagged(kLate, 7.5, [] {});
+  Cursor c(snap.data());
+  const Status st = restore_engine(c, b);
+  EXPECT_EQ(st.code, Errc::kShapeMismatch);
+}
+
+TEST(EngineCkpt, ImportOutsideRestoreModeFails) {
+  sim::Engine a;
+  std::vector<std::string> log;
+  wire(a, log);
+  Buffer snap;
+  ASSERT_TRUE(save_engine(a, snap).ok());
+
+  sim::Engine b;  // begin_restore() never called
+  Cursor c(snap.data());
+  EXPECT_FALSE(restore_engine(c, b).ok());
+}
+
+TEST(EngineCkpt, UntaggedSchedulingDuringRestoreFailsImport) {
+  sim::Engine a;
+  std::vector<std::string> log;
+  wire(a, log);
+  Buffer snap;
+  ASSERT_TRUE(save_engine(a, snap).ok());
+
+  sim::Engine b;
+  std::vector<std::string> log_b;
+  b.begin_restore();
+  wire(b, log_b);
+  register_rebinders(b, log_b);
+  b.at(1.0, [] {});  // untagged during restore: latched, import must fail
+  Cursor c(snap.data());
+  EXPECT_FALSE(restore_engine(c, b).ok());
+}
+
+TEST(EngineCkpt, TimelineValueRoundTrip) {
+  sim::Engine::Timeline tl;
+  tl.now = 12.5;
+  tl.seq = 99;
+  tl.executed = 42;
+  sim::Engine::TimelineEvent periodic;
+  periodic.t = 13.0;
+  periodic.order = -1;
+  periodic.seq = 7;
+  periodic.tag = sim::event_tag("p");
+  periodic.is_periodic = true;
+  periodic.base = 0.5;
+  periodic.period = 2.5;
+  periodic.n = 5;
+  sim::Engine::TimelineEvent oneshot;
+  oneshot.t = 14.0;
+  oneshot.order = 1000;
+  oneshot.seq = 8;
+  oneshot.tag = sim::event_tag("o", 3);
+  oneshot.is_periodic = false;
+  oneshot.payload = std::string("opaque\0bytes", 12);
+  tl.events = {periodic, oneshot};
+
+  Buffer b;
+  save_timeline(tl, b);
+  Cursor c(b.data());
+  sim::Engine::Timeline back;
+  ASSERT_TRUE(load_timeline(c, back).ok());
+  EXPECT_EQ(back.now, tl.now);
+  EXPECT_EQ(back.seq, tl.seq);
+  EXPECT_EQ(back.executed, tl.executed);
+  ASSERT_EQ(back.events.size(), 2u);
+  EXPECT_EQ(back.events[0].tag, periodic.tag);
+  EXPECT_EQ(back.events[0].n, 5u);
+  EXPECT_EQ(back.events[1].order, 1000);
+  EXPECT_EQ(back.events[1].payload, oneshot.payload);
+
+  // A zero tag in the stream is typed, not trusted.
+  sim::Engine::Timeline zero = tl;
+  zero.events[0].tag = 0;
+  Buffer zb;
+  save_timeline(zero, zb);
+  Cursor zc(zb.data());
+  sim::Engine::Timeline out;
+  EXPECT_EQ(load_timeline(zc, out).code, Errc::kUntaggedEvent);
+}
+
+}  // namespace
+}  // namespace sa::ckpt

@@ -1,0 +1,249 @@
+// Component serializer round-trips (ctest -L ckpt).
+//
+// Each stateful layer's checkpoint seam must round-trip bit-exactly
+// through the sa::ckpt wire format: RNG streams continue with the same
+// draws (including the Marsaglia normal() spare), knowledge bases restore
+// verbatim without TTL re-stamping or listener firings, degradation
+// ladders resume mid-streak, and a fault injector resumed at T schedules
+// the byte-identical remaining fault trajectory. Malformed payloads come
+// back as typed errors (validated enums, never trusted indices).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "ckpt/state.hpp"
+#include "core/agent.hpp"
+#include "core/degrade.hpp"
+#include "core/knowledge.hpp"
+#include "fault/fault.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace sa::ckpt {
+namespace {
+
+TEST(StateCkpt, RngContinuesIdenticallyAcrossRoundTrip) {
+  sim::Rng a(1234);
+  (void)a.uniform();
+  (void)a.normal();  // leaves a Marsaglia spare buffered
+  Buffer b;
+  save_rng(a.state(), b);
+  Cursor c(b.data());
+  sim::Rng::State st;
+  ASSERT_TRUE(load_rng(c, st).ok());
+  ASSERT_TRUE(c.at_end());
+
+  sim::Rng restored(0);
+  restored.set_state(st);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.normal(), restored.normal()) << "draw " << i;
+    EXPECT_EQ(a.uniform(), restored.uniform()) << "draw " << i;
+  }
+}
+
+TEST(StateCkpt, ValueRoundTripsEveryAlternative) {
+  const core::Value values[] = {
+      core::Value{true}, core::Value{std::int64_t{-42}}, core::Value{-0.0},
+      core::Value{std::string("text")},
+      core::Value{std::vector<double>{1.5, -2.5, 0.0}}};
+  for (const core::Value& v : values) {
+    Buffer b;
+    save_value(v, b);
+    Cursor c(b.data());
+    core::Value back;
+    ASSERT_TRUE(load_value(c, back).ok());
+    EXPECT_EQ(back.index(), v.index());
+    EXPECT_EQ(back, v);
+  }
+
+  // An out-of-range variant index is malformed, not UB.
+  Buffer bad;
+  bad.u8(9);
+  Cursor c(bad.data());
+  core::Value out;
+  EXPECT_EQ(load_value(c, out).code, Errc::kMalformed);
+}
+
+TEST(StateCkpt, ItemRejectsInvalidScope) {
+  core::KnowledgeItem item;
+  item.value = core::Value{1.5};
+  item.time = 3.0;
+  Buffer b;
+  save_item(item, b);
+  // Scope byte is right after the value (u8 index + f64) and f64 time +
+  // f64 confidence; corrupt it via a rebuilt payload instead of offset
+  // arithmetic: serialize with a hand-rolled bad scope.
+  Buffer bad;
+  save_value(item.value, bad);
+  bad.f64(item.time);
+  bad.f64(item.confidence);
+  bad.u8(250);  // no such Scope
+  bad.str(item.source);
+  bad.f64(item.ttl);
+  Cursor c(bad.data());
+  core::KnowledgeItem out;
+  EXPECT_EQ(load_item(c, out).code, Errc::kMalformed);
+}
+
+TEST(StateCkpt, KnowledgeBaseRestoresVerbatim) {
+  core::KnowledgeBase kb(4);
+  kb.set_default_ttl(10.0);
+  for (int i = 0; i < 6; ++i) {  // overflows the ring: oldest evicted
+    kb.put_number("cpu.load", 0.1 * i, static_cast<double>(i));
+  }
+  kb.put_number("zeta", 1.0, 0.5);
+  kb.put_number("alpha", 2.0, 0.25, 0.9, core::Scope::Public, "peer");
+
+  Buffer b;
+  save_knowledge(kb, b);
+
+  core::KnowledgeBase back(4);
+  int notified = 0;
+  back.subscribe([&notified](const std::string&, const core::KnowledgeItem&) {
+    ++notified;
+  });
+  Cursor c(b.data());
+  ASSERT_TRUE(load_knowledge(c, back).ok());
+  EXPECT_EQ(notified, 0) << "restore must not fire listeners";
+
+  // Same keys, same retained windows, same bytes on re-export.
+  Buffer again;
+  save_knowledge(back, again);
+  EXPECT_EQ(again.data(), b.data());
+
+  auto h = back.history("cpu.load");
+  ASSERT_EQ(h.size(), 4u);  // only the ring survives, oldest first
+  EXPECT_EQ(h.front().time, 2.0);
+  EXPECT_EQ(h.back().time, 5.0);
+
+  // A different history_limit is a shape mismatch, not a silent resize.
+  core::KnowledgeBase wrong(8);
+  Cursor c2(b.data());
+  EXPECT_EQ(load_knowledge(c2, wrong).code, Errc::kShapeMismatch);
+}
+
+TEST(StateCkpt, LadderResumesMidStreak) {
+  core::SelfAwareAgent agent("a");
+  core::DegradationPolicy::Params p;
+  p.fault_active_breach = 1.0;
+  p.breach_updates = 2;
+  p.recover_updates = 2;
+  core::DegradationPolicy policy(agent, p);
+  agent.knowledge().put_number("fault.active", 3.0, 0.0, 1.0,
+                               core::Scope::Private, "fault");
+  policy.update(1.0);
+  policy.update(2.0);  // stepped down to Goal, streaks mid-flight
+  ASSERT_EQ(policy.mode(), core::DegradationPolicy::Mode::Goal);
+
+  Buffer b;
+  save_ladder(policy, b);
+
+  core::SelfAwareAgent agent2("a");
+  core::DegradationPolicy policy2(agent2, p);
+  Cursor c(b.data());
+  ASSERT_TRUE(restore_ladder(c, policy2).ok());
+  EXPECT_EQ(policy2.mode(), core::DegradationPolicy::Mode::Goal);
+  EXPECT_EQ(policy2.degradations(), policy.degradations());
+  // The rung's level ceiling was re-applied to the fresh agent.
+  EXPECT_FALSE(agent2.active_levels().has(core::Level::Meta));
+  EXPECT_TRUE(agent2.active_levels().has(core::Level::Goal));
+
+  // Re-export byte-matches (the attestation property).
+  Buffer again;
+  save_ladder(policy2, again);
+  EXPECT_EQ(again.data(), b.data());
+
+  // A mode byte past Reactive is malformed.
+  Buffer bad;
+  bad.u8(7);
+  Cursor cb(bad.data());
+  EXPECT_FALSE(restore_ladder(cb, policy2).ok());
+}
+
+/// A surface over counters, as in injector_test.
+struct CountingSurface {
+  std::vector<int> depth;
+  explicit CountingSurface(std::size_t units) : depth(units, 0) {}
+  fault::Injector::Surface as_surface(fault::FaultKind kind,
+                                      std::string name) {
+    fault::Injector::Surface s;
+    s.kind = kind;
+    s.name = std::move(name);
+    s.units = depth.size();
+    s.begin = [this](std::size_t unit, double) { ++depth[unit]; };
+    s.end = [this](std::size_t unit, double) { --depth[unit]; };
+    return s;
+  }
+};
+
+void expect_records_equal(const std::vector<fault::Injector::Record>& a,
+                          const std::vector<fault::Injector::Record>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t, b[i].t) << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].unit, b[i].unit) << i;
+    EXPECT_EQ(a[i].magnitude, b[i].magnitude) << i;
+    EXPECT_EQ(a[i].until, b[i].until) << i;
+    EXPECT_EQ(a[i].begin, b[i].begin) << i;
+  }
+}
+
+TEST(StateCkpt, InjectorResumesTheExactFaultTrajectory) {
+  const auto plan =
+      fault::FaultPlan::parse("link-loss:rate=0.1,dur=4,burst=2;seed=11");
+
+  // Reference: run to 60, snapshot injector + engine, continue to 150.
+  sim::Engine ea;
+  fault::Injector ia;
+  CountingSurface surf_a(4);
+  ia.add_surface(surf_a.as_surface(fault::FaultKind::LinkLoss, "test.link"));
+  ia.bind(ea, plan);
+  ea.run_until(60.0);
+  Buffer inj_snap, eng_snap;
+  save_injector(ia, inj_snap);
+  ASSERT_TRUE(save_engine(ea, eng_snap).ok());
+  ea.run_until(150.0);
+  const auto reference = ia.records();
+  ASSERT_FALSE(reference.empty());
+
+  // Restore: rebuild the same chains under engine restore mode, import
+  // injector state, then arm the timeline.
+  sim::Engine eb;
+  fault::Injector ib;
+  CountingSurface surf_b(4);
+  ib.add_surface(surf_b.as_surface(fault::FaultKind::LinkLoss, "test.link"));
+  eb.begin_restore();
+  ib.bind(eb, plan);
+  Cursor ci(inj_snap.data());
+  ASSERT_TRUE(restore_injector(ci, ib).ok());
+  Cursor ce(eng_snap.data());
+  ASSERT_TRUE(restore_engine(ce, eb).ok());
+  EXPECT_EQ(eb.now(), 60.0);
+
+  // Attestation + byte-identical continuation.
+  Buffer again;
+  save_injector(ib, again);
+  EXPECT_EQ(again.data(), inj_snap.data());
+  eb.run_until(150.0);
+  expect_records_equal(ib.records(), reference);
+
+  // Shape mismatch: same checkpoint against a world whose plan armed a
+  // different chain set (two link-loss processes instead of one).
+  const auto two = fault::FaultPlan::parse(
+      "link-loss:rate=0.1,dur=4,burst=2;link-loss:rate=0.2,dur=1;seed=11");
+  sim::Engine ec;
+  fault::Injector ic;
+  CountingSurface surf_c(4);
+  ic.add_surface(surf_c.as_surface(fault::FaultKind::LinkLoss, "test.link"));
+  ec.begin_restore();
+  ic.bind(ec, two);
+  Cursor cc(inj_snap.data());
+  EXPECT_EQ(restore_injector(cc, ic).code, Errc::kShapeMismatch);
+}
+
+}  // namespace
+}  // namespace sa::ckpt

@@ -7,7 +7,9 @@
 #include <chrono>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "ckpt/journal.hpp"
 #include "core/agent.hpp"
 #include "fault/adapters.hpp"
 #include "fault/fault.hpp"
@@ -395,6 +397,106 @@ TEST(SimBridge, EventsStreamDeliversBusRecordsAsSse) {
   EXPECT_NE(got.find("\"category\":\"decision\""), std::string::npos);
   EXPECT_NE(got.find("\"subject\":\"sse.probe\""), std::string::npos);
   EXPECT_NE(got.find("\"detail\":\"picked\""), std::string::npos);
+  server.stop();
+}
+
+TEST(SimBridge, CheckpointCommandRunsTheHookAtAStepBoundary) {
+  sim::Engine engine;
+  SimBridge bridge;
+  std::vector<double> saves;
+  bridge.set_checkpoint_hook([&saves](double t) {
+    saves.push_back(t);
+    return true;
+  });
+  bridge.attach(engine);
+  Server server(quick_opts());
+  bridge.install(server);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // Disabled world -> 503 (exercised in its own test below); here the
+  // hook is wired, so the command queues for the sim thread.
+  EXPECT_EQ(client::status_of(client::http_post(server.port(), "/control",
+                                                "cmd=checkpoint")),
+            202);
+  EXPECT_TRUE(saves.empty());  // queued, not applied
+  engine.run_until(0.2);
+  ASSERT_EQ(saves.size(), 1u);  // drained exactly once, on the sim thread
+
+  // /status's checkpoint block reflects the save.
+  const std::string status =
+      await_status(server.port(), "\"checkpoint\":{\"count\":1");
+  EXPECT_NE(status.find("\"checkpoint\":{\"count\":1"), std::string::npos)
+      << status;
+  EXPECT_NE(status.find("\"enabled\":true"), std::string::npos);
+  server.stop();
+}
+
+TEST(SimBridge, CheckpointCommandWithoutHookIs503) {
+  sim::Engine engine;
+  SimBridge bridge;
+  bridge.attach(engine);
+  Server server(quick_opts());
+  bridge.install(server);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  EXPECT_EQ(client::status_of(client::http_post(server.port(), "/control",
+                                                "cmd=checkpoint")),
+            503);
+  const std::string status = await_status(server.port(), "\"checkpoint\"");
+  EXPECT_NE(status.find("\"enabled\":false"), std::string::npos) << status;
+  server.stop();
+}
+
+TEST(SimBridge, AppliedCommandsAreJournaledWithSimTime) {
+  sim::Engine engine;
+  multicore::Platform platform(multicore::PlatformConfig::big_little(2, 2),
+                               7);
+  fault::Injector inj;
+  fault::bind_platform(inj, platform);
+  sim::TelemetryBus bus;
+  bus.intern_category("lat");
+
+  ckpt::ControlJournal journal;
+  SimBridge bridge;
+  bridge.set_injector(&inj);
+  bridge.set_telemetry(&bus);
+  bridge.set_journal(&journal);
+  bridge.set_checkpoint_hook([](double) { return true; });
+  bridge.attach(engine);
+  Server server(quick_opts());
+  bridge.install(server);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  ASSERT_EQ(client::status_of(client::http_post(
+                server.port(), "/control",
+                "cmd=inject&kind=core-fail&unit=1&mag=2&dur=5")),
+            202);
+  ASSERT_EQ(client::status_of(client::http_post(
+                server.port(), "/control",
+                "cmd=histogram&category=lat&lo=0&hi=1&bins=8")),
+            202);
+  // Checkpoint saves are NOT journaled: they read state, never mutate it,
+  // so replaying one would be meaningless.
+  ASSERT_EQ(client::status_of(client::http_post(server.port(), "/control",
+                                                "cmd=checkpoint")),
+            202);
+  EXPECT_EQ(journal.size(), 0u);  // nothing drained yet
+  engine.run_until(0.2);
+
+  const auto entries = journal.snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].cmd.kind, ckpt::ControlCommand::Kind::kInject);
+  EXPECT_EQ(entries[0].cmd.unit, 1u);
+  EXPECT_EQ(entries[1].cmd.kind, ckpt::ControlCommand::Kind::kHistogram);
+  EXPECT_EQ(entries[1].cmd.category, "lat");
+  // Both drained at the same (first) publish boundary, in POST order.
+  EXPECT_GE(entries[0].t, 0.0);
+  EXPECT_EQ(entries[0].t, entries[1].t);
+  // The recorded stream round-trips through the --control-journal spec.
+  std::vector<ckpt::JournalEntry> back;
+  ASSERT_TRUE(ckpt::parse_journal_spec(ckpt::journal_spec(entries), back)
+                  .ok());
+  EXPECT_EQ(back.size(), 2u);
   server.stop();
 }
 

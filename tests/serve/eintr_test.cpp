@@ -1,0 +1,134 @@
+// EINTR-safety regression (ctest -L serve).
+//
+// The harness's checkpoint supervisor installs SIGTERM/SIGINT handlers,
+// so every socket loop in the serve plane and the load generator now runs
+// in a process where slow syscalls can return EINTR at any moment. This
+// suite pesters the process with a no-op signal (installed WITHOUT
+// SA_RESTART, so the kernel does interrupt syscalls) while requests flow
+// over loopback, and asserts nothing fails: accept/recv/send/connect all
+// retry instead of dropping connections. Before the connect_to fix a
+// signal landing inside connect(2) tore down a perfectly viable
+// handshake — connect is the one call SA_RESTART never restarts.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <pthread.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "loadgen/loadgen.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace sa;
+
+extern "C" void eintr_test_noop_handler(int) {}
+
+/// Installs SIGUSR1 with SA_RESTART cleared: every signal delivery makes
+/// blocking syscalls in the target thread fail with EINTR.
+struct InterruptingSignal {
+  struct sigaction old {};
+  InterruptingSignal() {
+    struct sigaction sa {};
+    sa.sa_handler = eintr_test_noop_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // deliberately no SA_RESTART
+    sigaction(SIGUSR1, &sa, &old);
+  }
+  ~InterruptingSignal() { sigaction(SIGUSR1, &old, nullptr); }
+};
+
+TEST(EintrSafety, RequestsSurviveASignalStorm) {
+  InterruptingSignal guard;
+
+  serve::Server::Options sopts;
+  sopts.workers = 2;
+  sopts.read_timeout_ms = 500;
+  serve::Server server(sopts);
+  server.route("GET", "/status", [](const serve::HttpRequest&) {
+    serve::HttpResponse resp;
+    resp.body = "{\"ok\":true}\n";
+    return resp;
+  });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // Pester both sides: the client thread (pthread_kill) takes EINTR in
+  // connect/send/recv; process-directed kills can land on the server's
+  // acceptor and workers too.
+  const pthread_t client = pthread_self();
+  std::atomic<bool> pestering{true};
+  std::thread pest([&pestering, client] {
+    while (pestering.load(std::memory_order_relaxed)) {
+      pthread_kill(client, SIGUSR1);
+      kill(getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    int status = 0;
+    const std::string body =
+        loadgen::fetch("127.0.0.1", server.port(), "/status", 2000, &status);
+    if (status != 200 || body.find("\"ok\":true") == std::string::npos) {
+      ++failures;
+    }
+  }
+  pestering.store(false);
+  pest.join();
+  server.stop();
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(EintrSafety, PoolUnderSignalStormReportsNoTransportErrors) {
+  InterruptingSignal guard;
+
+  serve::Server::Options sopts;
+  sopts.workers = 4;
+  sopts.read_timeout_ms = 500;
+  serve::Server server(sopts);
+  for (const std::string path : {"/metrics", "/status", "/healthz"}) {
+    server.route("GET", path, [](const serve::HttpRequest&) {
+      serve::HttpResponse resp;
+      resp.body = "ok\n";
+      return resp;
+    });
+  }
+  ASSERT_TRUE(server.start()) << server.error();
+
+  std::atomic<bool> pestering{true};
+  std::thread pest([&pestering] {
+    while (pestering.load(std::memory_order_relaxed)) {
+      kill(getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  loadgen::Options lopts;
+  lopts.port = server.port();
+  lopts.scrapers = 4;
+  lopts.keep_alive = false;  // every request re-connects: max EINTR surface
+  lopts.seed = 7;
+  lopts.timeout_ms = 2000;
+  loadgen::Pool pool(lopts);
+  pool.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  pool.stop();
+  pestering.store(false);
+  pest.join();
+  server.stop();
+
+  const loadgen::Report report = pool.report();
+  EXPECT_GT(report.connects, 0u);
+  EXPECT_EQ(report.connect_failures, 0u);
+  std::uint64_t errors = 0;
+  for (const loadgen::RouteReport& r : report.routes) errors += r.errors;
+  EXPECT_EQ(errors, 0u);
+}
+
+}  // namespace
