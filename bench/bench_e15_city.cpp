@@ -34,6 +34,7 @@
 #include "exp/harness.hpp"
 #include "gen/scenario.hpp"
 #include "gen/spec.hpp"
+#include "shard/world.hpp"
 #include "sim/report.hpp"
 
 namespace {
@@ -41,6 +42,48 @@ namespace {
 using namespace sa;
 
 const std::vector<std::uint64_t> kSeeds{61, 62, 63};
+
+/// Sharded path (--shards N > 1): the same world partitioned across N
+/// engine shards, byte-identical summary (sa::shard). The serve/journal
+/// seams stay on the coordinator engine, so --control-journal composes;
+/// --checkpoint was already rejected by the arg parser.
+exp::TaskOutput run_city_sharded(exp::Harness& h, const gen::ScenarioSpec& spec,
+                                 bool self_aware,
+                                 const exp::TaskContext& ctx) {
+  shard::ShardedWorld::Options opts;
+  opts.shards = ctx.shards;
+  opts.self_aware = self_aware;
+  opts.telemetry = ctx.telemetry;
+  shard::ShardedWorld world(spec, ctx.seed, opts);
+  gen::Scenario& city = world.world();
+
+  if (!ctx.control_journal.empty()) {
+    std::vector<ckpt::JournalEntry> entries;
+    if (const ckpt::Status st =
+            ckpt::parse_journal_spec(ctx.control_journal, entries);
+        !st.ok()) {
+      throw std::invalid_argument("control journal: " + st.to_string());
+    }
+    ckpt::schedule_replay(city.engine(), std::move(entries), /*order=*/1000,
+                          &city.injector(), ctx.telemetry);
+  }
+  if (ctx.serve_bind) {
+    exp::ServeHooks hooks;
+    hooks.engine = &city.engine();
+    hooks.injector = &city.injector();
+    hooks.agents = city.agents();
+    // Runs at coordinator publish events, i.e. while the shard engines
+    // are barrier-paused — the counters are safe to read then.
+    hooks.shard_stats = [&world] {
+      return std::make_pair(world.shard_events(), world.lag_seconds());
+    };
+    ctx.serve_bind(hooks);
+  }
+
+  world.run();
+  h.note_shard_events(world.shard_events());
+  return {city.summary()};
+}
 
 exp::TaskOutput run_city(const gen::ScenarioSpec& spec, bool self_aware,
                          const exp::TaskContext& ctx) {
@@ -120,7 +163,10 @@ int main(int argc, char** argv) {
   g.name = "e15.city";
   g.variants = {"baseline", "self-aware"};
   g.seeds = kSeeds;
-  g.task = [&spec](const exp::TaskContext& ctx) {
+  g.task = [&h, &spec](const exp::TaskContext& ctx) {
+    if (ctx.shards > 1) {
+      return run_city_sharded(h, spec, ctx.variant == 1, ctx);
+    }
     return run_city(spec, ctx.variant == 1, ctx);
   };
   const auto r = h.run(std::move(g));

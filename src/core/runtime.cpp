@@ -196,15 +196,16 @@ void AgentRuntime::run_exchange(std::size_t round, std::size_t attempt) {
 }
 
 void AgentRuntime::schedule_degradation(DegradationPolicy& policy,
-                                        double period) {
+                                        double period, sim::Engine* on) {
   ++scheduled_;
+  sim::Engine& engine = on != nullptr ? *on : engine_;
   const StreamInstruments si =
       instrument("degrade." + policy.agent().id(), "degrade");
-  engine_.every_tagged(
+  engine.every_tagged(
       sim::event_tag("sa.rt.degrade." + policy.agent().id(), scheduled_),
       period,
-      [this, &policy, si] {
-        const double t = engine_.now();
+      [this, &policy, si, &engine] {
+        const double t = engine.now();
         auto span = tracer_ != nullptr ? tracer_->span(t, si.subject, si.name)
                                        : sim::Tracer::Span{};
         auto body = [&] { policy.update(t, span.id()); };

@@ -85,8 +85,12 @@ class AgentRuntime {
   /// Every `period`, runs `policy.update(now)` at kOrderControl (after
   /// agent steps at the same instant, in registration order), passing the
   /// monitoring span's trace id so transition explanations cite it.
-  /// The policy must outlive the runtime's engine events.
-  void schedule_degradation(DegradationPolicy& policy, double period);
+  /// The policy must outlive the runtime's engine events. `on` overrides
+  /// the engine the stream is scheduled on (sa::shard pins a ladder to
+  /// the engine shard that owns its agent, so the update reads the
+  /// shard's clock); null keeps the runtime's own engine.
+  void schedule_degradation(DegradationPolicy& policy, double period,
+                            sim::Engine* on = nullptr);
 
   // -- Exchange fault surface ----------------------------------------------
   /// Gates scheduled exchanges: while blocked, exchange rounds defer and

@@ -72,6 +72,22 @@ StandardArgs::StandardArgs() {
          out.seeds = static_cast<std::size_t>(n);
          return {};
        }});
+  add({"--shards",
+       "",
+       "N",
+       "partition each scenario world across N engine\n"
+       "shards (sa::shard). --shards 1 is the legacy\n"
+       "single-engine path; N > 1 runs the shards on a\n"
+       "worker pool with a byte-identical trajectory,\n"
+       "pins --jobs to 1 and rejects --checkpoint/--resume",
+       [](std::string_view value, Options& out) -> std::string {
+         std::uint64_t n = 0;
+         if (!parse_uint(value, n) || n == 0 || n > 4096) {
+           return "expects an integer in [1, 4096]";
+         }
+         out.shards = static_cast<unsigned>(n);
+         return {};
+       }});
   add(path_flag("--json",
                 "also write a BENCH_<exp>.json document with\n"
                 "per-seed raws, aggregates, wall-clock and git rev",
@@ -247,6 +263,15 @@ std::string StandardArgs::parse(int argc, const char* const* argv,
     if (const std::string err = match->apply(value, out); !err.empty()) {
       return std::string(arg) + " " + err;
     }
+  }
+  if (out.shards > 1) {
+    if (!out.checkpoint.empty() || !out.resume.empty()) {
+      return "--shards > 1 cannot be combined with --checkpoint/--resume "
+             "(sharded worlds are restored by replay, not snapshot)";
+    }
+    // The shard workers are the parallelism; grid workers on top would
+    // oversubscribe and the results are --jobs-invariant anyway.
+    out.jobs = 1;
   }
   return {};
 }

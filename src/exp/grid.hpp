@@ -51,6 +51,14 @@ struct ServeHooks {
   /// ckpt::WorldCheckpoint targeting TaskContext::checkpoint_path) runs on
   /// the sim thread with the current sim time and returns success.
   std::function<bool(double t)> checkpoint;
+  /// Per-shard stats source for sharded cells (--shards > 1): returns the
+  /// per-shard executed-event counts (shard::ShardedWorld::shard_events();
+  /// last entry = coordinator) and the cumulative barrier-lag seconds. The
+  /// bridge calls it on the sim thread at publish boundaries — where the
+  /// shard engines are barrier-paused — and surfaces the copy as
+  /// sa_shard_events_total{shard=…} / sa_shard_lag_seconds and the /status
+  /// `shards` block.
+  std::function<std::pair<std::vector<std::uint64_t>, double>()> shard_stats;
 };
 
 /// Named metric values produced by one task, in a fixed (reported) order.
@@ -95,6 +103,14 @@ struct TaskContext {
   std::size_t variant = 0;       ///< index into grid.variants
   std::uint64_t seed = 0;        ///< the cell's seed
   std::uint64_t stream = 0;      ///< stream_of(experiment, variant, seed)
+
+  /// Engine shards this cell should run its world across (--shards N;
+  /// sa::shard). 1 = the single-engine path. Tasks that build scenario
+  /// worlds honour it via shard::ShardedWorld — trajectories are
+  /// byte-identical for every value — and report the per-shard event
+  /// counts back through Harness::note_shard_events. Tasks without a
+  /// scenario world ignore it.
+  unsigned shards = 1;
 
   /// Observability hooks — non-null only for the harness's *traced cell*
   /// (one designated cell when --trace/--metrics was given; see

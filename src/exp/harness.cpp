@@ -369,8 +369,34 @@ std::vector<std::uint64_t> Harness::seeds_for(
   return defaults;
 }
 
+void Harness::note_shard_events(const std::vector<std::uint64_t>& events) {
+  if (events.empty()) return;
+  const std::lock_guard<std::mutex> lock(shard_mutex_);
+  if (shard_events_.size() < events.size()) {
+    shard_events_.resize(events.size(), 0);
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    shard_events_[i] += events[i];
+  }
+}
+
+std::vector<std::uint64_t> Harness::shard_events() const {
+  const std::lock_guard<std::mutex> lock(shard_mutex_);
+  return shard_events_;
+}
+
 GridResult Harness::run(Grid grid) {
   grid.seeds = seeds_for(std::move(grid.seeds));
+  if (opts_.shards > 1) {
+    // Sharded run: every cell sees the shard count (trajectories are
+    // byte-identical to --shards 1, so this never forks the document).
+    auto inner = std::move(grid.task);
+    grid.task = [this, inner = std::move(inner)](const TaskContext& ctx) {
+      TaskContext cell = ctx;
+      cell.shards = opts_.shards;
+      return inner(cell);
+    };
+  }
   const bool serving = opts_.serve_port >= 0;
   const bool want_observability =
       !opts_.trace.empty() || !opts_.metrics.empty() || serving;
@@ -408,6 +434,16 @@ GridResult Harness::run(Grid grid) {
             }
             if (hooks.checkpoint) {
               serve_->bridge.set_checkpoint_hook(hooks.checkpoint);
+            }
+            if (hooks.shard_stats) {
+              serve_->bridge.set_shard_source(
+                  [src = hooks.shard_stats]() {
+                    serve::ShardSnapshot snap;
+                    auto [events, lag] = src();
+                    snap.events = std::move(events);
+                    snap.lag_seconds = lag;
+                    return snap;
+                  });
             }
             serve_->bridge.attach(*hooks.engine);
           };
@@ -492,6 +528,26 @@ Json Harness::document() const {
   meta["events_total"] = static_cast<std::int64_t>(events);
   meta["events_per_sec"] = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
   meta["peak_rss_mb"] = peak_rss_mb();
+  // Sharded-run breakdown (only when --shards > 1, so pre-existing
+  // documents stay byte-identical): per-shard executed-event totals
+  // summed across cells, last entry = the coordinator engine. Encoded as
+  // one comma-joined value per key so the CI byte-diff idiom — grep away
+  // the run-dependent meta lines, compare the rest — keeps holding.
+  if (opts_.shards > 1) {
+    meta["shards"] = static_cast<std::int64_t>(opts_.shards);
+    std::string totals, rates;
+    for (const std::uint64_t n : shard_events()) {
+      if (!totals.empty()) {
+        totals += ',';
+        rates += ',';
+      }
+      totals += std::to_string(n);
+      rates += std::to_string(wall > 0.0 ? static_cast<double>(n) / wall
+                                         : 0.0);
+    }
+    meta["shard_events_total"] = totals;
+    meta["shard_events_per_sec"] = rates;
+  }
   Json& grids = doc["grids"] = Json::array();
   for (const auto& g : results_) grids.push_back(to_json(g));
   // Failed cells surfaced top-level so CI does not have to walk every

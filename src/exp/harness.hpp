@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -92,6 +93,14 @@ class Harness {
     return results_;
   }
 
+  /// Accumulates one sharded cell's per-shard executed-event counts
+  /// (shard::ShardedWorld::shard_events(): index = shard id, last entry =
+  /// coordinator) into the document's meta block, elementwise across
+  /// cells. Thread-safe; no-op argument lists are ignored.
+  void note_shard_events(const std::vector<std::uint64_t>& events);
+  /// The elementwise sums recorded so far (exposed for tests).
+  [[nodiscard]] std::vector<std::uint64_t> shard_events() const;
+
   /// The full BENCH_<exp>.json document.
   [[nodiscard]] Json document() const;
 
@@ -116,6 +125,10 @@ class Harness {
   /// Engine::global_executed() at construction: document() reports the
   /// delta as this run's event throughput (events_total / events_per_sec).
   std::uint64_t events_at_start_ = 0;
+  /// Per-shard executed-event totals accumulated by note_shard_events
+  /// (meta "shard_events_total"/"shard_events_per_sec" when --shards > 1).
+  mutable std::mutex shard_mutex_;
+  std::vector<std::uint64_t> shard_events_;
 
   // Observability state for the traced cell (owned here so task lambdas
   // can reference it from worker threads; only the one traced cell ever

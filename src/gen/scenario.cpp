@@ -13,6 +13,13 @@ namespace {
 
 double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
 
+/// Per-replica seed salt: replica 0 keeps the legacy single-instance
+/// stream untouched; replica r perturbs the section constant in bits the
+/// section never uses, so growing D/G never reshuffles earlier replicas.
+std::uint64_t replica_salt(std::size_t r) {
+  return static_cast<std::uint64_t>(r) << 32;
+}
+
 }  // namespace
 
 Scenario::Scenario(const ScenarioSpec& spec, std::uint64_t run_seed,
@@ -56,69 +63,97 @@ Scenario::~Scenario() = default;
 
 void Scenario::build_cameras() {
   if (!spec_.cameras.enabled) return;
-  svc::NetworkParams np;
-  np.objects = spec_.cameras.objects;
-  np.speed = spec_.cameras.speed;
-  np.seed = sim::mix64(seed_ ^ 0x5CA3'0001ULL);
-  camnet_ = std::make_unique<svc::Network>(spec_.expand_cameras(seed_), np);
-  camnet_->set_telemetry(opts_.telemetry);
+  const std::size_t D = spec_.cameras.districts;
+  pending_.assign(D, 0.0);
+  for (std::size_t d = 0; d < D; ++d) {
+    svc::NetworkParams np;
+    np.objects = spec_.cameras.objects;
+    np.speed = spec_.cameras.speed;
+    np.seed = sim::mix64(seed_ ^ 0x5CA3'0001ULL ^ replica_salt(d));
+    auto camnet = std::make_unique<svc::Network>(
+        spec_.expand_cameras(seed_, d), np);
+    camnet->set_telemetry(shard_telemetry());
 
-  svc::CameraFleet::Params fp;
-  fp.mode = opts_.self_aware ? svc::CameraFleet::Mode::Learning
-                             : svc::CameraFleet::Mode::Homogeneous;
-  fp.fixed = svc::Strategy::Broadcast;
-  fp.epoch_steps = spec_.cameras.epoch_steps;
-  fp.seed = sim::mix64(seed_ ^ 0x5CA3'0002ULL);
-  fp.telemetry = opts_.telemetry;
-  fp.tracer = opts_.tracer;
-  fleet_ = std::make_unique<svc::CameraFleet>(*camnet_, fp);
-  fleet_->bind(engine_, spec_.world.step_s,
-               [this](const svc::NetworkEpoch& ep) {
-                 // cameras -> cpn: tracked objects this epoch become
-                 // backend-bound report packets (injected at the next
-                 // coupling window; see wire_couplings).
-                 pending_reports_ += ep.coverage *
-                                     static_cast<double>(camnet_->objects());
-               });
+    svc::CameraFleet::Params fp;
+    fp.mode = opts_.self_aware ? svc::CameraFleet::Mode::Learning
+                               : svc::CameraFleet::Mode::Homogeneous;
+    fp.fixed = svc::Strategy::Broadcast;
+    fp.epoch_steps = spec_.cameras.epoch_steps;
+    fp.seed = sim::mix64(seed_ ^ 0x5CA3'0002ULL ^ replica_salt(d));
+    fp.telemetry = shard_telemetry();
+    fp.tracer = shard_tracer();
+    auto fleet = std::make_unique<svc::CameraFleet>(*camnet, fp);
+    sim::Engine* eng = &district_engine(d);
+    svc::Network* net = camnet.get();
+    fleet->bind(*eng, spec_.world.step_s,
+                [this, d, eng, net](const svc::NetworkEpoch& ep) {
+                  // cameras -> cpn: tracked objects this epoch become
+                  // backend-bound report packets (injected at the next
+                  // coupling window; see wire_couplings).
+                  const double amount =
+                      ep.coverage * static_cast<double>(net->objects());
+                  if (opts_.placement != nullptr &&
+                      opts_.placement->post_reports) {
+                    // Off-coordinator district: route through the shard
+                    // mailbox so the coordinator applies posts in global
+                    // event order.
+                    opts_.placement->post_reports(d, eng->now(), amount);
+                  } else {
+                    pending_[d] += amount;
+                  }
+                });
+    camnets_.push_back(std::move(camnet));
+    fleets_.push_back(std::move(fleet));
+  }
 }
 
 void Scenario::build_cpn() {
   if (!spec_.cpn.enabled) return;
-  cpn::Topology topo =
-      cpn::Topology::grid(spec_.cpn.rows, spec_.cpn.cols,
-                          spec_.cpn.shortcuts,
-                          sim::mix64(seed_ ^ 0xC9A0'0001ULL));
-  cpn::PacketNetwork::Params np;
-  np.router = opts_.self_aware ? cpn::PacketNetwork::Router::QRouting
-                               : cpn::PacketNetwork::Router::Static;
-  np.seed = sim::mix64(seed_ ^ 0xC9A0'0002ULL);
-  cpn::TrafficParams tp;
-  tp.flows = spec_.cpn.flows;
-  tp.legit_rate = spec_.cpn.rate;
-  tp.seed = sim::mix64(seed_ ^ 0xC9A0'0003ULL);
+  const std::size_t G = spec_.cpn.grids;
+  // Gateway/backend choices come from the coupling stream, not the
+  // topology seed, so re-routing knobs never reshuffle the coupling
+  // itself. Grid 0 reads the base fork exactly as a grids=1 section did;
+  // later grids fork by index (fork never advances the parent).
+  sim::Rng gwbase = couple_rng_.fork("gateways");
+  for (std::size_t g = 0; g < G; ++g) {
+    cpn::Topology topo = cpn::Topology::grid(
+        spec_.cpn.rows, spec_.cpn.cols, spec_.cpn.shortcuts,
+        sim::mix64(seed_ ^ 0xC9A0'0001ULL ^ replica_salt(g)));
+    cpn::PacketNetwork::Params np;
+    np.router = opts_.self_aware ? cpn::PacketNetwork::Router::QRouting
+                                 : cpn::PacketNetwork::Router::Static;
+    np.seed = sim::mix64(seed_ ^ 0xC9A0'0002ULL ^ replica_salt(g));
+    cpn::TrafficParams tp;
+    tp.flows = spec_.cpn.flows;
+    tp.legit_rate = spec_.cpn.rate;
+    tp.seed = sim::mix64(seed_ ^ 0xC9A0'0003ULL ^ replica_salt(g));
 
-  cpnnet_ = std::make_unique<cpn::PacketNetwork>(topo, np);
-  cpnnet_->set_telemetry(opts_.telemetry);
-  traffic_ = std::make_unique<cpn::TrafficGenerator>(cpnnet_->topology(), tp);
-  // Injections before transit at every tick, as in the synchronous loop.
-  traffic_->bind(engine_, *cpnnet_, spec_.world.step_s);
-  cpnnet_->bind(engine_, spec_.world.step_s);
+    auto cpnnet = std::make_unique<cpn::PacketNetwork>(topo, np);
+    cpnnet->set_telemetry(shard_telemetry());
+    auto traffic =
+        std::make_unique<cpn::TrafficGenerator>(cpnnet->topology(), tp);
+    // Injections before transit at every tick, as in the synchronous loop.
+    sim::Engine& eng = grid_engine(g);
+    traffic->bind(eng, *cpnnet, spec_.world.step_s);
+    cpnnet->bind(eng, spec_.world.step_s);
 
-  // Gateways (where camera reports enter) and the backend node (where
-  // they must arrive) come from the coupling stream, not the topology
-  // seed, so re-routing knobs never reshuffle the coupling itself.
-  sim::Rng gw = couple_rng_.fork("gateways");
-  const std::size_t n = cpnnet_->topology().nodes();
-  backend_node_ = static_cast<std::size_t>(gw.below(n));
-  const std::size_t want = std::min<std::size_t>(3, n - 1);
-  while (gateways_.size() < want) {
-    const auto node = static_cast<std::size_t>(gw.below(n));
-    if (node == backend_node_) continue;
-    if (std::find(gateways_.begin(), gateways_.end(), node) !=
-        gateways_.end()) {
-      continue;
+    sim::Rng gw = g != 0 ? gwbase.fork(g) : gwbase;
+    const std::size_t n = cpnnet->topology().nodes();
+    std::vector<std::size_t> gates;
+    const auto backend = static_cast<std::size_t>(gw.below(n));
+    const std::size_t want = std::min<std::size_t>(3, n - 1);
+    while (gates.size() < want) {
+      const auto node = static_cast<std::size_t>(gw.below(n));
+      if (node == backend) continue;
+      if (std::find(gates.begin(), gates.end(), node) != gates.end()) {
+        continue;
+      }
+      gates.push_back(node);
     }
-    gateways_.push_back(node);
+    backend_nodes_.push_back(backend);
+    gateways_.push_back(std::move(gates));
+    cpnnets_.push_back(std::move(cpnnet));
+    traffics_.push_back(std::move(traffic));
   }
 }
 
@@ -150,6 +185,10 @@ void Scenario::build_cloud() {
     // cloud -> edge: when the backend saturates, overflow analytics are
     // offloaded to the edge nodes — their arrival rates scale with the
     // backend's utilisation (piecewise linear, bounded, epoch-granular).
+    // In a sharded run this executes on the coordinator while the shards
+    // are barrier-paused strictly before (t, control), so the owning
+    // shard's manager epoch at the same instant reads the new rates —
+    // exactly the monolithic registration-order tie-break.
     const double offload = 0.7 + 0.4 * clamp01(ep.utilisation);
     for (std::size_t i = 0; i < platforms_.size(); ++i) {
       const EdgeWorkload& w = workloads_[i];
@@ -174,10 +213,10 @@ void Scenario::build_edge() {
                                   : multicore::Manager::Variant::Static;
     mp.epoch_s = spec_.multicore.epoch_s;
     mp.seed = sim::mix64(seed_ ^ 0xED6E'0002ULL ^ (i << 8));
-    mp.telemetry = opts_.telemetry;
-    mp.tracer = opts_.tracer;
+    mp.telemetry = shard_telemetry();
+    mp.tracer = shard_tracer();
     auto manager = std::make_unique<multicore::Manager>(*platform, mp);
-    manager->bind(engine_, spec_.multicore.epoch_s);
+    manager->bind(edge_engine(i), spec_.multicore.epoch_s);
 
     platforms_.push_back(std::move(platform));
     managers_.push_back(std::move(manager));
@@ -188,38 +227,59 @@ void Scenario::wire_couplings() {
   // One window event per coupling epoch, at dynamics order so control
   // loops firing at the same instant (order 1) see this window's effects.
   // Registered after the substrate binds, so at coincident ticks the
-  // window reads post-step state.
+  // window reads post-step state. Always hosted by the scenario's own
+  // engine: in a sharded run this is the coordinator event whose
+  // lookahead gap the shards drain up to.
   const double window =
       spec_.cloud.enabled ? spec_.cloud.epoch_s : 10.0 * spec_.world.step_s;
   const bool inject = spec_.cameras.enabled && spec_.cpn.enabled;
-  if (!cpnnet_ && !inject) return;
+  if (cpnnets_.empty() && !inject) return;
   engine_.every_tagged(
       sim::event_tag("sa.gen.couple"), window,
       [this, inject] {
-        if (inject && !gateways_.empty()) {
-          // cameras -> cpn: drain the pending report count into packets,
-          // round-robin over the gateways (stream-chosen start point).
-          auto n = static_cast<std::size_t>(pending_reports_);
-          pending_reports_ -= static_cast<double>(n);
-          auto at = static_cast<std::size_t>(
-              couple_rng_.below(gateways_.size()));
-          for (std::size_t i = 0; i < n; ++i) {
-            cpnnet_->inject(gateways_[at], backend_node_, /*legit=*/true);
-            at = (at + 1) % gateways_.size();
-            ++reports_injected_;
+        if (inject) {
+          // cameras -> cpn: drain each district's pending report count
+          // into packets, round-robin over its grid's gateways
+          // (stream-chosen start point; district d feeds grid d mod G).
+          const std::size_t G = cpnnets_.size();
+          for (std::size_t d = 0; d < pending_.size(); ++d) {
+            const std::vector<std::size_t>& gws = gateways_[d % G];
+            if (gws.empty()) continue;
+            auto n = static_cast<std::size_t>(pending_[d]);
+            pending_[d] -= static_cast<double>(n);
+            auto at =
+                static_cast<std::size_t>(couple_rng_.below(gws.size()));
+            for (std::size_t i = 0; i < n; ++i) {
+              cpnnets_[d % G]->inject(gws[at], backend_nodes_[d % G],
+                                      /*legit=*/true);
+              at = (at + 1) % gws.size();
+              ++reports_injected_;
+            }
           }
         }
-        if (cpnnet_) {
-          const cpn::CpnStats stats = cpnnet_->harvest();
-          cpn_delivered_ += stats.delivered;
-          cpn_dropped_ += stats.dropped;
-          cpn_delivery_.add(stats.delivery_rate());
-          if (stats.delivered > 0) cpn_latency_.add(stats.p95_latency);
+        if (!cpnnets_.empty()) {
+          // Harvest every grid (ascending), then couple the *combined*
+          // delivery rate downstream — the exact CpnStats::delivery_rate
+          // expression over the summed counters, so one grid reproduces
+          // the single-network trajectory bit-for-bit.
+          std::size_t delivered = 0, done = 0;
+          for (auto& net : cpnnets_) {
+            const cpn::CpnStats stats = net->harvest();
+            cpn_delivered_ += stats.delivered;
+            cpn_dropped_ += stats.dropped;
+            delivered += stats.delivered;
+            done += stats.delivered + stats.dropped;
+            if (stats.delivered > 0) cpn_latency_.add(stats.p95_latency);
+          }
+          const double rate =
+              done != 0 ? static_cast<double>(delivered) /
+                              static_cast<double>(done)
+                        : 1.0;
+          cpn_delivery_.add(rate);
           // cpn -> cloud: reports that never reach the backend are never
           // analysed — delivery scales the demand the cluster must serve.
           if (demand_) {
-            demand_->set_base(spec_.cloud.demand *
-                              (0.3 + 0.7 * stats.delivery_rate()));
+            demand_->set_base(spec_.cloud.demand * (0.3 + 0.7 * rate));
           }
         }
         return true;
@@ -230,23 +290,27 @@ void Scenario::wire_couplings() {
 void Scenario::wire_faults() {
   plan_ = spec_.expand_faults(seed_);
   for (auto& p : platforms_) fault::bind_platform(injector_, *p);
-  if (camnet_) fault::bind_cameras(injector_, *camnet_);
+  for (auto& net : camnets_) fault::bind_cameras(injector_, *net);
   if (cluster_) fault::bind_cluster(injector_, *cluster_);
-  if (cpnnet_) fault::bind_packet_network(injector_, *cpnnet_);
+  for (auto& net : cpnnets_) fault::bind_packet_network(injector_, *net);
   if (spec_.world.exchange_s > 0.0) {
     fault::bind_exchange(injector_, runtime_);
   }
   if (opts_.self_aware) {
     // The degraded-modes ladder (E13 idiom): each edge manager watches
     // the injector's fault pressure and sheds awareness levels under it.
-    for (auto& m : managers_) {
-      fault::feed_agent(injector_, m->agent());
+    // The ladder runs on the engine that owns its manager, so at a
+    // coincident (t, control) instant the within-shard sequence order
+    // (managers before ladders) matches the monolithic engine's.
+    for (std::size_t i = 0; i < managers_.size(); ++i) {
+      fault::feed_agent(injector_, managers_[i]->agent());
       core::DegradationPolicy::Params dp;
       dp.fault_active_breach = 2.0;
-      degradations_.push_back(
-          std::make_unique<core::DegradationPolicy>(m->agent(), dp));
+      degradations_.push_back(std::make_unique<core::DegradationPolicy>(
+          managers_[i]->agent(), dp));
       runtime_.schedule_degradation(*degradations_.back(),
-                                    spec_.multicore.epoch_s);
+                                    spec_.multicore.epoch_s,
+                                    &edge_engine(i));
     }
   }
   injector_.bind(engine_, plan_);
@@ -259,9 +323,11 @@ void Scenario::run_until(double t) { engine_.run_until(t); }
 std::vector<core::SelfAwareAgent*> Scenario::agents() {
   std::vector<core::SelfAwareAgent*> out;
   for (auto& m : managers_) out.push_back(&m->agent());
-  if (fleet_ && opts_.self_aware) {
-    for (std::size_t c = 0; c < fleet_->cameras(); ++c) {
-      out.push_back(&fleet_->agent(c));
+  if (opts_.self_aware) {
+    for (auto& fleet : fleets_) {
+      for (std::size_t c = 0; c < fleet->cameras(); ++c) {
+        out.push_back(&fleet->agent(c));
+      }
     }
   }
   if (autoscaler_) out.push_back(&autoscaler_->agent());
@@ -325,11 +391,13 @@ std::vector<std::pair<std::string, double>> Scenario::summary() const {
   // exactly the quantity degradation monotonicity is asserted against.
   double goal = 0.0;
   std::size_t parts = 0;
-  if (fleet_) {
-    goal += clamp01(fleet_->coverage().mean());
+  if (!fleets_.empty()) {
+    double c = 0.0;
+    for (const auto& f : fleets_) c += f->coverage().mean();
+    goal += clamp01(c / static_cast<double>(fleets_.size()));
     ++parts;
   }
-  if (cpnnet_) {
+  if (!cpnnets_.empty()) {
     goal += clamp01(cpn_delivery_.mean());
     ++parts;
   }
@@ -355,15 +423,21 @@ std::vector<std::pair<std::string, double>> Scenario::summary() const {
     out.emplace_back("edge_utility", u / n);
     out.emplace_back("edge_power_w", p / n);
   }
-  if (fleet_) {
-    out.emplace_back("coverage", fleet_->coverage().mean());
-    out.emplace_back("camera_messages", fleet_->messages().mean());
+  if (!fleets_.empty()) {
+    double c = 0.0, msgs = 0.0;
+    for (const auto& f : fleets_) {
+      c += f->coverage().mean();
+      msgs += f->messages().mean();
+    }
+    const auto n = static_cast<double>(fleets_.size());
+    out.emplace_back("coverage", c / n);
+    out.emplace_back("camera_messages", msgs / n);
   }
   if (autoscaler_) {
     out.emplace_back("cloud_sla", cloud_sla_.mean());
     out.emplace_back("cloud_cost", cloud_cost_.mean());
   }
-  if (cpnnet_) {
+  if (!cpnnets_.empty()) {
     out.emplace_back("cpn_delivery", cpn_delivery_.mean());
     out.emplace_back("cpn_p95_ticks", cpn_latency_.mean());
     out.emplace_back("cpn_delivered", static_cast<double>(cpn_delivered_));

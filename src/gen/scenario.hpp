@@ -19,9 +19,19 @@
 // boundaries and draws only from the scenario's own forked streams, so
 // the whole composite stays byte-deterministic in (spec, seed) — the
 // property the metamorphic suites in tests/gen assert.
+//
+// Scale axes: cameras.districts replicates the camera section into D
+// independent fleets and cpn.grids replicates the packet network into G
+// independent city-block grids (district d couples into grid d mod G).
+// With Options::placement set (sa::shard), each district/grid/edge node
+// is built on a caller-chosen engine instead of the scenario's own; the
+// scenario's engine then acts as the *coordinator*, hosting everything
+// that couples units — coupling windows, cloud, exchange, faults.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -62,6 +72,25 @@ class Scenario {
     sim::TelemetryBus* telemetry = nullptr;
     sim::Tracer* tracer = nullptr;
     sim::MetricsRegistry* metrics = nullptr;
+
+    /// Sharded placement (sa::shard): which engine hosts each camera
+    /// district, CPN grid and edge node. Null = everything on the
+    /// scenario's own engine. When set, shard-owned components are built
+    /// *without* telemetry/tracer hooks (they execute off the
+    /// coordinator thread); coordinator-owned components — cloud,
+    /// couplings, exchange, faults — keep them.
+    struct Placement {
+      std::vector<sim::Engine*> district_engines;  ///< size >= cameras.districts
+      std::vector<sim::Engine*> grid_engines;      ///< size >= cpn.grids
+      std::vector<sim::Engine*> edge_engines;      ///< size >= multicore.nodes
+      /// Called on the owning shard's thread when district `district`'s
+      /// camera epoch emits `amount` pending reports at sim time `t`.
+      /// The coordinator re-applies the posts in the global event order
+      /// via apply_pending() before its next event executes.
+      std::function<void(std::size_t district, double t, double amount)>
+          post_reports;
+    };
+    const Placement* placement = nullptr;
   };
 
   /// Expands `spec` under `run_seed` and wires the world. Throws
@@ -96,12 +125,29 @@ class Scenario {
   [[nodiscard]] multicore::Manager* edge_manager(std::size_t i) {
     return managers_[i].get();
   }
-  [[nodiscard]] svc::CameraFleet* fleet() noexcept { return fleet_.get(); }
+  /// Camera districts / CPN grids built (0 when the section is disabled).
+  [[nodiscard]] std::size_t districts() const noexcept {
+    return fleets_.size();
+  }
+  [[nodiscard]] std::size_t grids() const noexcept { return cpnnets_.size(); }
+  /// First district's fleet / first grid's network (the legacy
+  /// single-instance accessors; null when the section is disabled).
+  [[nodiscard]] svc::CameraFleet* fleet() noexcept {
+    return fleets_.empty() ? nullptr : fleets_.front().get();
+  }
   [[nodiscard]] cloud::Autoscaler* autoscaler() noexcept {
     return autoscaler_.get();
   }
   [[nodiscard]] cpn::PacketNetwork* packet_network() noexcept {
-    return cpnnet_.get();
+    return cpnnets_.empty() ? nullptr : cpnnets_.front().get();
+  }
+
+  /// Credits `amount` camera reports to district `district`'s
+  /// pending-injection accumulator — the coordinator-side half of
+  /// Placement::post_reports (sa::shard drains its mailboxes into this
+  /// in global event order at every barrier).
+  void apply_pending(std::size_t district, double amount) {
+    pending_[district] += amount;
   }
 
   /// Registers this world's checkpointable components on `wc`: per-agent
@@ -130,6 +176,30 @@ class Scenario {
   void wire_couplings();
   void wire_faults();
 
+  // Placement-aware engine routing: which engine hosts a given unit.
+  // Without a placement these all collapse to the scenario's own engine,
+  // so the monolithic path is bit-for-bit the pre-placement wiring.
+  [[nodiscard]] sim::Engine& district_engine(std::size_t d) {
+    return opts_.placement != nullptr ? *opts_.placement->district_engines[d]
+                                      : engine_;
+  }
+  [[nodiscard]] sim::Engine& grid_engine(std::size_t g) {
+    return opts_.placement != nullptr ? *opts_.placement->grid_engines[g]
+                                      : engine_;
+  }
+  [[nodiscard]] sim::Engine& edge_engine(std::size_t i) {
+    return opts_.placement != nullptr ? *opts_.placement->edge_engines[i]
+                                      : engine_;
+  }
+  // Shard-owned components run off the coordinator thread when a
+  // placement is set, so they must not share the observability sinks.
+  [[nodiscard]] sim::TelemetryBus* shard_telemetry() const noexcept {
+    return opts_.placement != nullptr ? nullptr : opts_.telemetry;
+  }
+  [[nodiscard]] sim::Tracer* shard_tracer() const noexcept {
+    return opts_.placement != nullptr ? nullptr : opts_.tracer;
+  }
+
   ScenarioSpec spec_;
   std::uint64_t seed_;
   Options opts_;
@@ -145,24 +215,24 @@ class Scenario {
   std::vector<std::unique_ptr<core::DegradationPolicy>> degradations_;
   std::vector<EdgeWorkload> workloads_;
 
-  // Cameras.
-  std::unique_ptr<svc::Network> camnet_;
-  std::unique_ptr<svc::CameraFleet> fleet_;
+  // Cameras: one network + fleet per district.
+  std::vector<std::unique_ptr<svc::Network>> camnets_;
+  std::vector<std::unique_ptr<svc::CameraFleet>> fleets_;
 
   // Cloud.
   std::unique_ptr<cloud::Cluster> cluster_;
   std::unique_ptr<cloud::DemandModel> demand_;
   std::unique_ptr<cloud::Autoscaler> autoscaler_;
 
-  // CPN.
-  std::unique_ptr<cpn::PacketNetwork> cpnnet_;
-  std::unique_ptr<cpn::TrafficGenerator> traffic_;
-  std::vector<std::size_t> gateways_;  ///< camera-report entry nodes
-  std::size_t backend_node_ = 0;       ///< cloud-gateway node
+  // CPN: one packet network + traffic generator per grid.
+  std::vector<std::unique_ptr<cpn::PacketNetwork>> cpnnets_;
+  std::vector<std::unique_ptr<cpn::TrafficGenerator>> traffics_;
+  std::vector<std::vector<std::size_t>> gateways_;  ///< per grid: entry nodes
+  std::vector<std::size_t> backend_nodes_;          ///< per grid: cloud gateway
 
   // Coupling state (scenario-owned streams; substrates never see them).
   sim::Rng couple_rng_;
-  double pending_reports_ = 0.0;  ///< camera reports awaiting injection
+  std::vector<double> pending_;  ///< per district: reports awaiting injection
 
   // Whole-run aggregates the summary reports (substrates keep their own;
   // these cover the couplings and the CPN harvest windows).

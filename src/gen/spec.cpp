@@ -172,6 +172,8 @@ ScenarioSpec ScenarioSpec::parse(std::string_view spec) {
           out.cameras.objects = parse_count(v, k);
         } else if (k == "clusters") {
           out.cameras.clusters = parse_count(v, k);
+        } else if (k == "districts") {
+          out.cameras.districts = parse_count(v, k);
         } else if (k == "epoch") {
           out.cameras.epoch_steps = parse_count(v, k);
         } else if (k == "speed") {
@@ -206,6 +208,8 @@ ScenarioSpec ScenarioSpec::parse(std::string_view spec) {
           out.cpn.shortcuts = parse_count(v, k);
         } else if (k == "flows") {
           out.cpn.flows = parse_count(v, k);
+        } else if (k == "grids") {
+          out.cpn.grids = parse_count(v, k);
         } else if (k == "rate") {
           out.cpn.rate = parse_number(v, k);
         } else {
@@ -250,6 +254,7 @@ ScenarioSpec ScenarioSpec::parse(std::string_view spec) {
   if (out.cameras.enabled) {
     require(out.cameras.count >= 1, "cameras count must be >= 1");
     require(out.cameras.objects >= 1, "cameras objects must be >= 1");
+    require(out.cameras.districts >= 1, "cameras districts must be >= 1");
     require(out.cameras.epoch_steps >= 1, "cameras epoch must be >= 1");
     require(out.cameras.speed > 0.0, "cameras speed must be > 0");
   }
@@ -265,6 +270,7 @@ ScenarioSpec ScenarioSpec::parse(std::string_view spec) {
                 out.cpn.rows * out.cpn.cols >= 2,
             "cpn grid needs at least 2 nodes");
     require(out.cpn.flows >= 1, "cpn flows must be >= 1");
+    require(out.cpn.grids >= 1, "cpn grids must be >= 1");
     require(out.cpn.rate > 0.0, "cpn rate must be > 0");
   }
   if (out.faults.enabled) {
@@ -302,6 +308,7 @@ std::string ScenarioSpec::to_string() const {
     w.count("count", cameras.count, dflt.cameras.count);
     w.count("objects", cameras.objects, dflt.cameras.objects);
     w.count("clusters", cameras.clusters, dflt.cameras.clusters);
+    w.count("districts", cameras.districts, dflt.cameras.districts);
     w.count("epoch", cameras.epoch_steps, dflt.cameras.epoch_steps);
     w.num("speed", cameras.speed, dflt.cameras.speed);
   }
@@ -318,6 +325,7 @@ std::string ScenarioSpec::to_string() const {
     w.count("cols", cpn.cols, dflt.cpn.cols);
     w.count("shortcuts", cpn.shortcuts, dflt.cpn.shortcuts);
     w.count("flows", cpn.flows, dflt.cpn.flows);
+    w.count("grids", cpn.grids, dflt.cpn.grids);
     w.num("rate", cpn.rate, dflt.cpn.rate);
   }
   if (faults.enabled) {
@@ -346,10 +354,14 @@ sim::Rng ScenarioSpec::section_stream(std::uint64_t scenario_seed,
 }
 
 std::vector<svc::CameraSpec> ScenarioSpec::expand_cameras(
-    std::uint64_t run_seed) const {
+    std::uint64_t run_seed, std::size_t district) const {
   std::vector<svc::CameraSpec> specs;
   if (!cameras.enabled) return specs;
   sim::Rng rng = section_stream(scenario_seed(run_seed), "cameras");
+  // District 0 consumes the stream exactly as a districts=1 section did;
+  // later districts fork by index (fork never advances the parent), so
+  // every district's layout is pinned independently of `districts`.
+  if (district != 0) rng = rng.fork(district);
   specs.reserve(cameras.count);
   // Dense 4-camera clusters first (the clustered_layout pattern — heavy
   // FoV overlap so Smooth/Passive strategies can pay off), then sparse

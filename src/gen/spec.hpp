@@ -13,9 +13,9 @@
 //   seed=N                standalone; 0 (default) = derive from the run seed
 //   world:horizon=T,exchange=P,step=S
 //   multicore:nodes=K,big=B,little=L,epoch=E,rate=R,work=W,deadline=D,jitter=J
-//   cameras:count=C,objects=O,clusters=G,epoch=STEPS,speed=V
+//   cameras:count=C,objects=O,clusters=G,districts=D,epoch=STEPS,speed=V
 //   cloud:nodes=K,epoch=E,demand=R,amp=A
-//   cpn:rows=R,cols=C,shortcuts=S,flows=F,rate=R
+//   cpn:rows=R,cols=C,shortcuts=S,flows=F,grids=G,rate=R
 //   faults:pressure=P,dur=D,start=T0,end=T1
 //
 // A substrate section's presence enables that substrate; a bare section
@@ -72,11 +72,16 @@ struct MulticoreSection {
 
 /// Smart-camera network: `clusters` dense 4-camera clusters at random
 /// centres plus sparse solo cameras up to `count`, watching `objects`.
+/// `districts` replicates the whole section: D independent camera
+/// networks of `count` cameras each (district 0 expands exactly like a
+/// districts=1 section), the scale axis behind the 100k-camera city and
+/// the natural sharding unit (sa::shard).
 struct CameraSection {
   bool enabled = false;
   std::size_t count = 12;
   std::size_t objects = 24;
   std::size_t clusters = 2;
+  std::size_t districts = 1;
   std::size_t epoch_steps = 25;  ///< world steps per strategy epoch
   double speed = 0.015;          ///< object speed per step
 
@@ -97,13 +102,17 @@ struct CloudSection {
 };
 
 /// Cognitive packet network: rows×cols grid plus random shortcut chords,
-/// steady legitimate traffic over random flows.
+/// steady legitimate traffic over random flows. `grids` replicates the
+/// section into G independent city-block networks (grid 0 expands
+/// exactly like a grids=1 section); camera district d couples into grid
+/// d mod G.
 struct CpnSection {
   bool enabled = false;
   std::size_t rows = 4;
   std::size_t cols = 6;
   std::size_t shortcuts = 4;
   std::size_t flows = 8;
+  std::size_t grids = 1;
   double rate = 2.0;  ///< legit packets per tick, network-wide
 
   bool operator==(const CpnSection&) const = default;
@@ -171,10 +180,13 @@ struct ScenarioSpec {
   [[nodiscard]] static sim::Rng section_stream(std::uint64_t scenario_seed,
                                                std::string_view section);
 
-  /// Camera layout: `clusters` dense 4-camera clusters at stream-drawn
-  /// centres, then solo cameras at stream-drawn positions, `count` total.
+  /// Camera layout for one district: `clusters` dense 4-camera clusters
+  /// at stream-drawn centres, then solo cameras at stream-drawn
+  /// positions, `count` total. District 0 draws exactly the districts=1
+  /// sequence; district d > 0 uses a stream forked by d, so growing
+  /// `districts` never reshuffles earlier districts' layouts.
   [[nodiscard]] std::vector<svc::CameraSpec> expand_cameras(
-      std::uint64_t run_seed) const;
+      std::uint64_t run_seed, std::size_t district = 0) const;
   /// Per-node edge workloads jittered around (rate, work, deadline).
   [[nodiscard]] std::vector<EdgeWorkload> expand_workloads(
       std::uint64_t run_seed) const;

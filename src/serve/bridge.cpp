@@ -191,6 +191,11 @@ void SimBridge::publish_now(double t) {
     }
     names_.publish(std::move(names));
   }
+  if (shard_source_) {
+    auto snap = std::make_shared<ShardSnapshot>(shard_source_());
+    snap->t = t;
+    shard_snap_.publish(std::move(snap));
+  }
   status_doc_.emplace(build_status(t, engine_));
 }
 
@@ -284,14 +289,17 @@ HttpResponse SimBridge::handle_metrics() const {
                           : std::shared_ptr<
                                 const sim::MetricsRegistry::LiveSnapshot>{};
   const auto bus = bus_snap_.read();
+  const auto shard = shard_snap_.read();
   const ServeStats st = serve_stats();
   HttpResponse resp;
   resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
   if (server_ != nullptr) {
     const ServerStats::Snapshot self = server_->stats().snapshot();
-    resp.body = render_prometheus(live.get(), bus.get(), &st, &self);
+    resp.body =
+        render_prometheus(live.get(), bus.get(), &st, &self, shard.get());
   } else {
-    resp.body = render_prometheus(live.get(), bus.get(), &st);
+    resp.body =
+        render_prometheus(live.get(), bus.get(), &st, nullptr, shard.get());
   }
   return resp;
 }
@@ -454,6 +462,18 @@ std::string SimBridge::build_status(double t, sim::Engine* engine) const {
     out += std::to_string(engine->executed());
     out += ",\"pending\":";
     out += std::to_string(engine->pending());
+    out += '}';
+  }
+
+  // Published just above in publish_now(), so /status and /metrics agree.
+  if (const auto shard = shard_snap_.read(); shard != nullptr) {
+    out += ",\"shards\":{\"events\":[";
+    for (std::size_t i = 0; i < shard->events.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(shard->events[i]);
+    }
+    out += "],\"lag_seconds\":";
+    out += format_value(shard->lag_seconds);
     out += '}';
   }
 

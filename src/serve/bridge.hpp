@@ -97,6 +97,18 @@ class SimBridge {
   /// disables.
   void set_journal(ckpt::ControlJournal* journal) { journal_ = journal; }
 
+  /// Wires a sharded run's per-shard stats (sa::shard): the source runs on
+  /// the sim (coordinator) thread at every publish boundary — where the
+  /// shard engines are barrier-paused, so reading their counters is
+  /// race-free — and returns the per-shard executed-event counts (last
+  /// entry = coordinator) plus the cumulative barrier lag. The bridge
+  /// publishes the copy for /metrics (`sa_shard_events_total{shard=…}`,
+  /// `sa_shard_lag_seconds`) and the /status `shards` block. Null disables.
+  using ShardSource = std::function<ShardSnapshot()>;
+  void set_shard_source(ShardSource source) {
+    shard_source_ = std::move(source);
+  }
+
   /// Enables the token-gated `cmd=checkpoint` control command: the hook
   /// runs on the sim thread at the next mailbox drain (a step boundary,
   /// so the snapshot is consistent) and returns whether the save
@@ -184,6 +196,7 @@ class SimBridge {
   fault::Injector* injector_ = nullptr;
   ckpt::ControlJournal* journal_ = nullptr;
   CheckpointHook checkpoint_hook_;
+  ShardSource shard_source_;
   std::vector<core::SelfAwareAgent*> agents_;
   std::vector<core::DegradationPolicy*> ladders_;
   Server* server_ = nullptr;       ///< set by install(); for self-stats
@@ -193,6 +206,7 @@ class SimBridge {
 
   // Published snapshots (written by the sim thread, read by workers).
   sim::SnapshotCell<BusSnapshot> bus_snap_;
+  sim::SnapshotCell<ShardSnapshot> shard_snap_;
   sim::SnapshotCell<std::string> status_doc_;
   sim::SnapshotCell<NameTable> names_;
 

@@ -201,7 +201,8 @@ std::string format_value(double v) {
 
 std::string render_prometheus(
     const sim::MetricsRegistry::LiveSnapshot* live, const BusSnapshot* bus,
-    const ServeStats* serve, const ServerStats::Snapshot* server) {
+    const ServeStats* serve, const ServerStats::Snapshot* server,
+    const ShardSnapshot* shard) {
   std::string out;
   out.reserve(4096);
   if (live != nullptr) {
@@ -251,6 +252,21 @@ std::string render_prometheus(
                   static_cast<double>(serve->sse_dropped_contended));
     append_sample(out, "sa_serve_sse_dropped_total", "reason=\"overflow\"",
                   static_cast<double>(serve->sse_dropped_overflow));
+  }
+  if (shard != nullptr && !shard->events.empty()) {
+    append_meta(out, "sa_shard_events_total", "counter",
+                "events executed per engine shard (sa::shard; the final "
+                "sample is the coordinator engine)");
+    for (std::size_t i = 0; i < shard->events.size(); ++i) {
+      const bool coordinator = i + 1 == shard->events.size();
+      append_sample(out, "sa_shard_events_total",
+                    coordinator ? std::string("shard=\"coordinator\"")
+                                : "shard=\"" + std::to_string(i) + "\"",
+                    static_cast<double>(shard->events[i]));
+    }
+    append_meta(out, "sa_shard_lag_seconds", "gauge",
+                "cumulative coordinator barrier-wait wall-clock seconds");
+    append_sample(out, "sa_shard_lag_seconds", {}, shard->lag_seconds);
   }
   if (server != nullptr) render_server_stats(out, *server);
   return out;

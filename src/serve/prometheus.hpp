@@ -41,6 +41,17 @@ struct BusSnapshot {
   std::vector<Category> categories;
 };
 
+/// Per-shard executed-event counts published by the coordinator of a
+/// sharded run (sa::shard) at a publish boundary — the shard engines are
+/// barrier-paused there, so the copy is race-free. The last entry is the
+/// coordinator engine itself; `lag_seconds` is the coordinator's
+/// cumulative barrier-wait wall-clock time.
+struct ShardSnapshot {
+  double t = 0.0;
+  std::vector<std::uint64_t> events;
+  double lag_seconds = 0.0;
+};
+
 /// The server's own counters, sampled at scrape time (atomics). SSE drops
 /// are split by cause: "contended" means the sim thread found a subscriber
 /// lock held at event time (the never-block rule), "overflow" means a
@@ -72,9 +83,12 @@ struct ServeStats {
 /// per-route `sa_serve_request_duration_seconds{route=…}` histograms
 /// (cumulative `le`, +Inf == count, every route class rendered even when
 /// empty), the accept→worker `sa_serve_queue_wait_seconds` histogram, and
-/// the lifecycle counters/gauges.
+/// the lifecycle counters/gauges. `shard` adds a sharded run's
+/// `sa_shard_events_total{shard=…}` counters (the final sample labelled
+/// `shard="coordinator"`) and the `sa_shard_lag_seconds` gauge.
 [[nodiscard]] std::string render_prometheus(
     const sim::MetricsRegistry::LiveSnapshot* live, const BusSnapshot* bus,
-    const ServeStats* serve, const ServerStats::Snapshot* server = nullptr);
+    const ServeStats* serve, const ServerStats::Snapshot* server = nullptr,
+    const ShardSnapshot* shard = nullptr);
 
 }  // namespace sa::serve

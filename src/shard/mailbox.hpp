@@ -1,0 +1,96 @@
+// Inter-shard mailboxes: the deterministic transport for events that
+// cross a shard boundary.
+//
+// Under the conservative protocol in shard::ShardedWorld, a shard may
+// produce values addressed to coordinator-owned state (today: camera
+// districts posting tracked-object report counts toward the CPN coupling
+// window). Such a value is recorded as a RemoteEvent in the producing
+// shard's Outbox. Outboxes are strictly single-producer (the owning shard
+// thread, between two barriers) / single-consumer (the coordinator, only
+// while every shard is barrier-paused), so the barrier's happens-before
+// edge is the only synchronisation they need — no locks or atomics touch
+// the hot path.
+//
+// Determinism: the coordinator merges all drained outboxes with
+// merge_remote(), which sorts by (t, order, origin, seq) — time, then the
+// engine-wide order convention (dynamics 0 < control 1 < exchange 2),
+// then the *global* origin unit index (not the shard index, so the merged
+// order is independent of how units were packed onto shards), then the
+// per-origin sequence number. This is exactly the order in which the
+// single-engine world would have executed the producing events, so
+// applying the merged stream reproduces the monolithic trajectory byte
+// for byte regardless of shard count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sa::shard {
+
+/// One cross-shard value in flight. `origin` is the producing unit's
+/// global index (e.g. the camera district number) — the merge key that
+/// keeps ordering shard-count-invariant. `seq` increases per origin, so
+/// two posts from the same unit keep their production order.
+struct RemoteEvent {
+  double t = 0.0;        ///< sim time the producing event executed at
+  int order = 0;         ///< engine order of the producing event
+  std::uint64_t origin = 0;  ///< global unit index of the producer
+  std::uint64_t seq = 0;     ///< per-origin production counter
+  std::size_t district = 0;  ///< payload: destination camera district
+  double amount = 0.0;       ///< payload: report count to accumulate
+};
+
+/// The canonical cross-shard merge order (see file comment).
+inline bool remote_before(const RemoteEvent& a, const RemoteEvent& b) {
+  if (a.t != b.t) return a.t < b.t;
+  if (a.order != b.order) return a.order < b.order;
+  if (a.origin != b.origin) return a.origin < b.origin;
+  return a.seq < b.seq;
+}
+
+/// Per-shard outgoing queue. post() is called only by the owning shard
+/// thread; drain() only by the coordinator while that thread is parked at
+/// a barrier.
+class Outbox {
+ public:
+  void post(double t, int order, std::uint64_t origin, std::size_t district,
+            double amount) {
+    events_.push_back(
+        RemoteEvent{t, order, origin, next_seq_++, district, amount});
+  }
+
+  /// Moves out everything posted since the last drain.
+  std::vector<RemoteEvent> drain() {
+    std::vector<RemoteEvent> out;
+    out.swap(events_);
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::vector<RemoteEvent> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Merges drained outboxes into the canonical (t, order, origin, seq)
+/// dispatch order. Stable by construction: the key is a total order over
+/// distinct origins, and seq totals each origin's stream.
+inline std::vector<RemoteEvent> merge_remote(
+    std::vector<std::vector<RemoteEvent>> drained) {
+  std::vector<RemoteEvent> all;
+  std::size_t total = 0;
+  for (const auto& v : drained) total += v.size();
+  all.reserve(total);
+  for (auto& v : drained) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end(), remote_before);
+  return all;
+}
+
+}  // namespace sa::shard

@@ -1,0 +1,79 @@
+#include "shard/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sa::shard {
+
+std::vector<Unit> enumerate_units(const gen::ScenarioSpec& spec) {
+  std::vector<Unit> units;
+  if (spec.cameras.enabled) {
+    // A district's step cost is dominated by the camera x object coverage
+    // pass in svc::Network.
+    const double w = static_cast<double>(spec.cameras.count) *
+                     static_cast<double>(spec.cameras.objects);
+    for (std::size_t d = 0; d < spec.cameras.districts; ++d) {
+      units.push_back(Unit{UnitKind::CameraDistrict, d, w});
+    }
+  }
+  if (spec.cpn.enabled) {
+    // Grid cost: per-tick node/link transit plus flow bookkeeping.
+    const double w =
+        static_cast<double>(spec.cpn.rows * spec.cpn.cols + spec.cpn.flows);
+    for (std::size_t g = 0; g < spec.cpn.grids; ++g) {
+      units.push_back(Unit{UnitKind::CpnGrid, g, w});
+    }
+  }
+  if (spec.multicore.enabled) {
+    const double w =
+        static_cast<double>(spec.multicore.big + spec.multicore.little);
+    for (std::size_t n = 0; n < spec.multicore.nodes; ++n) {
+      units.push_back(Unit{UnitKind::EdgeNode, n, w});
+    }
+  }
+  return units;
+}
+
+Partition partition_world(const gen::ScenarioSpec& spec, std::size_t shards) {
+  if (shards < 1) {
+    throw std::invalid_argument("shard: shard count must be >= 1");
+  }
+  Partition part;
+  part.shards = shards;
+  part.district_shard.assign(spec.cameras.enabled ? spec.cameras.districts : 0,
+                             0);
+  part.grid_shard.assign(spec.cpn.enabled ? spec.cpn.grids : 0, 0);
+  part.edge_shard.assign(spec.multicore.enabled ? spec.multicore.nodes : 0, 0);
+  part.shard_weight.assign(shards, 0.0);
+  part.shard_units.assign(shards, {});
+
+  std::vector<Unit> units = enumerate_units(spec);
+  // LPT: heaviest units first; equal weights keep the global enumeration
+  // order (stable_sort), so the assignment is pinned by (spec, shards).
+  std::stable_sort(units.begin(), units.end(),
+                   [](const Unit& a, const Unit& b) {
+                     return a.weight > b.weight;
+                   });
+  for (const Unit& u : units) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < shards; ++s) {
+      if (part.shard_weight[s] < part.shard_weight[best]) best = s;
+    }
+    part.shard_weight[best] += u.weight;
+    part.shard_units[best].push_back(u);
+    switch (u.kind) {
+      case UnitKind::CameraDistrict:
+        part.district_shard[u.index] = best;
+        break;
+      case UnitKind::CpnGrid:
+        part.grid_shard[u.index] = best;
+        break;
+      case UnitKind::EdgeNode:
+        part.edge_shard[u.index] = best;
+        break;
+    }
+  }
+  return part;
+}
+
+}  // namespace sa::shard

@@ -1,0 +1,63 @@
+// Deterministic world partitioner.
+//
+// A generated world decomposes into *units* — the independent substrate
+// replicas a ScenarioSpec describes: camera districts (`cameras` with
+// districts=D), CPN grids (`cpn` with grids=G), and multicore edge nodes.
+// Units are independent between coordinator events by construction (every
+// cross-substrate coupling, the fault injector, knowledge exchange and
+// the cloud backend live on the coordinator engine — see
+// gen::Scenario::Options::Placement), so any assignment of whole units to
+// shards yields the same trajectory; the partitioner only decides load
+// balance.
+//
+// Assignment is longest-processing-time greedy over static unit weights
+// (cameras x objects per district, nodes + flows per grid, cores per edge
+// node), with all ties broken by fixed unit order and lowest shard id —
+// fully deterministic in (spec, shard count), never in machine state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gen/spec.hpp"
+
+namespace sa::shard {
+
+enum class UnitKind : unsigned char { CameraDistrict, CpnGrid, EdgeNode };
+
+/// One schedulable unit of the world, in the fixed global enumeration
+/// order: camera districts first, then CPN grids, then edge nodes.
+struct Unit {
+  UnitKind kind = UnitKind::CameraDistrict;
+  std::size_t index = 0;   ///< index within its kind (district/grid/node)
+  double weight = 1.0;     ///< static load estimate
+};
+
+struct Partition {
+  std::size_t shards = 1;
+  /// Unit-to-shard maps, indexed by the unit's within-kind index. Sized
+  /// by the spec (zero-length when that section is disabled).
+  std::vector<std::size_t> district_shard;
+  std::vector<std::size_t> grid_shard;
+  std::vector<std::size_t> edge_shard;
+  /// Total static weight per shard (diagnostics / balance tests).
+  std::vector<double> shard_weight;
+  /// Units per shard (diagnostics; empty vectors mark idle shards).
+  std::vector<std::vector<Unit>> shard_units;
+
+  [[nodiscard]] std::size_t units() const noexcept {
+    return district_shard.size() + grid_shard.size() + edge_shard.size();
+  }
+};
+
+/// Enumerates the spec's units in global order with their static weights.
+[[nodiscard]] std::vector<Unit> enumerate_units(const gen::ScenarioSpec& spec);
+
+/// LPT-assigns the spec's units onto `shards` shards. `shards` must be
+/// >= 1 (throws std::invalid_argument otherwise). Shards may end up empty
+/// when there are fewer units than shards — an empty shard simply idles
+/// at every barrier.
+[[nodiscard]] Partition partition_world(const gen::ScenarioSpec& spec,
+                                        std::size_t shards);
+
+}  // namespace sa::shard

@@ -224,6 +224,27 @@ class Engine {
   void run() {
     while (!heap_.empty()) step();
   }
+  /// Runs every event strictly before the global instant (t, order) —
+  /// lexicographic on the determinism contract's (time, order) key. The
+  /// sa::shard barrier protocol uses this to drain a shard engine up to
+  /// the coordinator's next event. now() is left at the last executed
+  /// event (never advanced to `t`), so a later run_until/run_until_before
+  /// resumes exactly where this call stopped.
+  void run_until_before(Time t, int order) {
+    while (!heap_.empty() &&
+           (heap_.front().t < t ||
+            (heap_.front().t == t && heap_.front().order < order))) {
+      step();
+    }
+  }
+  /// Peeks the next pending event's (t, order) without executing it.
+  /// Returns false when the queue is empty.
+  [[nodiscard]] bool peek_next(Time& t, int& order) const noexcept {
+    if (heap_.empty()) return false;
+    t = heap_.front().t;
+    order = heap_.front().order;
+    return true;
+  }
   /// Executes exactly one event if present; returns whether one ran.
   bool step() {
     if (heap_.empty()) return false;

@@ -81,6 +81,48 @@ TEST(ArgsTest, BoundaryValuesAccepted) {
   EXPECT_EQ(hi.seeds, 100000u);
 }
 
+TEST(ArgsTest, ParsesShards) {
+  Options o;
+  EXPECT_EQ(parse({}, o), "");
+  EXPECT_EQ(o.shards, 1u);  // default: the legacy single-engine path
+  EXPECT_EQ(parse({"--shards", "4"}, o), "");
+  EXPECT_EQ(o.shards, 4u);
+  Options eq;
+  EXPECT_EQ(parse({"--shards=2"}, eq), "");
+  EXPECT_EQ(eq.shards, 2u);
+}
+
+TEST(ArgsTest, RejectsBadShards) {
+  Options o;
+  EXPECT_NE(parse({"--shards"}, o), "");
+  EXPECT_NE(parse({"--shards", "0"}, o), "");
+  EXPECT_NE(parse({"--shards", "junk"}, o), "");
+  EXPECT_NE(parse({"--shards", "99999"}, o), "");
+}
+
+TEST(ArgsTest, ShardsPinJobsToOne) {
+  // The shard workers are the parallelism; results are --jobs-invariant,
+  // so pinning costs nothing and avoids oversubscription.
+  Options o;
+  EXPECT_EQ(parse({"--shards", "4", "--jobs", "8"}, o), "");
+  EXPECT_EQ(o.shards, 4u);
+  EXPECT_EQ(o.jobs, 1u);
+  Options one;
+  EXPECT_EQ(parse({"--shards", "1", "--jobs", "8"}, one), "");
+  EXPECT_EQ(one.jobs, 8u);  // --shards 1 leaves the grid pool alone
+}
+
+TEST(ArgsTest, ShardsRejectCheckpointAndResume) {
+  Options o;
+  const std::string err = parse({"--shards", "2", "--checkpoint", "c.ck"}, o);
+  EXPECT_NE(err, "");
+  EXPECT_NE(err.find("--shards"), std::string::npos);
+  Options r;
+  EXPECT_NE(parse({"--shards", "2", "--resume", "c.ck"}, r), "");
+  Options legacy;
+  EXPECT_EQ(parse({"--shards", "1", "--checkpoint", "c.ck"}, legacy), "");
+}
+
 TEST(ArgsTest, LaterFlagWins) {
   Options o;
   EXPECT_EQ(parse({"--jobs", "2", "--jobs", "6"}, o), "");

@@ -76,6 +76,59 @@ TEST(ScenarioSpecParse, SpacelessKeysParseEverySection) {
   EXPECT_EQ(ScenarioSpec::parse(s.to_string()), s);
 }
 
+TEST(ScenarioSpecParse, DistrictsAndGridsRoundTrip) {
+  // The sa::shard scale-out axes: replicated camera districts and CPN
+  // grids. Default 1 stays out of the canonical string, so every spec
+  // written before the keys existed round-trips unchanged.
+  const auto s = ScenarioSpec::parse(
+      "cameras:count=6,districts=4;cpn:rows=3,cols=3,grids=5");
+  EXPECT_EQ(s.cameras.districts, 4u);
+  EXPECT_EQ(s.cpn.grids, 5u);
+  EXPECT_EQ(ScenarioSpec::parse(s.to_string()), s);
+
+  const auto d = ScenarioSpec::parse("cameras;cpn");
+  EXPECT_EQ(d.cameras.districts, 1u);
+  EXPECT_EQ(d.cpn.grids, 1u);
+  EXPECT_EQ(d.to_string(), "cameras;cpn");
+}
+
+TEST(ScenarioSpecParse, RejectsZeroDistrictsOrGrids) {
+  EXPECT_THROW((void)ScenarioSpec::parse("cameras:districts=0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ScenarioSpec::parse("cpn:grids=0"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpecExpandDistricts, DistrictZeroMatchesLegacyStream) {
+  // expand_cameras(seed) and expand_cameras(seed, 0) are the same draw —
+  // pre-districts worlds keep their exact topologies.
+  const auto spec = ScenarioSpec::parse("cameras:count=6,objects=8,districts=3");
+  const auto legacy = spec.expand_cameras(9);
+  const auto d0 = spec.expand_cameras(9, 0);
+  ASSERT_EQ(legacy.size(), d0.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].pos.x, d0[i].pos.x);
+    EXPECT_EQ(legacy[i].pos.y, d0[i].pos.y);
+  }
+}
+
+TEST(ScenarioSpecExpandDistricts, DistrictsDrawDistinctButStableTopologies) {
+  const auto spec = ScenarioSpec::parse("cameras:count=6,objects=8,districts=3");
+  const auto d1 = spec.expand_cameras(9, 1);
+  const auto d2 = spec.expand_cameras(9, 2);
+  ASSERT_EQ(d1.size(), d2.size());
+  bool differ = false;
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    differ = differ || d1[i].pos.x != d2[i].pos.x;
+  }
+  EXPECT_TRUE(differ);  // replicas are independent worlds, not copies
+
+  const auto again = spec.expand_cameras(9, 1);
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].pos.x, again[i].pos.x);  // and fully deterministic
+  }
+}
+
 TEST(ScenarioSpecParse, RejectsMalformedSpecs) {
   EXPECT_THROW((void)ScenarioSpec::parse("submarine"), std::invalid_argument);
   EXPECT_THROW((void)ScenarioSpec::parse("cpn:knots=4"), std::invalid_argument);

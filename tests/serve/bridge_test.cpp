@@ -91,6 +91,59 @@ TEST(SimBridge, PublishesStatusAndMetricsSnapshots) {
   server.stop();
 }
 
+TEST(SimBridge, ShardSourceSurfacesInMetricsAndStatus) {
+  sim::Engine engine;
+  SimBridge bridge;
+  // Stands in for shard::ShardedWorld::shard_events() — the bridge calls
+  // the source on the sim thread at every publish boundary.
+  bridge.set_shard_source([] {
+    ShardSnapshot snap;
+    snap.events = {40, 2};  // one shard + the coordinator
+    snap.lag_seconds = 0.125;
+    return snap;
+  });
+  bridge.attach(engine);
+
+  Server server(quick_opts());
+  bridge.install(server);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  engine.run_until(1.0);
+
+  const std::string page =
+      client::body_of(client::http_get(server.port(), "/metrics"));
+  EXPECT_NE(page.find("sa_shard_events_total{shard=\"0\"} 40"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("sa_shard_events_total{shard=\"coordinator\"} 2"),
+            std::string::npos);
+  EXPECT_NE(page.find("sa_shard_lag_seconds 0.125"), std::string::npos);
+
+  const std::string status =
+      client::body_of(client::http_get(server.port(), "/status"));
+  EXPECT_NE(status.find("\"shards\":{\"events\":[40,2],\"lag_seconds\":0.125"),
+            std::string::npos)
+      << status;
+  server.stop();
+}
+
+TEST(SimBridge, WithoutShardSourceNoShardSeries) {
+  sim::Engine engine;
+  SimBridge bridge;
+  bridge.attach(engine);
+  Server server(quick_opts());
+  bridge.install(server);
+  ASSERT_TRUE(server.start()) << server.error();
+  engine.run_until(0.5);
+  EXPECT_EQ(client::body_of(client::http_get(server.port(), "/metrics"))
+                .find("sa_shard"),
+            std::string::npos);
+  EXPECT_EQ(client::body_of(client::http_get(server.port(), "/status"))
+                .find("\"shards\""),
+            std::string::npos);
+  server.stop();
+}
+
 TEST(SimBridge, StatusBeforeFirstPublishSaysSo) {
   SimBridge bridge;
   Server server(quick_opts());

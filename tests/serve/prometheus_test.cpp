@@ -172,6 +172,30 @@ TEST(PrometheusFormat, NullSectionsAreOmitted) {
   EXPECT_NE(only_serve.find("sa_serve_requests_total"), std::string::npos);
 }
 
+TEST(PrometheusFormat, ShardSnapshotRendersPerShardCounters) {
+  ShardSnapshot shard;
+  shard.t = 12.0;
+  shard.events = {100, 250, 7};  // two shards + the coordinator
+  shard.lag_seconds = 0.25;
+  const std::string page =
+      render_prometheus(nullptr, nullptr, nullptr, nullptr, &shard);
+  expect_exposition_grammar(page);
+  EXPECT_NE(page.find("sa_shard_events_total{shard=\"0\"} 100"),
+            std::string::npos);
+  EXPECT_NE(page.find("sa_shard_events_total{shard=\"1\"} 250"),
+            std::string::npos);
+  EXPECT_NE(page.find("sa_shard_events_total{shard=\"coordinator\"} 7"),
+            std::string::npos);
+  EXPECT_NE(page.find("sa_shard_lag_seconds 0.25"), std::string::npos);
+}
+
+TEST(PrometheusFormat, EmptyShardSnapshotIsOmitted) {
+  const ShardSnapshot shard;  // no events published
+  const std::string page =
+      render_prometheus(nullptr, nullptr, nullptr, nullptr, &shard);
+  EXPECT_EQ(page.find("sa_shard"), std::string::npos);
+}
+
 TEST(PrometheusFormat, SanitizesMetricNames) {
   EXPECT_EQ(sanitize_metric_name("loop.count"), "loop_count");
   EXPECT_EQ(sanitize_metric_name("svc coverage%"), "svc_coverage_");

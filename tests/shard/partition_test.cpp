@@ -1,0 +1,125 @@
+// Contract tests for the deterministic world partitioner (sa::shard).
+#include "shard/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/spec.hpp"
+
+namespace {
+
+using namespace sa;
+
+gen::ScenarioSpec parse(const std::string& text) {
+  return gen::ScenarioSpec::parse(text);
+}
+
+const char* const kCitySpec =
+    "world:horizon=80;multicore:nodes=3;"
+    "cameras:count=6,objects=8,clusters=1,districts=5;"
+    "cloud:nodes=8;cpn:rows=3,cols=3,shortcuts=2,flows=4,grids=4;faults";
+
+TEST(Partition, EnumerationOrderIsDistrictsGridsEdges) {
+  const auto units = shard::enumerate_units(parse(kCitySpec));
+  ASSERT_EQ(units.size(), 5u + 4u + 3u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(units[i].kind, shard::UnitKind::CameraDistrict);
+    EXPECT_EQ(units[i].index, i);
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(units[5 + i].kind, shard::UnitKind::CpnGrid);
+    EXPECT_EQ(units[5 + i].index, i);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(units[9 + i].kind, shard::UnitKind::EdgeNode);
+    EXPECT_EQ(units[9 + i].index, i);
+  }
+}
+
+TEST(Partition, WeightsReflectSectionSizes) {
+  const auto units = shard::enumerate_units(parse(kCitySpec));
+  // Camera district: count x objects; CPN grid: nodes + flows.
+  EXPECT_DOUBLE_EQ(units[0].weight, 6.0 * 8.0);
+  EXPECT_DOUBLE_EQ(units[5].weight, 3.0 * 3.0 + 4.0);
+}
+
+TEST(Partition, DisabledSectionsContributeNoUnits) {
+  const auto spec = parse("world:horizon=40;cloud:nodes=8;cpn:rows=3,cols=3");
+  const auto units = shard::enumerate_units(spec);
+  ASSERT_EQ(units.size(), 1u);  // one default grid; cloud has no units
+  EXPECT_EQ(units[0].kind, shard::UnitKind::CpnGrid);
+}
+
+TEST(Partition, ZeroShardsThrows) {
+  EXPECT_THROW(shard::partition_world(parse(kCitySpec), 0),
+               std::invalid_argument);
+}
+
+TEST(Partition, EveryUnitAssignedInRange) {
+  const auto spec = parse(kCitySpec);
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    const auto part = shard::partition_world(spec, shards);
+    EXPECT_EQ(part.shards, shards);
+    ASSERT_EQ(part.district_shard.size(), 5u);
+    ASSERT_EQ(part.grid_shard.size(), 4u);
+    ASSERT_EQ(part.edge_shard.size(), 3u);
+    for (const std::size_t s : part.district_shard) EXPECT_LT(s, shards);
+    for (const std::size_t s : part.grid_shard) EXPECT_LT(s, shards);
+    for (const std::size_t s : part.edge_shard) EXPECT_LT(s, shards);
+    std::size_t listed = 0;
+    for (const auto& su : part.shard_units) listed += su.size();
+    EXPECT_EQ(listed, part.units());
+  }
+}
+
+TEST(Partition, DeterministicInSpecAndCount) {
+  const auto spec = parse(kCitySpec);
+  const auto a = shard::partition_world(spec, 4);
+  const auto b = shard::partition_world(spec, 4);
+  EXPECT_EQ(a.district_shard, b.district_shard);
+  EXPECT_EQ(a.grid_shard, b.grid_shard);
+  EXPECT_EQ(a.edge_shard, b.edge_shard);
+  EXPECT_EQ(a.shard_weight, b.shard_weight);
+}
+
+TEST(Partition, LptKeepsNoShardIdleWhenUnitsSuffice) {
+  const auto part = shard::partition_world(parse(kCitySpec), 4);
+  for (const auto& su : part.shard_units) EXPECT_FALSE(su.empty());
+}
+
+TEST(Partition, MoreShardsThanUnitsLeavesTrailingShardsEmpty) {
+  // 12 units on 16 shards: every unit alone, four shards idle.
+  const auto part = shard::partition_world(parse(kCitySpec), 16);
+  std::size_t empty = 0;
+  for (const auto& su : part.shard_units) {
+    EXPECT_LE(su.size(), 1u);
+    if (su.empty()) ++empty;
+  }
+  EXPECT_EQ(empty, 4u);
+}
+
+TEST(Partition, CloudOnlySpecHasNoUnits) {
+  const auto part =
+      shard::partition_world(parse("world:horizon=40;cloud:nodes=8"), 4);
+  EXPECT_EQ(part.units(), 0u);
+  for (const auto& su : part.shard_units) EXPECT_TRUE(su.empty());
+}
+
+TEST(Partition, BalanceWithinHeaviestUnitOfOptimal) {
+  // The classic LPT bound: max load <= mean + heaviest unit. Loose but
+  // catches a broken comparator or accumulation.
+  const auto spec = parse(kCitySpec);
+  const auto units = shard::enumerate_units(spec);
+  double total = 0.0, heaviest = 0.0;
+  for (const auto& u : units) {
+    total += u.weight;
+    heaviest = std::max(heaviest, u.weight);
+  }
+  const auto part = shard::partition_world(spec, 4);
+  for (const double w : part.shard_weight) {
+    EXPECT_LE(w, total / 4.0 + heaviest);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// ShardedWorld contract tests (sa::shard): typed validation errors,
+// byte-identical trajectories at every shard count, degenerate shapes
+// (empty shards, cloud-only worlds), and resumable runs.
+#include "shard/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gen/scenario.hpp"
+#include "gen/spec.hpp"
+#include "support/metamorphic.hpp"
+
+namespace {
+
+using namespace sa;
+namespace support = test::support;
+
+const char* const kTownSpec =
+    "world:horizon=80;multicore:nodes=1;"
+    "cameras:count=6,objects=8,clusters=1;"
+    "cloud:nodes=8;cpn:rows=3,cols=3,shortcuts=2;faults";
+
+const char* const kReplicatedSpec =
+    "world:horizon=80;multicore:nodes=3;"
+    "cameras:count=5,objects=6,clusters=1,districts=3;"
+    "cloud:nodes=8;cpn:rows=3,cols=3,shortcuts=2,flows=4,grids=3;faults";
+
+shard::ShardedWorld::Options opts_for(std::size_t shards) {
+  shard::ShardedWorld::Options o;
+  o.shards = shards;
+  return o;
+}
+
+TEST(ShardedWorldValidate, RejectsZeroShards) {
+  EXPECT_THROW(shard::ShardedWorld::validate(
+                   gen::ScenarioSpec::parse(kTownSpec), opts_for(0)),
+               shard::ShardError);
+}
+
+TEST(ShardedWorldValidate, RejectsCouplingWindowNotLongerThanStep) {
+  // cpn enabled + cloud enabled: the coupling window is the cloud epoch,
+  // which must be strictly longer than the world step.
+  const auto spec = gen::ScenarioSpec::parse(
+      "world:horizon=40,step=1;cloud:nodes=8,epoch=1;"
+      "cpn:rows=3,cols=3,shortcuts=2");
+  EXPECT_THROW(shard::ShardedWorld::validate(spec, opts_for(2)),
+               shard::ShardError);
+  EXPECT_THROW(shard::ShardedWorld(spec, 1, opts_for(2)), shard::ShardError);
+}
+
+TEST(ShardedWorldValidate, RejectsMulticoreEpochLongerThanCloudEpoch) {
+  const auto spec = gen::ScenarioSpec::parse(
+      "world:horizon=40;multicore:nodes=2,epoch=20;cloud:nodes=8,epoch=10");
+  EXPECT_THROW(shard::ShardedWorld::validate(spec, opts_for(2)),
+               shard::ShardError);
+}
+
+TEST(ShardedWorldValidate, AcceptsTheTownAndTheCity) {
+  EXPECT_NO_THROW(shard::ShardedWorld::validate(
+      gen::ScenarioSpec::parse(kTownSpec), opts_for(8)));
+  EXPECT_NO_THROW(shard::ShardedWorld::validate(
+      gen::ScenarioSpec::parse(gen::ScenarioSpec::city_spec()), opts_for(8)));
+}
+
+TEST(ShardedWorld, TownIsByteIdenticalAtEveryShardCount) {
+  EXPECT_TRUE(support::shard_count_invariant(kTownSpec, 41, {1, 2, 4, 8}));
+}
+
+TEST(ShardedWorld, ReplicatedDistrictsAndGridsAreByteIdentical) {
+  EXPECT_TRUE(
+      support::shard_count_invariant(kReplicatedSpec, 42, {1, 2, 4, 8}));
+}
+
+TEST(ShardedWorld, BaselineVariantIsByteIdenticalToo) {
+  EXPECT_TRUE(support::shard_count_invariant(kReplicatedSpec, 43, {2, 4}, {},
+                                             /*self_aware=*/false));
+}
+
+TEST(ShardedWorld, CloudOnlyWorldAllShardsIdle) {
+  // No units at all: every shard idles at every barrier; the trajectory is
+  // exactly the coordinator's.
+  EXPECT_TRUE(support::shard_count_invariant("world:horizon=60;cloud:nodes=8",
+                                             44, {1, 4}));
+}
+
+TEST(ShardedWorld, MoreShardsThanUnits) {
+  // 3 units on 8 shards: five shards stay empty, result unchanged.
+  EXPECT_TRUE(support::shard_count_invariant(
+      "world:horizon=60;multicore:nodes=3", 45, {8}));
+}
+
+TEST(ShardedWorld, ShardEventsHasOneSlotPerShardPlusCoordinator) {
+  const auto spec = gen::ScenarioSpec::parse(kTownSpec);
+  shard::ShardedWorld world(spec, 7, opts_for(3));
+  world.run();
+  const auto events = world.shard_events();
+  ASSERT_EQ(events.size(), 4u);  // 3 shards + coordinator
+  std::uint64_t total = 0;
+  for (const std::uint64_t e : events) total += e;
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(events.back(), 0u);  // the coordinator always runs something
+  EXPECT_GE(world.lag_seconds(), 0.0);
+}
+
+TEST(ShardedWorld, RunUntilIsResumable) {
+  const auto spec = gen::ScenarioSpec::parse(kReplicatedSpec);
+
+  shard::ShardedWorld whole(spec, 46, opts_for(4));
+  whole.run();
+
+  shard::ShardedWorld split(spec, 46, opts_for(4));
+  split.run_until(37.0);
+  split.run_until(spec.world.horizon);
+
+  EXPECT_TRUE(support::byte_identical(
+      support::scenario_fingerprint(whole.world()),
+      support::scenario_fingerprint(split.world()),
+      "one run vs split run_until"));
+}
+
+TEST(ShardedWorld, PartitionExposedAndSizedBySpec) {
+  const auto spec = gen::ScenarioSpec::parse(kReplicatedSpec);
+  shard::ShardedWorld world(spec, 47, opts_for(2));
+  EXPECT_EQ(world.shards(), 2u);
+  EXPECT_EQ(world.partition().district_shard.size(), 3u);
+  EXPECT_EQ(world.partition().grid_shard.size(), 3u);
+  EXPECT_EQ(world.partition().edge_shard.size(), 3u);
+}
+
+}  // namespace

@@ -204,6 +204,51 @@ TEST(Engine, ClearResetsExecutedCount) {
   EXPECT_EQ(e.executed(), 1u);
 }
 
+TEST(Engine, RunUntilBeforeStopsStrictlyBeforeTheInstant) {
+  // The sa::shard barrier drains a shard engine up to — never into — the
+  // coordinator's next (t, order) key.
+  Engine e;
+  std::vector<int> ran;
+  e.at(1.0, [&] { ran.push_back(1); });
+  e.at(2.0, [&] { ran.push_back(2); }, /*order=*/0);
+  e.at(2.0, [&] { ran.push_back(3); }, /*order=*/1);
+  e.at(3.0, [&] { ran.push_back(4); });
+
+  e.run_until_before(2.0, 1);
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));  // (2.0, 1) itself is excluded
+
+  // now() stays at the last executed event, so the run resumes exactly.
+  EXPECT_EQ(e.now(), 2.0);
+  e.run_until_before(3.0, 0);
+  EXPECT_EQ(ran, (std::vector<int>{1, 2, 3}));
+  e.run_until(3.0);
+  EXPECT_EQ(ran, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Engine, RunUntilBeforeOnEmptyQueueIsANoOp) {
+  Engine e;
+  e.run_until_before(5.0, 0);
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.executed(), 0u);
+}
+
+TEST(Engine, PeekNextReportsWithoutExecuting) {
+  Engine e;
+  double t = -1.0;
+  int order = -1;
+  EXPECT_FALSE(e.peek_next(t, order));
+
+  e.at(2.0, [] {}, /*order=*/3);
+  e.at(1.5, [] {}, /*order=*/1);
+  ASSERT_TRUE(e.peek_next(t, order));
+  EXPECT_EQ(t, 1.5);
+  EXPECT_EQ(order, 1);
+  EXPECT_EQ(e.executed(), 0u);  // peeking ran nothing
+
+  e.run();
+  EXPECT_FALSE(e.peek_next(t, order));
+}
+
 TEST(Engine, ClearInsideEventIsSafe) {
   // An event (even a periodic one, whose slot would otherwise be re-armed
   // after it returns) may clear() the engine out from under itself.

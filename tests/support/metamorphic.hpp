@@ -22,6 +22,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -30,6 +32,9 @@
 
 #include "exp/harness.hpp"
 #include "exp/runner.hpp"
+#include "gen/scenario.hpp"
+#include "gen/spec.hpp"
+#include "shard/world.hpp"
 
 namespace sa::test::support {
 
@@ -89,6 +94,81 @@ inline ::testing::AssertionResult thread_count_invariant(
   return byte_identical(timing_free_json(serial), timing_free_json(parallel),
                         "serial vs " + std::to_string(jobs) +
                             "-worker grid results");
+}
+
+/// Bit-exact serialisation of a scenario's summary metrics (hexfloat, so
+/// equality means the doubles are identical, not merely close).
+inline std::string scenario_fingerprint(gen::Scenario& city) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const auto& [name, value] : city.summary()) {
+    os << name << '=' << value << '\n';
+  }
+  return os.str();
+}
+
+/// The shard-count-invariance relation (sa::shard's determinism contract):
+/// one generated world, run single-engine and as a ShardedWorld at every
+/// count in `counts`, must produce a bit-identical summary fingerprint —
+/// and the shards together must execute exactly the events the monolithic
+/// engine did. `prepare` (optional) runs after construction and before the
+/// run on every world, e.g. to schedule a control-journal replay on
+/// `city.engine()`. Callers' suites must link sa_shard and sa_gen.
+inline ::testing::AssertionResult shard_count_invariant(
+    const std::string& spec_text, std::uint64_t seed,
+    const std::vector<std::size_t>& counts = {1, 2, 4, 8},
+    const std::function<void(gen::Scenario&)>& prepare = {},
+    bool self_aware = true) {
+  gen::ScenarioSpec spec;
+  try {
+    spec = gen::ScenarioSpec::parse(spec_text);
+  } catch (const std::exception& e) {
+    return ::testing::AssertionFailure()
+           << "spec parse failed: " << e.what() << "\n  spec: " << spec_text;
+  }
+
+  std::string ref;
+  std::uint64_t ref_events = 0;
+  {
+    gen::Scenario::Options opts;
+    opts.self_aware = self_aware;
+    gen::Scenario city(spec, seed, opts);
+    if (prepare) prepare(city);
+    city.run();
+    ref = scenario_fingerprint(city);
+    ref_events = city.engine().executed();
+  }
+
+  for (const std::size_t n : counts) {
+    shard::ShardedWorld::Options opts;
+    opts.shards = n;
+    opts.self_aware = self_aware;
+    try {
+      shard::ShardedWorld world(spec, seed, opts);
+      if (prepare) prepare(world.world());
+      world.run();
+      const std::string got = scenario_fingerprint(world.world());
+      if (auto result = byte_identical(
+              ref, got,
+              "single-engine vs " + std::to_string(n) + "-shard summaries");
+          !result) {
+        return result;
+      }
+      std::uint64_t total = 0;
+      for (const std::uint64_t e : world.shard_events()) total += e;
+      if (total != ref_events) {
+        return ::testing::AssertionFailure()
+               << n << "-shard run executed " << total
+               << " events in total; the monolithic run executed "
+               << ref_events;
+      }
+    } catch (const std::exception& e) {
+      return ::testing::AssertionFailure()
+             << "shards=" << n << " threw: " << e.what()
+             << "\n  spec: " << spec_text;
+    }
+  }
+  return ::testing::AssertionSuccess();
 }
 
 /// Directions for monotone(). "Strictly" forbids ties.
